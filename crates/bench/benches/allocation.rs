@@ -1,0 +1,53 @@
+//! Contribution-allocation throughput: Eq. 5 (micro), Eq. 6 (macro) and the
+//! progressive multi-δ macro pass over a large trace. Allocation must be a
+//! negligible fraction of the pipeline (tracing dominates), which these
+//! numbers document.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctfl_core::allocation::{macro_scores, macro_scores_multi, micro_scores, CreditDirection};
+use ctfl_core::tracing::{TestTrace, TraceOutcome};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn big_trace(n_test: usize, n_clients: usize) -> TraceOutcome {
+    let mut rng = StdRng::seed_from_u64(4);
+    let per_test: Vec<TestTrace> = (0..n_test)
+        .map(|_| {
+            let actual = rng.gen_range(0..2usize);
+            let correct = rng.gen_bool(0.85);
+            let predicted = if correct { actual } else { 1 - actual };
+            TestTrace {
+                predicted,
+                actual,
+                traced_class: if correct { actual } else { predicted },
+                denom: 1.0 + rng.gen::<f64>(),
+                related_per_client: (0..n_clients)
+                    .map(|_| if rng.gen_bool(0.4) { rng.gen_range(0..50) } else { 0 })
+                    .collect(),
+            }
+        })
+        .collect();
+    TraceOutcome::from_per_test(per_test, n_clients, 0)
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let outcome = big_trace(20_000, 8);
+    let mut group = c.benchmark_group("allocation_20k_tests_8_clients");
+    group.bench_function("micro", |b| {
+        b.iter(|| micro_scores(&outcome, CreditDirection::Gain))
+    });
+    group.bench_function("macro_delta2", |b| {
+        b.iter(|| macro_scores(&outcome, 2, CreditDirection::Gain).unwrap())
+    });
+    group.bench_function("macro_multi_5deltas", |b| {
+        b.iter(|| macro_scores_multi(&outcome, &[1, 2, 4, 8, 16], CreditDirection::Gain).unwrap())
+    });
+    group.bench_function("micro_loss_direction", |b| {
+        b.iter(|| micro_scores(&outcome, CreditDirection::Loss))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

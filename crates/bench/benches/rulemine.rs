@@ -1,0 +1,55 @@
+//! Frequent-itemset mining benchmarks: Max-Miner vs. Apriori on long
+//! maximal patterns (Max-Miner's superset-frequency pruning is the reason
+//! the paper picks it for test-group partitioning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctfl_rulemine::apriori::apriori;
+use ctfl_rulemine::maxminer::{max_miner, MaxMinerConfig};
+use ctfl_rulemine::TransactionSet;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Transactions with planted long patterns plus noise — the regime where
+/// Max-Miner's pruning pays off.
+fn db(n_tx: usize, n_items: usize, pattern_len: usize) -> TransactionSet {
+    let mut rng = StdRng::seed_from_u64(17);
+    let patterns: Vec<Vec<usize>> = (0..4)
+        .map(|_| {
+            let mut p: Vec<usize> = (0..n_items).collect();
+            for i in (1..p.len()).rev() {
+                p.swap(i, rng.gen_range(0..=i));
+            }
+            p.truncate(pattern_len);
+            p
+        })
+        .collect();
+    let mut txs = TransactionSet::new(n_items);
+    for _ in 0..n_tx {
+        let mut items = patterns[rng.gen_range(0..4)].clone();
+        for i in 0..n_items {
+            if rng.gen_bool(0.02) {
+                items.push(i);
+            }
+        }
+        items.sort_unstable();
+        items.dedup();
+        txs.push(&items);
+    }
+    txs
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let txs = db(800, 64, 10);
+    let min_support = 80;
+    let mut group = c.benchmark_group("mining_800tx_64items");
+    group.sample_size(20);
+    group.bench_function("max_miner", |b| {
+        b.iter(|| max_miner(&txs, MaxMinerConfig { min_support, max_expansions: 0 }))
+    });
+    group.bench_function("apriori_all_frequent", |b| b.iter(|| apriori(&txs, min_support)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Minimal CLI argument parsing shared by the experiment binaries.
+//!
+//! We deliberately avoid a CLI dependency: every binary takes the same
+//! small flag set (`--scale`, `--seed`, `--clients`, `--repeats`,
+//! `--datasets`, `--json`), parsed by hand.
+
+use crate::datasets::DatasetSpec;
+
+/// Flags shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Dataset size multiplier relative to the paper (1.0 = paper size).
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Number of federated clients (paper default: 8).
+    pub clients: usize,
+    /// Experiment repetitions to average over (paper: 10).
+    pub repeats: usize,
+    /// Datasets to run.
+    pub datasets: Vec<DatasetSpec>,
+    /// Also emit machine-readable JSON to stdout after the tables.
+    pub json: bool,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            scale: 0.02,
+            seed: 7,
+            clients: 8,
+            repeats: 1,
+            datasets: DatasetSpec::all().to_vec(),
+            json: false,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = CommonArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut take = |name: &str| -> String {
+                iter.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--scale" => out.scale = parse_or_exit(&take("--scale"), "--scale"),
+                "--seed" => out.seed = parse_or_exit(&take("--seed"), "--seed"),
+                "--clients" => out.clients = parse_or_exit(&take("--clients"), "--clients"),
+                "--repeats" => out.repeats = parse_or_exit(&take("--repeats"), "--repeats"),
+                "--datasets" => {
+                    let spec = take("--datasets");
+                    out.datasets = spec
+                        .split(',')
+                        .map(|s| {
+                            DatasetSpec::from_name(s.trim()).unwrap_or_else(|| {
+                                eprintln!(
+                                    "unknown dataset '{s}' (expected one of: tictactoe, adult, bank, dota2)"
+                                );
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect();
+                }
+                "--json" => out.json = true,
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --scale <f64> --seed <u64> --clients <n> --repeats <n> \
+                         --datasets tictactoe,adult,bank,dota2 --json"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_or_exit<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value '{value}' for {flag}");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CommonArgs {
+        CommonArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.clients, 8);
+        assert_eq!(a.datasets.len(), 4);
+        assert!(!a.json);
+    }
+
+    #[test]
+    fn overrides() {
+        let a = parse(&[
+            "--scale", "0.5", "--seed", "42", "--clients", "4", "--repeats", "3", "--datasets",
+            "tictactoe,adult", "--json",
+        ]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.clients, 4);
+        assert_eq!(a.repeats, 3);
+        assert_eq!(a.datasets, vec![DatasetSpec::TicTacToe, DatasetSpec::AdultLike]);
+        assert!(a.json);
+    }
+}

@@ -1,0 +1,97 @@
+//! **E3 — Figure 4**: model accuracy when removing the top-5 contributors
+//! (in descending score order, without replacement) — the paper's
+//! contribution-estimation *accuracy* metric. Lower area-under-curve (AUC)
+//! is better: an accurate scheme removes the most valuable data first.
+//!
+//! Mirrors the paper's setup: 8 clients, Dirichlet skew-sample and
+//! skew-label partitions, all four datasets, six schemes. Like the paper,
+//! ShapleyValue and LeastCore are skipped on `dota2` (they cannot finish in
+//! reasonable time at full scale; the flag keeps the comparison honest).
+
+use ctfl_bench::args::CommonArgs;
+use ctfl_bench::datasets::DatasetSpec;
+use ctfl_bench::federation::{Federation, FederationConfig, SkewMode};
+use ctfl_bench::report::Table;
+use ctfl_bench::schemes::{curve_auc, removal_curve, run_baseline, run_ctfl, Scheme, SchemeResult};
+use ctfl_valuation::utility::CachedUtility;
+use serde_json::json;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let fl = ctfl_bench::federation::default_fl();
+    let top_k = 5usize.min(args.clients.saturating_sub(1));
+    let mut json_out = Vec::new();
+
+    for spec in &args.datasets {
+        for skew in [SkewMode::Sample, SkewMode::Label] {
+            // Accumulate AUC (and curves) over repeats.
+            let mut acc: Vec<(Scheme, Vec<f64>, f64)> = Vec::new();
+            for rep in 0..args.repeats {
+                let mut cfg = FederationConfig::new(*spec, args.scale, args.seed + rep as u64);
+                cfg.n_clients = args.clients;
+                cfg.skew = skew;
+                let fed = Federation::build(cfg);
+                let shared = CachedUtility::new(fed.utility());
+
+                let mut results: Vec<SchemeResult> = Vec::new();
+                let (micro, macro_) = run_ctfl(&fed, &fl);
+                results.push(micro);
+                results.push(macro_);
+                for scheme in [Scheme::Individual, Scheme::LeaveOneOut] {
+                    results.push(run_baseline(scheme, &fed, args.seed + rep as u64));
+                }
+                if *spec != DatasetSpec::Dota2Like {
+                    for scheme in [Scheme::ShapleyValue, Scheme::LeastCore] {
+                        results.push(run_baseline(scheme, &fed, args.seed + rep as u64));
+                    }
+                }
+
+                for r in &results {
+                    let curve = removal_curve(&r.scores, &shared, top_k);
+                    let auc = curve_auc(&curve);
+                    match acc.iter_mut().find(|(s, _, _)| *s == r.scheme) {
+                        Some((_, c, a)) => {
+                            for (ci, v) in c.iter_mut().zip(&curve) {
+                                *ci += v;
+                            }
+                            *a += auc;
+                        }
+                        None => acc.push((r.scheme, curve, auc)),
+                    }
+                }
+            }
+
+            let reps = args.repeats as f64;
+            println!(
+                "Figure 4 [{} / {}]: accuracy after removing top-k contributors (k = 0..{top_k})",
+                spec.name(),
+                skew.name()
+            );
+            let mut header = vec!["scheme".to_string()];
+            header.extend((0..=top_k).map(|k| format!("k={k}")));
+            header.push("AUC (lower=better)".to_string());
+            let mut t = Table::new(header);
+            // Sort by AUC ascending so the best scheme tops the table.
+            acc.sort_by(|a, b| a.2.total_cmp(&b.2));
+            for (scheme, curve, auc) in &acc {
+                let mut row = vec![scheme.name().to_string()];
+                row.extend(curve.iter().map(|v| format!("{:.3}", v / reps)));
+                row.push(format!("{:.4}", auc / reps));
+                t.row(row);
+                json_out.push(json!({
+                    "experiment": "fig4",
+                    "dataset": spec.name(),
+                    "skew": skew.name(),
+                    "scheme": scheme.name(),
+                    "curve": curve.iter().map(|v| v / reps).collect::<Vec<f64>>(),
+                    "auc": auc / reps,
+                }));
+            }
+            println!("{}", t.render());
+        }
+    }
+
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&json_out).expect("serializable"));
+    }
+}

@@ -1,0 +1,155 @@
+//! **E5 — Figure 6**: robustness to adverse behaviours. Two of the eight
+//! clients replicate data / inject low-quality labels / flip labels (ratio
+//! uniform in `[0.1, 0.5]`); each scheme's relative score change
+//! `(φ(i') − φ(i)) / φ(i)` on the modified clients is reported, clipped to
+//! `[-1, 1]` per the paper.
+//!
+//! Expected shapes (paper Section VI-B RQ3):
+//! * replication — CTFL-macro and Individual ≈ 0; CTFL-micro may inflate.
+//! * low-quality / label-flip — CTFL-micro and Individual show a stable
+//!   proportional *drop*; LOO/Shapley/LeastCore fluctuate erratically.
+
+use ctfl_bench::args::CommonArgs;
+use ctfl_bench::datasets::DatasetSpec;
+use ctfl_bench::federation::{Federation, FederationConfig, SkewMode};
+use ctfl_bench::report::Table;
+use ctfl_bench::schemes::{run_baseline, run_ctfl, Scheme, SchemeResult};
+use ctfl_core::robustness::relative_change;
+use ctfl_data::adverse::{flip_labels, inject_low_quality, replicate};
+use ctfl_data::partition::Partition;
+use ctfl_fl::fedavg::FlConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde_json::json;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Behaviour {
+    Replicate,
+    LowQuality,
+    FlipLabels,
+}
+
+impl Behaviour {
+    fn name(&self) -> &'static str {
+        match self {
+            Behaviour::Replicate => "data replication",
+            Behaviour::LowQuality => "low-quality data",
+            Behaviour::FlipLabels => "label flipping",
+        }
+    }
+
+    fn apply(
+        &self,
+        fed: &Federation,
+        targets: &[usize],
+        rng: &mut StdRng,
+    ) -> (ctfl_core::data::Dataset, Partition) {
+        let ratio = (0.1, 0.5);
+        match self {
+            Behaviour::Replicate => {
+                let (d, p, _) = replicate(&fed.train, &fed.partition, targets, ratio, rng);
+                (d, p)
+            }
+            Behaviour::LowQuality => {
+                let (d, p, _) = inject_low_quality(&fed.train, &fed.partition, targets, ratio, rng);
+                (d, p)
+            }
+            Behaviour::FlipLabels => {
+                let (d, p, _) = flip_labels(&fed.train, &fed.partition, targets, ratio, rng);
+                (d, p)
+            }
+        }
+    }
+}
+
+fn schemes_for(spec: DatasetSpec) -> Vec<Scheme> {
+    let mut v = vec![
+        Scheme::CtflMicro,
+        Scheme::CtflMacro,
+        Scheme::Individual,
+        Scheme::LeaveOneOut,
+    ];
+    if spec != DatasetSpec::Dota2Like {
+        v.push(Scheme::ShapleyValue);
+        v.push(Scheme::LeastCore);
+    }
+    v
+}
+
+fn run_all(fed: &Federation, schemes: &[Scheme], fl: &FlConfig, seed: u64) -> Vec<SchemeResult> {
+    let mut out = Vec::new();
+    if schemes.contains(&Scheme::CtflMicro) || schemes.contains(&Scheme::CtflMacro) {
+        let (micro, macro_) = run_ctfl(fed, fl);
+        out.push(micro);
+        out.push(macro_);
+    }
+    for s in schemes {
+        match s {
+            Scheme::CtflMicro | Scheme::CtflMacro => {}
+            other => out.push(run_baseline(*other, fed, seed)),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let fl = ctfl_bench::federation::default_fl();
+    let n_modified = 2usize.min(args.clients);
+    let mut json_out = Vec::new();
+
+    for spec in &args.datasets {
+        let mut cfg = FederationConfig::new(*spec, args.scale, args.seed);
+        cfg.n_clients = args.clients;
+        cfg.skew = SkewMode::Label;
+        let fed = Federation::build(cfg);
+        let schemes = schemes_for(*spec);
+
+        // Base scores once per dataset.
+        let base = run_all(&fed, &schemes, &fl, args.seed);
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0xAD7E);
+        let mut clients: Vec<usize> = (0..args.clients).collect();
+        clients.shuffle(&mut rng);
+        let targets: Vec<usize> = clients.into_iter().take(n_modified).collect();
+
+        println!(
+            "Figure 6 [{}]: relative score change of the {} modified clients {:?} (clipped to [-1,1])",
+            spec.name(),
+            n_modified,
+            targets
+        );
+        let mut header = vec!["behaviour".to_string()];
+        header.extend(base.iter().map(|r| r.scheme.name().to_string()));
+        let mut t = Table::new(header);
+
+        for behaviour in [Behaviour::Replicate, Behaviour::LowQuality, Behaviour::FlipLabels] {
+            let (train2, part2) = behaviour.apply(&fed, &targets, &mut rng);
+            let fed2 = fed.with_modified(train2, part2);
+            let after = run_all(&fed2, &schemes, &fl, args.seed);
+            let mut row = vec![behaviour.name().to_string()];
+            for (b, a) in base.iter().zip(&after) {
+                debug_assert_eq!(b.scheme, a.scheme);
+                let mean_change: f64 = targets
+                    .iter()
+                    .map(|&c| relative_change(b.scores[c], a.scores[c]))
+                    .sum::<f64>()
+                    / targets.len() as f64;
+                row.push(format!("{mean_change:+.3}"));
+                json_out.push(json!({
+                    "experiment": "fig6",
+                    "dataset": spec.name(),
+                    "behaviour": behaviour.name(),
+                    "scheme": b.scheme.name(),
+                    "mean_relative_change": mean_change,
+                }));
+            }
+            t.row(row);
+        }
+        println!("{}", t.render());
+    }
+
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&json_out).expect("serializable"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Dataset specifications mapping the paper's Table IV benchmarks to our
+//! generators.
+
+use ctfl_core::data::Dataset;
+use ctfl_data::{adult_like, bank_like, dota2_like, tictactoe_endgame};
+
+/// One of the paper's four benchmark datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetSpec {
+    /// UCI tic-tac-toe endgame (exact, 958 rows — never scaled).
+    TicTacToe,
+    /// `adult`-like synthetic (32 561 rows at scale 1.0).
+    AdultLike,
+    /// `bank`-like synthetic (45 211 rows at scale 1.0).
+    BankLike,
+    /// `dota2`-like synthetic (102 944 rows at scale 1.0).
+    Dota2Like,
+}
+
+impl DatasetSpec {
+    /// All four benchmarks in the paper's Table IV order.
+    pub fn all() -> [DatasetSpec; 4] {
+        [DatasetSpec::TicTacToe, DatasetSpec::AdultLike, DatasetSpec::BankLike, DatasetSpec::Dota2Like]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetSpec::TicTacToe => "tic-tac-toe",
+            DatasetSpec::AdultLike => "adult",
+            DatasetSpec::BankLike => "bank",
+            DatasetSpec::Dota2Like => "dota2",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<DatasetSpec> {
+        match name {
+            "tictactoe" | "tic-tac-toe" | "ttt" => Some(DatasetSpec::TicTacToe),
+            "adult" => Some(DatasetSpec::AdultLike),
+            "bank" => Some(DatasetSpec::BankLike),
+            "dota2" => Some(DatasetSpec::Dota2Like),
+            _ => None,
+        }
+    }
+
+    /// Loads the dataset at the given scale. Tic-tac-toe is exact and
+    /// ignores `scale`.
+    pub fn load(&self, scale: f64, seed: u64) -> Dataset {
+        match self {
+            DatasetSpec::TicTacToe => tictactoe_endgame(),
+            DatasetSpec::AdultLike => adult_like(scale, seed).0,
+            DatasetSpec::BankLike => bank_like(scale, seed).0,
+            DatasetSpec::Dota2Like => dota2_like(scale, seed).0,
+        }
+    }
+
+    /// A sensible logical-net width for the dataset (paper: 64–512).
+    pub fn layer_width(&self) -> usize {
+        match self {
+            DatasetSpec::TicTacToe => 64,
+            DatasetSpec::AdultLike | DatasetSpec::BankLike => 64,
+            DatasetSpec::Dota2Like => 96,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for spec in DatasetSpec::all() {
+            let parsed = DatasetSpec::from_name(spec.name()).unwrap();
+            assert_eq!(parsed, spec);
+        }
+        assert!(DatasetSpec::from_name("nope").is_none());
+    }
+
+    #[test]
+    fn loads_at_small_scale() {
+        let ttt = DatasetSpec::TicTacToe.load(0.001, 1);
+        assert_eq!(ttt.len(), 958, "tic-tac-toe ignores scale");
+        let adult = DatasetSpec::AdultLike.load(0.01, 1);
+        assert!((300..=360).contains(&adult.len()), "{}", adult.len());
+    }
+}

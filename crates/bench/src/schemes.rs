@@ -1,0 +1,201 @@
+//! The six contribution-estimation schemes under one timed interface.
+
+use ctfl_core::estimator::{CtflConfig, CtflEstimator};
+use ctfl_fl::fedavg::FlConfig;
+use ctfl_valuation::coalition::Coalition;
+use ctfl_valuation::individual::individual_scores;
+use ctfl_valuation::least_core::{least_core_scores, LeastCoreConfig};
+use ctfl_valuation::leave_one_out::leave_one_out_scores;
+use ctfl_valuation::shapley::{sampled_shapley, ShapleySamplingConfig};
+use ctfl_valuation::utility::{CachedUtility, UtilityFn};
+use ctfl_valuation::paper_sample_budget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+use crate::federation::Federation;
+
+/// A contribution-estimation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// CTFL with the micro allocation (Eq. 5) — the paper's primary scheme.
+    CtflMicro,
+    /// CTFL with the macro allocation (Eq. 6).
+    CtflMacro,
+    /// Individual: `φ(i) = v({i})`.
+    Individual,
+    /// LeaveOneOut: `φ(i) = v(N) − v(N∖i)`.
+    LeaveOneOut,
+    /// Sampled (truncated) ShapleyValue.
+    ShapleyValue,
+    /// Sampled-constraint LeastCore.
+    LeastCore,
+}
+
+impl Scheme {
+    /// All schemes in the paper's comparison order.
+    pub fn all() -> [Scheme; 6] {
+        [
+            Scheme::CtflMicro,
+            Scheme::CtflMacro,
+            Scheme::Individual,
+            Scheme::LeaveOneOut,
+            Scheme::ShapleyValue,
+            Scheme::LeastCore,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::CtflMicro => "CTFL-micro",
+            Scheme::CtflMacro => "CTFL-macro",
+            Scheme::Individual => "Individual",
+            Scheme::LeaveOneOut => "LeaveOneOut",
+            Scheme::ShapleyValue => "ShapleyValue",
+            Scheme::LeastCore => "LeastCore",
+        }
+    }
+}
+
+/// Timed output of one scheme run.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// Which scheme.
+    pub scheme: Scheme,
+    /// Per-client scores.
+    pub scores: Vec<f64>,
+    /// Wall-clock seconds for the full run (including every model
+    /// training the scheme required).
+    pub seconds: f64,
+    /// Number of task-model trainings performed.
+    pub model_trainings: usize,
+}
+
+/// Runs both CTFL variants with one shared training + tracing pass.
+///
+/// Returns `(micro, macro)`. The shared cost (one federated training, one
+/// trace) is attributed to each in full — that *is* each variant's
+/// end-to-end cost; computing both adds nothing (paper Section III-C).
+pub fn run_ctfl(fed: &Federation, fl: &FlConfig) -> (SchemeResult, SchemeResult) {
+    let start = Instant::now();
+    let (_, model) = fed.train_global(fl);
+    let estimator = CtflEstimator::new(model, CtflConfig::default());
+    let report = estimator
+        .estimate(&fed.train, &fed.partition.client_of, &fed.test)
+        .expect("federation inputs are valid");
+    let seconds = start.elapsed().as_secs_f64();
+    (
+        SchemeResult {
+            scheme: Scheme::CtflMicro,
+            scores: report.micro.clone(),
+            seconds,
+            model_trainings: 1,
+        },
+        SchemeResult {
+            scheme: Scheme::CtflMacro,
+            scores: report.macro_.clone(),
+            seconds,
+            model_trainings: 1,
+        },
+    )
+}
+
+/// Runs one baseline scheme against a (fresh, caching) utility.
+///
+/// # Panics
+/// Panics if called with a CTFL variant — use [`run_ctfl`].
+pub fn run_baseline(scheme: Scheme, fed: &Federation, seed: u64) -> SchemeResult {
+    let utility = CachedUtility::new(fed.utility());
+    let n = utility.n_players();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let scores = match scheme {
+        Scheme::Individual => individual_scores(&utility, true),
+        Scheme::LeaveOneOut => leave_one_out_scores(&utility, true),
+        Scheme::ShapleyValue => {
+            // Paper: Θ(n² log n) sampled permutations + truncation/early stop.
+            let cfg = ShapleySamplingConfig {
+                n_permutations: paper_sample_budget(n) / n.max(1),
+                truncation_tolerance: 0.005,
+            };
+            // Warm the cache with the anchors both the estimator and the
+            // truncation bound need.
+            let _ = utility.value(&Coalition::empty(n));
+            let _ = utility.value(&Coalition::grand(n));
+            sampled_shapley(&utility, &cfg, &mut rng)
+        }
+        Scheme::LeastCore => {
+            let cfg = LeastCoreConfig { n_constraints: paper_sample_budget(n), parallel: true };
+            let (scores, _e) =
+                least_core_scores(&utility, &cfg, &mut rng).expect("least-core LP is feasible");
+            scores
+        }
+        Scheme::CtflMicro | Scheme::CtflMacro => {
+            panic!("run_ctfl handles the CTFL variants")
+        }
+    };
+    SchemeResult {
+        scheme,
+        scores,
+        seconds: start.elapsed().as_secs_f64(),
+        model_trainings: utility.evaluations(),
+    }
+}
+
+/// Accuracy-after-removal curve (paper Fig. 4 protocol): remove the top-`k`
+/// scored clients one by one (descending, without replacement), retrain on
+/// the remainder, record test accuracy. `curve[0]` is the full-federation
+/// accuracy; `curve[k]` the accuracy after removing the top `k`.
+///
+/// `shared_utility` caches retrainings across schemes — different schemes
+/// often agree on prefixes of the removal order.
+pub fn removal_curve<U: UtilityFn>(
+    scores: &[f64],
+    shared_utility: &U,
+    top_k: usize,
+) -> Vec<f64> {
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut remaining = Coalition::grand(n);
+    let mut curve = Vec::with_capacity(top_k + 1);
+    curve.push(shared_utility.value(&remaining));
+    for &client in order.iter().take(top_k.min(n.saturating_sub(1))) {
+        remaining.remove(client);
+        curve.push(shared_utility.value(&remaining));
+    }
+    curve
+}
+
+/// Area under a removal curve (mean accuracy across removals); **smaller is
+/// better** — an accurate scheme removes the most valuable data first.
+pub fn curve_auc(curve: &[f64]) -> f64 {
+    if curve.is_empty() {
+        return 0.0;
+    }
+    curve.iter().sum::<f64>() / curve.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctfl_valuation::utility::TableUtility;
+
+    #[test]
+    fn removal_curve_follows_score_order() {
+        // Utility = 10 · |S|; scores rank clients 2 > 0 > 1.
+        let values: Vec<f64> = (0..8u32).map(|m| (m.count_ones() * 10) as f64).collect();
+        let u = TableUtility::new(3, values);
+        let curve = removal_curve(&[0.5, 0.1, 0.9], &u, 2);
+        assert_eq!(curve, vec![30.0, 20.0, 10.0]);
+        assert!((curve_auc(&curve) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scheme_names_are_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            Scheme::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

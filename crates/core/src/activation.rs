@@ -1,0 +1,288 @@
+//! Bit-packed rule activation matrices.
+//!
+//! CTFL compares the activation vector of every test instance against those
+//! of the training data (Eq. 4). With `m` rules and `|D_N|` training rows a
+//! naive `Vec<bool>` representation wastes memory bandwidth; packing each
+//! activation vector into `u64` words turns the inner loop of the tracing
+//! procedure into a handful of `AND` + `popcnt` instructions per word.
+
+use crate::error::{CoreError, Result};
+
+/// A dense `rows × n_bits` binary matrix, one bit per (instance, rule) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivationMatrix {
+    n_rows: usize,
+    n_bits: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl ActivationMatrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(n_rows: usize, n_bits: usize) -> Self {
+        let words_per_row = n_bits.div_ceil(64);
+        ActivationMatrix { n_rows, n_bits, words_per_row, words: vec![0; n_rows * words_per_row] }
+    }
+
+    /// Number of rows (instances).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of bits per row (rules).
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Number of `u64` words per row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Sets bit `(row, bit)` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `row` or `bit` is out of range.
+    pub fn set(&mut self, row: usize, bit: usize, value: bool) {
+        assert!(row < self.n_rows && bit < self.n_bits, "activation index out of range");
+        let w = row * self.words_per_row + bit / 64;
+        let mask = 1u64 << (bit % 64);
+        if value {
+            self.words[w] |= mask;
+        } else {
+            self.words[w] &= !mask;
+        }
+    }
+
+    /// Reads bit `(row, bit)`.
+    ///
+    /// # Panics
+    /// Panics if `row` or `bit` is out of range.
+    pub fn get(&self, row: usize, bit: usize) -> bool {
+        assert!(row < self.n_rows && bit < self.n_bits, "activation index out of range");
+        let w = row * self.words_per_row + bit / 64;
+        (self.words[w] >> (bit % 64)) & 1 == 1
+    }
+
+    /// The packed words of one row.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range.
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        &self.words[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// Number of set bits in a row.
+    pub fn row_count(&self, row: usize) -> u32 {
+        self.row_words(row).iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Indices of the set bits in a row, ascending.
+    pub fn row_bits(&self, row: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, &w) in self.row_words(row).iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(wi * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Appends a row given as a boolean slice.
+    pub fn push_row(&mut self, bits: &[bool]) -> Result<()> {
+        if bits.len() != self.n_bits {
+            return Err(CoreError::LengthMismatch {
+                what: "activation row",
+                expected: self.n_bits,
+                actual: bits.len(),
+            });
+        }
+        let row = self.n_rows;
+        self.n_rows += 1;
+        self.words.resize(self.n_rows * self.words_per_row, 0);
+        for (bit, &b) in bits.iter().enumerate() {
+            if b {
+                self.set(row, bit, true);
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a matrix from per-row boolean slices.
+    pub fn from_rows(n_bits: usize, rows: &[Vec<bool>]) -> Result<Self> {
+        let mut m = ActivationMatrix::zeros(0, n_bits);
+        for row in rows {
+            m.push_row(row)?;
+        }
+        Ok(m)
+    }
+
+    /// `popcount(row_a AND row_b)` where the rows may live in different
+    /// matrices (typically train vs. test) but must have equal widths.
+    pub fn and_count(&self, row: usize, other: &ActivationMatrix, other_row: usize) -> u32 {
+        debug_assert_eq!(self.n_bits, other.n_bits, "mismatched activation widths");
+        self.row_words(row)
+            .iter()
+            .zip(other.row_words(other_row))
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// `popcount(row AND mask)` against an externally supplied word mask
+    /// (e.g. a class mask).
+    pub fn mask_count(&self, row: usize, mask: &[u64]) -> u32 {
+        debug_assert_eq!(mask.len(), self.words_per_row);
+        self.row_words(row).iter().zip(mask).map(|(a, b)| (a & b).count_ones()).sum()
+    }
+
+    /// Sum of `weights[bit]` over the set bits of `row AND mask`.
+    ///
+    /// This is the weighted activation count `w* · r*(x)` of Eq. 4 restricted
+    /// to the class mask.
+    pub fn masked_weight_sum(&self, row: usize, mask: &[u64], weights: &[f64]) -> f64 {
+        debug_assert_eq!(mask.len(), self.words_per_row);
+        let mut sum = 0.0;
+        for (wi, (a, m)) in self.row_words(row).iter().zip(mask).enumerate() {
+            let mut bits = a & m;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                sum += weights[wi * 64 + b];
+                bits &= bits - 1;
+            }
+        }
+        sum
+    }
+
+    /// Sum of `weights[bit]` over bits set in **all three** of: this row,
+    /// `other`'s row, and `mask`.
+    ///
+    /// This is Eq. 4's numerator `w* ⊙ r*(x_tr) · r*(x_te)` restricted to the
+    /// class mask: the weighted count of intersecting activated rules.
+    pub fn triple_weight_sum(
+        &self,
+        row: usize,
+        other: &ActivationMatrix,
+        other_row: usize,
+        mask: &[u64],
+        weights: &[f64],
+    ) -> f64 {
+        debug_assert_eq!(self.n_bits, other.n_bits);
+        let mut sum = 0.0;
+        let a_words = self.row_words(row);
+        let b_words = other.row_words(other_row);
+        for (wi, ((a, b), m)) in a_words.iter().zip(b_words).zip(mask).enumerate() {
+            let mut bits = a & b & m;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                sum += weights[wi * 64 + bit];
+                bits &= bits - 1;
+            }
+        }
+        sum
+    }
+
+    /// A stable 64-bit signature of a row, used to group identical
+    /// activation vectors (FNV-1a over the packed words).
+    pub fn row_signature(&self, row: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in self.row_words(row) {
+            for byte in w.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Builds a word mask selecting the given bit indices.
+    pub fn build_mask(n_bits: usize, bits: impl IntoIterator<Item = usize>) -> Vec<u64> {
+        let mut mask = vec![0u64; n_bits.div_ceil(64)];
+        for bit in bits {
+            assert!(bit < n_bits, "mask bit out of range");
+            mask[bit / 64] |= 1 << (bit % 64);
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut m = ActivationMatrix::zeros(2, 130);
+        m.set(0, 0, true);
+        m.set(0, 63, true);
+        m.set(0, 64, true);
+        m.set(1, 129, true);
+        assert!(m.get(0, 0) && m.get(0, 63) && m.get(0, 64) && m.get(1, 129));
+        assert!(!m.get(0, 1) && !m.get(1, 0));
+        m.set(0, 63, false);
+        assert!(!m.get(0, 63));
+        assert_eq!(m.row_count(0), 2);
+        assert_eq!(m.row_bits(1), vec![129]);
+    }
+
+    #[test]
+    fn push_row_and_counts() {
+        let mut m = ActivationMatrix::zeros(0, 5);
+        m.push_row(&[true, false, true, false, true]).unwrap();
+        m.push_row(&[false, true, true, false, false]).unwrap();
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.row_count(0), 3);
+        assert_eq!(m.and_count(0, &m.clone(), 1), 1); // only bit 2 overlaps
+        assert!(m.push_row(&[true]).is_err());
+    }
+
+    #[test]
+    fn masked_and_triple_weight_sums() {
+        let mut train = ActivationMatrix::zeros(0, 4);
+        train.push_row(&[true, true, false, false]).unwrap();
+        let mut test = ActivationMatrix::zeros(0, 4);
+        test.push_row(&[true, true, true, false]).unwrap();
+        let weights = [1.0, 0.5, 2.0, 4.0];
+        // Mask selecting bits {0, 1, 3}.
+        let mask = ActivationMatrix::build_mask(4, [0usize, 1, 3]);
+        // Test row's masked weight: bits 0,1 active within mask = 1.0 + 0.5.
+        assert_eq!(test.masked_weight_sum(0, &mask, &weights), 1.5);
+        // Intersection within mask: bits 0,1.
+        assert_eq!(test.triple_weight_sum(0, &train, 0, &mask, &weights), 1.5);
+        // Full mask includes bit 2 for test row.
+        let full = ActivationMatrix::build_mask(4, 0..4);
+        assert_eq!(test.masked_weight_sum(0, &full, &weights), 3.5);
+    }
+
+    #[test]
+    fn signatures_group_identical_rows() {
+        let mut m = ActivationMatrix::zeros(0, 70);
+        let row_a: Vec<bool> = (0..70).map(|i| i % 3 == 0).collect();
+        let row_b: Vec<bool> = (0..70).map(|i| i % 3 == 1).collect();
+        m.push_row(&row_a).unwrap();
+        m.push_row(&row_b).unwrap();
+        m.push_row(&row_a).unwrap();
+        assert_eq!(m.row_signature(0), m.row_signature(2));
+        assert_ne!(m.row_signature(0), m.row_signature(1));
+    }
+
+    #[test]
+    fn from_rows_matches_manual_construction() {
+        let rows = vec![vec![true, false, true], vec![false, false, true]];
+        let m = ActivationMatrix::from_rows(3, &rows).unwrap();
+        let mut n = ActivationMatrix::zeros(2, 3);
+        n.set(0, 0, true);
+        n.set(0, 2, true);
+        n.set(1, 2, true);
+        assert_eq!(m, n);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation index out of range")]
+    fn get_out_of_range_panics() {
+        let m = ActivationMatrix::zeros(1, 4);
+        m.get(0, 4);
+    }
+}

@@ -1,0 +1,409 @@
+//! Shared dataset and feature-schema types.
+//!
+//! CTFL operates on tabular classification data with a **common feature
+//! space** across participants (horizontal FL). Features are either
+//! continuous (with a known value domain, exchanged freely because it leaks
+//! no instance-level information — see paper Section V) or discrete with a
+//! fixed arity agreed by the federation.
+
+use std::sync::Arc;
+
+use crate::error::{CoreError, Result};
+
+/// The kind of a single feature column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeatureKind {
+    /// A real-valued feature with an (inclusive) value domain.
+    ///
+    /// The domain is used by the binarization layer to sample candidate
+    /// discretization bounds without inspecting private data.
+    Continuous {
+        /// Lower end of the value domain.
+        min: f32,
+        /// Upper end of the value domain.
+        max: f32,
+    },
+    /// A categorical feature taking values in `0..arity`.
+    ///
+    /// Following the paper, the federation fixes the category set up front;
+    /// implementations typically reserve the last category as an `Unknown`
+    /// slot for unseen values.
+    Discrete {
+        /// Number of categories.
+        arity: u32,
+    },
+}
+
+impl FeatureKind {
+    /// Shorthand constructor for a continuous feature.
+    pub fn continuous(min: f32, max: f32) -> Self {
+        FeatureKind::Continuous { min, max }
+    }
+
+    /// Shorthand constructor for a discrete feature.
+    pub fn discrete(arity: u32) -> Self {
+        FeatureKind::Discrete { arity }
+    }
+
+    /// Whether this feature is continuous.
+    pub fn is_continuous(&self) -> bool {
+        matches!(self, FeatureKind::Continuous { .. })
+    }
+}
+
+/// A named feature column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSpec {
+    /// Human-readable feature name (used when pretty-printing rules).
+    pub name: String,
+    /// Kind (continuous or discrete).
+    pub kind: FeatureKind,
+}
+
+/// The common feature space shared by all participants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSchema {
+    features: Vec<FeatureSpec>,
+}
+
+impl FeatureSchema {
+    /// Builds a schema from `(name, kind)` pairs.
+    pub fn new<S: Into<String>>(features: Vec<(S, FeatureKind)>) -> Arc<Self> {
+        Arc::new(FeatureSchema {
+            features: features
+                .into_iter()
+                .map(|(name, kind)| FeatureSpec { name: name.into(), kind })
+                .collect(),
+        })
+    }
+
+    /// Number of feature columns.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the schema has no features.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// The spec of feature `i`, if in range.
+    pub fn feature(&self, i: usize) -> Option<&FeatureSpec> {
+        self.features.get(i)
+    }
+
+    /// The name of feature `i`, or `"f<i>"` if out of range.
+    ///
+    /// Falling back to a synthetic name keeps `Display` implementations
+    /// infallible: a malformed rule still prints, it just prints uglier.
+    pub fn name_of(&self, i: usize) -> String {
+        self.features
+            .get(i)
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| format!("f{i}"))
+    }
+
+    /// Iterates over feature specs.
+    pub fn iter(&self) -> impl Iterator<Item = &FeatureSpec> {
+        self.features.iter()
+    }
+
+    /// Validates a row of values against this schema.
+    pub fn validate_row(&self, row: &[FeatureValue]) -> Result<()> {
+        if row.len() != self.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "row",
+                expected: self.len(),
+                actual: row.len(),
+            });
+        }
+        for (i, (value, spec)) in row.iter().zip(&self.features).enumerate() {
+            match (value, spec.kind) {
+                (FeatureValue::Continuous(_), FeatureKind::Continuous { .. }) => {}
+                (FeatureValue::Discrete(c), FeatureKind::Discrete { arity }) => {
+                    if *c >= arity {
+                        return Err(CoreError::CategoryOutOfRange {
+                            feature: i,
+                            category: *c,
+                            arity,
+                        });
+                    }
+                }
+                _ => return Err(CoreError::KindMismatch { feature: i }),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A single feature value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeatureValue {
+    /// Real-valued.
+    Continuous(f32),
+    /// Categorical, a category index.
+    Discrete(u32),
+}
+
+impl FeatureValue {
+    /// The continuous value, if this is one.
+    pub fn as_continuous(&self) -> Option<f32> {
+        match self {
+            FeatureValue::Continuous(v) => Some(*v),
+            FeatureValue::Discrete(_) => None,
+        }
+    }
+
+    /// The category index, if this is discrete.
+    pub fn as_discrete(&self) -> Option<u32> {
+        match self {
+            FeatureValue::Discrete(c) => Some(*c),
+            FeatureValue::Continuous(_) => None,
+        }
+    }
+}
+
+impl From<f32> for FeatureValue {
+    fn from(v: f32) -> Self {
+        FeatureValue::Continuous(v)
+    }
+}
+
+impl From<u32> for FeatureValue {
+    fn from(c: u32) -> Self {
+        FeatureValue::Discrete(c)
+    }
+}
+
+/// A labelled tabular dataset with a shared [`FeatureSchema`].
+///
+/// Rows are stored flattened row-major for cache locality; the schema is
+/// reference-counted so datasets derived from one another (partitions,
+/// train/test splits) share it cheaply.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: Arc<FeatureSchema>,
+    values: Vec<FeatureValue>,
+    labels: Vec<u32>,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over `schema` with `n_classes` labels.
+    pub fn empty(schema: Arc<FeatureSchema>, n_classes: usize) -> Self {
+        Dataset { schema, values: Vec::new(), labels: Vec::new(), n_classes }
+    }
+
+    /// Creates a dataset from pre-validated parts.
+    pub fn from_rows(
+        schema: Arc<FeatureSchema>,
+        n_classes: usize,
+        rows: Vec<Vec<FeatureValue>>,
+        labels: Vec<u32>,
+    ) -> Result<Self> {
+        if rows.len() != labels.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "labels",
+                expected: rows.len(),
+                actual: labels.len(),
+            });
+        }
+        let mut ds = Dataset::empty(schema, n_classes);
+        for (row, &label) in rows.iter().zip(&labels) {
+            ds.push_row(row, label as usize)?;
+        }
+        Ok(ds)
+    }
+
+    /// Appends one labelled row after validating it against the schema.
+    pub fn push_row(&mut self, row: &[FeatureValue], label: usize) -> Result<()> {
+        self.schema.validate_row(row)?;
+        if label >= self.n_classes {
+            return Err(CoreError::ClassOutOfRange { class: label, n_classes: self.n_classes });
+        }
+        self.values.extend_from_slice(row);
+        self.labels.push(label as u32);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The shared feature schema.
+    pub fn schema(&self) -> &Arc<FeatureSchema> {
+        &self.schema
+    }
+
+    /// Feature values of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn row(&self, i: usize) -> &[FeatureValue] {
+        let w = self.schema.len();
+        &self.values[i * w..(i + 1) * w]
+    }
+
+    /// Label of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i] as usize
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Overwrites the label of row `i` (used by adverse-behaviour injectors).
+    pub fn set_label(&mut self, i: usize, label: usize) -> Result<()> {
+        if label >= self.n_classes {
+            return Err(CoreError::ClassOutOfRange { class: label, n_classes: self.n_classes });
+        }
+        self.labels[i] = label as u32;
+        Ok(())
+    }
+
+    /// Iterates over `(row, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[FeatureValue], usize)> {
+        (0..self.len()).map(move |i| (self.row(i), self.label(i)))
+    }
+
+    /// A new dataset containing the rows at `indices` (in order; duplicates
+    /// allowed — data replication is modelled by repeating indices).
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let w = self.schema.len();
+        let mut values = Vec::with_capacity(indices.len() * w);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            values.extend_from_slice(self.row(i));
+            labels.push(self.labels[i]);
+        }
+        Dataset { schema: Arc::clone(&self.schema), values, labels, n_classes: self.n_classes }
+    }
+
+    /// Concatenates several datasets over the same schema.
+    pub fn concat<'a>(parts: impl IntoIterator<Item = &'a Dataset>) -> Result<Self> {
+        let mut iter = parts.into_iter();
+        let first = iter.next().ok_or(CoreError::Empty { what: "dataset list" })?;
+        let mut out = first.clone();
+        for part in iter {
+            if part.schema != out.schema {
+                return Err(CoreError::InvalidParameter {
+                    name: "parts",
+                    message: "datasets have different schemas".into(),
+                });
+            }
+            out.values.extend_from_slice(&part.values);
+            out.labels.extend_from_slice(&part.labels);
+        }
+        Ok(out)
+    }
+
+    /// Per-class row counts (the empirical label distribution).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_schema() -> Arc<FeatureSchema> {
+        FeatureSchema::new(vec![
+            ("age", FeatureKind::continuous(0.0, 100.0)),
+            ("job", FeatureKind::discrete(3)),
+        ])
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut ds = Dataset::empty(mixed_schema(), 2);
+        ds.push_row(&[30.0.into(), 1u32.into()], 0).unwrap();
+        ds.push_row(&[55.0.into(), 2u32.into()], 1).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(0)[0].as_continuous(), Some(30.0));
+        assert_eq!(ds.row(1)[1].as_discrete(), Some(2));
+        assert_eq!(ds.label(1), 1);
+        assert_eq!(ds.class_counts(), vec![1, 1]);
+    }
+
+    #[test]
+    fn rejects_kind_mismatch() {
+        let mut ds = Dataset::empty(mixed_schema(), 2);
+        let err = ds.push_row(&[1u32.into(), 1u32.into()], 0).unwrap_err();
+        assert_eq!(err, CoreError::KindMismatch { feature: 0 });
+    }
+
+    #[test]
+    fn rejects_out_of_range_category() {
+        let mut ds = Dataset::empty(mixed_schema(), 2);
+        let err = ds.push_row(&[1.0.into(), 7u32.into()], 0).unwrap_err();
+        assert!(matches!(err, CoreError::CategoryOutOfRange { feature: 1, category: 7, arity: 3 }));
+    }
+
+    #[test]
+    fn rejects_bad_label_and_bad_width() {
+        let mut ds = Dataset::empty(mixed_schema(), 2);
+        assert!(matches!(
+            ds.push_row(&[1.0.into(), 1u32.into()], 5),
+            Err(CoreError::ClassOutOfRange { class: 5, n_classes: 2 })
+        ));
+        assert!(matches!(
+            ds.push_row(&[1.0.into()], 0),
+            Err(CoreError::LengthMismatch { what: "row", .. })
+        ));
+    }
+
+    #[test]
+    fn subset_allows_duplicates() {
+        let mut ds = Dataset::empty(mixed_schema(), 2);
+        ds.push_row(&[1.0.into(), 0u32.into()], 0).unwrap();
+        ds.push_row(&[2.0.into(), 1u32.into()], 1).unwrap();
+        let sub = ds.subset(&[1, 1, 0]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.label(0), 1);
+        assert_eq!(sub.label(2), 0);
+        assert_eq!(sub.row(0)[0].as_continuous(), Some(2.0));
+    }
+
+    #[test]
+    fn concat_checks_schema() {
+        let mut a = Dataset::empty(mixed_schema(), 2);
+        a.push_row(&[1.0.into(), 0u32.into()], 0).unwrap();
+        let b = a.clone();
+        let joined = Dataset::concat([&a, &b]).unwrap();
+        assert_eq!(joined.len(), 2);
+
+        let other_schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let c = Dataset::empty(other_schema, 2);
+        assert!(Dataset::concat([&a, &c]).is_err());
+    }
+
+    #[test]
+    fn set_label_validates() {
+        let mut ds = Dataset::empty(mixed_schema(), 2);
+        ds.push_row(&[1.0.into(), 0u32.into()], 0).unwrap();
+        ds.set_label(0, 1).unwrap();
+        assert_eq!(ds.label(0), 1);
+        assert!(ds.set_label(0, 2).is_err());
+    }
+}

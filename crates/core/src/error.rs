@@ -1,0 +1,115 @@
+//! Error types shared by the CTFL core pipeline.
+
+use std::fmt;
+
+/// Convenience result alias used throughout `ctfl-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors produced by the CTFL core pipeline.
+///
+/// The crate is deliberately strict about shape mismatches: silently
+/// truncating or broadcasting a mismatched label / client-assignment vector
+/// would corrupt contribution scores, so every public entry point validates
+/// its inputs and returns one of these variants instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Two containers that must agree in length did not.
+    LengthMismatch {
+        /// What was being compared (e.g. `"labels"`).
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A row referenced a feature index outside the schema.
+    FeatureOutOfRange {
+        /// Offending feature index.
+        feature: usize,
+        /// Number of features in the schema.
+        n_features: usize,
+    },
+    /// A feature value's kind disagreed with the schema (e.g. a discrete
+    /// value supplied for a continuous feature).
+    KindMismatch {
+        /// Offending feature index.
+        feature: usize,
+    },
+    /// A class label was `>= n_classes`.
+    ClassOutOfRange {
+        /// Offending label.
+        class: usize,
+        /// Number of classes.
+        n_classes: usize,
+    },
+    /// A discrete category was `>= arity` for its feature.
+    CategoryOutOfRange {
+        /// Offending feature index.
+        feature: usize,
+        /// Offending category.
+        category: u32,
+        /// Arity of the feature.
+        arity: u32,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// An operation that requires a non-empty input received an empty one.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::LengthMismatch { what, expected, actual } => {
+                write!(f, "length mismatch for {what}: expected {expected}, got {actual}")
+            }
+            CoreError::FeatureOutOfRange { feature, n_features } => {
+                write!(f, "feature index {feature} out of range (schema has {n_features} features)")
+            }
+            CoreError::KindMismatch { feature } => {
+                write!(f, "feature {feature}: value kind does not match schema kind")
+            }
+            CoreError::ClassOutOfRange { class, n_classes } => {
+                write!(f, "class label {class} out of range (model has {n_classes} classes)")
+            }
+            CoreError::CategoryOutOfRange { feature, category, arity } => {
+                write!(f, "feature {feature}: category {category} out of range (arity {arity})")
+            }
+            CoreError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            CoreError::Empty { what } => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::LengthMismatch { what: "labels", expected: 3, actual: 2 };
+        assert_eq!(e.to_string(), "length mismatch for labels: expected 3, got 2");
+        let e = CoreError::Empty { what: "dataset" };
+        assert_eq!(e.to_string(), "dataset must not be empty");
+        let e = CoreError::InvalidParameter { name: "tau_w", message: "must be in (0, 1]".into() };
+        assert!(e.to_string().contains("tau_w"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<CoreError>();
+    }
+}

@@ -1,0 +1,252 @@
+//! Detection of adverse participant behaviours (paper Section IV-A).
+//!
+//! CTFL's multi-grained tracing yields three complementary signals:
+//!
+//! * **Data replication** inflates a client's *micro* score (proportional to
+//!   matched-instance counts) but not its *macro* score (equal shares above
+//!   a threshold). A large micro/macro divergence flags replication.
+//! * **Low-quality data** rarely matches test activation vectors under a
+//!   strict `τ_w`, so a client's fraction of never-matched training rows
+//!   (its *useless-data ratio*) exposes it.
+//! * **Label-flipped data** matches *misclassified* test instances with
+//!   contradictory labels; the loss-tracing allocation concentrates blame on
+//!   the flipping client far above the background rate of honest mistakes.
+
+use crate::allocation::{macro_scores, micro_scores, CreditDirection};
+use crate::error::Result;
+use crate::tracing::TraceOutcome;
+
+/// Summary of the robustness signals for one client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientRobustness {
+    /// Micro gain score (Eq. 5).
+    pub micro: f64,
+    /// Macro gain score (Eq. 6).
+    pub macro_: f64,
+    /// Relative micro-over-macro inflation: `(micro - macro) / macro`
+    /// (0 when both are 0; `+inf` never occurs — capped at `micro/epsilon`).
+    pub replication_inflation: f64,
+    /// Fraction of the client's training rows never related to any test
+    /// instance (gain *or* loss direction).
+    pub useless_ratio: f64,
+    /// Micro loss score: share of blame for misclassified tests.
+    pub loss_share: f64,
+}
+
+/// Full robustness report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessReport {
+    /// Per-client signals.
+    pub clients: Vec<ClientRobustness>,
+    /// Clients whose loss share exceeds the flagging threshold
+    /// (`mean + z · stddev` over clients, and above an absolute floor).
+    pub suspected_label_flippers: Vec<usize>,
+    /// Clients whose replication inflation exceeds the configured factor.
+    pub suspected_replicators: Vec<usize>,
+    /// Clients whose useless-data ratio exceeds the configured threshold.
+    pub suspected_low_quality: Vec<usize>,
+}
+
+/// Thresholds for flagging clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessConfig {
+    /// `δ` for the macro scheme used in the replication check.
+    pub macro_delta: u32,
+    /// Flag replication when `micro > (1 + factor) · macro` and the client's
+    /// micro score is non-trivial.
+    pub replication_factor: f64,
+    /// Flag low quality when the useless ratio exceeds this.
+    pub useless_threshold: f64,
+    /// Flag label flipping when a client's loss share exceeds
+    /// `mean + z · stddev` of all clients' loss shares.
+    pub loss_z: f64,
+    /// Absolute floor for the label-flip flag (avoids flagging noise when
+    /// every client's loss share is tiny).
+    pub loss_floor: f64,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            macro_delta: 2,
+            replication_factor: 0.8,
+            useless_threshold: 0.6,
+            loss_z: 1.0,
+            loss_floor: 0.02,
+        }
+    }
+}
+
+/// Computes the robustness report from a trace outcome and the client
+/// assignment of training rows.
+pub fn analyze(
+    outcome: &TraceOutcome,
+    client_of: &[u32],
+    config: &RobustnessConfig,
+) -> Result<RobustnessReport> {
+    let n = outcome.n_clients;
+    let micro = micro_scores(outcome, CreditDirection::Gain);
+    let macro_ = macro_scores(outcome, config.macro_delta, CreditDirection::Gain)?;
+    let loss = micro_scores(outcome, CreditDirection::Loss);
+
+    // Useless ratio: training rows with zero benefit AND zero harm matches.
+    let mut total_rows = vec![0usize; n];
+    let mut unmatched_rows = vec![0usize; n];
+    for (i, &c) in client_of.iter().enumerate() {
+        let c = c as usize;
+        total_rows[c] += 1;
+        let benefit = outcome.train_benefit_counts.get(i).copied().unwrap_or(0);
+        let harm = outcome.train_harm_counts.get(i).copied().unwrap_or(0);
+        if benefit == 0 && harm == 0 {
+            unmatched_rows[c] += 1;
+        }
+    }
+
+    let clients: Vec<ClientRobustness> = (0..n)
+        .map(|i| {
+            let inflation = if macro_[i] > f64::EPSILON {
+                (micro[i] - macro_[i]) / macro_[i]
+            } else if micro[i] > f64::EPSILON {
+                micro[i] / f64::EPSILON.sqrt()
+            } else {
+                0.0
+            };
+            ClientRobustness {
+                micro: micro[i],
+                macro_: macro_[i],
+                replication_inflation: inflation,
+                useless_ratio: if total_rows[i] == 0 {
+                    0.0
+                } else {
+                    unmatched_rows[i] as f64 / total_rows[i] as f64
+                },
+                loss_share: loss[i],
+            }
+        })
+        .collect();
+
+    // Label-flip flag: loss share above mean + z·std and above the floor.
+    let mean = loss.iter().sum::<f64>() / n.max(1) as f64;
+    let var = loss.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / n.max(1) as f64;
+    let std = var.sqrt();
+    let flip_threshold = (mean + config.loss_z * std).max(config.loss_floor);
+    let suspected_label_flippers: Vec<usize> = (0..n)
+        .filter(|&i| loss[i] > flip_threshold && loss[i] > config.loss_floor)
+        .collect();
+
+    let suspected_replicators: Vec<usize> = (0..n)
+        .filter(|&i| {
+            clients[i].replication_inflation > config.replication_factor
+                && clients[i].micro > config.loss_floor
+        })
+        .collect();
+
+    let suspected_low_quality: Vec<usize> =
+        (0..n).filter(|&i| clients[i].useless_ratio > config.useless_threshold).collect();
+
+    Ok(RobustnessReport {
+        clients,
+        suspected_label_flippers,
+        suspected_replicators,
+        suspected_low_quality,
+    })
+}
+
+/// Relative score change `(φ(i') - φ(i)) / φ(i)` used by the paper's
+/// robustness metric (Section VI-A), clipped to `[-1, 1]`.
+///
+/// Returns 0 when the baseline score is (near) zero, matching the paper's
+/// convention that an all-zero baseline has no meaningful relative change.
+pub fn relative_change(before: f64, after: f64) -> f64 {
+    if before.abs() < 1e-12 {
+        return 0.0;
+    }
+    ((after - before) / before).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracing::{TestTrace, TraceOutcome};
+
+    fn trace(entries: Vec<(usize, usize, Vec<u32>)>, n_clients: usize) -> TraceOutcome {
+        let per_test = entries
+            .into_iter()
+            .map(|(predicted, actual, related_per_client)| TestTrace {
+                predicted,
+                actual,
+                traced_class: if predicted == actual { actual } else { predicted },
+                denom: 1.0,
+                related_per_client,
+            })
+            .collect();
+        TraceOutcome::from_per_test(per_test, n_clients, 0)
+    }
+
+    #[test]
+    fn flags_label_flipper_with_concentrated_loss() {
+        // Client 2 matches most misclassified tests; 0 and 1 are honest.
+        let outcome = trace(
+            vec![
+                (1, 1, vec![3, 3, 0]),
+                (0, 0, vec![2, 4, 0]),
+                (1, 0, vec![0, 0, 5]), // wrong, blamed on client 2
+                (0, 1, vec![0, 0, 4]), // wrong, blamed on client 2
+                (1, 1, vec![1, 1, 0]),
+            ],
+            3,
+        );
+        let report = analyze(&outcome, &[0, 1, 2, 0, 1, 2], &RobustnessConfig::default()).unwrap();
+        assert_eq!(report.suspected_label_flippers, vec![2]);
+        assert!(report.clients[2].loss_share > report.clients[0].loss_share);
+    }
+
+    #[test]
+    fn flags_replicator_via_micro_macro_divergence() {
+        // Client 0 has hugely more matched rows than client 1 on every test,
+        // inflating micro while macro splits equally.
+        let outcome = trace(
+            vec![(1, 1, vec![50, 2]), (1, 1, vec![60, 2]), (0, 0, vec![40, 2])],
+            2,
+        );
+        let report = analyze(&outcome, &[0, 1], &RobustnessConfig::default()).unwrap();
+        assert!(report.clients[0].replication_inflation > 0.8);
+        assert_eq!(report.suspected_replicators, vec![0]);
+        assert!(report.suspected_replicators.iter().all(|&c| c != 1));
+    }
+
+    #[test]
+    fn useless_ratio_counts_unmatched_training_rows() {
+        let mut outcome = trace(vec![(1, 1, vec![1, 0])], 2);
+        // 4 training rows: row 0 (client 0) matched once; rows 1-3 never.
+        outcome.train_benefit_counts = vec![1, 0, 0, 0];
+        outcome.train_harm_counts = vec![0, 0, 0, 0];
+        let report = analyze(&outcome, &[0, 0, 1, 1], &RobustnessConfig::default()).unwrap();
+        assert_eq!(report.clients[0].useless_ratio, 0.5);
+        assert_eq!(report.clients[1].useless_ratio, 1.0);
+        assert_eq!(report.suspected_low_quality, vec![1]);
+    }
+
+    #[test]
+    fn honest_federation_has_no_suspects() {
+        let outcome = trace(
+            vec![(1, 1, vec![3, 3]), (0, 0, vec![2, 2]), (1, 0, vec![0, 0])],
+            2,
+        );
+        let mut o = outcome;
+        o.train_benefit_counts = vec![1, 1, 1, 1];
+        o.train_harm_counts = vec![0, 0, 0, 0];
+        let report = analyze(&o, &[0, 0, 1, 1], &RobustnessConfig::default()).unwrap();
+        assert!(report.suspected_label_flippers.is_empty());
+        assert!(report.suspected_replicators.is_empty());
+        assert!(report.suspected_low_quality.is_empty());
+    }
+
+    #[test]
+    fn relative_change_clips_and_handles_zero() {
+        assert_eq!(relative_change(0.0, 0.5), 0.0);
+        assert!((relative_change(0.2, 0.3) - 0.5).abs() < 1e-9);
+        assert_eq!(relative_change(0.2, 0.0), -1.0);
+        assert_eq!(relative_change(0.1, 0.9), 1.0); // clipped
+    }
+}

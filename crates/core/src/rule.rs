@@ -1,0 +1,435 @@
+//! Logical classification rules (paper Definition III.1).
+//!
+//! A rule is a logical formula over atomic predicates on feature values,
+//! supporting conjunction, disjunction and negation. Each rule is associated
+//! with a class label it *supports* and an importance weight (learned by the
+//! linear head of the logical neural network).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::data::{FeatureSchema, FeatureValue};
+use crate::error::{CoreError, Result};
+
+/// An atomic predicate over a single feature (paper Definition III.1:
+/// `>`, `<`, `<=`, `>=` for continuous features, `=`, `!=` for discrete).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predicate {
+    /// `feature > threshold` (continuous).
+    Gt {
+        /// Feature index.
+        feature: usize,
+        /// Threshold.
+        threshold: f32,
+    },
+    /// `feature >= threshold` (continuous).
+    Ge {
+        /// Feature index.
+        feature: usize,
+        /// Threshold.
+        threshold: f32,
+    },
+    /// `feature < threshold` (continuous).
+    Lt {
+        /// Feature index.
+        feature: usize,
+        /// Threshold.
+        threshold: f32,
+    },
+    /// `feature <= threshold` (continuous).
+    Le {
+        /// Feature index.
+        feature: usize,
+        /// Threshold.
+        threshold: f32,
+    },
+    /// `feature = category` (discrete).
+    Eq {
+        /// Feature index.
+        feature: usize,
+        /// Category index.
+        category: u32,
+    },
+    /// `feature != category` (discrete).
+    Neq {
+        /// Feature index.
+        feature: usize,
+        /// Category index.
+        category: u32,
+    },
+}
+
+impl Predicate {
+    /// `feature > threshold`.
+    pub fn gt(feature: usize, threshold: f32) -> Self {
+        Predicate::Gt { feature, threshold }
+    }
+    /// `feature >= threshold`.
+    pub fn ge(feature: usize, threshold: f32) -> Self {
+        Predicate::Ge { feature, threshold }
+    }
+    /// `feature < threshold`.
+    pub fn lt(feature: usize, threshold: f32) -> Self {
+        Predicate::Lt { feature, threshold }
+    }
+    /// `feature <= threshold`.
+    pub fn le(feature: usize, threshold: f32) -> Self {
+        Predicate::Le { feature, threshold }
+    }
+    /// `feature = category`.
+    pub fn eq(feature: usize, category: u32) -> Self {
+        Predicate::Eq { feature, category }
+    }
+    /// `feature != category`.
+    pub fn neq(feature: usize, category: u32) -> Self {
+        Predicate::Neq { feature, category }
+    }
+
+    /// The feature this predicate inspects.
+    pub fn feature(&self) -> usize {
+        match *self {
+            Predicate::Gt { feature, .. }
+            | Predicate::Ge { feature, .. }
+            | Predicate::Lt { feature, .. }
+            | Predicate::Le { feature, .. }
+            | Predicate::Eq { feature, .. }
+            | Predicate::Neq { feature, .. } => feature,
+        }
+    }
+
+    /// Evaluates the predicate on a row.
+    ///
+    /// A kind mismatch (e.g. a `Gt` predicate on a discrete value) evaluates
+    /// to `false` rather than erroring: rules extracted from a binarized
+    /// network are validated once at construction, and evaluation is the hot
+    /// path.
+    pub fn eval(&self, row: &[FeatureValue]) -> bool {
+        let Some(value) = row.get(self.feature()) else { return false };
+        match (*self, value) {
+            (Predicate::Gt { threshold, .. }, FeatureValue::Continuous(v)) => *v > threshold,
+            (Predicate::Ge { threshold, .. }, FeatureValue::Continuous(v)) => *v >= threshold,
+            (Predicate::Lt { threshold, .. }, FeatureValue::Continuous(v)) => *v < threshold,
+            (Predicate::Le { threshold, .. }, FeatureValue::Continuous(v)) => *v <= threshold,
+            (Predicate::Eq { category, .. }, FeatureValue::Discrete(c)) => *c == category,
+            (Predicate::Neq { category, .. }, FeatureValue::Discrete(c)) => *c != category,
+            _ => false,
+        }
+    }
+
+    /// Validates the predicate against a schema (feature in range, kind
+    /// agrees, category within arity).
+    pub fn validate(&self, schema: &FeatureSchema) -> Result<()> {
+        let fi = self.feature();
+        let spec = schema.feature(fi).ok_or(CoreError::FeatureOutOfRange {
+            feature: fi,
+            n_features: schema.len(),
+        })?;
+        let continuous_pred = matches!(
+            self,
+            Predicate::Gt { .. } | Predicate::Ge { .. } | Predicate::Lt { .. } | Predicate::Le { .. }
+        );
+        match (continuous_pred, spec.kind) {
+            (true, crate::data::FeatureKind::Continuous { .. }) => Ok(()),
+            (false, crate::data::FeatureKind::Discrete { arity }) => {
+                let category = match *self {
+                    Predicate::Eq { category, .. } | Predicate::Neq { category, .. } => category,
+                    _ => unreachable!("continuous predicates handled above"),
+                };
+                if category >= arity {
+                    Err(CoreError::CategoryOutOfRange { feature: fi, category, arity })
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Err(CoreError::KindMismatch { feature: fi }),
+        }
+    }
+}
+
+/// A logical formula over predicates: conjunctions, disjunctions and
+/// negations can be nested arbitrarily (paper: "logical operations can be
+/// recursively applied to produce compound rules").
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleExpr {
+    /// A single atomic predicate.
+    Pred(Predicate),
+    /// Conjunction of sub-expressions (empty conjunction is `true`).
+    And(Vec<RuleExpr>),
+    /// Disjunction of sub-expressions (empty disjunction is `false`).
+    Or(Vec<RuleExpr>),
+    /// Negation of a sub-expression.
+    Not(Box<RuleExpr>),
+}
+
+impl RuleExpr {
+    /// Wraps a predicate.
+    pub fn pred(p: Predicate) -> Self {
+        RuleExpr::Pred(p)
+    }
+
+    /// Conjunction of parts.
+    pub fn and(parts: Vec<RuleExpr>) -> Self {
+        RuleExpr::And(parts)
+    }
+
+    /// Disjunction of parts.
+    pub fn or(parts: Vec<RuleExpr>) -> Self {
+        RuleExpr::Or(parts)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(inner: RuleExpr) -> Self {
+        RuleExpr::Not(Box::new(inner))
+    }
+
+    /// Evaluates the formula on a row (`true` = activated).
+    pub fn eval(&self, row: &[FeatureValue]) -> bool {
+        match self {
+            RuleExpr::Pred(p) => p.eval(row),
+            RuleExpr::And(parts) => parts.iter().all(|p| p.eval(row)),
+            RuleExpr::Or(parts) => parts.iter().any(|p| p.eval(row)),
+            RuleExpr::Not(inner) => !inner.eval(row),
+        }
+    }
+
+    /// Validates every predicate in the formula against a schema.
+    pub fn validate(&self, schema: &FeatureSchema) -> Result<()> {
+        match self {
+            RuleExpr::Pred(p) => p.validate(schema),
+            RuleExpr::And(parts) | RuleExpr::Or(parts) => {
+                parts.iter().try_for_each(|p| p.validate(schema))
+            }
+            RuleExpr::Not(inner) => inner.validate(schema),
+        }
+    }
+
+    /// Number of atomic predicates in the formula.
+    pub fn n_predicates(&self) -> usize {
+        match self {
+            RuleExpr::Pred(_) => 1,
+            RuleExpr::And(parts) | RuleExpr::Or(parts) => {
+                parts.iter().map(RuleExpr::n_predicates).sum()
+            }
+            RuleExpr::Not(inner) => inner.n_predicates(),
+        }
+    }
+}
+
+/// A classification rule: a formula, the class it supports, and its learned
+/// importance weight (paper Definition III.2's `w⁺` / `w⁻` entries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The logical formula.
+    pub expr: RuleExpr,
+    /// The class label this rule supports.
+    pub class: usize,
+    /// Importance weight (non-negative).
+    pub weight: f32,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(expr: RuleExpr, class: usize, weight: f32) -> Self {
+        Rule { expr, class, weight }
+    }
+
+    /// Whether the rule is activated by `row`.
+    pub fn activated(&self, row: &[FeatureValue]) -> bool {
+        self.expr.eval(row)
+    }
+
+    /// Renders the rule against a schema, e.g.
+    /// `capital-gain > 21000 [+0, w=1.20]`.
+    pub fn display<'a>(&'a self, schema: &'a FeatureSchema) -> RuleDisplay<'a> {
+        RuleDisplay { rule: self, schema }
+    }
+}
+
+/// Helper implementing [`fmt::Display`] for a rule with feature names.
+pub struct RuleDisplay<'a> {
+    rule: &'a Rule,
+    schema: &'a FeatureSchema,
+}
+
+fn fmt_expr(e: &RuleExpr, schema: &FeatureSchema, f: &mut fmt::Formatter<'_>, top: bool) -> fmt::Result {
+    match e {
+        RuleExpr::Pred(p) => {
+            let name = schema.name_of(p.feature());
+            match *p {
+                Predicate::Gt { threshold, .. } => write!(f, "{name} > {threshold}"),
+                Predicate::Ge { threshold, .. } => write!(f, "{name} >= {threshold}"),
+                Predicate::Lt { threshold, .. } => write!(f, "{name} < {threshold}"),
+                Predicate::Le { threshold, .. } => write!(f, "{name} <= {threshold}"),
+                Predicate::Eq { category, .. } => write!(f, "{name} = {category}"),
+                Predicate::Neq { category, .. } => write!(f, "{name} != {category}"),
+            }
+        }
+        RuleExpr::And(parts) => fmt_nary(parts, " \u{2227} ", schema, f, top),
+        RuleExpr::Or(parts) => fmt_nary(parts, " \u{2228} ", schema, f, top),
+        RuleExpr::Not(inner) => {
+            write!(f, "\u{ac}(")?;
+            fmt_expr(inner, schema, f, true)?;
+            write!(f, ")")
+        }
+    }
+}
+
+fn fmt_nary(
+    parts: &[RuleExpr],
+    sep: &str,
+    schema: &FeatureSchema,
+    f: &mut fmt::Formatter<'_>,
+    top: bool,
+) -> fmt::Result {
+    if parts.is_empty() {
+        return write!(f, "{}", if sep.contains('\u{2227}') { "true" } else { "false" });
+    }
+    if !top {
+        write!(f, "(")?;
+    }
+    for (i, part) in parts.iter().enumerate() {
+        if i > 0 {
+            write!(f, "{sep}")?;
+        }
+        fmt_expr(part, schema, f, false)?;
+    }
+    if !top {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for RuleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(&self.rule.expr, self.schema, f, true)?;
+        write!(f, "  [class {}, w={:.3}]", self.rule.class, self.rule.weight)
+    }
+}
+
+/// Convenience: builds a conjunction rule from predicates.
+pub fn conjunction(preds: Vec<Predicate>, class: usize, weight: f32) -> Rule {
+    Rule::new(RuleExpr::And(preds.into_iter().map(RuleExpr::Pred).collect()), class, weight)
+}
+
+/// Convenience: builds a disjunction rule from predicates.
+pub fn disjunction(preds: Vec<Predicate>, class: usize, weight: f32) -> Rule {
+    Rule::new(RuleExpr::Or(preds.into_iter().map(RuleExpr::Pred).collect()), class, weight)
+}
+
+/// Re-export of the schema `Arc` alias used in signatures.
+pub type SchemaRef = Arc<FeatureSchema>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::FeatureKind;
+
+    fn schema() -> SchemaRef {
+        FeatureSchema::new(vec![
+            ("capital-gain", FeatureKind::continuous(0.0, 100_000.0)),
+            ("work-class", FeatureKind::discrete(4)),
+            ("hours", FeatureKind::continuous(0.0, 100.0)),
+        ])
+    }
+
+    fn row(gain: f32, wc: u32, hours: f32) -> Vec<FeatureValue> {
+        vec![gain.into(), wc.into(), hours.into()]
+    }
+
+    #[test]
+    fn predicate_eval() {
+        let r = row(21_500.0, 2, 40.0);
+        assert!(Predicate::gt(0, 21_000.0).eval(&r));
+        assert!(!Predicate::gt(0, 30_000.0).eval(&r));
+        assert!(Predicate::ge(0, 21_500.0).eval(&r));
+        assert!(Predicate::lt(2, 50.0).eval(&r));
+        assert!(Predicate::le(2, 40.0).eval(&r));
+        assert!(Predicate::eq(1, 2).eval(&r));
+        assert!(Predicate::neq(1, 3).eval(&r));
+        // Kind mismatch evaluates to false, never panics.
+        assert!(!Predicate::eq(0, 1).eval(&r));
+        assert!(!Predicate::gt(1, 0.5).eval(&r));
+        // Out-of-range feature evaluates to false.
+        assert!(!Predicate::gt(9, 0.0).eval(&r));
+    }
+
+    #[test]
+    fn compound_rules_match_paper_example() {
+        // r1+: capital-gain > 21k
+        let r1p = conjunction(vec![Predicate::gt(0, 21_000.0)], 1, 1.0);
+        // r2-: work-hours > 14 OR work-class = never(3)
+        let r2n = disjunction(vec![Predicate::gt(2, 14.0), Predicate::eq(1, 3)], 0, 0.5);
+        let high = row(25_000.0, 0, 10.0);
+        let low = row(1_000.0, 3, 10.0);
+        assert!(r1p.activated(&high));
+        assert!(!r1p.activated(&low));
+        assert!(r2n.activated(&low)); // via work-class = 3
+        assert!(!r2n.activated(&row(1_000.0, 0, 10.0)));
+        assert!(r2n.activated(&row(1_000.0, 0, 20.0))); // via hours > 14
+    }
+
+    #[test]
+    fn nested_negation_and_empty_connectives() {
+        let r = row(5.0, 0, 5.0);
+        let e = RuleExpr::not(RuleExpr::pred(Predicate::gt(0, 10.0)));
+        assert!(e.eval(&r));
+        assert!(RuleExpr::And(vec![]).eval(&r)); // empty AND = true
+        assert!(!RuleExpr::Or(vec![]).eval(&r)); // empty OR = false
+        let nested = RuleExpr::and(vec![
+            RuleExpr::or(vec![
+                RuleExpr::pred(Predicate::gt(0, 10.0)),
+                RuleExpr::pred(Predicate::eq(1, 0)),
+            ]),
+            RuleExpr::not(RuleExpr::pred(Predicate::gt(2, 100.0))),
+        ]);
+        assert!(nested.eval(&r));
+        assert_eq!(nested.n_predicates(), 3);
+    }
+
+    #[test]
+    fn validation_catches_bad_rules() {
+        let s = schema();
+        assert!(Predicate::gt(0, 1.0).validate(&s).is_ok());
+        assert!(Predicate::eq(1, 3).validate(&s).is_ok());
+        assert!(matches!(
+            Predicate::eq(1, 4).validate(&s),
+            Err(CoreError::CategoryOutOfRange { .. })
+        ));
+        assert!(matches!(Predicate::gt(1, 1.0).validate(&s), Err(CoreError::KindMismatch { .. })));
+        assert!(matches!(
+            Predicate::eq(0, 1).validate(&s),
+            Err(CoreError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            Predicate::gt(5, 1.0).validate(&s),
+            Err(CoreError::FeatureOutOfRange { .. })
+        ));
+        let compound = RuleExpr::and(vec![
+            RuleExpr::pred(Predicate::gt(0, 1.0)),
+            RuleExpr::pred(Predicate::eq(1, 9)),
+        ]);
+        assert!(compound.validate(&s).is_err());
+    }
+
+    #[test]
+    fn display_renders_connectives() {
+        let s = schema();
+        let r = Rule::new(
+            RuleExpr::or(vec![
+                RuleExpr::pred(Predicate::gt(2, 14.0)),
+                RuleExpr::and(vec![
+                    RuleExpr::pred(Predicate::eq(1, 3)),
+                    RuleExpr::pred(Predicate::le(0, 5000.0)),
+                ]),
+            ]),
+            0,
+            0.5,
+        );
+        let text = r.display(&s).to_string();
+        assert!(text.contains("hours > 14"), "{text}");
+        assert!(text.contains('\u{2228}'), "{text}");
+        assert!(text.contains('\u{2227}'), "{text}");
+        assert!(text.contains("[class 0, w=0.500]"), "{text}");
+    }
+}

@@ -1,0 +1,854 @@
+//! Rule-based contribution tracing (paper Section III-C, Eq. 4).
+//!
+//! For every test instance, CTFL identifies the *related* training data —
+//! instances that taught the model the rules it used on that test instance.
+//! The four tracing cases of the paper reduce to a single traced class per
+//! test instance:
+//!
+//! * **TP / TN** (correct prediction): trace class `y_te`; related training
+//!   data are *beneficial*.
+//! * **FP / FN** (wrong prediction): trace the *predicted* (wrong) class;
+//!   related training data are *responsible for the loss*.
+//!
+//! A training instance `(x_tr, y_tr)` is related to `(x_te, y_te)` under
+//! threshold `τ_w` iff `y_tr` equals the traced class `c*` and
+//!
+//! ```text
+//!   w* ⊙ r*(x_tr) · r*(x_te)
+//!   ------------------------  >= τ_w          (Eq. 4)
+//!       w* · r*(x_te)
+//! ```
+//!
+//! where `r*`/`w*` are the activation vector and weights restricted to the
+//! rules supporting `c*`.
+//!
+//! The tracer never touches raw feature values: it consumes only activation
+//! matrices, labels and the client assignment — exactly the artifacts the
+//! paper's privacy pipeline lets participants upload (Section V).
+
+// Index-based loops below mirror the textbook formulations; iterator
+// rewrites obscure the row/column arithmetic.
+#![allow(clippy::needless_range_loop)]
+use crate::activation::ActivationMatrix;
+use crate::error::{CoreError, Result};
+use crate::model::RuleModel;
+use ctfl_rulemine::{assign_groups, max_miner, MaxMinerConfig, TransactionSet};
+
+/// Strategy for organising the `|D_te| × |D_N|` comparison.
+///
+/// All strategies produce **identical** [`TraceOutcome`]s; they differ only
+/// in speed (verified by property tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GroupingStrategy {
+    /// Compare every test instance against every training instance.
+    BruteForce,
+    /// Deduplicate test instances with identical activation signatures and
+    /// traced class; each unique signature is traced once.
+    SignatureDedup,
+    /// Paper Section III-C: mine maximal frequent activated-rule sets over
+    /// the test activation vectors with Max-Miner, partition test instances
+    /// into groups sharing a frequent subset, prefilter candidate training
+    /// rows per group with an admissible bound, then refine exactly.
+    FrequentRuleSets {
+        /// Minimum support as a fraction of the test set size, in `(0, 1]`.
+        min_support: f64,
+    },
+}
+
+/// Tracing configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Activation-overlap threshold `τ_w ∈ (0, 1]` of Eq. 4. The paper uses
+    /// values in `[0.8, 1.0]`; lower values recognise more contributing
+    /// records (useful under data poisoning), higher values are stricter.
+    pub tau_w: f64,
+    /// Parallelize over test instances with scoped threads (the paper's GPU
+    /// map, realised on CPU).
+    pub parallel: bool,
+    /// Comparison organisation.
+    pub grouping: GroupingStrategy,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { tau_w: 0.9, parallel: true, grouping: GroupingStrategy::SignatureDedup }
+    }
+}
+
+impl TraceConfig {
+    fn validate(&self) -> Result<()> {
+        if !(self.tau_w > 0.0 && self.tau_w <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "tau_w",
+                message: format!("must be in (0, 1], got {}", self.tau_w),
+            });
+        }
+        if let GroupingStrategy::FrequentRuleSets { min_support } = self.grouping {
+            if !(min_support > 0.0 && min_support <= 1.0) {
+                return Err(CoreError::InvalidParameter {
+                    name: "min_support",
+                    message: format!("must be in (0, 1], got {min_support}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything the tracer needs, decoupled from raw features.
+///
+/// `train_acts` / `test_acts` must have one bit per model rule; rule weights
+/// and per-class masks come from the same [`RuleModel`] (or are reproduced
+/// by the federation in the privacy-preserving deployment).
+pub struct TraceInputs<'a> {
+    /// Training activation matrix (`|D_N| × m` bits).
+    pub train_acts: &'a ActivationMatrix,
+    /// Training labels.
+    pub train_labels: &'a [u32],
+    /// Owning client of each training row.
+    pub client_of: &'a [u32],
+    /// Number of clients `n`.
+    pub n_clients: usize,
+    /// Test activation matrix (`|D_te| × m` bits).
+    pub test_acts: &'a ActivationMatrix,
+    /// Test labels.
+    pub test_labels: &'a [u32],
+    /// Model predictions on the test set.
+    pub predictions: &'a [usize],
+    /// Rule weights (`m` entries).
+    pub weights: &'a [f64],
+    /// Per-class rule masks.
+    pub class_masks: &'a [Vec<u64>],
+}
+
+impl<'a> TraceInputs<'a> {
+    fn validate(&self) -> Result<()> {
+        let m = self.train_acts.n_bits();
+        if self.test_acts.n_bits() != m {
+            return Err(CoreError::LengthMismatch {
+                what: "test activation width",
+                expected: m,
+                actual: self.test_acts.n_bits(),
+            });
+        }
+        if self.train_labels.len() != self.train_acts.n_rows() {
+            return Err(CoreError::LengthMismatch {
+                what: "train labels",
+                expected: self.train_acts.n_rows(),
+                actual: self.train_labels.len(),
+            });
+        }
+        if self.client_of.len() != self.train_acts.n_rows() {
+            return Err(CoreError::LengthMismatch {
+                what: "client assignment",
+                expected: self.train_acts.n_rows(),
+                actual: self.client_of.len(),
+            });
+        }
+        if self.test_labels.len() != self.test_acts.n_rows() {
+            return Err(CoreError::LengthMismatch {
+                what: "test labels",
+                expected: self.test_acts.n_rows(),
+                actual: self.test_labels.len(),
+            });
+        }
+        if self.predictions.len() != self.test_acts.n_rows() {
+            return Err(CoreError::LengthMismatch {
+                what: "predictions",
+                expected: self.test_acts.n_rows(),
+                actual: self.predictions.len(),
+            });
+        }
+        if self.weights.len() != m {
+            return Err(CoreError::LengthMismatch {
+                what: "rule weights",
+                expected: m,
+                actual: self.weights.len(),
+            });
+        }
+        for &c in self.client_of {
+            if c as usize >= self.n_clients {
+                return Err(CoreError::InvalidParameter {
+                    name: "client_of",
+                    message: format!("client {c} >= n_clients {}", self.n_clients),
+                });
+            }
+        }
+        let n_classes = self.class_masks.len();
+        for (&l, what) in self
+            .train_labels
+            .iter()
+            .map(|l| (l, "train label"))
+            .chain(self.test_labels.iter().map(|l| (l, "test label")))
+        {
+            if l as usize >= n_classes {
+                return Err(CoreError::InvalidParameter {
+                    name: "labels",
+                    message: format!("{what} {l} >= n_classes {n_classes}"),
+                });
+            }
+        }
+        for &p in self.predictions {
+            if p >= n_classes {
+                return Err(CoreError::ClassOutOfRange { class: p, n_classes });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds [`TraceInputs`] from a model and in-memory datasets (the
+/// non-private convenience path used by the estimator).
+#[allow(clippy::too_many_arguments)] // mirrors the TraceInputs fields 1:1
+pub fn inputs_from_model<'a>(
+    model: &'a RuleModel,
+    train_acts: &'a ActivationMatrix,
+    train_labels: &'a [u32],
+    client_of: &'a [u32],
+    n_clients: usize,
+    test_acts: &'a ActivationMatrix,
+    test_labels: &'a [u32],
+    predictions: &'a [usize],
+) -> TraceInputs<'a> {
+    TraceInputs {
+        train_acts,
+        train_labels,
+        client_of,
+        n_clients,
+        test_acts,
+        test_labels,
+        predictions,
+        weights: model.weights(),
+        class_masks: model.class_masks_all(),
+    }
+}
+
+/// The trace of a single test instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestTrace {
+    /// Model prediction.
+    pub predicted: usize,
+    /// Ground-truth label.
+    pub actual: usize,
+    /// The traced class `c*` (= `actual` when correct, `predicted` when not).
+    pub traced_class: usize,
+    /// `w* · r*(x_te)` — the weighted activated rules supporting `c*`.
+    pub denom: f64,
+    /// `|D_i ∩ ct(x_te, y_te, τ_w)|` per client `i`.
+    pub related_per_client: Vec<u32>,
+}
+
+impl TestTrace {
+    /// Whether the model classified this instance correctly.
+    pub fn correct(&self) -> bool {
+        self.predicted == self.actual
+    }
+
+    /// Total related training instances across clients.
+    pub fn total_related(&self) -> u64 {
+        self.related_per_client.iter().map(|&c| c as u64).sum()
+    }
+}
+
+/// Full output of the tracing pass: per-test relations plus the aggregate
+/// statistics that robustness and interpretation build on.
+#[derive(Debug, Clone)]
+pub struct TraceOutcome {
+    /// One entry per test instance.
+    pub per_test: Vec<TestTrace>,
+    /// Number of clients.
+    pub n_clients: usize,
+    /// Number of rules.
+    pub n_rules: usize,
+    /// Per training row: how many *correctly classified* test instances it
+    /// was related to (its beneficial match count).
+    pub train_benefit_counts: Vec<u32>,
+    /// Per training row: how many *misclassified* test instances it was
+    /// related to (its harmful match count, used for label-flip detection).
+    pub train_harm_counts: Vec<u32>,
+    /// `n_clients × n_rules` weighted rule-activation frequencies from
+    /// beneficial matches (paper Section IV-B: regularised by rule weights).
+    pub(crate) client_rule_benefit: Vec<f64>,
+    /// Same, from harmful matches.
+    pub(crate) client_rule_harm: Vec<f64>,
+}
+
+impl TraceOutcome {
+    /// Builds an outcome from per-test traces alone, with zeroed aggregate
+    /// statistics. Useful for testing allocation schemes and for consumers
+    /// that construct traces externally (e.g. the privacy pipeline).
+    pub fn from_per_test(per_test: Vec<TestTrace>, n_clients: usize, n_rules: usize) -> Self {
+        TraceOutcome {
+            per_test,
+            n_clients,
+            n_rules,
+            train_benefit_counts: Vec::new(),
+            train_harm_counts: Vec::new(),
+            client_rule_benefit: vec![0.0; n_clients * n_rules],
+            client_rule_harm: vec![0.0; n_clients * n_rules],
+        }
+    }
+
+    /// Weighted beneficial activation frequency of `rule` for `client`.
+    pub fn benefit_freq(&self, client: usize, rule: usize) -> f64 {
+        self.client_rule_benefit[client * self.n_rules + rule]
+    }
+
+    /// Weighted harmful activation frequency of `rule` for `client`.
+    pub fn harm_freq(&self, client: usize, rule: usize) -> f64 {
+        self.client_rule_harm[client * self.n_rules + rule]
+    }
+
+    /// Test accuracy implied by the traced predictions.
+    pub fn test_accuracy(&self) -> f64 {
+        if self.per_test.is_empty() {
+            return 0.0;
+        }
+        self.per_test.iter().filter(|t| t.correct()).count() as f64 / self.per_test.len() as f64
+    }
+}
+
+/// Runs the tracing pass.
+///
+/// Complexity: `O(|D_te| · |D_N|)` pairwise worst case, reduced by the
+/// configured [`GroupingStrategy`] and parallelized over test groups when
+/// `config.parallel` is set.
+pub fn trace(inputs: &TraceInputs<'_>, config: &TraceConfig) -> Result<TraceOutcome> {
+    config.validate()?;
+    inputs.validate()?;
+
+    let n_test = inputs.test_acts.n_rows();
+    let n_train = inputs.train_acts.n_rows();
+    let n_rules = inputs.train_acts.n_bits();
+
+    // Traced class and denominator per test row.
+    let mut traced_class = vec![0usize; n_test];
+    let mut denoms = vec![0f64; n_test];
+    for t in 0..n_test {
+        let actual = inputs.test_labels[t] as usize;
+        let predicted = inputs.predictions[t];
+        let c = if predicted == actual { actual } else { predicted };
+        traced_class[t] = c;
+        denoms[t] = inputs.test_acts.masked_weight_sum(t, &inputs.class_masks[c], inputs.weights);
+    }
+
+    // Pre-group training rows by label so each test row only scans rows of
+    // its traced class.
+    let n_classes = inputs.class_masks.len();
+    let mut train_by_class: Vec<Vec<u32>> = vec![Vec::new(); n_classes];
+    for (i, &l) in inputs.train_labels.iter().enumerate() {
+        train_by_class[l as usize].push(i as u32);
+    }
+
+    // Organise test rows into work groups according to the strategy. Each
+    // group: (representative handling, member test indices, optional
+    // candidate prefilter for training rows).
+    let groups: Vec<WorkGroup> = match config.grouping {
+        GroupingStrategy::BruteForce => {
+            (0..n_test).map(|t| WorkGroup { members: vec![t as u32], candidates: None }).collect()
+        }
+        GroupingStrategy::SignatureDedup => {
+            use std::collections::HashMap;
+            let mut map: HashMap<(usize, u64), Vec<u32>> = HashMap::new();
+            for t in 0..n_test {
+                let key = (traced_class[t], inputs.test_acts.row_signature(t));
+                map.entry(key).or_default().push(t as u32);
+            }
+            map.into_values().map(|members| WorkGroup { members, candidates: None }).collect()
+        }
+        GroupingStrategy::FrequentRuleSets { min_support } => build_frequent_groups(
+            inputs,
+            &traced_class,
+            &denoms,
+            min_support,
+            config.tau_w,
+            &train_by_class,
+        ),
+    };
+
+    // Trace each group; groups are independent, so parallelize across them.
+    let process_group = |g: &WorkGroup| -> GroupResult {
+        trace_group(inputs, config, g, &traced_class, &denoms, &train_by_class)
+    };
+
+    let results: Vec<GroupResult> = if config.parallel && groups.len() > 1 && n_test * n_train > 65_536 {
+        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk = groups.len().div_ceil(n_threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = groups
+                .chunks(chunk.max(1))
+                .map(|gs| s.spawn(move || gs.iter().map(process_group).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("trace worker panicked"))
+                .collect()
+        })
+    } else {
+        groups.iter().map(process_group).collect()
+    };
+
+    // Merge group results.
+    let mut per_test: Vec<Option<TestTrace>> = vec![None; n_test];
+    let mut train_benefit_counts = vec![0u32; n_train];
+    let mut train_harm_counts = vec![0u32; n_train];
+    let mut client_rule_benefit = vec![0f64; inputs.n_clients * n_rules];
+    let mut client_rule_harm = vec![0f64; inputs.n_clients * n_rules];
+
+    for (group, result) in groups.iter().zip(results) {
+        for &t in &group.members {
+            let t = t as usize;
+            let correct = inputs.predictions[t] == inputs.test_labels[t] as usize;
+            // Aggregate per-train and per-rule statistics once per member.
+            for &tr in &result.related_train {
+                let tr = tr as usize;
+                if correct {
+                    train_benefit_counts[tr] += 1;
+                } else {
+                    train_harm_counts[tr] += 1;
+                }
+                let client = inputs.client_of[tr] as usize;
+                let table = if correct { &mut client_rule_benefit } else { &mut client_rule_harm };
+                // Weighted activation frequency: rules activated by BOTH the
+                // training row and the test member within the traced mask.
+                let mask = &inputs.class_masks[traced_class[t]];
+                let a = inputs.train_acts.row_words(tr);
+                let b = inputs.test_acts.row_words(t);
+                for (wi, ((aw, bw), mw)) in a.iter().zip(b).zip(mask).enumerate() {
+                    let mut bits = aw & bw & mw;
+                    while bits != 0 {
+                        let bit = wi * 64 + bits.trailing_zeros() as usize;
+                        table[client * n_rules + bit] += inputs.weights[bit];
+                        bits &= bits - 1;
+                    }
+                }
+            }
+            per_test[t] = Some(TestTrace {
+                predicted: inputs.predictions[t],
+                actual: inputs.test_labels[t] as usize,
+                traced_class: traced_class[t],
+                denom: denoms[t],
+                related_per_client: result.related_per_client.clone(),
+            });
+        }
+    }
+
+    let per_test: Vec<TestTrace> =
+        per_test.into_iter().map(|t| t.expect("every test row belongs to a group")).collect();
+
+    Ok(TraceOutcome {
+        per_test,
+        n_clients: inputs.n_clients,
+        n_rules,
+        train_benefit_counts,
+        train_harm_counts,
+        client_rule_benefit,
+        client_rule_harm,
+    })
+}
+
+struct WorkGroup {
+    /// Test rows in this group. All members share the same traced class and
+    /// activation signature (SignatureDedup) or a frequent rule subset
+    /// (FrequentRuleSets). BruteForce uses singleton groups.
+    members: Vec<u32>,
+    /// Optional prefiltered candidate training rows (admissible superset of
+    /// the related set of every member).
+    candidates: Option<Vec<u32>>,
+}
+
+struct GroupResult {
+    related_train: Vec<u32>,
+    related_per_client: Vec<u32>,
+}
+
+fn trace_group(
+    inputs: &TraceInputs<'_>,
+    config: &TraceConfig,
+    group: &WorkGroup,
+    traced_class: &[usize],
+    denoms: &[f64],
+    train_by_class: &[Vec<u32>],
+) -> GroupResult {
+    // All members share related sets only under SignatureDedup; under
+    // FrequentRuleSets each member must be refined individually, but then
+    // members are traced one at a time by the caller splitting groups.
+    // We therefore compute the related set of the group REPRESENTATIVE and
+    // rely on the construction invariant that members share it.
+    let rep = group.members[0] as usize;
+    let c = traced_class[rep];
+    let denom = denoms[rep];
+    let mask = &inputs.class_masks[c];
+    let mut related_train = Vec::new();
+    let mut related_per_client = vec![0u32; inputs.n_clients];
+
+    if denom > 0.0 {
+        let threshold = config.tau_w * denom - 1e-12; // tolerate FP rounding at equality
+        let scan: &[u32] = match &group.candidates {
+            Some(c) => c,
+            None => &train_by_class[c],
+        };
+        for &tr in scan {
+            let tr = tr as usize;
+            debug_assert_eq!(inputs.train_labels[tr] as usize, c);
+            let num =
+                inputs.test_acts.triple_weight_sum(rep, inputs.train_acts, tr, mask, inputs.weights);
+            if num >= threshold {
+                related_train.push(tr as u32);
+                related_per_client[inputs.client_of[tr] as usize] += 1;
+            }
+        }
+    }
+    GroupResult { related_train, related_per_client }
+}
+
+/// Builds work groups for the FrequentRuleSets strategy.
+///
+/// Within each traced class, test activation vectors (restricted to the
+/// class mask) form transactions; Max-Miner yields maximal frequent rule
+/// sets; test rows sharing both the heaviest covering set *and* the full
+/// activation signature form a group. The frequent set `F` gives an
+/// admissible candidate prefilter: a training row can relate to a member
+/// `t` only if its weighted overlap with `F` is at least
+/// `weight(F) - (1 - τ_w) · denom(t)`.
+fn build_frequent_groups(
+    inputs: &TraceInputs<'_>,
+    traced_class: &[usize],
+    denoms: &[f64],
+    min_support: f64,
+    tau_w: f64,
+    train_by_class: &[Vec<u32>],
+) -> Vec<WorkGroup> {
+    use std::collections::HashMap;
+    let n_test = inputs.test_acts.n_rows();
+    let n_rules = inputs.test_acts.n_bits();
+    let n_classes = inputs.class_masks.len();
+
+    // First dedup by (class, signature) — members of a signature group have
+    // identical related sets, so the frequent-set machinery only needs to
+    // run per unique signature.
+    let mut sig_groups: HashMap<(usize, u64), Vec<u32>> = HashMap::new();
+    for t in 0..n_test {
+        let key = (traced_class[t], inputs.test_acts.row_signature(t));
+        sig_groups.entry(key).or_default().push(t as u32);
+    }
+
+    let mut out = Vec::new();
+    for c in 0..n_classes {
+        let reps: Vec<Vec<u32>> = sig_groups
+            .iter()
+            .filter(|((cls, _), _)| *cls == c)
+            .map(|(_, members)| members.clone())
+            .collect();
+        if reps.is_empty() {
+            continue;
+        }
+        // Transactions: masked activation words of each representative.
+        let mask = &inputs.class_masks[c];
+        let mut txs = TransactionSet::new(n_rules.max(1));
+        for members in &reps {
+            let rep = members[0] as usize;
+            let masked: Vec<u64> = inputs
+                .test_acts
+                .row_words(rep)
+                .iter()
+                .zip(mask)
+                .map(|(a, m)| a & m)
+                .collect();
+            txs.push_words(&masked);
+        }
+        let support = ((min_support * reps.len() as f64).ceil() as usize).max(1);
+        let mined = max_miner(&txs, MaxMinerConfig { min_support: support, max_expansions: 4096 });
+        let sets: Vec<_> = mined.iter().map(|(s, _)| s.clone()).collect();
+        let assignment = assign_groups(&txs, &sets, inputs.weights);
+
+        for (gi, members) in reps.into_iter().enumerate() {
+            let rep = members[0] as usize;
+            let candidates = assignment[gi].map(|set_idx| {
+                let f = &sets[set_idx];
+                let f_weight = f.weight(inputs.weights);
+                // Admissible bound (see module docs): overlap(tr, F) >=
+                // weight(F) - (1 - τ_w) * denom(rep).
+                let bound = f_weight - (1.0 - tau_w) * denoms[rep] - 1e-9;
+                let f_mask: Vec<u64> = f.words().to_vec();
+                train_by_class[c]
+                    .iter()
+                    .copied()
+                    .filter(|&tr| {
+                        let overlap = inputs.train_acts.masked_weight_sum(
+                            tr as usize,
+                            &f_mask,
+                            inputs.weights,
+                        );
+                        overlap >= bound
+                    })
+                    .collect::<Vec<u32>>()
+            });
+            out.push(WorkGroup { members, candidates });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Figure2 =
+        (ActivationMatrix, Vec<u32>, Vec<u32>, ActivationMatrix, Vec<u32>, Vec<usize>, Vec<f64>, Vec<Vec<u64>>);
+
+    /// Builds the paper's Figure 2 scenario directly as activation
+    /// matrices: 4 rules (r1+, r2+, r1-, r2-) with weights (1, 1, 1, 0.5),
+    /// 3 clients, training data per Figure 2-(b).
+    fn figure2() -> Figure2 {
+        let weights = vec![1.0, 1.0, 1.0, 0.5];
+        let class_masks = vec![
+            ActivationMatrix::build_mask(4, [2usize, 3]), // class 0 (negative): r1-, r2-
+            ActivationMatrix::build_mask(4, [0usize, 1]), // class 1 (positive): r1+, r2+
+        ];
+        // Training data:
+        //  client A: 4 positive rows that learn r2+ (bit 1).
+        //  client B: 6 negative rows with r1- and r2- (bits 2,3).
+        //  client C: 2 negative rows with only r1- (bit 2),
+        //            plus 1 negative row with r2- only (bit 3) for the FN case.
+        let mut train = ActivationMatrix::zeros(0, 4);
+        let mut labels = Vec::new();
+        let mut clients = Vec::new();
+        for _ in 0..4 {
+            train.push_row(&[false, true, false, false]).unwrap();
+            labels.push(1);
+            clients.push(0); // A
+        }
+        for _ in 0..6 {
+            train.push_row(&[false, false, true, true]).unwrap();
+            labels.push(0);
+            clients.push(1); // B
+        }
+        for _ in 0..2 {
+            train.push_row(&[false, false, true, false]).unwrap();
+            labels.push(0);
+            clients.push(2); // C
+        }
+        train.push_row(&[false, false, false, true]).unwrap();
+        labels.push(0);
+        clients.push(2); // C
+
+        // Test data (Figure 2-(b)):
+        //  x1: y=1, r2+ active, predicted 1 (TP, matches A).
+        //  x2: y=0, r1+ hypothetically... we encode an FP: predicted 1 with
+        //      no positive training matches (activates r1+ only, bit 0).
+        //  x3: y=0, r1- and r2- active, predicted 0 (TN, matches B fully and
+        //      C at tau_w=0.6 via r1-).
+        //  x4: y=1, r2- active, predicted 0 (FN, traced to C's r2- row).
+        let mut test = ActivationMatrix::zeros(0, 4);
+        test.push_row(&[false, true, false, false]).unwrap();
+        test.push_row(&[true, false, false, false]).unwrap();
+        test.push_row(&[false, false, true, true]).unwrap();
+        test.push_row(&[false, false, false, true]).unwrap();
+        let test_labels = vec![1, 0, 0, 1];
+        let predictions = vec![1, 1, 0, 0];
+        (train, labels, clients, test, test_labels, predictions, weights, class_masks)
+    }
+
+    fn run(tau_w: f64, grouping: GroupingStrategy) -> TraceOutcome {
+        let (train, labels, clients, test, test_labels, preds, weights, masks) = figure2();
+        let inputs = TraceInputs {
+            train_acts: &train,
+            train_labels: &labels,
+            client_of: &clients,
+            n_clients: 3,
+            test_acts: &test,
+            test_labels: &test_labels,
+            predictions: &preds,
+            weights: &weights,
+            class_masks: &masks,
+        };
+        trace(&inputs, &TraceConfig { tau_w, parallel: false, grouping }).unwrap()
+    }
+
+    #[test]
+    fn example_iii3_strict_and_soft_thresholds() {
+        // tau_w = 1.0: x3 relates only to B's 6 rows.
+        let strict = run(1.0, GroupingStrategy::BruteForce);
+        assert_eq!(strict.per_test[2].related_per_client, vec![0, 6, 0]);
+        // tau_w = 0.6: C's two r1--only rows also match (2/3 >= 0.6).
+        let soft = run(0.6, GroupingStrategy::BruteForce);
+        assert_eq!(soft.per_test[2].related_per_client, vec![0, 6, 2]);
+    }
+
+    #[test]
+    fn four_cases() {
+        let out = run(0.6, GroupingStrategy::BruteForce);
+        // TP: x1 matches A's 4 rows.
+        assert!(out.per_test[0].correct());
+        assert_eq!(out.per_test[0].related_per_client, vec![4, 0, 0]);
+        // FP: x2 predicted positive, traced class = 1; no training row
+        // activates r1+ so nobody is blamed.
+        assert!(!out.per_test[1].correct());
+        assert_eq!(out.per_test[1].traced_class, 1);
+        assert_eq!(out.per_test[1].related_per_client, vec![0, 0, 0]);
+        // FN: x4 predicted 0, traced class 0; C's r2--only row matches, and
+        // B's rows (r1-+r2-) superset-match too.
+        assert!(!out.per_test[3].correct());
+        assert_eq!(out.per_test[3].traced_class, 0);
+        assert_eq!(out.per_test[3].related_per_client, vec![0, 6, 1]);
+        // Harm counts: only rows related to misclassified tests.
+        let harm_total: u32 = out.train_harm_counts.iter().sum();
+        assert_eq!(harm_total, 7);
+    }
+
+    #[test]
+    fn strategies_agree() {
+        for tau in [0.6, 0.8, 1.0] {
+            let bf = run(tau, GroupingStrategy::BruteForce);
+            let sig = run(tau, GroupingStrategy::SignatureDedup);
+            let frs = run(tau, GroupingStrategy::FrequentRuleSets { min_support: 0.25 });
+            assert_eq!(bf.per_test, sig.per_test, "tau={tau}");
+            assert_eq!(bf.per_test, frs.per_test, "tau={tau}");
+            assert_eq!(bf.train_benefit_counts, sig.train_benefit_counts);
+            assert_eq!(bf.train_benefit_counts, frs.train_benefit_counts);
+            assert_eq!(bf.train_harm_counts, frs.train_harm_counts);
+        }
+    }
+
+    #[test]
+    fn benefit_frequencies_follow_matches() {
+        let out = run(0.6, GroupingStrategy::BruteForce);
+        // Client A's beneficial frequency concentrates on rule 1 (r2+):
+        // 4 related rows × weight 1.0.
+        assert_eq!(out.benefit_freq(0, 1), 4.0);
+        assert_eq!(out.benefit_freq(0, 0), 0.0);
+        // Client B on rules 2,3 from x3: 6 rows × (1.0 and 0.5).
+        assert_eq!(out.benefit_freq(1, 2), 6.0);
+        assert_eq!(out.benefit_freq(1, 3), 3.0);
+        // Harm: C's r2- row matched FN x4 (weight 0.5), B's rows too.
+        assert_eq!(out.harm_freq(2, 3), 0.5);
+        assert_eq!(out.harm_freq(1, 3), 3.0);
+    }
+
+    #[test]
+    fn accuracy_and_denominators() {
+        let out = run(1.0, GroupingStrategy::BruteForce);
+        assert_eq!(out.test_accuracy(), 0.5);
+        assert_eq!(out.per_test[2].denom, 1.5); // r1- (1.0) + r2- (0.5)
+        assert_eq!(out.per_test[0].denom, 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (train, labels, clients, test, test_labels, preds, weights, masks) = figure2();
+        let mut bad_clients = clients.clone();
+        bad_clients[0] = 99;
+        let inputs = TraceInputs {
+            train_acts: &train,
+            train_labels: &labels,
+            client_of: &bad_clients,
+            n_clients: 3,
+            test_acts: &test,
+            test_labels: &test_labels,
+            predictions: &preds,
+            weights: &weights,
+            class_masks: &masks,
+        };
+        assert!(trace(&inputs, &TraceConfig::default()).is_err());
+
+        let inputs = TraceInputs {
+            train_acts: &train,
+            train_labels: &labels,
+            client_of: &clients,
+            n_clients: 3,
+            test_acts: &test,
+            test_labels: &test_labels,
+            predictions: &preds,
+            weights: &weights,
+            class_masks: &masks,
+        };
+        let bad_cfg = TraceConfig { tau_w: 0.0, ..TraceConfig::default() };
+        assert!(trace(&inputs, &bad_cfg).is_err());
+        let bad_cfg = TraceConfig { tau_w: 1.5, ..TraceConfig::default() };
+        assert!(trace(&inputs, &bad_cfg).is_err());
+        let bad_cfg = TraceConfig {
+            grouping: GroupingStrategy::FrequentRuleSets { min_support: 0.0 },
+            ..TraceConfig::default()
+        };
+        assert!(trace(&inputs, &bad_cfg).is_err());
+    }
+
+    #[test]
+    fn multiclass_tracing_follows_traced_class() {
+        // 3 classes, one rule per class (bits 0/1/2), unit weights.
+        let masks: Vec<Vec<u64>> =
+            (0..3).map(|c| ActivationMatrix::build_mask(3, [c])).collect();
+        let mut train = ActivationMatrix::zeros(0, 3);
+        let mut labels = Vec::new();
+        let mut clients = Vec::new();
+        // Client c holds 2 rows of class c activating its rule.
+        for c in 0..3u32 {
+            for _ in 0..2 {
+                let bits: Vec<bool> = (0..3).map(|b| b == c as usize).collect();
+                train.push_row(&bits).unwrap();
+                labels.push(c);
+                clients.push(c);
+            }
+        }
+        // Tests: one correct per class, plus one misclassified (true 0,
+        // predicted 2).
+        let mut test = ActivationMatrix::zeros(0, 3);
+        for c in 0..3usize {
+            let bits: Vec<bool> = (0..3).map(|b| b == c).collect();
+            test.push_row(&bits).unwrap();
+        }
+        test.push_row(&[false, false, true]).unwrap();
+        let test_labels = vec![0, 1, 2, 0];
+        let predictions = vec![0usize, 1, 2, 2];
+        let inputs = TraceInputs {
+            train_acts: &train,
+            train_labels: &labels,
+            client_of: &clients,
+            n_clients: 3,
+            test_acts: &test,
+            test_labels: &test_labels,
+            predictions: &predictions,
+            weights: &[1.0, 1.0, 1.0],
+            class_masks: &masks,
+        };
+        let out =
+            trace(&inputs, &TraceConfig { tau_w: 1.0, parallel: false, ..Default::default() })
+                .unwrap();
+        // Each correct test relates only to its class's client.
+        for c in 0..3 {
+            let mut expect = vec![0u32; 3];
+            expect[c] = 2;
+            assert_eq!(out.per_test[c].related_per_client, expect, "class {c}");
+        }
+        // The misclassified test traces the WRONG class (2): client 2 is
+        // responsible.
+        assert_eq!(out.per_test[3].traced_class, 2);
+        assert_eq!(out.per_test[3].related_per_client, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn zero_denominator_relates_nothing() {
+        // A test row with no activated rules in its traced class.
+        let mut train = ActivationMatrix::zeros(0, 2);
+        train.push_row(&[true, false]).unwrap();
+        let mut test = ActivationMatrix::zeros(0, 2);
+        test.push_row(&[false, false]).unwrap();
+        let masks =
+            vec![ActivationMatrix::build_mask(2, [1usize]), ActivationMatrix::build_mask(2, [0usize])];
+        let inputs = TraceInputs {
+            train_acts: &train,
+            train_labels: &[1],
+            client_of: &[0],
+            n_clients: 1,
+            test_acts: &test,
+            test_labels: &[1],
+            predictions: &[1],
+            weights: &[1.0, 1.0],
+            class_masks: &masks,
+        };
+        let out = trace(&inputs, &TraceConfig { parallel: false, ..TraceConfig::default() }).unwrap();
+        assert_eq!(out.per_test[0].related_per_client, vec![0]);
+        assert_eq!(out.per_test[0].denom, 0.0);
+    }
+}

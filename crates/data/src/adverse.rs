@@ -1,0 +1,240 @@
+//! Adverse participant behaviours (paper Section VI-A).
+//!
+//! Each injector takes a dataset + partition and returns modified copies
+//! plus a report of what changed, matching the paper's three robustness
+//! scenarios:
+//!
+//! * **Data replication**: selected clients duplicate a random fraction of
+//!   their rows (appended to the dataset, owned by the same client).
+//! * **Low-quality data**: selected clients relabel a random fraction of
+//!   their rows by sampling from their *own* empirical label distribution
+//!   (modelling sloppy annotation, not adversarial flipping).
+//! * **Label flipping**: selected clients flip the labels of a random
+//!   fraction of their rows (binary: `1 − y`; multi-class: a random other
+//!   label).
+
+use ctfl_core::data::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::partition::Partition;
+
+/// What an injector did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdverseReport {
+    /// Clients that were modified.
+    pub clients: Vec<usize>,
+    /// Per modified client: number of affected rows.
+    pub affected_rows: Vec<usize>,
+    /// Per modified client: the sampled modification ratio.
+    pub ratios: Vec<f64>,
+}
+
+fn sample_ratio<R: Rng + ?Sized>(ratio_range: (f64, f64), rng: &mut R) -> f64 {
+    assert!(
+        0.0 <= ratio_range.0 && ratio_range.0 <= ratio_range.1 && ratio_range.1 <= 1.0,
+        "ratio range must satisfy 0 <= lo <= hi <= 1"
+    );
+    if ratio_range.0 == ratio_range.1 {
+        ratio_range.0
+    } else {
+        rng.gen_range(ratio_range.0..=ratio_range.1)
+    }
+}
+
+/// Data replication: each selected client appends `ratio · |D_i|` duplicated
+/// rows (sampled with replacement from its own data).
+pub fn replicate<R: Rng + ?Sized>(
+    data: &Dataset,
+    partition: &Partition,
+    clients: &[usize],
+    ratio_range: (f64, f64),
+    rng: &mut R,
+) -> (Dataset, Partition, AdverseReport) {
+    let mut out = data.clone();
+    let mut client_of = partition.client_of.clone();
+    let mut affected = Vec::with_capacity(clients.len());
+    let mut ratios = Vec::with_capacity(clients.len());
+    for &client in clients {
+        let owned = partition.client_indices(client);
+        let ratio = sample_ratio(ratio_range, rng);
+        let n_dup = ((owned.len() as f64 * ratio).round() as usize).min(owned.len() * 10);
+        let mut dup_rows = Vec::with_capacity(n_dup);
+        for _ in 0..n_dup {
+            let &src = owned.choose(rng).expect("clients own at least one row");
+            dup_rows.push(src);
+        }
+        let dup = data.subset(&dup_rows);
+        out = Dataset::concat([&out, &dup]).expect("same schema");
+        client_of.extend(std::iter::repeat_n(client as u32, n_dup));
+        affected.push(n_dup);
+        ratios.push(ratio);
+    }
+    (
+        out,
+        Partition::new(client_of, partition.n_clients),
+        AdverseReport { clients: clients.to_vec(), affected_rows: affected, ratios },
+    )
+}
+
+/// Low-quality data: each selected client relabels `ratio · |D_i|` of its
+/// rows by drawing from its own empirical label distribution.
+pub fn inject_low_quality<R: Rng + ?Sized>(
+    data: &Dataset,
+    partition: &Partition,
+    clients: &[usize],
+    ratio_range: (f64, f64),
+    rng: &mut R,
+) -> (Dataset, Partition, AdverseReport) {
+    let mut out = data.clone();
+    let mut affected = Vec::with_capacity(clients.len());
+    let mut ratios = Vec::with_capacity(clients.len());
+    for &client in clients {
+        let mut owned = partition.client_indices(client);
+        // Empirical label pool of this client (sampling from it models an
+        // annotator who assigns plausible-but-wrong labels).
+        let pool: Vec<u32> = owned.iter().map(|&i| data.label(i) as u32).collect();
+        let ratio = sample_ratio(ratio_range, rng);
+        let n_mod = (owned.len() as f64 * ratio).round() as usize;
+        owned.shuffle(rng);
+        for &i in owned.iter().take(n_mod) {
+            let &new_label = pool.choose(rng).expect("non-empty pool");
+            out.set_label(i, new_label as usize).expect("label in range");
+        }
+        affected.push(n_mod);
+        ratios.push(ratio);
+    }
+    (
+        out,
+        partition.clone(),
+        AdverseReport { clients: clients.to_vec(), affected_rows: affected, ratios },
+    )
+}
+
+/// Label flipping: each selected client flips the labels of `ratio · |D_i|`
+/// of its rows.
+pub fn flip_labels<R: Rng + ?Sized>(
+    data: &Dataset,
+    partition: &Partition,
+    clients: &[usize],
+    ratio_range: (f64, f64),
+    rng: &mut R,
+) -> (Dataset, Partition, AdverseReport) {
+    let n_classes = data.n_classes();
+    let mut out = data.clone();
+    let mut affected = Vec::with_capacity(clients.len());
+    let mut ratios = Vec::with_capacity(clients.len());
+    for &client in clients {
+        let mut owned = partition.client_indices(client);
+        let ratio = sample_ratio(ratio_range, rng);
+        let n_mod = (owned.len() as f64 * ratio).round() as usize;
+        owned.shuffle(rng);
+        for &i in owned.iter().take(n_mod) {
+            let old = data.label(i);
+            let new = if n_classes == 2 {
+                1 - old
+            } else {
+                // A random *different* label.
+                let mut l = rng.gen_range(0..n_classes);
+                while l == old {
+                    l = rng.gen_range(0..n_classes);
+                }
+                l
+            };
+            out.set_label(i, new).expect("label in range");
+        }
+        affected.push(n_mod);
+        ratios.push(ratio);
+    }
+    (
+        out,
+        partition.clone(),
+        AdverseReport { clients: clients.to_vec(), affected_rows: affected, ratios },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctfl_core::data::{FeatureKind, FeatureSchema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dataset, Partition) {
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let mut ds = Dataset::empty(schema, 2);
+        for i in 0..100 {
+            ds.push_row(&[(i as f32 / 100.0).into()], (i % 2 == 0) as usize).unwrap();
+        }
+        let client_of: Vec<u32> = (0..100).map(|i| (i / 25) as u32).collect(); // 4 clients × 25
+        (ds, Partition::new(client_of, 4))
+    }
+
+    #[test]
+    fn replication_appends_owned_duplicates() {
+        let (ds, p) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (out, p2, report) = replicate(&ds, &p, &[1], (0.4, 0.4), &mut rng);
+        assert_eq!(report.affected_rows, vec![10]); // 25 * 0.4
+        assert_eq!(out.len(), 110);
+        assert_eq!(p2.len(), 110);
+        assert_eq!(p2.counts()[1], 35);
+        // Duplicates are copies of client 1 rows (x in [0.25, 0.5)).
+        for i in 100..110 {
+            let v = out.row(i)[0].as_continuous().unwrap();
+            assert!((0.25..0.5).contains(&v), "duplicate from wrong client: {v}");
+        }
+        // Other clients untouched.
+        assert_eq!(p2.counts()[0], 25);
+    }
+
+    #[test]
+    fn low_quality_relabels_within_client_distribution() {
+        let (ds, p) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (out, p2, report) = inject_low_quality(&ds, &p, &[2], (0.5, 0.5), &mut rng);
+        assert_eq!(out.len(), ds.len());
+        assert_eq!(p2, p);
+        assert_eq!(report.affected_rows, vec![13]); // round(25 * 0.5)
+        // Only client 2's rows may differ.
+        for i in 0..100 {
+            if p.client_of[i] != 2 {
+                assert_eq!(out.label(i), ds.label(i), "row {i} should be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_labels_flips_exactly_the_sampled_fraction() {
+        let (ds, p) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (out, _, report) = flip_labels(&ds, &p, &[0, 3], (0.2, 0.2), &mut rng);
+        assert_eq!(report.affected_rows, vec![5, 5]);
+        let mut flipped_by_client = vec![0usize; 4];
+        for i in 0..100 {
+            if out.label(i) != ds.label(i) {
+                flipped_by_client[p.client_of[i] as usize] += 1;
+                assert_eq!(out.label(i), 1 - ds.label(i), "binary flip");
+            }
+        }
+        assert_eq!(flipped_by_client, vec![5, 0, 0, 5]);
+    }
+
+    #[test]
+    fn ratio_range_is_respected() {
+        let (ds, p) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let (_, _, report) = flip_labels(&ds, &p, &[1], (0.1, 0.5), &mut rng);
+            assert!((0.1..=0.5).contains(&report.ratios[0]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio range must satisfy")]
+    fn bad_ratio_range_panics() {
+        let (ds, p) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = replicate(&ds, &p, &[0], (0.9, 0.1), &mut rng);
+    }
+}

@@ -1,0 +1,149 @@
+//! Gamma and Dirichlet sampling.
+//!
+//! The paper controls partition skew with a symmetric Dirichlet
+//! distribution (`α ∈ [0.6, 1]` by default). `rand` 0.8 ships no gamma
+//! sampler, so we implement Marsaglia–Tsang (2000): for shape `α ≥ 1`,
+//! squeeze-accept `d·v` with `d = α − 1/3`, `v = (1 + c·z)³`; for `α < 1`,
+//! boost via `Gamma(α) = Gamma(α+1) · U^{1/α}`.
+
+use rand::Rng;
+
+/// One standard-normal draw (Box–Muller; we discard the second value for
+/// simplicity — sampling here is far from any hot path).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::EPSILON {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Samples `Gamma(shape, scale = 1)`.
+///
+/// # Panics
+/// Panics if `shape <= 0`.
+pub fn sample_gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let z = standard_normal(rng);
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        // Squeeze check then full acceptance check.
+        if u < 1.0 - 0.0331 * z.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * z * z + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Samples a symmetric `Dirichlet(α, …, α)` vector of length `k`
+/// (non-negative entries summing to 1).
+///
+/// # Panics
+/// Panics if `alpha <= 0` or `k == 0`.
+pub fn sample_dirichlet<R: Rng + ?Sized>(alpha: f64, k: usize, rng: &mut R) -> Vec<f64> {
+    assert!(k > 0, "dirichlet dimension must be positive");
+    let mut draws: Vec<f64> = (0..k).map(|_| sample_gamma(alpha, rng)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Astronomically unlikely; fall back to uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gamma_moments_match_theory() {
+        // Gamma(shape, 1): mean = shape, var = shape.
+        let mut rng = StdRng::seed_from_u64(42);
+        for shape in [0.5f64, 1.0, 2.0, 5.0] {
+            let n = 20_000;
+            let samples: Vec<f64> = (0..n).map(|_| sample_gamma(shape, &mut rng)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < 0.1 * shape.max(1.0), "shape {shape}: mean {mean}");
+            assert!((var - shape).abs() < 0.2 * shape.max(1.0), "shape {shape}: var {var}");
+            assert!(samples.iter().all(|&s| s > 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_is_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for alpha in [0.3, 0.6, 1.0, 5.0] {
+            for k in [2usize, 8, 20] {
+                let v = sample_dirichlet(alpha, k, &mut rng);
+                assert_eq!(v.len(), k);
+                let sum: f64 = v.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "alpha={alpha} k={k} sum={sum}");
+                assert!(v.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_mean_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let k = 4;
+        let n = 5_000;
+        let mut acc = vec![0.0; k];
+        for _ in 0..n {
+            for (a, v) in acc.iter_mut().zip(sample_dirichlet(0.8, k, &mut rng)) {
+                *a += v;
+            }
+        }
+        for a in &acc {
+            let mean = a / n as f64;
+            assert!((mean - 0.25).abs() < 0.02, "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn smaller_alpha_is_more_skewed() {
+        // Expected max component grows as alpha shrinks.
+        let mut rng = StdRng::seed_from_u64(13);
+        let avg_max = |alpha: f64, rng: &mut StdRng| {
+            let n = 2_000;
+            (0..n)
+                .map(|_| {
+                    sample_dirichlet(alpha, 8, rng).into_iter().fold(0.0f64, f64::max)
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let skewed = avg_max(0.2, &mut rng);
+        let flat = avg_max(5.0, &mut rng);
+        assert!(skewed > flat + 0.1, "skewed={skewed} flat={flat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn rejects_nonpositive_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        sample_gamma(0.0, &mut rng);
+    }
+}

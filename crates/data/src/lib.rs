@@ -1,0 +1,36 @@
+//! # ctfl-data
+//!
+//! Datasets and federation workload generators for the CTFL reproduction
+//! (paper Section VI-A):
+//!
+//! * [`tictactoe`] — the UCI *tic-tac-toe endgame* dataset, generated
+//!   **exactly** by enumerating the game tree (958 boards; no download).
+//! * [`synthetic`] — rule-planted synthetic datasets matching the schema
+//!   shape and difficulty band of the paper's `adult`, `bank` and `dota2`
+//!   benchmarks (the raw UCI/Kaggle files are substituted per DESIGN.md §2).
+//! * [`dirichlet`] — gamma/Dirichlet sampling (Marsaglia–Tsang), used by
+//! * [`partition`] — the *skew-sample* and *skew-label* partitioners that
+//!   distribute training data across federated clients.
+//! * [`adverse`] — the three adverse behaviours evaluated in the paper:
+//!   data replication, low-quality (mislabelled) data, and label flipping.
+//! * [`split`] — train/test splitting utilities.
+//! * [`csv`] — a dependency-free CSV loader with schema inference, so CTFL
+//!   runs on users' own tabular data.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adverse;
+pub mod csv;
+pub mod dirichlet;
+pub mod partition;
+pub mod split;
+pub mod synthetic;
+pub mod tictactoe;
+
+pub use adverse::{flip_labels, inject_low_quality, replicate, AdverseReport};
+pub use csv::{load_csv, CsvDataset};
+pub use partition::{skew_label, skew_sample, Partition};
+pub use split::train_test_split;
+pub use synthetic::{adult_like, bank_like, dota2_like, SyntheticConfig};
+pub use tictactoe::tictactoe_endgame;

@@ -1,0 +1,291 @@
+//! Federated data partitioners (paper Section VI-A).
+//!
+//! * **Skew sample**: clients draw different *amounts* of data from the same
+//!   distribution; per-client ratios come from a symmetric Dirichlet(α).
+//! * **Skew label**: clients additionally differ in *label* distribution;
+//!   each class's rows are split with an independent Dirichlet(α) draw.
+//!
+//! Both partitioners guarantee every client at least one row (an empty
+//! client would make FedAvg weights and several baselines degenerate), by
+//! reassigning single rows from the largest clients when necessary.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dirichlet::sample_dirichlet;
+
+/// A partition of `0..n_rows` across `n_clients` federated participants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Owning client of each row.
+    pub client_of: Vec<u32>,
+    /// Number of clients.
+    pub n_clients: usize,
+}
+
+impl Partition {
+    /// Builds a partition, validating the assignment.
+    ///
+    /// # Panics
+    /// Panics if any entry is `>= n_clients`.
+    pub fn new(client_of: Vec<u32>, n_clients: usize) -> Self {
+        assert!(
+            client_of.iter().all(|&c| (c as usize) < n_clients),
+            "client index out of range"
+        );
+        Partition { client_of, n_clients }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.client_of.len()
+    }
+
+    /// Whether the partition covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.client_of.is_empty()
+    }
+
+    /// Row indices owned by `client`.
+    pub fn client_indices(&self, client: usize) -> Vec<usize> {
+        self.client_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c as usize == client)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-client row counts.
+    pub fn counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_clients];
+        for &c in &self.client_of {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// Splits shuffled row indices by Dirichlet ratios, then repairs empties.
+fn assign_by_ratios<R: Rng + ?Sized>(
+    n_rows: usize,
+    ratios: &[f64],
+    indices: &mut [usize],
+    client_of: &mut [u32],
+    rng: &mut R,
+) {
+    let n_clients = ratios.len();
+    indices.shuffle(rng);
+    // Cumulative boundaries; the last client absorbs rounding remainder.
+    let mut start = 0usize;
+    for (c, &ratio) in ratios.iter().enumerate() {
+        let take = if c + 1 == n_clients {
+            n_rows.saturating_sub(start)
+        } else {
+            ((ratio * n_rows as f64).round() as usize).min(n_rows - start)
+        };
+        for &idx in indices.iter().skip(start).take(take) {
+            client_of[idx] = c as u32;
+        }
+        start += take;
+    }
+    // Any leftover rows (rounding) go to the last client.
+    for &idx in indices.iter().skip(start) {
+        client_of[idx] = (n_clients - 1) as u32;
+    }
+}
+
+fn repair_empty_clients(client_of: &mut [u32], n_clients: usize) {
+    loop {
+        let mut counts = vec![0usize; n_clients];
+        for &c in client_of.iter() {
+            counts[c as usize] += 1;
+        }
+        let Some(empty) = counts.iter().position(|&c| c == 0) else { return };
+        let donor = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .expect("at least one client");
+        if counts[donor] <= 1 {
+            return; // nothing to donate; caller had fewer rows than clients
+        }
+        let row = client_of
+            .iter()
+            .position(|&c| c as usize == donor)
+            .expect("donor owns at least one row");
+        client_of[row] = empty as u32;
+    }
+}
+
+/// Skew-sample partition: one Dirichlet(α) draw sets the per-client data
+/// ratios; rows are assigned uniformly at random.
+///
+/// # Panics
+/// Panics if `n_rows == 0`, `n_clients == 0`, or `alpha <= 0`.
+pub fn skew_sample<R: Rng + ?Sized>(
+    n_rows: usize,
+    n_clients: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> Partition {
+    assert!(n_rows > 0 && n_clients > 0, "need rows and clients");
+    let ratios = sample_dirichlet(alpha, n_clients, rng);
+    let mut client_of = vec![0u32; n_rows];
+    let mut indices: Vec<usize> = (0..n_rows).collect();
+    assign_by_ratios(n_rows, &ratios, &mut indices, &mut client_of, rng);
+    repair_empty_clients(&mut client_of, n_clients);
+    Partition::new(client_of, n_clients)
+}
+
+/// Skew-label partition: each class's rows are split by an independent
+/// Dirichlet(α) draw, so clients end up with different label mixes.
+///
+/// # Panics
+/// Panics if `labels` is empty, `n_clients == 0`, or `alpha <= 0`.
+pub fn skew_label<R: Rng + ?Sized>(
+    labels: &[u32],
+    n_classes: usize,
+    n_clients: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> Partition {
+    assert!(!labels.is_empty() && n_clients > 0, "need rows and clients");
+    let mut client_of = vec![0u32; labels.len()];
+    for class in 0..n_classes {
+        let mut indices: Vec<usize> =
+            labels.iter().enumerate().filter(|(_, &l)| l as usize == class).map(|(i, _)| i).collect();
+        if indices.is_empty() {
+            continue;
+        }
+        let ratios = sample_dirichlet(alpha, n_clients, rng);
+        let n = indices.len();
+        assign_by_ratios(n, &ratios, &mut indices, &mut client_of, rng);
+    }
+    repair_empty_clients(&mut client_of, n_clients);
+    Partition::new(client_of, n_clients)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skew_sample_covers_all_rows_nonempty_clients() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let p = skew_sample(500, 8, 0.6, &mut rng);
+            assert_eq!(p.len(), 500);
+            let counts = p.counts();
+            assert_eq!(counts.iter().sum::<usize>(), 500);
+            assert!(counts.iter().all(|&c| c > 0), "empty client: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn low_alpha_is_more_skewed_than_high_alpha() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spread = |alpha: f64, rng: &mut StdRng| {
+            let mut total = 0.0;
+            for _ in 0..30 {
+                let counts = skew_sample(1000, 8, alpha, rng).counts();
+                let max = *counts.iter().max().unwrap() as f64;
+                total += max / 1000.0;
+            }
+            total / 30.0
+        };
+        assert!(spread(0.2, &mut rng) > spread(10.0, &mut rng) + 0.05);
+    }
+
+    #[test]
+    fn skew_label_shifts_label_mix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // 500 of each class.
+        let labels: Vec<u32> = (0..1000).map(|i| (i % 2) as u32).collect();
+        let p = skew_label(&labels, 2, 4, 0.3, &mut rng);
+        assert_eq!(p.len(), 1000);
+        assert!(p.counts().iter().all(|&c| c > 0));
+        // At least one client should be notably label-imbalanced at α=0.3.
+        let mut max_imbalance = 0.0f64;
+        for c in 0..4 {
+            let idx = p.client_indices(c);
+            let pos = idx.iter().filter(|&&i| labels[i] == 1).count() as f64;
+            let ratio = pos / idx.len() as f64;
+            max_imbalance = max_imbalance.max((ratio - 0.5).abs());
+        }
+        assert!(max_imbalance > 0.05, "imbalance {max_imbalance}");
+    }
+
+    #[test]
+    fn client_indices_partition_rows() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = skew_sample(100, 5, 1.0, &mut rng);
+        let mut seen = [false; 100];
+        for c in 0..5 {
+            for i in p.client_indices(c) {
+                assert!(!seen[i], "row {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fewer_rows_than_clients_is_handled() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = skew_sample(3, 8, 1.0, &mut rng);
+        assert_eq!(p.len(), 3);
+        // Only 3 clients can be non-empty; no panic, all rows assigned.
+        assert_eq!(p.counts().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "client index out of range")]
+    fn partition_validates() {
+        Partition::new(vec![0, 5], 2);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn skew_sample_is_a_partition(
+                n_rows in 1usize..400,
+                n_clients in 1usize..12,
+                alpha in 0.1f64..5.0,
+                seed in any::<u64>(),
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let p = skew_sample(n_rows, n_clients, alpha, &mut rng);
+                prop_assert_eq!(p.len(), n_rows);
+                prop_assert_eq!(p.counts().iter().sum::<usize>(), n_rows);
+                if n_rows >= n_clients {
+                    prop_assert!(p.counts().iter().all(|&c| c > 0), "{:?}", p.counts());
+                }
+            }
+
+            #[test]
+            fn skew_label_preserves_rows_and_nonemptiness(
+                labels in proptest::collection::vec(0u32..3, 3..300),
+                n_clients in 1usize..8,
+                alpha in 0.1f64..5.0,
+                seed in any::<u64>(),
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let p = skew_label(&labels, 3, n_clients, alpha, &mut rng);
+                prop_assert_eq!(p.len(), labels.len());
+                prop_assert_eq!(p.counts().iter().sum::<usize>(), labels.len());
+                if labels.len() >= n_clients {
+                    prop_assert!(p.counts().iter().all(|&c| c > 0));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Train/test splitting.
+//!
+//! The federation reserves a test set `D_te` for utility evaluation
+//! (paper Eq. 1); experiments use a stratified split so rare classes stay
+//! represented in both halves.
+
+use ctfl_core::data::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits `data` into `(train, test)` with `test_fraction` of rows in the
+/// test set.
+///
+/// With `stratified = true`, each class is split independently so the test
+/// label distribution matches the full data. Every class with at least two
+/// rows contributes at least one row to each side.
+///
+/// # Panics
+/// Panics if `test_fraction` is not in `(0, 1)` or `data` is empty.
+pub fn train_test_split<R: Rng + ?Sized>(
+    data: &Dataset,
+    test_fraction: f64,
+    stratified: bool,
+    rng: &mut R,
+) -> (Dataset, Dataset) {
+    assert!((0.0..1.0).contains(&test_fraction) && test_fraction > 0.0, "test_fraction in (0,1)");
+    assert!(!data.is_empty(), "cannot split an empty dataset");
+
+    let mut test_indices: Vec<usize> = Vec::new();
+    let mut train_indices: Vec<usize> = Vec::new();
+    if stratified {
+        for class in 0..data.n_classes() {
+            let mut idx: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == class).collect();
+            if idx.is_empty() {
+                continue;
+            }
+            idx.shuffle(rng);
+            let mut n_test = (idx.len() as f64 * test_fraction).round() as usize;
+            if idx.len() >= 2 {
+                n_test = n_test.clamp(1, idx.len() - 1);
+            } else {
+                n_test = 0; // a singleton class stays in training
+            }
+            test_indices.extend_from_slice(&idx[..n_test]);
+            train_indices.extend_from_slice(&idx[n_test..]);
+        }
+    } else {
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        idx.shuffle(rng);
+        let n_test = ((data.len() as f64 * test_fraction).round() as usize)
+            .clamp(1, data.len().saturating_sub(1).max(1));
+        test_indices.extend_from_slice(&idx[..n_test]);
+        train_indices.extend_from_slice(&idx[n_test..]);
+    }
+    train_indices.sort_unstable();
+    test_indices.sort_unstable();
+    (data.subset(&train_indices), data.subset(&test_indices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctfl_core::data::{FeatureKind, FeatureSchema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize, pos_rate: f64) -> Dataset {
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let mut ds = Dataset::empty(schema, 2);
+        for i in 0..n {
+            let label = ((i as f64 / n as f64) < pos_rate) as usize;
+            ds.push_row(&[(i as f32).into()], label).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn sizes_add_up() {
+        let ds = dataset(100, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = train_test_split(&ds, 0.2, false, &mut rng);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    fn stratified_preserves_class_ratio() {
+        let ds = dataset(1000, 0.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = train_test_split(&ds, 0.25, true, &mut rng);
+        let ratio = |d: &Dataset| d.class_counts()[1] as f64 / d.len() as f64;
+        assert!((ratio(&train) - 0.3).abs() < 0.02);
+        assert!((ratio(&test) - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn no_row_in_both_sides() {
+        let ds = dataset(200, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, test) = train_test_split(&ds, 0.3, true, &mut rng);
+        let train_xs: std::collections::BTreeSet<u32> =
+            (0..train.len()).map(|i| train.row(i)[0].as_continuous().unwrap() as u32).collect();
+        for i in 0..test.len() {
+            let x = test.row(i)[0].as_continuous().unwrap() as u32;
+            assert!(!train_xs.contains(&x), "row {x} leaked into both sides");
+        }
+    }
+
+    #[test]
+    fn rare_class_represented_on_both_sides() {
+        let ds = dataset(50, 0.04); // 2 positive rows
+        let mut rng = StdRng::seed_from_u64(4);
+        let (train, test) = train_test_split(&ds, 0.2, true, &mut rng);
+        assert!(train.class_counts()[1] >= 1);
+        assert!(test.class_counts()[1] >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction in (0,1)")]
+    fn rejects_bad_fraction() {
+        let ds = dataset(10, 0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = train_test_split(&ds, 1.5, false, &mut rng);
+    }
+}

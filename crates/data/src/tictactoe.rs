@@ -1,0 +1,139 @@
+//! The UCI *tic-tac-toe endgame* dataset, generated exactly.
+//!
+//! The original dataset "encodes the complete set of possible board
+//! configurations at the end of tic-tac-toe games, where `x` is assumed to
+//! have played first": 958 boards, 9 categorical features (`x`, `o`,
+//! `blank`), positive class = `x` has a three-in-a-row. We reproduce it by
+//! depth-first search over the game tree — play alternates starting with
+//! `x`, a game ends the moment a player completes a line or the board
+//! fills — and deduplicate terminal boards reached by multiple move orders.
+//!
+//! The enumeration yields exactly 958 boards (626 positive / 332 negative),
+//! asserted in tests, so this substrate is byte-equivalent in content to the
+//! UCI distribution up to row order.
+
+use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Cell encoding used for the discrete features.
+pub const CELL_X: u32 = 0;
+/// Cell holds `o`.
+pub const CELL_O: u32 = 1;
+/// Cell is blank.
+pub const CELL_BLANK: u32 = 2;
+
+const LINES: [[usize; 3]; 8] = [
+    [0, 1, 2],
+    [3, 4, 5],
+    [6, 7, 8],
+    [0, 3, 6],
+    [1, 4, 7],
+    [2, 5, 8],
+    [0, 4, 8],
+    [2, 4, 6],
+];
+
+fn wins(board: &[u32; 9], player: u32) -> bool {
+    LINES.iter().any(|line| line.iter().all(|&c| board[c] == player))
+}
+
+fn enumerate_terminal(board: &mut [u32; 9], player: u32, out: &mut BTreeSet<[u32; 9]>) {
+    let full = board.iter().all(|&c| c != CELL_BLANK);
+    if wins(board, CELL_X) || wins(board, CELL_O) || full {
+        out.insert(*board);
+        return;
+    }
+    for cell in 0..9 {
+        if board[cell] == CELL_BLANK {
+            board[cell] = player;
+            enumerate_terminal(board, 1 - player, out);
+            board[cell] = CELL_BLANK;
+        }
+    }
+}
+
+/// The feature schema of the dataset: nine 3-ary discrete squares, named
+/// as in the UCI distribution.
+pub fn schema() -> Arc<FeatureSchema> {
+    let names = [
+        "top-left", "top-middle", "top-right", "middle-left", "middle-middle", "middle-right",
+        "bottom-left", "bottom-middle", "bottom-right",
+    ];
+    FeatureSchema::new(names.iter().map(|&n| (n, FeatureKind::discrete(3))).collect())
+}
+
+/// Generates the complete endgame dataset (958 rows; class 1 = `x` wins).
+///
+/// Row order is deterministic (lexicographic over boards), so partitions
+/// seeded identically are reproducible across runs.
+pub fn tictactoe_endgame() -> Dataset {
+    let mut boards = BTreeSet::new();
+    let mut board = [CELL_BLANK; 9];
+    enumerate_terminal(&mut board, CELL_X, &mut boards);
+    let schema = schema();
+    let mut ds = Dataset::empty(schema, 2);
+    for b in boards {
+        let row: Vec<ctfl_core::data::FeatureValue> = b.iter().map(|&c| c.into()).collect();
+        let label = wins(&b, CELL_X) as usize;
+        ds.push_row(&row, label).expect("generated rows are schema-valid");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_958_boards_with_uci_class_balance() {
+        let ds = tictactoe_endgame();
+        assert_eq!(ds.len(), 958, "UCI tic-tac-toe endgame has 958 instances");
+        let counts = ds.class_counts();
+        assert_eq!(counts[1], 626, "positive (x wins) count");
+        assert_eq!(counts[0], 332, "negative count");
+    }
+
+    #[test]
+    fn every_board_is_terminal_and_legal() {
+        let ds = tictactoe_endgame();
+        for i in 0..ds.len() {
+            let board: Vec<u32> = ds.row(i).iter().map(|v| v.as_discrete().unwrap()).collect();
+            let b: [u32; 9] = board.clone().try_into().unwrap();
+            let x_count = board.iter().filter(|&&c| c == CELL_X).count();
+            let o_count = board.iter().filter(|&&c| c == CELL_O).count();
+            // x plays first: x has as many or one more move than o.
+            assert!(x_count == o_count || x_count == o_count + 1, "illegal counts at row {i}");
+            // Terminal: someone won or the board is full.
+            let full = board.iter().all(|&c| c != CELL_BLANK);
+            let x_wins = wins(&b, CELL_X);
+            let o_wins = wins(&b, CELL_O);
+            assert!(x_wins || o_wins || full, "non-terminal board at row {i}");
+            // Never both players winning.
+            assert!(!(x_wins && o_wins), "impossible double win at row {i}");
+            // Label consistency.
+            assert_eq!(ds.label(i) == 1, x_wins, "label mismatch at row {i}");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_boards() {
+        let ds = tictactoe_endgame();
+        let mut seen = BTreeSet::new();
+        for i in 0..ds.len() {
+            let board: Vec<u32> = ds.row(i).iter().map(|v| v.as_discrete().unwrap()).collect();
+            assert!(seen.insert(board), "duplicate board at row {i}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tictactoe_endgame();
+        let b = tictactoe_endgame();
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.row(i), b.row(i));
+            assert_eq!(a.label(i), b.label(i));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! A federated client: private shard + local trainer.
+
+use ctfl_core::error::Result;
+use ctfl_nn::encoding::EncodedData;
+use ctfl_nn::net::LogicalNet;
+
+/// One federated participant.
+#[derive(Debug, Clone)]
+pub struct Client {
+    /// Client id (its index in the federation).
+    pub id: usize,
+    /// The client's private encoded shard.
+    data: EncodedData,
+    /// Local model replica (re-seeded from the global parameters each
+    /// round).
+    net: LogicalNet,
+}
+
+impl Client {
+    /// Creates a client around its private shard and a model replica.
+    ///
+    /// The replica must be built from the *same* [`LogicalNet::config`] and
+    /// seed as the server's global model so encoders agree — FedAvg
+    /// averages parameters positionally.
+    pub fn new(id: usize, data: EncodedData, net: LogicalNet) -> Self {
+        Client { id, data, net }
+    }
+
+    /// Number of local training rows (FedAvg's aggregation weight).
+    pub fn n_rows(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The local shard.
+    pub fn data(&self) -> &EncodedData {
+        &self.data
+    }
+
+    /// One round of local work: load the global parameters, run
+    /// `local_epochs` of gradient-grafting SGD, and return the updated
+    /// parameter vector.
+    pub fn local_update(&mut self, global_params: &[f32], local_epochs: usize) -> Result<Vec<f32>> {
+        self.net.set_params(global_params)?;
+        self.net.train_local(&self.data, local_epochs)?;
+        Ok(self.net.params())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema};
+    use ctfl_nn::net::LogicalNetConfig;
+    use std::sync::Arc;
+
+    fn setup() -> (Dataset, LogicalNet) {
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let mut ds = Dataset::empty(Arc::clone(&schema), 2);
+        for i in 0..50 {
+            let v = i as f32 / 50.0;
+            ds.push_row(&[v.into()], (v > 0.5) as usize).unwrap();
+        }
+        let cfg = LogicalNetConfig {
+            tau_d: 4,
+            layer_sizes: vec![8],
+            epochs: 5,
+            batch_size: 16,
+            seed: 42,
+            ..LogicalNetConfig::default()
+        };
+        let net = LogicalNet::new(schema, 2, cfg).unwrap();
+        (ds, net)
+    }
+
+    #[test]
+    fn local_update_starts_from_global_params() {
+        let (ds, net) = setup();
+        let encoded = net.encode(&ds).unwrap();
+        let mut client = Client::new(0, encoded, net.clone());
+        assert_eq!(client.n_rows(), 50);
+        let global = net.params();
+        let updated = client.local_update(&global, 1).unwrap();
+        assert_eq!(updated.len(), global.len());
+        assert_ne!(updated, global, "training must move parameters");
+        // A second call with the same global re-seeds deterministically in
+        // shape (values differ due to shuffling RNG state).
+        let updated2 = client.local_update(&global, 1).unwrap();
+        assert_eq!(updated2.len(), global.len());
+    }
+
+    #[test]
+    fn rejects_wrong_parameter_length() {
+        let (ds, net) = setup();
+        let encoded = net.encode(&ds).unwrap();
+        let mut client = Client::new(0, encoded, net);
+        assert!(client.local_update(&[0.0; 3], 1).is_err());
+    }
+}

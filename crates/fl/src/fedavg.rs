@@ -1,0 +1,178 @@
+//! The FedAvg training loop (McMahan et al. 2017).
+//!
+//! Trains a global [`LogicalNet`] over client shards: each round, every
+//! client loads the global parameters, runs local gradient-grafting epochs,
+//! and the server aggregates the updates weighted by shard size. Clients
+//! run concurrently with scoped threads — they are independent within a
+//! round.
+
+use ctfl_core::data::Dataset;
+use ctfl_core::error::{CoreError, Result};
+use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
+use std::sync::Arc;
+
+use crate::client::Client;
+use crate::server::aggregate;
+
+/// Federated-training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlConfig {
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Local epochs per round.
+    pub local_epochs: usize,
+    /// Run clients on scoped threads within each round.
+    pub parallel: bool,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        FlConfig { rounds: 5, local_epochs: 2, parallel: true }
+    }
+}
+
+/// Trains a global model with FedAvg over per-client datasets.
+///
+/// All client datasets must share a schema; `net_config.seed` fixes the
+/// encoder so every replica agrees on the literal layout.
+///
+/// Returns the trained global network.
+pub fn train_federated(
+    client_data: &[Dataset],
+    n_classes: usize,
+    net_config: &LogicalNetConfig,
+    fl_config: &FlConfig,
+) -> Result<LogicalNet> {
+    if client_data.is_empty() {
+        return Err(CoreError::Empty { what: "client data" });
+    }
+    let schema = Arc::clone(client_data[0].schema());
+    for (i, d) in client_data.iter().enumerate() {
+        if d.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "client_data",
+                message: format!("client {i} has no data"),
+            });
+        }
+        if d.schema() != &schema {
+            return Err(CoreError::InvalidParameter {
+                name: "client_data",
+                message: format!("client {i} has a different schema"),
+            });
+        }
+    }
+
+    let mut global = LogicalNet::new(Arc::clone(&schema), n_classes, net_config.clone())?;
+    // Each client gets a replica with a distinct RNG stream (for minibatch
+    // shuffling) but the same encoder seed via set_params + same config —
+    // LogicalNet::new derives the encoder from config.seed, so replicas use
+    // the SAME seed to keep literal layouts identical.
+    let mut clients: Vec<Client> = client_data
+        .iter()
+        .enumerate()
+        .map(|(id, d)| {
+            let net = LogicalNet::new(Arc::clone(&schema), n_classes, net_config.clone())?;
+            let encoded = net.encode(d)?;
+            Ok(Client::new(id, encoded, net))
+        })
+        .collect::<Result<_>>()?;
+
+    let weights: Vec<usize> = clients.iter().map(Client::n_rows).collect();
+    for _round in 0..fl_config.rounds {
+        let global_params = global.params();
+        let updates: Vec<Vec<f32>> = if fl_config.parallel && clients.len() > 1 {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = clients
+                    .iter_mut()
+                    .map(|c| {
+                        let gp = &global_params;
+                        s.spawn(move || c.local_update(gp, fl_config.local_epochs))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread panicked"))
+                    .collect::<Result<Vec<_>>>()
+            })?
+        } else {
+            clients
+                .iter_mut()
+                .map(|c| c.local_update(&global_params, fl_config.local_epochs))
+                .collect::<Result<Vec<_>>>()?
+        };
+        let aggregated = aggregate(&updates, &weights)?;
+        global.set_params(&aggregated)?;
+    }
+    Ok(global)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctfl_core::data::{FeatureKind, FeatureSchema};
+
+    fn shards() -> Vec<Dataset> {
+        // label = x > 0.5; client 0 is negative-heavy, client 1 positive-heavy
+        // (label skew) but both see both classes.
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let mut a = Dataset::empty(Arc::clone(&schema), 2);
+        let mut b = Dataset::empty(Arc::clone(&schema), 2);
+        for i in 0..90 {
+            let v = i as f32 / 90.0;
+            let skewed_to_a = (v <= 0.5) == (i % 4 != 0);
+            let target = if skewed_to_a { &mut a } else { &mut b };
+            target.push_row(&[v.into()], (v > 0.5) as usize).unwrap();
+        }
+        vec![a, b]
+    }
+
+    fn cfg(seed: u64) -> LogicalNetConfig {
+        LogicalNetConfig {
+            tau_d: 6,
+            layer_sizes: vec![8],
+            epochs: 5,
+            batch_size: 16,
+            seed,
+            ..LogicalNetConfig::default()
+        }
+    }
+
+    #[test]
+    fn federated_training_learns_the_joint_task() {
+        let shards = shards();
+        let fl = FlConfig { rounds: 12, local_epochs: 3, parallel: false };
+        let net = train_federated(&shards, 2, &cfg(1), &fl).unwrap();
+        // Evaluate on the union.
+        let union = Dataset::concat(shards.iter()).unwrap();
+        let encoded = net.encode(&union).unwrap();
+        let acc = net.accuracy_encoded(&encoded);
+        assert!(acc >= 0.85, "federated accuracy {acc}");
+    }
+
+    #[test]
+    fn parallel_and_serial_have_same_shape() {
+        let shards = shards();
+        let fl_p = FlConfig { rounds: 2, local_epochs: 1, parallel: true };
+        let fl_s = FlConfig { rounds: 2, local_epochs: 1, parallel: false };
+        let p = train_federated(&shards, 2, &cfg(2), &fl_p).unwrap();
+        let s = train_federated(&shards, 2, &cfg(2), &fl_s).unwrap();
+        // Same parameter dimensionality and same encoder.
+        assert_eq!(p.params().len(), s.params().len());
+        assert_eq!(p.encoder().width(), s.encoder().width());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(train_federated(&[], 2, &cfg(0), &FlConfig::default()).is_err());
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let empty = Dataset::empty(Arc::clone(&schema), 2);
+        assert!(train_federated(&[empty], 2, &cfg(0), &FlConfig::default()).is_err());
+        // Mismatched schemas.
+        let mut a = Dataset::empty(Arc::clone(&schema), 2);
+        a.push_row(&[0.5f32.into()], 1).unwrap();
+        let other = FeatureSchema::new(vec![("y", FeatureKind::continuous(0.0, 2.0))]);
+        let mut b = Dataset::empty(other, 2);
+        b.push_row(&[0.5f32.into()], 1).unwrap();
+        assert!(train_federated(&[a, b], 2, &cfg(0), &FlConfig::default()).is_err());
+    }
+}

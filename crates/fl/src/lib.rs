@@ -1,0 +1,29 @@
+//! # ctfl-fl
+//!
+//! A horizontal federated-learning simulator for the CTFL reproduction:
+//!
+//! * [`fedavg`] — the FedAvg protocol (McMahan et al. 2017, the aggregation
+//!   CTFL's micro allocation mirrors): clients run local gradient-grafting
+//!   epochs on their private shard; the server averages parameters weighted
+//!   by shard size.
+//! * [`client`] / [`server`] — the two roles, separable so tests can drive
+//!   each in isolation.
+//! * [`metrics`] — test accuracy and F1 for trained models.
+//! * [`privacy`] — the activation-vector upload pipeline of paper Section V:
+//!   each participant computes its rule activation bitsets *locally* and
+//!   uploads only those (optionally perturbed by randomized response for
+//!   local differential privacy); the federation then runs contribution
+//!   tracing without ever seeing raw features.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod fedavg;
+pub mod metrics;
+pub mod privacy;
+pub mod server;
+
+pub use fedavg::{train_federated, FlConfig};
+pub use metrics::{accuracy_of, f1_binary};
+pub use privacy::{assemble_trace_inputs, ActivationUpload, PrivacyConfig};

@@ -1,0 +1,65 @@
+//! Model evaluation metrics.
+
+use ctfl_core::data::Dataset;
+use ctfl_core::error::{CoreError, Result};
+use ctfl_core::model::RuleModel;
+
+/// Test accuracy of a rule model on a dataset (Eq. 1).
+pub fn accuracy_of(model: &RuleModel, data: &Dataset) -> Result<f64> {
+    model.accuracy(data)
+}
+
+/// Binary F1 score of predictions against labels (positive class = 1).
+///
+/// Returns 0 when there are no predicted and no actual positives.
+pub fn f1_binary(predictions: &[usize], labels: &[u32]) -> Result<f64> {
+    if predictions.len() != labels.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "predictions",
+            expected: labels.len(),
+            actual: predictions.len(),
+        });
+    }
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fneg = 0usize;
+    for (&p, &l) in predictions.iter().zip(labels) {
+        match (p == 1, l == 1) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fneg += 1,
+            (false, false) => {}
+        }
+    }
+    let denom = 2 * tp + fp + fneg;
+    if denom == 0 {
+        return Ok(0.0);
+    }
+    Ok(2.0 * tp as f64 / denom as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_known_values() {
+        // tp=2, fp=1, fn=1 -> f1 = 4/6.
+        let preds = [1usize, 1, 1, 0, 0];
+        let labels = [1u32, 1, 0, 1, 0];
+        let f1 = f1_binary(&preds, &labels).unwrap();
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_and_degenerate() {
+        assert_eq!(f1_binary(&[1, 0], &[1, 0]).unwrap(), 1.0);
+        assert_eq!(f1_binary(&[0, 0], &[0, 0]).unwrap(), 0.0);
+        assert_eq!(f1_binary(&[1, 1], &[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn length_mismatch() {
+        assert!(f1_binary(&[1], &[1, 0]).is_err());
+    }
+}

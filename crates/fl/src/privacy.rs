@@ -1,0 +1,248 @@
+//! The privacy-preserving tracing pipeline (paper Section V, "Data Privacy
+//! Analysis").
+//!
+//! In deployment, participants never upload raw features. Instead each
+//! client computes its rule **activation vectors** locally (the rules are
+//! public federation artifacts) and uploads only those bitsets with its
+//! labels. The federation assembles the tracing inputs from the uploads:
+//! tracing (Eq. 4) needs nothing else.
+//!
+//! Uploads may additionally be perturbed by **randomized response** — each
+//! activation bit flips independently with probability `p` — giving local
+//! differential privacy with `ε = ln((1 − p) / p)` per bit. Perturbation
+//! trades tracing precision for privacy; the tests quantify the effect.
+
+use ctfl_core::activation::ActivationMatrix;
+use ctfl_core::data::Dataset;
+use ctfl_core::error::{CoreError, Result};
+use ctfl_core::model::RuleModel;
+use ctfl_core::tracing::TraceInputs;
+use rand::Rng;
+
+/// Local-DP configuration for activation uploads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyConfig {
+    /// Per-bit flip probability of randomized response (`0` disables
+    /// perturbation). Must be in `[0, 0.5)`.
+    pub flip_probability: f64,
+}
+
+impl Default for PrivacyConfig {
+    fn default() -> Self {
+        PrivacyConfig { flip_probability: 0.0 }
+    }
+}
+
+impl PrivacyConfig {
+    /// The per-bit local-DP `ε` of the configured randomized response
+    /// (`+∞` when perturbation is off).
+    pub fn epsilon(&self) -> f64 {
+        if self.flip_probability <= 0.0 {
+            f64::INFINITY
+        } else {
+            ((1.0 - self.flip_probability) / self.flip_probability).ln()
+        }
+    }
+}
+
+/// A client's upload: activation bitsets + labels, no raw features.
+#[derive(Debug, Clone)]
+pub struct ActivationUpload {
+    /// Client id.
+    pub client: usize,
+    /// Activation matrix of the client's training rows (one bit per rule).
+    pub activations: ActivationMatrix,
+    /// The rows' labels.
+    pub labels: Vec<u32>,
+}
+
+impl ActivationUpload {
+    /// Computes the upload locally from the client's private data.
+    ///
+    /// `model` is the public global rule model; `config` optionally applies
+    /// randomized response to every bit before upload.
+    pub fn compute<R: Rng + ?Sized>(
+        client: usize,
+        model: &RuleModel,
+        private_data: &Dataset,
+        config: &PrivacyConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if !(0.0..0.5).contains(&config.flip_probability) {
+            return Err(CoreError::InvalidParameter {
+                name: "flip_probability",
+                message: format!("must be in [0, 0.5), got {}", config.flip_probability),
+            });
+        }
+        let mut activations = model.activation_matrix(private_data, false)?;
+        if config.flip_probability > 0.0 {
+            for row in 0..activations.n_rows() {
+                for bit in 0..activations.n_bits() {
+                    if rng.gen_bool(config.flip_probability) {
+                        let v = activations.get(row, bit);
+                        activations.set(row, bit, !v);
+                    }
+                }
+            }
+        }
+        Ok(ActivationUpload { client, activations, labels: private_data.labels().to_vec() })
+    }
+}
+
+/// Federation-side assembly: stitches client uploads into the pooled
+/// training-side tracing inputs.
+///
+/// Returns `(train_acts, train_labels, client_of)`; combine with the test
+/// set's activations (computed by the federation itself, which holds
+/// `D_te`) to build a [`TraceInputs`].
+pub fn assemble_trace_inputs(
+    uploads: &[ActivationUpload],
+) -> Result<(ActivationMatrix, Vec<u32>, Vec<u32>)> {
+    let first = uploads.first().ok_or(CoreError::Empty { what: "uploads" })?;
+    let n_bits = first.activations.n_bits();
+    let mut acts = ActivationMatrix::zeros(0, n_bits);
+    let mut labels = Vec::new();
+    let mut client_of = Vec::new();
+    for up in uploads {
+        if up.activations.n_bits() != n_bits {
+            return Err(CoreError::LengthMismatch {
+                what: "upload activation width",
+                expected: n_bits,
+                actual: up.activations.n_bits(),
+            });
+        }
+        if up.labels.len() != up.activations.n_rows() {
+            return Err(CoreError::LengthMismatch {
+                what: "upload labels",
+                expected: up.activations.n_rows(),
+                actual: up.labels.len(),
+            });
+        }
+        for row in 0..up.activations.n_rows() {
+            let bits: Vec<bool> =
+                (0..n_bits).map(|b| up.activations.get(row, b)).collect();
+            acts.push_row(&bits)?;
+        }
+        labels.extend_from_slice(&up.labels);
+        client_of.extend(std::iter::repeat_n(up.client as u32, up.activations.n_rows()));
+    }
+    Ok((acts, labels, client_of))
+}
+
+/// Builds complete [`TraceInputs`] borrowing from pre-assembled parts —
+/// convenience for callers that keep the parts alive.
+#[allow(clippy::too_many_arguments)]
+pub fn trace_inputs_from_parts<'a>(
+    model: &'a RuleModel,
+    train_acts: &'a ActivationMatrix,
+    train_labels: &'a [u32],
+    client_of: &'a [u32],
+    n_clients: usize,
+    test_acts: &'a ActivationMatrix,
+    test_labels: &'a [u32],
+    predictions: &'a [usize],
+) -> TraceInputs<'a> {
+    ctfl_core::tracing::inputs_from_model(
+        model,
+        train_acts,
+        train_labels,
+        client_of,
+        n_clients,
+        test_acts,
+        test_labels,
+        predictions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctfl_core::data::{FeatureKind, FeatureSchema};
+    use ctfl_core::rule::{conjunction, Predicate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn model_and_data() -> (RuleModel, Dataset, Dataset) {
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let rules = vec![
+            conjunction(vec![Predicate::gt(0, 0.5)], 1, 1.0),
+            conjunction(vec![Predicate::le(0, 0.5)], 0, 1.0),
+        ];
+        let model = RuleModel::new(Arc::clone(&schema), 2, rules).unwrap();
+        let mut a = Dataset::empty(Arc::clone(&schema), 2);
+        let mut b = Dataset::empty(schema, 2);
+        for i in 0..10 {
+            a.push_row(&[(i as f32 * 0.04).into()], 0).unwrap();
+            b.push_row(&[(0.6 + i as f32 * 0.04).into()], 1).unwrap();
+        }
+        (model, a, b)
+    }
+
+    #[test]
+    fn uploads_carry_no_raw_features_and_assemble_correctly() {
+        let (model, a, b) = model_and_data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = PrivacyConfig::default();
+        let up_a = ActivationUpload::compute(0, &model, &a, &cfg, &mut rng).unwrap();
+        let up_b = ActivationUpload::compute(1, &model, &b, &cfg, &mut rng).unwrap();
+        let (acts, labels, client_of) = assemble_trace_inputs(&[up_a, up_b]).unwrap();
+        assert_eq!(acts.n_rows(), 20);
+        assert_eq!(labels.len(), 20);
+        assert_eq!(client_of[..10], [0; 10]);
+        assert_eq!(client_of[10..], [1; 10]);
+        // Assembled activations equal directly-computed pooled activations.
+        let pooled = ctfl_core::data::Dataset::concat([&a, &b]).unwrap();
+        let direct = model.activation_matrix(&pooled, false).unwrap();
+        assert_eq!(acts, direct);
+    }
+
+    #[test]
+    fn randomized_response_flips_roughly_p_bits() {
+        let (model, a, _) = model_and_data();
+        let mut rng = StdRng::seed_from_u64(2);
+        let clean = ActivationUpload::compute(
+            0,
+            &model,
+            &a,
+            &PrivacyConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let noisy = ActivationUpload::compute(
+            0,
+            &model,
+            &a,
+            &PrivacyConfig { flip_probability: 0.25 },
+            &mut rng,
+        )
+        .unwrap();
+        let total = clean.activations.n_rows() * clean.activations.n_bits();
+        let flipped: usize = (0..clean.activations.n_rows())
+            .map(|r| {
+                (0..clean.activations.n_bits())
+                    .filter(|&b| clean.activations.get(r, b) != noisy.activations.get(r, b))
+                    .count()
+            })
+            .sum();
+        let rate = flipped as f64 / total as f64;
+        assert!((rate - 0.25).abs() < 0.2, "flip rate {rate}");
+        assert!(flipped > 0);
+    }
+
+    #[test]
+    fn epsilon_formula() {
+        assert_eq!(PrivacyConfig::default().epsilon(), f64::INFINITY);
+        let cfg = PrivacyConfig { flip_probability: 0.25 };
+        assert!((cfg.epsilon() - 3.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        let (model, a, _) = model_and_data();
+        let mut rng = StdRng::seed_from_u64(3);
+        let bad = PrivacyConfig { flip_probability: 0.7 };
+        assert!(ActivationUpload::compute(0, &model, &a, &bad, &mut rng).is_err());
+        assert!(assemble_trace_inputs(&[]).is_err());
+    }
+}

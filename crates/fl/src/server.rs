@@ -1,0 +1,81 @@
+//! The federation server: weighted parameter aggregation.
+
+use ctfl_core::error::{CoreError, Result};
+
+/// Aggregates client parameter vectors by FedAvg's data-size-weighted mean:
+/// `θ = Σ_i (n_i / Σ_j n_j) · θ_i`.
+///
+/// Returns the aggregated vector.
+pub fn aggregate(client_params: &[Vec<f32>], weights: &[usize]) -> Result<Vec<f32>> {
+    if client_params.is_empty() {
+        return Err(CoreError::Empty { what: "client parameter list" });
+    }
+    if client_params.len() != weights.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "aggregation weights",
+            expected: client_params.len(),
+            actual: weights.len(),
+        });
+    }
+    let dim = client_params[0].len();
+    for (i, p) in client_params.iter().enumerate() {
+        if p.len() != dim {
+            return Err(CoreError::LengthMismatch {
+                what: "client parameter vector",
+                expected: dim,
+                actual: p.len(),
+            });
+        }
+        let _ = i;
+    }
+    let total: f64 = weights.iter().map(|&w| w as f64).sum();
+    if total <= 0.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "weights",
+            message: "total weight must be positive".into(),
+        });
+    }
+    let mut out = vec![0.0f64; dim];
+    for (params, &w) in client_params.iter().zip(weights) {
+        let frac = w as f64 / total;
+        for (o, &p) in out.iter_mut().zip(params) {
+            *o += frac * f64::from(p);
+        }
+    }
+    Ok(out.into_iter().map(|v| v as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mean() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        // Weights 3:1 -> (0.75, 0.25).
+        let agg = aggregate(&a, &[3, 1]).unwrap();
+        assert!((agg[0] - 0.75).abs() < 1e-6);
+        assert!((agg[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_client_is_identity() {
+        let a = vec![vec![0.5, -0.25, 3.0]];
+        assert_eq!(aggregate(&a, &[7]).unwrap(), vec![0.5, -0.25, 3.0]);
+    }
+
+    #[test]
+    fn equal_weights_is_plain_mean() {
+        let a = vec![vec![2.0], vec![4.0], vec![6.0]];
+        let agg = aggregate(&a, &[5, 5, 5]).unwrap();
+        assert!((agg[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(aggregate(&[], &[]).is_err());
+        assert!(aggregate(&[vec![1.0]], &[1, 2]).is_err());
+        assert!(aggregate(&[vec![1.0], vec![1.0, 2.0]], &[1, 1]).is_err());
+        assert!(aggregate(&[vec![1.0]], &[0]).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # ctfl-lp
+//!
+//! A small, dependency-free dense linear-programming solver built for the
+//! LeastCore baseline of the CTFL reproduction (paper Section II-B.4,
+//! Eq. 2): minimize the maximum coalition deficit `e` subject to
+//! `Σ_{i∈S} φ_i + e ≥ v(S)` for sampled coalitions `S` and the efficiency
+//! constraint `Σ_i φ_i = v(N)`.
+//!
+//! The solver implements the **two-phase primal simplex method** on the
+//! standard equality form `min cᵀx s.t. Ax = b, x ≥ 0` with Bland's rule
+//! for anti-cycling. Problems with free variables (contribution scores may
+//! be negative in principle) are handled by the usual `x = x⁺ - x⁻` split
+//! in the [`problem::LinearProgram`] builder.
+//!
+//! This is not a production LP solver — it is dense, `O(m·n)` per pivot —
+//! but LeastCore instances here are tiny (`n+1` variables, `Θ(n² log n)`
+//! constraints with `n ≤ 16` participants), for which it is exact and fast.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{Constraint, ConstraintOp, LinearProgram, LpError, Solution};
+pub use simplex::{solve_standard_form, SimplexStatus};

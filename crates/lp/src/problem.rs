@@ -1,0 +1,282 @@
+//! User-facing LP builder: inequality/equality constraints over free or
+//! non-negative variables, lowered to standard equality form for
+//! [`crate::simplex`].
+
+use std::fmt;
+
+use crate::simplex::{solve_standard_form, SimplexStatus};
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `a·x <= b`
+    Le,
+    /// `a·x >= b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// A single linear constraint `coeffs · x (op) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Coefficients, one per variable.
+    pub coeffs: Vec<f64>,
+    /// Relation.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Errors from LP construction or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint's coefficient vector length differs from the variable
+    /// count.
+    DimensionMismatch {
+        /// Constraint index.
+        constraint: usize,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::DimensionMismatch { constraint, expected, actual } => write!(
+                f,
+                "constraint {constraint}: expected {expected} coefficients, got {actual}"
+            ),
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal assignment, one value per original variable.
+    pub x: Vec<f64>,
+}
+
+/// A linear program `min c·x` over `n` variables with mixed constraints.
+///
+/// Variables are **free** (unbounded in sign) by default; call
+/// [`LinearProgram::set_non_negative`] to restrict one. Free variables are
+/// lowered via the `x = x⁺ − x⁻` split.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    n_vars: usize,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    non_negative: Vec<bool>,
+}
+
+impl LinearProgram {
+    /// A program over `n_vars` variables minimizing `objective · x`.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        let n_vars = objective.len();
+        LinearProgram { n_vars, objective, constraints: Vec::new(), non_negative: vec![false; n_vars] }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(&mut self, coeffs: Vec<f64>, op: ConstraintOp, rhs: f64) -> &mut Self {
+        self.constraints.push(Constraint { coeffs, op, rhs });
+        self
+    }
+
+    /// Restricts variable `i` to `x_i >= 0`.
+    pub fn set_non_negative(&mut self, i: usize) -> &mut Self {
+        self.non_negative[i] = true;
+        self
+    }
+
+    /// Solves the program.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        for (ci, c) in self.constraints.iter().enumerate() {
+            if c.coeffs.len() != self.n_vars {
+                return Err(LpError::DimensionMismatch {
+                    constraint: ci,
+                    expected: self.n_vars,
+                    actual: c.coeffs.len(),
+                });
+            }
+        }
+
+        // Column layout: for each variable, one column if non-negative,
+        // two (x⁺, x⁻) if free; then one slack per inequality.
+        let mut col_of: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.n_vars);
+        let mut n_cols = 0usize;
+        for i in 0..self.n_vars {
+            if self.non_negative[i] {
+                col_of.push((n_cols, None));
+                n_cols += 1;
+            } else {
+                col_of.push((n_cols, Some(n_cols + 1)));
+                n_cols += 2;
+            }
+        }
+        let n_slacks = self.constraints.iter().filter(|c| c.op != ConstraintOp::Eq).count();
+        let total_cols = n_cols + n_slacks;
+
+        let mut a = Vec::with_capacity(self.constraints.len());
+        let b: Vec<f64> = self.constraints.iter().map(|c| c.rhs).collect();
+        let mut slack_idx = n_cols;
+        for c in &self.constraints {
+            let mut row = vec![0.0; total_cols];
+            for (i, &coef) in c.coeffs.iter().enumerate() {
+                let (pos, neg) = col_of[i];
+                row[pos] += coef;
+                if let Some(neg) = neg {
+                    row[neg] -= coef;
+                }
+            }
+            match c.op {
+                ConstraintOp::Le => {
+                    row[slack_idx] = 1.0;
+                    slack_idx += 1;
+                }
+                ConstraintOp::Ge => {
+                    row[slack_idx] = -1.0;
+                    slack_idx += 1;
+                }
+                ConstraintOp::Eq => {}
+            }
+            a.push(row);
+        }
+
+        let mut c_vec = vec![0.0; total_cols];
+        for (i, &coef) in self.objective.iter().enumerate() {
+            let (pos, neg) = col_of[i];
+            c_vec[pos] += coef;
+            if let Some(neg) = neg {
+                c_vec[neg] -= coef;
+            }
+        }
+
+        match solve_standard_form(&a, &b, &c_vec) {
+            SimplexStatus::Optimal { objective, x } => {
+                let vars = col_of
+                    .iter()
+                    .map(|&(pos, neg)| x[pos] - neg.map_or(0.0, |n| x[n]))
+                    .collect();
+                Ok(Solution { objective, x: vars })
+            }
+            SimplexStatus::Infeasible => Err(LpError::Infeasible),
+            SimplexStatus::Unbounded => Err(LpError::Unbounded),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_variables_can_go_negative() {
+        // min x s.t. x >= -5 -> x = -5.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.add_constraint(vec![1.0], ConstraintOp::Ge, -5.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.x[0] + 5.0).abs() < 1e-6);
+        assert!((sol.objective + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_negative_restriction() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.add_constraint(vec![1.0], ConstraintOp::Ge, -5.0);
+        lp.set_non_negative(0);
+        let sol = lp.solve().unwrap();
+        assert!(sol.x[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_constraints() {
+        // min -x - 2y s.t. x + y <= 4, x - y >= -2, y = 1.
+        // y = 1 -> x <= 3 and x >= -1 -> optimum x = 3: obj = -5.
+        let mut lp = LinearProgram::minimize(vec![-1.0, -2.0]);
+        lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Le, 4.0);
+        lp.add_constraint(vec![1.0, -1.0], ConstraintOp::Ge, -2.0);
+        lp.add_constraint(vec![0.0, 1.0], ConstraintOp::Eq, 1.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective + 5.0).abs() < 1e-6, "{sol:?}");
+        assert!((sol.x[0] - 3.0).abs() < 1e-6);
+        assert!((sol.x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_core_shape_problem() {
+        // A miniature least-core LP: 2 players, v({1}) = 0.3, v({2}) = 0.5,
+        // v(N) = 1.0. min e s.t. φ1 + e >= 0.3, φ2 + e >= 0.5,
+        // φ1 + φ2 = 1.0. Optimal e = -0.1 (split φ = (0.4, 0.6)).
+        let mut lp = LinearProgram::minimize(vec![0.0, 0.0, 1.0]);
+        lp.add_constraint(vec![1.0, 0.0, 1.0], ConstraintOp::Ge, 0.3);
+        lp.add_constraint(vec![0.0, 1.0, 1.0], ConstraintOp::Ge, 0.5);
+        lp.add_constraint(vec![1.0, 1.0, 0.0], ConstraintOp::Eq, 1.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective + 0.1).abs() < 1e-6, "{sol:?}");
+        assert!((sol.x[0] + sol.x[1] - 1.0).abs() < 1e-6);
+        // Both core constraints tight at optimum.
+        assert!((sol.x[0] + sol.objective - 0.3).abs() < 1e-6);
+        assert!((sol.x[1] + sol.objective - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_program() {
+        let mut lp = LinearProgram::minimize(vec![0.0]);
+        lp.add_constraint(vec![1.0], ConstraintOp::Eq, 1.0);
+        lp.add_constraint(vec![1.0], ConstraintOp::Eq, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_program() {
+        let lp = LinearProgram::minimize(vec![1.0]);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn dimension_check() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0], ConstraintOp::Eq, 1.0);
+        assert!(matches!(lp.solve(), Err(LpError::DimensionMismatch { constraint: 0, .. })));
+    }
+
+    #[test]
+    fn solution_satisfies_all_constraints() {
+        // Random-ish LP; verify feasibility of the returned point.
+        let mut lp = LinearProgram::minimize(vec![2.0, -1.0, 0.5]);
+        lp.add_constraint(vec![1.0, 1.0, 1.0], ConstraintOp::Eq, 3.0);
+        lp.add_constraint(vec![1.0, -1.0, 0.0], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![0.0, 1.0, -1.0], ConstraintOp::Ge, -2.0);
+        lp.add_constraint(vec![0.0, 0.0, 1.0], ConstraintOp::Le, 2.5);
+        lp.add_constraint(vec![1.0, 0.0, 0.0], ConstraintOp::Ge, -1.0);
+        lp.add_constraint(vec![0.0, 1.0, 0.0], ConstraintOp::Le, 4.0);
+        let sol = lp.solve().unwrap();
+        let x = &sol.x;
+        assert!((x[0] + x[1] + x[2] - 3.0).abs() < 1e-6);
+        assert!(x[0] - x[1] <= 1.0 + 1e-6);
+        assert!(x[1] - x[2] >= -2.0 - 1e-6);
+        assert!(x[2] <= 2.5 + 1e-6);
+        assert!(x[0] >= -1.0 - 1e-6);
+        assert!(x[1] <= 4.0 + 1e-6);
+    }
+}

@@ -1,0 +1,308 @@
+//! Two-phase primal simplex on standard equality form.
+//!
+//! Solves `min cᵀx  s.t.  Ax = b, x ≥ 0` with a dense tableau. Phase 1
+//! introduces artificial variables to find a basic feasible solution; phase
+//! 2 optimizes the real objective. Bland's smallest-index rule guarantees
+//! termination (no cycling) at the cost of a few extra pivots — irrelevant
+//! at LeastCore problem sizes.
+
+// Index-based loops below mirror the textbook formulations; iterator
+// rewrites obscure the row/column arithmetic.
+#![allow(clippy::needless_range_loop)]
+/// Termination status of the simplex solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimplexStatus {
+    /// An optimal solution was found.
+    Optimal {
+        /// Optimal objective value `cᵀx`.
+        objective: f64,
+        /// Optimal variable assignment.
+        x: Vec<f64>,
+    },
+    /// The constraint set is infeasible.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves `min cᵀx s.t. Ax = b, x ≥ 0`.
+///
+/// `a` is row-major `m × n`; `b` has `m` entries; `c` has `n` entries.
+/// Rows with negative `b` are negated internally, so callers need not
+/// normalize signs.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexStatus {
+    let m = a.len();
+    let n = c.len();
+    assert_eq!(b.len(), m, "b dimension mismatch");
+    for row in a {
+        assert_eq!(row.len(), n, "A row dimension mismatch");
+    }
+
+    // Normalize b >= 0.
+    let mut a: Vec<Vec<f64>> = a.to_vec();
+    let mut b: Vec<f64> = b.to_vec();
+    for i in 0..m {
+        if b[i] < 0.0 {
+            b[i] = -b[i];
+            for v in &mut a[i] {
+                *v = -*v;
+            }
+        }
+    }
+
+    // Tableau layout: columns = n real vars + m artificial vars + RHS.
+    // Rows = m constraints + 1 objective row.
+    let total = n + m;
+    let mut t = vec![vec![0.0f64; total + 1]; m + 1];
+    for i in 0..m {
+        t[i][..n].copy_from_slice(&a[i]);
+        t[i][n + i] = 1.0;
+        t[i][total] = b[i];
+    }
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    // Phase 1: minimize sum of artificials.
+    for j in 0..=total {
+        let mut s = 0.0;
+        for i in 0..m {
+            s += t[i][j];
+        }
+        t[m][j] = -s; // reduced costs of phase-1 objective
+    }
+    // Artificial columns have zero reduced cost initially.
+    for j in n..total {
+        t[m][j] = 0.0;
+    }
+    if !pivot_until_optimal(&mut t, &mut basis, total) {
+        // Phase 1 objective is bounded by construction; unbounded means bug.
+        unreachable!("phase 1 cannot be unbounded");
+    }
+    let phase1_obj = -t[m][total];
+    if phase1_obj > 1e-7 {
+        return SimplexStatus::Infeasible;
+    }
+
+    // Drive any artificial variables out of the basis (degenerate case).
+    for i in 0..m {
+        if basis[i] >= n {
+            // Find a real column with nonzero entry to pivot in.
+            if let Some(j) = (0..n).find(|&j| t[i][j].abs() > EPS) {
+                pivot(&mut t, &mut basis, i, j);
+            }
+            // If none exists the row is all-zero (redundant) — leave it; the
+            // artificial stays basic at value 0 and never re-enters because
+            // we exclude artificial columns from phase-2 pricing.
+        }
+    }
+
+    // Phase 2: real objective. Rebuild the objective row.
+    for j in 0..=total {
+        t[m][j] = 0.0;
+    }
+    t[m][..n].copy_from_slice(c);
+    // Make reduced costs consistent with the current basis: subtract
+    // c_B * row for each basic variable.
+    for i in 0..m {
+        let j = basis[i];
+        if j < n && c[j] != 0.0 {
+            let coef = c[j];
+            for k in 0..=total {
+                t[m][k] -= coef * t[i][k];
+            }
+        }
+    }
+    if !pivot_until_optimal_restricted(&mut t, &mut basis, total, n) {
+        return SimplexStatus::Unbounded;
+    }
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][total];
+        }
+    }
+    SimplexStatus::Optimal { objective: -t[m][total], x }
+}
+
+/// Pivots until optimal over all columns. Returns false if unbounded.
+fn pivot_until_optimal(t: &mut [Vec<f64>], basis: &mut [usize], total: usize) -> bool {
+    pivot_loop(t, basis, total, total)
+}
+
+/// Pivots until optimal, pricing only the first `n_price` columns
+/// (excludes artificial columns in phase 2).
+fn pivot_until_optimal_restricted(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    total: usize,
+    n_price: usize,
+) -> bool {
+    pivot_loop(t, basis, total, n_price)
+}
+
+fn pivot_loop(t: &mut [Vec<f64>], basis: &mut [usize], total: usize, n_price: usize) -> bool {
+    let m = t.len() - 1;
+    loop {
+        // Bland's rule: entering variable = smallest index with negative
+        // reduced cost.
+        let Some(enter) = (0..n_price).find(|&j| t[m][j] < -EPS) else {
+            return true; // optimal
+        };
+        // Ratio test, Bland tie-break on smallest basis index.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][enter] > EPS {
+                let ratio = t[i][total] / t[i][enter];
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return false; // unbounded
+        };
+        pivot(t, basis, leave, enter);
+    }
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let m = t.len() - 1;
+    let total = t[0].len() - 1;
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
+    for v in &mut t[row] {
+        *v /= p;
+    }
+    for i in 0..=m {
+        if i != row && t[i][col].abs() > 0.0 {
+            let factor = t[i][col];
+            for j in 0..=total {
+                let delta = factor * t[row][j];
+                t[i][j] -= delta;
+            }
+            t[i][col] = 0.0; // clean rounding
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(status: SimplexStatus, objective: f64, x: &[f64]) {
+        match status {
+            SimplexStatus::Optimal { objective: obj, x: got } => {
+                assert!((obj - objective).abs() < 1e-6, "objective {obj} != {objective}");
+                for (i, (&g, &e)) in got.iter().zip(x).enumerate() {
+                    assert!((g - e).abs() < 1e-6, "x[{i}] = {g}, expected {e}");
+                }
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization_as_min() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (slacks s1..s3)
+        // -> min -3x - 5y; optimal (2, 6), obj -36.
+        let a = vec![
+            vec![1.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0, 1.0, 0.0],
+            vec![3.0, 2.0, 0.0, 0.0, 1.0],
+        ];
+        let b = vec![4.0, 12.0, 18.0];
+        let c = vec![-3.0, -5.0, 0.0, 0.0, 0.0];
+        let status = solve_standard_form(&a, &b, &c);
+        match status {
+            SimplexStatus::Optimal { objective, x } => {
+                assert!((objective + 36.0).abs() < 1e-6);
+                assert!((x[0] - 2.0).abs() < 1e-6);
+                assert!((x[1] - 6.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_constraints_phase1() {
+        // min x + y s.t. x + y = 2, x - y = 0 -> x = y = 1, obj 2.
+        let a = vec![vec![1.0, 1.0], vec![1.0, -1.0]];
+        let b = vec![2.0, 0.0];
+        let c = vec![1.0, 1.0];
+        assert_optimal(solve_standard_form(&a, &b, &c), 2.0, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x = 1 and x = 2 simultaneously.
+        let a = vec![vec![1.0], vec![1.0]];
+        let b = vec![1.0, 2.0];
+        let c = vec![0.0];
+        assert_eq!(solve_standard_form(&a, &b, &c), SimplexStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x s.t. x - s = 0 (x >= 0 free to grow with slack).
+        let a = vec![vec![1.0, -1.0]];
+        let b = vec![0.0];
+        let c = vec![-1.0, 0.0];
+        assert_eq!(solve_standard_form(&a, &b, &c), SimplexStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min x s.t. -x = -3 -> x = 3.
+        let a = vec![vec![-1.0]];
+        let b = vec![-3.0];
+        let c = vec![1.0];
+        assert_optimal(solve_standard_form(&a, &b, &c), 3.0, &[3.0]);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let a = vec![
+            vec![1.0, 1.0, 1.0, 0.0],
+            vec![1.0, 0.0, 0.0, 1.0],
+        ];
+        let b = vec![1.0, 1.0];
+        let c = vec![-1.0, -1.0, 0.0, 0.0];
+        match solve_standard_form(&a, &b, &c) {
+            SimplexStatus::Optimal { objective, .. } => assert!((objective + 1.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_constraints_ok() {
+        // x + y = 2 stated twice.
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let b = vec![2.0, 2.0];
+        let c = vec![1.0, 0.0];
+        match solve_standard_form(&a, &b, &c) {
+            SimplexStatus::Optimal { objective, x } => {
+                assert!(objective.abs() < 1e-6);
+                assert!((x[0] + x[1] - 2.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "b dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        solve_standard_form(&[vec![1.0]], &[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Privacy-preserving input encoding (paper Section V, "Encode Input
+//! Features").
+//!
+//! * Discrete features → one-hot literals over the federation-agreed
+//!   category set (`feature = category`).
+//! * Continuous features → a binarization layer with `τ_d` random **lower**
+//!   bounds and `τ_d` random **upper** bounds sampled from the feature's
+//!   public value domain: literals `1(c > l_k)` and `1(u_k > c)`. No private
+//!   data is inspected when placing boundaries; the downstream logical
+//!   weights learn which bounds matter.
+//!
+//! Every encoded position carries a [`Literal`] describing the predicate it
+//! realises, which is what lets [`crate::extract`] turn binarized weights
+//! back into human-readable rules.
+
+use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema, FeatureValue};
+use ctfl_core::error::{CoreError, Result};
+use ctfl_core::rule::Predicate;
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// The atomic predicate realised by one encoded input position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Literal {
+    /// `feature = category` (one-hot slot of a discrete feature).
+    Eq {
+        /// Feature index.
+        feature: usize,
+        /// Category.
+        category: u32,
+    },
+    /// `feature > bound` (a lower-bound literal of the binarization layer).
+    Gt {
+        /// Feature index.
+        feature: usize,
+        /// Bound.
+        bound: f32,
+    },
+    /// `feature < bound` (an upper-bound literal).
+    Lt {
+        /// Feature index.
+        feature: usize,
+        /// Bound.
+        bound: f32,
+    },
+}
+
+impl Literal {
+    /// Evaluates the literal on a raw row.
+    pub fn eval(&self, row: &[FeatureValue]) -> bool {
+        match *self {
+            Literal::Eq { feature, category } => {
+                matches!(row.get(feature), Some(FeatureValue::Discrete(c)) if *c == category)
+            }
+            Literal::Gt { feature, bound } => {
+                matches!(row.get(feature), Some(FeatureValue::Continuous(v)) if *v > bound)
+            }
+            Literal::Lt { feature, bound } => {
+                matches!(row.get(feature), Some(FeatureValue::Continuous(v)) if *v < bound)
+            }
+        }
+    }
+
+    /// The equivalent `ctfl-core` predicate.
+    pub fn to_predicate(self) -> Predicate {
+        match self {
+            Literal::Eq { feature, category } => Predicate::eq(feature, category),
+            Literal::Gt { feature, bound } => Predicate::gt(feature, bound),
+            Literal::Lt { feature, bound } => Predicate::lt(feature, bound),
+        }
+    }
+}
+
+/// Encodes raw rows into binary literal vectors.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    literals: Vec<Literal>,
+    n_features: usize,
+}
+
+impl Encoder {
+    /// Builds an encoder for `schema` with `tau_d` lower and `tau_d` upper
+    /// bounds per continuous feature, sampled uniformly from the feature's
+    /// declared domain using `rng`.
+    pub fn new<R: Rng>(schema: &FeatureSchema, tau_d: usize, rng: &mut R) -> Result<Self> {
+        if tau_d == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "tau_d",
+                message: "need at least one discretization bound".into(),
+            });
+        }
+        let mut literals = Vec::new();
+        for (fi, spec) in schema.iter().enumerate() {
+            match spec.kind {
+                FeatureKind::Discrete { arity } => {
+                    for category in 0..arity {
+                        literals.push(Literal::Eq { feature: fi, category });
+                    }
+                }
+                FeatureKind::Continuous { min, max } => {
+                    let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
+                    let span = (hi - lo).max(f32::EPSILON);
+                    let mut bounds: Vec<f32> =
+                        (0..2 * tau_d).map(|_| lo + rng.gen::<f32>() * span).collect();
+                    bounds.sort_by(f32::total_cmp);
+                    // First τ_d sorted bounds become lower bounds, the rest
+                    // upper bounds — spreading both kinds over the domain.
+                    for (k, b) in bounds.into_iter().enumerate() {
+                        if k % 2 == 0 {
+                            literals.push(Literal::Gt { feature: fi, bound: b });
+                        } else {
+                            literals.push(Literal::Lt { feature: fi, bound: b });
+                        }
+                    }
+                }
+            }
+        }
+        if literals.is_empty() {
+            return Err(CoreError::Empty { what: "encoded literal set" });
+        }
+        Ok(Encoder { literals, n_features: schema.len() })
+    }
+
+    /// The literal metadata, one entry per encoded position.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// Encoded width `L`.
+    pub fn width(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Encodes a single row into `out` (length [`Self::width`], 0.0/1.0).
+    pub fn encode_row(&self, row: &[FeatureValue], out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.width());
+        for (slot, lit) in out.iter_mut().zip(&self.literals) {
+            *slot = if lit.eval(row) { 1.0 } else { 0.0 };
+        }
+    }
+
+    /// Encodes a dataset into an [`EncodedData`] batch.
+    pub fn encode(&self, data: &Dataset) -> Result<EncodedData> {
+        if data.schema().len() != self.n_features {
+            return Err(CoreError::LengthMismatch {
+                what: "schema width",
+                expected: self.n_features,
+                actual: data.schema().len(),
+            });
+        }
+        let mut x = Matrix::zeros(data.len(), self.width());
+        for i in 0..data.len() {
+            self.encode_row(data.row(i), x.row_mut(i));
+        }
+        Ok(EncodedData { x, labels: data.labels().to_vec(), n_classes: data.n_classes() })
+    }
+}
+
+/// An encoded batch: binary literal matrix plus labels.
+#[derive(Debug, Clone)]
+pub struct EncodedData {
+    /// `n × L` binary matrix (stored as `f32` 0/1 for the soft forward).
+    pub x: Matrix,
+    /// Labels.
+    pub labels: Vec<u32>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl EncodedData {
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctfl_core::data::FeatureSchema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> std::sync::Arc<FeatureSchema> {
+        FeatureSchema::new(vec![
+            ("age", FeatureKind::continuous(0.0, 100.0)),
+            ("job", FeatureKind::discrete(3)),
+        ])
+    }
+
+    #[test]
+    fn width_counts_literals() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = Encoder::new(&schema(), 4, &mut rng).unwrap();
+        // age: 2*4 bounds; job: 3 one-hot slots.
+        assert_eq!(enc.width(), 8 + 3);
+        let gt = enc.literals().iter().filter(|l| matches!(l, Literal::Gt { .. })).count();
+        let lt = enc.literals().iter().filter(|l| matches!(l, Literal::Lt { .. })).count();
+        assert_eq!(gt, 4);
+        assert_eq!(lt, 4);
+    }
+
+    #[test]
+    fn bounds_lie_in_domain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let enc = Encoder::new(&schema(), 10, &mut rng).unwrap();
+        for lit in enc.literals() {
+            match *lit {
+                Literal::Gt { bound, .. } | Literal::Lt { bound, .. } => {
+                    assert!((0.0..=100.0).contains(&bound), "bound {bound} out of domain");
+                }
+                Literal::Eq { category, .. } => assert!(category < 3),
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_matches_literal_semantics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = Encoder::new(&schema(), 4, &mut rng).unwrap();
+        let row: Vec<FeatureValue> = vec![55.0.into(), 2u32.into()];
+        let mut out = vec![0.0; enc.width()];
+        enc.encode_row(&row, &mut out);
+        for (slot, lit) in out.iter().zip(enc.literals()) {
+            let expect = match *lit {
+                Literal::Eq { category, .. } => category == 2,
+                Literal::Gt { bound, .. } => 55.0 > bound,
+                Literal::Lt { bound, .. } => 55.0 < bound,
+            };
+            assert_eq!(*slot == 1.0, expect, "literal {lit:?}");
+        }
+    }
+
+    #[test]
+    fn encode_dataset_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = schema();
+        let enc = Encoder::new(&s, 2, &mut rng).unwrap();
+        let mut ds = Dataset::empty(s, 2);
+        ds.push_row(&[10.0.into(), 0u32.into()], 0).unwrap();
+        ds.push_row(&[90.0.into(), 1u32.into()], 1).unwrap();
+        let e = enc.encode(&ds).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.x.cols(), enc.width());
+        assert_eq!(e.labels, vec![0, 1]);
+        // Every encoded value is binary.
+        assert!(e.x.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn literal_to_predicate_roundtrip_semantics() {
+        let row: Vec<FeatureValue> = vec![55.0.into(), 2u32.into()];
+        for lit in [
+            Literal::Gt { feature: 0, bound: 50.0 },
+            Literal::Lt { feature: 0, bound: 50.0 },
+            Literal::Eq { feature: 1, category: 2 },
+            Literal::Eq { feature: 1, category: 1 },
+        ] {
+            assert_eq!(lit.eval(&row), lit.to_predicate().eval(&row), "{lit:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_zero_tau_d() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(Encoder::new(&schema(), 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let s = schema();
+        let a = Encoder::new(&s, 5, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = Encoder::new(&s, 5, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.literals(), b.literals());
+    }
+}

@@ -1,0 +1,437 @@
+//! Logical layers (paper Eq. 7).
+//!
+//! A logical layer contains conjunction and disjunction nodes whose soft
+//! activations blend neural learnability with symbolic structure:
+//!
+//! ```text
+//! Conj(x, w) = Π_i F_c(x_i, w_i),        F_c = 1 − w_i (1 − x_i)
+//! Disj(x, w) = 1 − Π_i (1 − F_d(x_i, w_i)),  F_d = x_i · w_i
+//! ```
+//!
+//! With binary `x` and binarized `w = 1(θ > 0.5)` these reduce exactly to
+//! `∧_{w_i=1} x_i` and `∨_{w_i=1} x_i` — the *discrete* forward used by
+//! gradient grafting and rule extraction.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Node connective kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Conjunction (AND) node.
+    Conj,
+    /// Disjunction (OR) node.
+    Disj,
+}
+
+/// Guard against division by a vanishing factor in the product-rule
+/// backward pass. Clamping the divisor is the standard stabilisation for
+/// soft-logic layers; the bias it introduces vanishes away from saturation.
+const FACTOR_EPS: f32 = 1e-6;
+
+/// A layer of `n_nodes` logical nodes over `in_dim` inputs.
+///
+/// The first half of the nodes are conjunctions, the second half
+/// disjunctions (both halves non-empty for `n_nodes >= 2`).
+#[derive(Debug, Clone)]
+pub struct LogicalLayer {
+    in_dim: usize,
+    kinds: Vec<NodeKind>,
+    /// `n_nodes × in_dim` continuous weights in `[0, 1]`.
+    w: Matrix,
+}
+
+impl LogicalLayer {
+    /// Creates a layer with sparse random initialisation: each node starts
+    /// with a few active (binarized-on) input weights, so the discrete model
+    /// begins as a random small rule set instead of a constant function.
+    pub fn new<R: Rng>(in_dim: usize, n_nodes: usize, rng: &mut R) -> Self {
+        assert!(in_dim > 0 && n_nodes > 0, "layer dimensions must be positive");
+        let kinds: Vec<NodeKind> = (0..n_nodes)
+            .map(|j| if j < n_nodes / 2 { NodeKind::Conj } else { NodeKind::Disj })
+            .collect();
+        let mut w = Matrix::zeros(n_nodes, in_dim);
+        // Expected ~3 initially-active literals per node.
+        let p_active = (3.0 / in_dim as f64).min(0.5);
+        for j in 0..n_nodes {
+            for i in 0..in_dim {
+                let v = if rng.gen_bool(p_active) {
+                    0.55 + rng.gen::<f32>() * 0.35 // active: in (0.55, 0.9)
+                } else {
+                    rng.gen::<f32>() * 0.45 // inactive: in (0, 0.45)
+                };
+                w.set(j, i, v);
+            }
+        }
+        LogicalLayer { in_dim, kinds, w }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Node kinds.
+    pub fn kinds(&self) -> &[NodeKind] {
+        &self.kinds
+    }
+
+    /// Continuous weights (`n_nodes × in_dim`).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Mutable continuous weights.
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.w
+    }
+
+    /// Indices of the inputs selected by the binarized weights of `node`.
+    pub fn selected(&self, node: usize) -> Vec<usize> {
+        (0..self.in_dim).filter(|&i| self.w.get(node, i) > 0.5).collect()
+    }
+
+    /// Continuous (soft) forward: `x` is `batch × in_dim`, returns
+    /// `batch × n_nodes`.
+    pub fn forward_soft(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "input width mismatch");
+        let mut y = Matrix::zeros(x.rows(), self.n_nodes());
+        for b in 0..x.rows() {
+            let xr = x.row(b);
+            let yr = y.row_mut(b);
+            for (j, kind) in self.kinds.iter().enumerate() {
+                let wr = self.w.row(j);
+                let v = match kind {
+                    NodeKind::Conj => {
+                        let mut p = 1.0f32;
+                        for (xi, wi) in xr.iter().zip(wr) {
+                            p *= 1.0 - wi * (1.0 - xi);
+                        }
+                        p
+                    }
+                    NodeKind::Disj => {
+                        let mut p = 1.0f32;
+                        for (xi, wi) in xr.iter().zip(wr) {
+                            p *= 1.0 - wi * xi;
+                        }
+                        1.0 - p
+                    }
+                };
+                yr[j] = v;
+            }
+        }
+        y
+    }
+
+    /// Discrete forward with binarized weights `1(w > 0.5)`; inputs are
+    /// expected to be (near-)binary.
+    pub fn forward_discrete(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "input width mismatch");
+        let mut y = Matrix::zeros(x.rows(), self.n_nodes());
+        for b in 0..x.rows() {
+            let xr = x.row(b);
+            let yr = y.row_mut(b);
+            for (j, kind) in self.kinds.iter().enumerate() {
+                let wr = self.w.row(j);
+                let v = match kind {
+                    NodeKind::Conj => {
+                        // Empty selection: AND over nothing = true.
+                        let all = xr
+                            .iter()
+                            .zip(wr)
+                            .filter(|(_, &w)| w > 0.5)
+                            .all(|(&x, _)| x > 0.5);
+                        if all {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    NodeKind::Disj => {
+                        let any = xr
+                            .iter()
+                            .zip(wr)
+                            .filter(|(_, &w)| w > 0.5)
+                            .any(|(&x, _)| x > 0.5);
+                        if any {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                yr[j] = v;
+            }
+        }
+        y
+    }
+
+    /// Backward through the soft forward.
+    ///
+    /// Given the cached input `x`, cached soft output `y` and upstream
+    /// gradient `dy`, accumulates weight gradients into `dw`
+    /// (`n_nodes × in_dim`) and returns the input gradient
+    /// (`batch × in_dim`).
+    pub fn backward(&self, x: &Matrix, y: &Matrix, dy: &Matrix, dw: &mut Matrix) -> Matrix {
+        assert_eq!(dy.cols(), self.n_nodes());
+        assert_eq!(dw.rows(), self.n_nodes());
+        assert_eq!(dw.cols(), self.in_dim);
+        let mut dx = Matrix::zeros(x.rows(), self.in_dim);
+        for b in 0..x.rows() {
+            let xr = x.row(b);
+            let yr = y.row(b);
+            let dyr = dy.row(b);
+            for (j, kind) in self.kinds.iter().enumerate() {
+                let g = dyr[j];
+                if g == 0.0 {
+                    continue;
+                }
+                let wr = self.w.row(j);
+                match kind {
+                    NodeKind::Conj => {
+                        // y = Π F_i with F_i = 1 - w_i (1 - x_i)
+                        // ∂y/∂w_i = -(1 - x_i) · y / F_i
+                        // ∂y/∂x_i = w_i · y / F_i
+                        let yj = yr[j];
+                        for i in 0..self.in_dim {
+                            let f = (1.0 - wr[i] * (1.0 - xr[i])).max(FACTOR_EPS);
+                            let rest = yj / f;
+                            dw.add_at(j, i, g * (-(1.0 - xr[i])) * rest);
+                            dx.add_at(b, i, g * wr[i] * rest);
+                        }
+                    }
+                    NodeKind::Disj => {
+                        // y = 1 - Π G_i with G_i = 1 - w_i x_i; P = 1 - y
+                        // ∂y/∂w_i = x_i · P / G_i
+                        // ∂y/∂x_i = w_i · P / G_i
+                        let p = 1.0 - yr[j];
+                        for i in 0..self.in_dim {
+                            let gi = (1.0 - wr[i] * xr[i]).max(FACTOR_EPS);
+                            let rest = p / gi;
+                            dw.add_at(j, i, g * xr[i] * rest);
+                            dx.add_at(b, i, g * wr[i] * rest);
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_layer(w: Vec<f32>, kinds: Vec<NodeKind>, in_dim: usize) -> LogicalLayer {
+        let n = kinds.len();
+        LogicalLayer { in_dim, kinds, w: Matrix::from_vec(n, in_dim, w) }
+    }
+
+    #[test]
+    fn soft_activations_match_truth_tables_at_binary_points() {
+        // One conj and one disj over 2 inputs, both weights 1.
+        let layer = tiny_layer(
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![NodeKind::Conj, NodeKind::Disj],
+            2,
+        );
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let x = Matrix::from_vec(1, 2, vec![a, b]);
+            let y = layer.forward_soft(&x);
+            assert_eq!(y.get(0, 0), if a == 1.0 && b == 1.0 { 1.0 } else { 0.0 }, "AND({a},{b})");
+            assert_eq!(y.get(0, 1), if a == 1.0 || b == 1.0 { 1.0 } else { 0.0 }, "OR({a},{b})");
+            let yd = layer.forward_discrete(&x);
+            assert_eq!(y.data(), yd.data(), "soft == discrete at binary corners");
+        }
+    }
+
+    #[test]
+    fn zero_weight_inputs_are_ignored() {
+        let layer = tiny_layer(
+            vec![1.0, 0.0, 0.0, 1.0],
+            vec![NodeKind::Conj, NodeKind::Disj],
+            2,
+        );
+        let x = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let y = layer.forward_discrete(&x);
+        assert_eq!(y.get(0, 0), 1.0); // AND over {x0} = 1
+        assert_eq!(y.get(0, 1), 0.0); // OR over {x1} = 0
+    }
+
+    #[test]
+    fn empty_selection_conventions() {
+        let layer = tiny_layer(
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![NodeKind::Conj, NodeKind::Disj],
+            2,
+        );
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = layer.forward_discrete(&x);
+        assert_eq!(y.get(0, 0), 1.0, "empty AND = true");
+        assert_eq!(y.get(0, 1), 0.0, "empty OR = false");
+    }
+
+    #[test]
+    fn gradient_check_finite_differences() {
+        // Check ∂y/∂w and ∂y/∂x against central finite differences at an
+        // interior point (no saturation).
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut layer = LogicalLayer::new(4, 4, &mut rng);
+        // Keep weights away from 0/1 so clamping doesn't bite.
+        for v in layer.w.data_mut() {
+            *v = 0.3 + 0.4 * (*v);
+        }
+        let x = Matrix::from_vec(2, 4, vec![0.2, 0.8, 0.5, 0.7, 0.9, 0.1, 0.4, 0.6]);
+        let y = layer.forward_soft(&x);
+        // Upstream gradient: all ones.
+        let dy = Matrix::from_vec(2, 4, vec![1.0; 8]);
+        let mut dw = Matrix::zeros(4, 4);
+        let dx = layer.backward(&x, &y, &dy, &mut dw);
+
+        let eps = 1e-3f32;
+        // Weight gradients.
+        for j in 0..4 {
+            for i in 0..4 {
+                let orig = layer.w.get(j, i);
+                layer.w.set(j, i, orig + eps);
+                let yp: f32 = layer.forward_soft(&x).data().iter().sum();
+                layer.w.set(j, i, orig - eps);
+                let ym: f32 = layer.forward_soft(&x).data().iter().sum();
+                layer.w.set(j, i, orig);
+                let fd = (yp - ym) / (2.0 * eps);
+                let an = dw.get(j, i);
+                assert!((fd - an).abs() < 2e-2, "dw[{j}][{i}]: fd={fd} an={an}");
+            }
+        }
+        // Input gradients.
+        let mut x2 = x.clone();
+        for b in 0..2 {
+            for i in 0..4 {
+                let orig = x2.get(b, i);
+                x2.set(b, i, orig + eps);
+                let yp: f32 = layer.forward_soft(&x2).data().iter().sum();
+                x2.set(b, i, orig - eps);
+                let ym: f32 = layer.forward_soft(&x2).data().iter().sum();
+                x2.set(b, i, orig);
+                let fd = (yp - ym) / (2.0 * eps);
+                let an = dx.get(b, i);
+                assert!((fd - an).abs() < 2e-2, "dx[{b}][{i}]: fd={fd} an={an}");
+            }
+        }
+    }
+
+    #[test]
+    fn init_is_sparse_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = LogicalLayer::new(100, 10, &mut rng);
+        assert!(layer.w.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let active: usize = (0..10).map(|j| layer.selected(j).len()).sum();
+        // ~3 per node in expectation; allow generous slack.
+        assert!(active > 5 && active < 100, "active = {active}");
+        // Both kinds present.
+        assert!(layer.kinds().contains(&NodeKind::Conj));
+        assert!(layer.kinds().contains(&NodeKind::Disj));
+    }
+
+    #[test]
+    fn selected_thresholds_at_half() {
+        let layer = tiny_layer(vec![0.49, 0.51, 0.5, 0.9], vec![NodeKind::Conj, NodeKind::Disj], 2);
+        assert_eq!(layer.selected(0), vec![1]);
+        assert_eq!(layer.selected(1), vec![1]); // 0.5 is NOT > 0.5
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn binary_layer(in_dim: usize, n_nodes: usize) -> impl Strategy<Value = LogicalLayer> {
+            proptest::collection::vec(any::<bool>(), in_dim * n_nodes).prop_map(move |bits| {
+                let w = Matrix::from_vec(
+                    n_nodes,
+                    in_dim,
+                    bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+                );
+                let kinds = (0..n_nodes)
+                    .map(|j| if j < n_nodes / 2 { NodeKind::Conj } else { NodeKind::Disj })
+                    .collect();
+                LogicalLayer { in_dim, kinds, w }
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// With binary weights and binary inputs, Eq. 7's soft
+            /// activations reduce exactly to AND/OR — so the soft and
+            /// discrete forwards agree.
+            #[test]
+            fn soft_equals_discrete_at_binary_corners(
+                layer in binary_layer(6, 4),
+                x_bits in proptest::collection::vec(any::<bool>(), 12),
+            ) {
+                let x = Matrix::from_vec(
+                    2,
+                    6,
+                    x_bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+                );
+                let soft = layer.forward_soft(&x);
+                let disc = layer.forward_discrete(&x);
+                for (a, b) in soft.data().iter().zip(disc.data()) {
+                    prop_assert!((a - b).abs() < 1e-6, "soft {a} != discrete {b}");
+                }
+            }
+
+            /// Soft outputs stay in [0, 1] for any inputs/weights in the
+            /// unit box.
+            #[test]
+            fn soft_outputs_in_unit_interval(
+                weights in proptest::collection::vec(0.0f32..=1.0, 24),
+                inputs in proptest::collection::vec(0.0f32..=1.0, 12),
+            ) {
+                let layer = LogicalLayer {
+                    in_dim: 6,
+                    kinds: vec![NodeKind::Conj, NodeKind::Conj, NodeKind::Disj, NodeKind::Disj],
+                    w: Matrix::from_vec(4, 6, weights),
+                };
+                let x = Matrix::from_vec(2, 6, inputs);
+                let y = layer.forward_soft(&x);
+                for &v in y.data() {
+                    prop_assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+                }
+            }
+
+            /// Monotonicity: raising a conjunction input can only raise the
+            /// node output; same for disjunction.
+            #[test]
+            fn soft_forward_is_monotone_in_inputs(
+                weights in proptest::collection::vec(0.0f32..=1.0, 6),
+                base in proptest::collection::vec(0.0f32..=0.8, 6),
+                bump_idx in 0usize..6,
+            ) {
+                for kind in [NodeKind::Conj, NodeKind::Disj] {
+                    let layer = LogicalLayer {
+                        in_dim: 6,
+                        kinds: vec![kind],
+                        w: Matrix::from_vec(1, 6, weights.clone()),
+                    };
+                    let x0 = Matrix::from_vec(1, 6, base.clone());
+                    let mut bumped = base.clone();
+                    bumped[bump_idx] += 0.2;
+                    let x1 = Matrix::from_vec(1, 6, bumped);
+                    let y0 = layer.forward_soft(&x0).get(0, 0);
+                    let y1 = layer.forward_soft(&x1).get(0, 0);
+                    prop_assert!(y1 >= y0 - 1e-6, "{kind:?}: {y0} -> {y1}");
+                }
+            }
+        }
+    }
+}

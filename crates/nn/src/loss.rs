@@ -1,0 +1,138 @@
+//! Softmax cross-entropy loss.
+//!
+//! Gradient grafting evaluates this loss (and its gradient) at the
+//! **discrete** model's logits, then pushes the gradient through the
+//! continuous model (paper Section V, "Learn Non-fuzzy Rules").
+
+use crate::matrix::Matrix;
+
+/// Mean softmax cross-entropy over a batch of logits.
+///
+/// # Panics
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn cross_entropy(logits: &Matrix, labels: &[u32]) -> f32 {
+    assert_eq!(labels.len(), logits.rows(), "label count mismatch");
+    let mut total = 0.0f64;
+    for (b, &label) in labels.iter().enumerate() {
+        let row = logits.row(b);
+        assert!((label as usize) < row.len(), "label out of range");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum: f32 = row.iter().map(|&l| (l - max).exp()).sum::<f32>().ln() + max;
+        total += f64::from(log_sum - row[label as usize]);
+    }
+    (total / labels.len() as f64) as f32
+}
+
+/// Gradient of the mean cross-entropy w.r.t. the logits:
+/// `softmax(logits) − onehot(label)`, scaled by `1/batch`.
+pub fn cross_entropy_grad(logits: &Matrix, labels: &[u32]) -> Matrix {
+    assert_eq!(labels.len(), logits.rows(), "label count mismatch");
+    let n = logits.rows().max(1) as f32;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    for (b, &label) in labels.iter().enumerate() {
+        let row = logits.row(b);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let g = grad.row_mut(b);
+        for (c, &e) in exps.iter().enumerate() {
+            g[c] = (e / sum - if c == label as usize { 1.0 } else { 0.0 }) / n;
+        }
+    }
+    grad
+}
+
+/// Batch accuracy of argmax predictions (ties toward the higher class, the
+/// Eq. 3 convention).
+pub fn accuracy(logits: &Matrix, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), logits.rows());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|(b, &l)| argmax_tie_high(logits.row(*b)) == l as usize)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Argmax with ties resolved toward the higher index (matches the `>=` of
+/// Eq. 3 for binary classification).
+pub fn argmax_tie_high(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (c, &v) in row.iter().enumerate() {
+        if v >= row[best] {
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_at_uniform_logits_is_log_k() {
+        let logits = Matrix::from_vec(2, 2, vec![0.0, 0.0, 0.0, 0.0]);
+        let loss = cross_entropy(&logits, &[0, 1]);
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loss_decreases_with_confidence() {
+        let weak = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let strong = Matrix::from_vec(1, 2, vec![0.0, 5.0]);
+        assert!(cross_entropy(&strong, &[1]) < cross_entropy(&weak, &[1]));
+        assert!(cross_entropy(&strong, &[0]) > cross_entropy(&weak, &[0]));
+    }
+
+    #[test]
+    fn grad_matches_finite_differences() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.0, 0.3, -0.7]);
+        let labels = [2u32, 1];
+        let grad = cross_entropy_grad(&logits, &labels);
+        let eps = 1e-3f32;
+        let mut l2 = logits.clone();
+        for b in 0..2 {
+            for c in 0..3 {
+                let orig = l2.get(b, c);
+                l2.set(b, c, orig + eps);
+                let fp = cross_entropy(&l2, &labels);
+                l2.set(b, c, orig - eps);
+                let fm = cross_entropy(&l2, &labels);
+                l2.set(b, c, orig);
+                let fd = (fp - fm) / (2.0 * eps);
+                assert!((fd - grad.get(b, c)).abs() < 1e-3, "grad[{b}][{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let grad = cross_entropy_grad(&logits, &[0]);
+        let s: f32 = grad.row(0).iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_and_tie_break() {
+        let logits = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.5]);
+        // Ties go to class 1.
+        assert_eq!(argmax_tie_high(&[0.5, 0.5]), 1);
+        assert_eq!(accuracy(&logits, &[0, 1, 1]), 1.0);
+        assert!((accuracy(&logits, &[0, 1, 0]) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn numerical_stability_with_large_logits() {
+        let logits = Matrix::from_vec(1, 2, vec![1000.0, -1000.0]);
+        let loss = cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(loss < 1e-6);
+        let grad = cross_entropy_grad(&logits, &[0]);
+        assert!(grad.data().iter().all(|v| v.is_finite()));
+    }
+}

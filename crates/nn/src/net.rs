@@ -1,0 +1,618 @@
+//! The logical neural network (paper Figure 3) and its gradient-grafting
+//! training loop.
+//!
+//! Architecture: encoded literals → one or more [`LogicalLayer`]s (each
+//! receiving the previous layer's output concatenated with the raw literals
+//! — the paper's skip connections) → a [`LinearHead`] over the concatenated
+//! outputs of *all* logical layers (optionally plus the literals themselves,
+//! yielding single-predicate rules).
+//!
+//! **Gradient grafting** (paper Section V): each step forwards the
+//! *binarized* model to obtain `Ȳ`, evaluates `∂L/∂Ȳ` there, and
+//! back-propagates that gradient through the *continuous* model's Jacobian:
+//! `θ^{t+1} = θ^t − η · ∂L(Ȳ)/∂Ȳ · ∂Y/∂θ`. Logical weights then take a
+//! projected-SGD step (staying in `[0,1]`); the linear head takes an Adam
+//! step and is never binarized.
+
+use ctfl_core::data::{Dataset, FeatureSchema};
+use ctfl_core::error::{CoreError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use crate::encoding::{EncodedData, Encoder};
+use crate::linear::LinearHead;
+use crate::logical::LogicalLayer;
+use crate::loss::{accuracy, argmax_tie_high, cross_entropy, cross_entropy_grad};
+use crate::matrix::Matrix;
+use crate::optim::{Adam, ProjectedSgd};
+
+/// Hyper-parameters of the logical network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalNetConfig {
+    /// Discretization bounds per continuous feature (`τ_d`; the layer emits
+    /// `2·τ_d` literals per feature). Paper default: 10.
+    pub tau_d: usize,
+    /// Logical layer widths. Paper default: one layer of 64–512 nodes.
+    pub layer_sizes: Vec<usize>,
+    /// Also feed raw literals into the head (single-predicate rules).
+    pub literal_skip: bool,
+    /// Learning rate for logical weights (projected SGD).
+    pub lr_logical: f32,
+    /// Learning rate for the linear head (Adam).
+    pub lr_linear: f32,
+    /// SGD momentum for logical weights.
+    pub momentum: f32,
+    /// L1 pull on logical weights (sparser, more interpretable rules).
+    pub l1: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// RNG seed (encoder bounds, init, shuffling).
+    pub seed: u64,
+}
+
+impl Default for LogicalNetConfig {
+    fn default() -> Self {
+        LogicalNetConfig {
+            tau_d: 10,
+            layer_sizes: vec![64],
+            literal_skip: true,
+            lr_logical: 0.05,
+            lr_linear: 0.01,
+            momentum: 0.9,
+            l1: 1e-4,
+            epochs: 40,
+            batch_size: 64,
+            seed: 0xC7F1,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Epochs executed.
+    pub epochs: usize,
+    /// Best discrete-model training accuracy observed (the kept snapshot).
+    pub best_accuracy: f64,
+    /// Cross-entropy of the discrete model at the final epoch.
+    pub final_loss: f32,
+}
+
+/// The trainable logical neural network.
+#[derive(Debug, Clone)]
+pub struct LogicalNet {
+    schema: Arc<FeatureSchema>,
+    n_classes: usize,
+    encoder: Encoder,
+    layers: Vec<LogicalLayer>,
+    head: LinearHead,
+    config: LogicalNetConfig,
+    rng: StdRng,
+    /// Persistent optimizer state for [`LogicalNet::train_local`] — a
+    /// federated client keeps its momentum/Adam moments across rounds
+    /// (resetting them every round cripples convergence; FedAvg averages
+    /// parameters only, so local state is each client's own business).
+    local_optim: Option<OptimState>,
+}
+
+#[derive(Debug, Clone)]
+struct OptimState {
+    sgds: Vec<ProjectedSgd>,
+    adam_v: Adam,
+    adam_b: Adam,
+}
+
+struct ForwardCache {
+    /// Input fed to each layer (after skip concatenation).
+    layer_inputs: Vec<Matrix>,
+    /// Output of each layer.
+    layer_outputs: Vec<Matrix>,
+    /// Concatenated rule-activation matrix (head input).
+    rules: Matrix,
+}
+
+impl LogicalNet {
+    /// Builds a network for `schema` with `n_classes` output classes.
+    pub fn new(
+        schema: Arc<FeatureSchema>,
+        n_classes: usize,
+        config: LogicalNetConfig,
+    ) -> Result<Self> {
+        if n_classes < 2 {
+            return Err(CoreError::InvalidParameter {
+                name: "n_classes",
+                message: format!("need at least 2 classes, got {n_classes}"),
+            });
+        }
+        if config.layer_sizes.is_empty() || config.layer_sizes.iter().any(|&s| s < 2) {
+            return Err(CoreError::InvalidParameter {
+                name: "layer_sizes",
+                message: "need at least one layer, each with >= 2 nodes".into(),
+            });
+        }
+        if config.batch_size == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "batch_size",
+                message: "must be >= 1".into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let encoder = Encoder::new(&schema, config.tau_d, &mut rng)?;
+        let n_literals = encoder.width();
+        let mut layers = Vec::with_capacity(config.layer_sizes.len());
+        let mut prev = n_literals;
+        for (k, &size) in config.layer_sizes.iter().enumerate() {
+            let in_dim = if k == 0 { n_literals } else { prev + n_literals };
+            layers.push(LogicalLayer::new(in_dim, size, &mut rng));
+            prev = size;
+        }
+        let n_rules: usize = config.layer_sizes.iter().sum::<usize>()
+            + if config.literal_skip { n_literals } else { 0 };
+        let head = LinearHead::new(n_rules, n_classes, &mut rng);
+        Ok(LogicalNet { schema, n_classes, encoder, layers, head, config, rng, local_optim: None })
+    }
+
+    /// The feature schema.
+    pub fn schema(&self) -> &Arc<FeatureSchema> {
+        &self.schema
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The input encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// The logical layers.
+    pub fn layers(&self) -> &[LogicalLayer] {
+        &self.layers
+    }
+
+    /// The linear head.
+    pub fn head(&self) -> &LinearHead {
+        &self.head
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LogicalNetConfig {
+        &self.config
+    }
+
+    /// Width of the rule-activation vector (head input).
+    pub fn n_rule_slots(&self) -> usize {
+        self.head.n_rules()
+    }
+
+    fn forward(&self, x: &Matrix, discrete: bool) -> ForwardCache {
+        let batch = x.rows();
+        let mut layer_inputs = Vec::with_capacity(self.layers.len());
+        let mut layer_outputs: Vec<Matrix> = Vec::with_capacity(self.layers.len());
+        for (k, layer) in self.layers.iter().enumerate() {
+            let input = if k == 0 {
+                x.clone()
+            } else {
+                // Skip connection: previous output ++ literals.
+                let prev = &layer_outputs[k - 1];
+                let mut m = Matrix::zeros(batch, prev.cols() + x.cols());
+                for b in 0..batch {
+                    let row = m.row_mut(b);
+                    row[..prev.cols()].copy_from_slice(prev.row(b));
+                    row[prev.cols()..].copy_from_slice(x.row(b));
+                }
+                m
+            };
+            let output =
+                if discrete { layer.forward_discrete(&input) } else { layer.forward_soft(&input) };
+            layer_inputs.push(input);
+            layer_outputs.push(output);
+        }
+        // Rule vector: all layer outputs (++ literals if skip).
+        let mut width: usize = layer_outputs.iter().map(Matrix::cols).sum();
+        if self.config.literal_skip {
+            width += x.cols();
+        }
+        let mut rules = Matrix::zeros(batch, width);
+        for b in 0..batch {
+            let row = rules.row_mut(b);
+            let mut off = 0;
+            for out in &layer_outputs {
+                row[off..off + out.cols()].copy_from_slice(out.row(b));
+                off += out.cols();
+            }
+            if self.config.literal_skip {
+                row[off..].copy_from_slice(x.row(b));
+            }
+        }
+        ForwardCache { layer_inputs, layer_outputs, rules }
+    }
+
+    /// Discrete-model logits for an encoded batch.
+    pub fn logits_discrete(&self, x: &Matrix) -> Matrix {
+        self.head.forward(&self.forward(x, true).rules)
+    }
+
+    /// Discrete rule activations (head input) for an encoded batch.
+    pub fn rule_activations(&self, x: &Matrix) -> Matrix {
+        self.forward(x, true).rules
+    }
+
+    /// Discrete-model predictions for an encoded batch.
+    pub fn predict_encoded(&self, x: &Matrix) -> Vec<usize> {
+        let logits = self.logits_discrete(x);
+        (0..logits.rows()).map(|b| argmax_tie_high(logits.row(b))).collect()
+    }
+
+    /// Discrete-model accuracy on an encoded batch.
+    pub fn accuracy_encoded(&self, data: &EncodedData) -> f64 {
+        accuracy(&self.logits_discrete(&data.x), &data.labels)
+    }
+
+    /// Encodes a dataset with this network's encoder.
+    pub fn encode(&self, data: &Dataset) -> Result<EncodedData> {
+        self.encoder.encode(data)
+    }
+
+    /// Runs one gradient-grafting step on a batch. Returns the discrete
+    /// cross-entropy before the step.
+    fn grafted_step(
+        &mut self,
+        x: &Matrix,
+        labels: &[u32],
+        sgds: &mut [ProjectedSgd],
+        adam_v: &mut Adam,
+        adam_b: &mut Adam,
+    ) -> f32 {
+        // Discrete forward → loss gradient at the binarized output.
+        let disc = self.forward(x, true);
+        let logits_d = self.head.forward(&disc.rules);
+        let loss = cross_entropy(&logits_d, labels);
+        let dlogits = cross_entropy_grad(&logits_d, labels);
+
+        // Continuous forward (cached) → backward with the grafted gradient.
+        let cont = self.forward(x, false);
+        let mut dv = Matrix::zeros(self.head.n_rules(), self.n_classes);
+        let mut dbias = vec![0.0f32; self.n_classes];
+        let dr = self.head.backward(&cont.rules, &dlogits, &mut dv, &mut dbias);
+
+        // Split dr into per-layer segments (ignore the literal segment —
+        // literals are inputs, not parameters).
+        let mut seg_offsets = Vec::with_capacity(self.layers.len());
+        let mut off = 0;
+        for out in &cont.layer_outputs {
+            seg_offsets.push(off);
+            off += out.cols();
+        }
+
+        let mut dws: Vec<Matrix> = self
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(l.n_nodes(), l.in_dim()))
+            .collect();
+
+        // Backprop layers last → first. `carry` is the gradient flowing into
+        // layer k's output from layer k+1's input.
+        let mut carry: Option<Matrix> = None;
+        for k in (0..self.layers.len()).rev() {
+            let out_cols = cont.layer_outputs[k].cols();
+            let mut dy = Matrix::zeros(x.rows(), out_cols);
+            for b in 0..x.rows() {
+                let src = dr.row(b);
+                let dst = dy.row_mut(b);
+                dst.copy_from_slice(&src[seg_offsets[k]..seg_offsets[k] + out_cols]);
+            }
+            if let Some(c) = carry.take() {
+                for b in 0..x.rows() {
+                    for (d, &cv) in dy.row_mut(b).iter_mut().zip(c.row(b)) {
+                        *d += cv;
+                    }
+                }
+            }
+            let dx = self.layers[k].backward(
+                &cont.layer_inputs[k],
+                &cont.layer_outputs[k],
+                &dy,
+                &mut dws[k],
+            );
+            if k > 0 {
+                // Layer k's input = prev_output ++ literals; forward only the
+                // prev_output part.
+                let prev_cols = cont.layer_outputs[k - 1].cols();
+                let mut c = Matrix::zeros(x.rows(), prev_cols);
+                for b in 0..x.rows() {
+                    c.row_mut(b).copy_from_slice(&dx.row(b)[..prev_cols]);
+                }
+                carry = Some(c);
+            }
+        }
+
+        // Parameter updates.
+        for (layer, (sgd, dw)) in self.layers.iter_mut().zip(sgds.iter_mut().zip(&dws)) {
+            sgd.step(layer.weights_mut().data_mut(), dw.data());
+        }
+        adam_v.step(self.head.weights_mut().data_mut(), dv.data());
+        adam_b.step(self.head.bias_mut(), &dbias);
+        loss
+    }
+
+    /// Trains on an encoded batch for `config.epochs` epochs, keeping the
+    /// snapshot with the best discrete training accuracy.
+    pub fn train(&mut self, data: &EncodedData) -> Result<TrainReport> {
+        if data.is_empty() {
+            return Err(CoreError::Empty { what: "training data" });
+        }
+        if data.x.cols() != self.encoder.width() {
+            return Err(CoreError::LengthMismatch {
+                what: "encoded width",
+                expected: self.encoder.width(),
+                actual: data.x.cols(),
+            });
+        }
+        let mut sgds: Vec<ProjectedSgd> = self
+            .layers
+            .iter()
+            .map(|l| {
+                ProjectedSgd::new(
+                    l.n_nodes() * l.in_dim(),
+                    self.config.lr_logical,
+                    self.config.momentum,
+                    self.config.l1,
+                )
+            })
+            .collect();
+        let mut adam_v = Adam::new(self.head.n_rules() * self.n_classes, self.config.lr_linear);
+        let mut adam_b = Adam::new(self.n_classes, self.config.lr_linear);
+
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut best_acc = -1.0f64;
+        let mut best: Option<(Vec<LogicalLayer>, LinearHead)> = None;
+        let mut final_loss = f32::NAN;
+
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut self.rng);
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let x = data.x.select_rows(chunk);
+                let labels: Vec<u32> = chunk.iter().map(|&i| data.labels[i]).collect();
+                epoch_loss += self.grafted_step(&x, &labels, &mut sgds, &mut adam_v, &mut adam_b);
+                batches += 1;
+            }
+            final_loss = epoch_loss / batches.max(1) as f32;
+            let acc = self.accuracy_encoded(data);
+            if acc > best_acc {
+                best_acc = acc;
+                best = Some((self.layers.clone(), self.head.clone()));
+            }
+        }
+        if let Some((layers, head)) = best {
+            self.layers = layers;
+            self.head = head;
+        }
+        Ok(TrainReport { epochs: self.config.epochs, best_accuracy: best_acc, final_loss })
+    }
+
+    /// Convenience: encode + train a raw dataset.
+    pub fn fit(&mut self, data: &Dataset) -> Result<TrainReport> {
+        let encoded = self.encode(data)?;
+        self.train(&encoded)
+    }
+
+    /// Flattened trainable parameters (logical weights, head weights, head
+    /// biases) — the unit FedAvg averages.
+    pub fn params(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            out.extend_from_slice(layer.weights().data());
+        }
+        out.extend_from_slice(self.head.weights().data());
+        out.extend_from_slice(self.head.bias());
+        out
+    }
+
+    /// Restores parameters from [`Self::params`] layout.
+    pub fn set_params(&mut self, params: &[f32]) -> Result<()> {
+        let expected = self.params().len();
+        if params.len() != expected {
+            return Err(CoreError::LengthMismatch {
+                what: "parameter vector",
+                expected,
+                actual: params.len(),
+            });
+        }
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let n = layer.n_nodes() * layer.in_dim();
+            layer.weights_mut().data_mut().copy_from_slice(&params[off..off + n]);
+            off += n;
+        }
+        let n = self.head.n_rules() * self.n_classes;
+        self.head.weights_mut().data_mut().copy_from_slice(&params[off..off + n]);
+        off += n;
+        self.head.bias_mut().copy_from_slice(&params[off..]);
+        Ok(())
+    }
+
+    /// Runs `epochs` of local training (used by the FedAvg client loop),
+    /// without snapshot-keeping — federated rounds keep the server's
+    /// aggregate instead. Optimizer state (momentum, Adam moments) persists
+    /// across calls on the same instance.
+    pub fn train_local(&mut self, data: &EncodedData, epochs: usize) -> Result<()> {
+        if data.is_empty() {
+            return Err(CoreError::Empty { what: "training data" });
+        }
+        let mut state = match self.local_optim.take() {
+            Some(s) => s,
+            None => OptimState {
+                sgds: self
+                    .layers
+                    .iter()
+                    .map(|l| {
+                        ProjectedSgd::new(
+                            l.n_nodes() * l.in_dim(),
+                            self.config.lr_logical,
+                            self.config.momentum,
+                            self.config.l1,
+                        )
+                    })
+                    .collect(),
+                adam_v: Adam::new(self.head.n_rules() * self.n_classes, self.config.lr_linear),
+                adam_b: Adam::new(self.n_classes, self.config.lr_linear),
+            },
+        };
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(&mut self.rng);
+            for chunk in order.chunks(self.config.batch_size) {
+                let x = data.x.select_rows(chunk);
+                let labels: Vec<u32> = chunk.iter().map(|&i| data.labels[i]).collect();
+                self.grafted_step(&x, &labels, &mut state.sgds, &mut state.adam_v, &mut state.adam_b);
+            }
+        }
+        self.local_optim = Some(state);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctfl_core::data::FeatureKind;
+
+    fn xor_like_dataset() -> Dataset {
+        // Two discrete features; label = f0 XOR f1. Requires compound rules.
+        let schema = FeatureSchema::new(vec![
+            ("a", FeatureKind::discrete(2)),
+            ("b", FeatureKind::discrete(2)),
+        ]);
+        let mut ds = Dataset::empty(schema, 2);
+        for _ in 0..25 {
+            for a in 0..2u32 {
+                for b in 0..2u32 {
+                    ds.push_row(&[a.into(), b.into()], ((a ^ b) == 1) as usize).unwrap();
+                }
+            }
+        }
+        ds
+    }
+
+    fn threshold_dataset() -> Dataset {
+        // Continuous feature; label = x > 0.55.
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let mut ds = Dataset::empty(schema, 2);
+        for i in 0..200 {
+            let v = i as f32 / 200.0;
+            ds.push_row(&[v.into()], (v > 0.55) as usize).unwrap();
+        }
+        ds
+    }
+
+    fn small_config(seed: u64) -> LogicalNetConfig {
+        LogicalNetConfig {
+            tau_d: 8,
+            layer_sizes: vec![16],
+            epochs: 60,
+            batch_size: 32,
+            seed,
+            ..LogicalNetConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_discrete_xor() {
+        let ds = xor_like_dataset();
+        let mut net = LogicalNet::new(Arc::clone(ds.schema()), 2, small_config(1)).unwrap();
+        let report = net.fit(&ds).unwrap();
+        assert!(report.best_accuracy >= 0.95, "accuracy {}", report.best_accuracy);
+    }
+
+    #[test]
+    fn learns_continuous_threshold() {
+        let ds = threshold_dataset();
+        let mut net = LogicalNet::new(Arc::clone(ds.schema()), 2, small_config(2)).unwrap();
+        let report = net.fit(&ds).unwrap();
+        // A random bound near 0.55 may not exist; accept >= 0.9.
+        assert!(report.best_accuracy >= 0.9, "accuracy {}", report.best_accuracy);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let ds = threshold_dataset();
+        let net = LogicalNet::new(Arc::clone(ds.schema()), 2, small_config(3)).unwrap();
+        let p = net.params();
+        let mut net2 = LogicalNet::new(Arc::clone(ds.schema()), 2, small_config(99)).unwrap();
+        assert_eq!(p.len(), net2.params().len());
+        net2.set_params(&p).unwrap();
+        assert_eq!(net2.params(), p);
+        // Same seed -> same encoder; predictions must now agree.
+        let mut net3 = LogicalNet::new(Arc::clone(ds.schema()), 2, small_config(3)).unwrap();
+        net3.set_params(&p).unwrap();
+        let e = net.encode(&ds).unwrap();
+        assert_eq!(net.predict_encoded(&e.x), net3.predict_encoded(&e.x));
+        // Wrong length rejected.
+        assert!(net2.set_params(&p[..p.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        assert!(LogicalNet::new(Arc::clone(&schema), 1, small_config(0)).is_err());
+        let bad = LogicalNetConfig { layer_sizes: vec![], ..small_config(0) };
+        assert!(LogicalNet::new(Arc::clone(&schema), 2, bad).is_err());
+        let bad = LogicalNetConfig { batch_size: 0, ..small_config(0) };
+        assert!(LogicalNet::new(Arc::clone(&schema), 2, bad).is_err());
+        let bad = LogicalNetConfig { layer_sizes: vec![1], ..small_config(0) };
+        assert!(LogicalNet::new(Arc::clone(&schema), 2, bad).is_err());
+    }
+
+    #[test]
+    fn empty_training_data_rejected() {
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let ds = Dataset::empty(Arc::clone(&schema), 2);
+        let mut net = LogicalNet::new(schema, 2, small_config(0)).unwrap();
+        assert!(net.fit(&ds).is_err());
+    }
+
+    #[test]
+    fn rule_activations_are_binary_in_discrete_mode() {
+        let ds = xor_like_dataset();
+        let mut net = LogicalNet::new(Arc::clone(ds.schema()), 2, small_config(4)).unwrap();
+        net.fit(&ds).unwrap();
+        let e = net.encode(&ds).unwrap();
+        let r = net.rule_activations(&e.x);
+        assert!(r.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert_eq!(r.cols(), net.n_rule_slots());
+    }
+
+    #[test]
+    fn deeper_network_trains() {
+        let ds = xor_like_dataset();
+        let cfg = LogicalNetConfig {
+            layer_sizes: vec![12, 8],
+            epochs: 60,
+            batch_size: 32,
+            seed: 7,
+            ..LogicalNetConfig::default()
+        };
+        let mut net = LogicalNet::new(Arc::clone(ds.schema()), 2, cfg).unwrap();
+        let report = net.fit(&ds).unwrap();
+        assert!(report.best_accuracy >= 0.9, "accuracy {}", report.best_accuracy);
+    }
+
+    #[test]
+    fn train_local_changes_params() {
+        let ds = threshold_dataset();
+        let mut net = LogicalNet::new(Arc::clone(ds.schema()), 2, small_config(5)).unwrap();
+        let before = net.params();
+        let e = net.encode(&ds).unwrap();
+        net.train_local(&e, 2).unwrap();
+        assert_ne!(before, net.params());
+    }
+}

@@ -1,0 +1,148 @@
+//! Optimizers.
+//!
+//! Logical weights use projected SGD with momentum (the projection keeps
+//! `w ∈ [0, 1]`, the domain Eq. 7 requires); the linear head uses Adam.
+//! Optimizer state is local — FedAvg averages parameters only, never
+//! moments, matching standard FL practice.
+
+/// Projected SGD with momentum for logical weights.
+///
+/// After each step, weights are clamped to `[0, 1]`. An optional L1 pull
+/// toward zero sparsifies rules (fewer active literals → more interpretable
+/// extraction).
+#[derive(Debug, Clone)]
+pub struct ProjectedSgd {
+    lr: f32,
+    momentum: f32,
+    l1: f32,
+    velocity: Vec<f32>,
+}
+
+impl ProjectedSgd {
+    /// Creates the optimizer for a parameter vector of length `n`.
+    pub fn new(n: usize, lr: f32, momentum: f32, l1: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        assert!(l1 >= 0.0, "l1 must be non-negative");
+        ProjectedSgd { lr, momentum, l1, velocity: vec![0.0; n] }
+    }
+
+    /// Applies one update step: `w ← clamp(w − lr·(v + l1), 0, 1)` with
+    /// `v ← momentum·v + grad`.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.velocity.len(), "parameter count changed");
+        assert_eq!(grads.len(), params.len(), "gradient count mismatch");
+        for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            *v = self.momentum * *v + g;
+            let mut next = *p - self.lr * *v;
+            // L1 pull toward zero (only shrinks, never flips sign since the
+            // domain is non-negative).
+            next -= self.lr * self.l1;
+            *p = next.clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) for the linear head.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Creates Adam with standard defaults (`β₁ = 0.9`, `β₂ = 0.999`).
+    pub fn new(n: usize, lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    /// Applies one bias-corrected Adam step.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "parameter count changed");
+        assert_eq!(grads.len(), params.len(), "gradient count mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (p, &g)) in params.iter_mut().zip(grads).enumerate() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_descends_and_projects() {
+        let mut opt = ProjectedSgd::new(2, 0.5, 0.0, 0.0);
+        let mut w = vec![0.6f32, 0.1];
+        opt.step(&mut w, &[1.0, -1.0]);
+        assert!((w[0] - 0.1).abs() < 1e-6);
+        assert!((w[1] - 0.6).abs() < 1e-6);
+        // Projection at both ends.
+        opt.step(&mut w, &[10.0, -10.0]);
+        assert_eq!(w[0], 0.0);
+        assert_eq!(w[1], 1.0);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = ProjectedSgd::new(1, 0.1, 0.9, 0.0);
+        let mut w = vec![1.0f32];
+        opt.step(&mut w, &[1.0]); // v=1, w=0.9
+        opt.step(&mut w, &[1.0]); // v=1.9, w=0.71
+        assert!((w[0] - 0.71).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l1_shrinks_idle_weights() {
+        let mut opt = ProjectedSgd::new(1, 0.1, 0.0, 0.5);
+        let mut w = vec![0.4f32];
+        opt.step(&mut w, &[0.0]);
+        assert!((w[0] - 0.35).abs() < 1e-6);
+        // Never below zero.
+        let mut w = vec![0.01f32];
+        opt.step(&mut w, &[0.0]);
+        assert_eq!(w[0], 0.0);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // min (w - 3)^2: gradient 2(w - 3).
+        let mut opt = Adam::new(1, 0.1);
+        let mut w = vec![0.0f32];
+        for _ in 0..500 {
+            let g = 2.0 * (w[0] - 3.0);
+            opt.step(&mut w, &[g]);
+        }
+        assert!((w[0] - 3.0).abs() < 0.05, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // Bias correction makes the first step ≈ lr · sign(g).
+        let mut opt = Adam::new(1, 0.01);
+        let mut w = vec![0.0f32];
+        opt.step(&mut w, &[5.0]);
+        assert!((w[0] + 0.01).abs() < 1e-4, "w = {}", w[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient count mismatch")]
+    fn dimension_checks() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut w = vec![0.0f32; 2];
+        opt.step(&mut w, &[1.0]);
+    }
+}

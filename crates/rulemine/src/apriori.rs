@@ -1,0 +1,170 @@
+//! Level-wise Apriori frequent-itemset mining (Agrawal & Srikant '94).
+//!
+//! Exact and simple; serves as the reference oracle for [`crate::maxminer`]
+//! and as the baseline in benchmarks.
+
+use std::collections::HashSet;
+
+use crate::itemset::{ItemSet, TransactionSet};
+
+/// All frequent itemsets (support `>= min_support`, non-empty) with their
+/// supports, in ascending-cardinality order.
+pub fn apriori(txs: &TransactionSet, min_support: usize) -> Vec<(ItemSet, usize)> {
+    let n = txs.n_items();
+    let mut out = Vec::new();
+    // L1.
+    let supports = txs.item_supports();
+    let mut level: Vec<ItemSet> = (0..n)
+        .filter(|&i| supports[i] >= min_support)
+        .map(|i| ItemSet::from_items(n, &[i]))
+        .collect();
+    for (s, &sup) in level.iter().zip(supports.iter().filter(|&&s| s >= min_support)) {
+        out.push((s.clone(), sup));
+    }
+    // Lk from Lk-1 via join + prune.
+    while !level.is_empty() {
+        let prev: HashSet<Vec<usize>> = level.iter().map(|s| s.items()).collect();
+        let mut next: Vec<ItemSet> = Vec::new();
+        let mut seen: HashSet<Vec<usize>> = HashSet::new();
+        for (ai, a) in level.iter().enumerate() {
+            for b in &level[ai + 1..] {
+                let ia = a.items();
+                let ib = b.items();
+                // Join condition: first k-1 items equal.
+                if ia[..ia.len() - 1] != ib[..ib.len() - 1] {
+                    continue;
+                }
+                let cand = a.union(b);
+                let items = cand.items();
+                if seen.contains(&items) {
+                    continue;
+                }
+                // Apriori prune: all (k)-subsets must be frequent.
+                let all_sub_frequent = (0..items.len()).all(|drop| {
+                    let sub: Vec<usize> = items
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != drop)
+                        .map(|(_, &it)| it)
+                        .collect();
+                    prev.contains(&sub)
+                });
+                if !all_sub_frequent {
+                    continue;
+                }
+                let sup = txs.support(&cand);
+                if sup >= min_support {
+                    seen.insert(items);
+                    out.push((cand.clone(), sup));
+                    next.push(cand);
+                }
+            }
+        }
+        level = next;
+    }
+    out
+}
+
+/// Brute-force enumeration of all frequent itemsets — exponential, only for
+/// testing with small universes (`n_items <= 20`).
+pub fn brute_force(txs: &TransactionSet, min_support: usize) -> Vec<(ItemSet, usize)> {
+    let n = txs.n_items();
+    assert!(n <= 20, "brute_force is exponential; universe too large");
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let items: Vec<usize> = (0..n).filter(|&i| (mask >> i) & 1 == 1).collect();
+        let set = ItemSet::from_items(n, &items);
+        let sup = txs.support(&set);
+        if sup >= min_support {
+            out.push((set, sup));
+        }
+    }
+    out
+}
+
+/// Filters a list of frequent itemsets down to the maximal ones (no frequent
+/// strict superset). Quadratic; used to validate Max-Miner.
+pub fn maximal_only(frequent: &[(ItemSet, usize)]) -> Vec<(ItemSet, usize)> {
+    frequent
+        .iter()
+        .filter(|(s, _)| {
+            !frequent
+                .iter()
+                .any(|(t, _)| t.len() > s.len() && s.is_subset_of(t.words()))
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn db() -> TransactionSet {
+        let mut txs = TransactionSet::new(5);
+        txs.push(&[0, 1, 2]);
+        txs.push(&[0, 1]);
+        txs.push(&[0, 2]);
+        txs.push(&[1, 2]);
+        txs.push(&[0, 1, 2, 3]);
+        txs
+    }
+
+    fn as_keyed(v: &[(ItemSet, usize)]) -> BTreeSet<(Vec<usize>, usize)> {
+        v.iter().map(|(s, sup)| (s.items(), *sup)).collect()
+    }
+
+    #[test]
+    fn apriori_matches_brute_force() {
+        let txs = db();
+        for min_support in 1..=5 {
+            let a = as_keyed(&apriori(&txs, min_support));
+            let b = as_keyed(&brute_force(&txs, min_support));
+            assert_eq!(a, b, "min_support={min_support}");
+        }
+    }
+
+    #[test]
+    fn known_supports() {
+        let txs = db();
+        let freq = apriori(&txs, 3);
+        let keyed = as_keyed(&freq);
+        assert!(keyed.contains(&(vec![0], 4)));
+        assert!(keyed.contains(&(vec![0, 1], 3)));
+        assert!(keyed.contains(&(vec![1, 2], 3)));
+        // {0,1,2} has support 2 < 3.
+        assert!(!keyed.iter().any(|(s, _)| s == &vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn empty_database() {
+        let txs = TransactionSet::new(4);
+        assert!(apriori(&txs, 1).is_empty());
+    }
+
+    #[test]
+    fn min_support_zero_treated_as_support_on_empty_sets() {
+        // min_support = 0 means everything with support >= 0 is frequent;
+        // items never occurring are still enumerated at L1 only if their
+        // support >= 0 (always true), so the result equals brute force.
+        let mut txs = TransactionSet::new(3);
+        txs.push(&[0]);
+        let a = as_keyed(&apriori(&txs, 0));
+        let b = as_keyed(&brute_force(&txs, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn maximal_filter() {
+        let txs = db();
+        let freq = apriori(&txs, 3);
+        let max = maximal_only(&freq);
+        let keyed: BTreeSet<_> = max.iter().map(|(s, _)| s.items()).collect();
+        // Maximal frequent sets at support 3: {0,1}, {0,2}, {1,2}.
+        assert_eq!(
+            keyed,
+            BTreeSet::from([vec![0, 1], vec![0, 2], vec![1, 2]])
+        );
+    }
+}

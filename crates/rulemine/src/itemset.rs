@@ -1,0 +1,277 @@
+//! Bit-packed itemsets and transaction databases.
+
+use std::fmt;
+
+/// A set of item indices over a fixed universe `0..n_items`, bit-packed.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ItemSet {
+    n_items: usize,
+    words: Vec<u64>,
+}
+
+impl ItemSet {
+    /// The empty set over `n_items` items.
+    pub fn empty(n_items: usize) -> Self {
+        ItemSet { n_items, words: vec![0; n_items.div_ceil(64)] }
+    }
+
+    /// Builds a set from explicit item indices.
+    ///
+    /// # Panics
+    /// Panics if any item is `>= n_items`.
+    pub fn from_items(n_items: usize, items: &[usize]) -> Self {
+        let mut s = ItemSet::empty(n_items);
+        for &i in items {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set directly from packed words (e.g. a masked activation
+    /// row). `n_items` bounds which bits are meaningful.
+    pub fn from_words(n_items: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), n_items.div_ceil(64), "word count mismatch");
+        let mut s = ItemSet { n_items, words };
+        // Clear any stray bits beyond n_items.
+        if !n_items.is_multiple_of(64) {
+            if let Some(last) = s.words.last_mut() {
+                *last &= (1u64 << (n_items % 64)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Universe size.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Inserts an item.
+    ///
+    /// # Panics
+    /// Panics if `item >= n_items`.
+    pub fn insert(&mut self, item: usize) {
+        assert!(item < self.n_items, "item out of range");
+        self.words[item / 64] |= 1 << (item % 64);
+    }
+
+    /// Removes an item.
+    pub fn remove(&mut self, item: usize) {
+        assert!(item < self.n_items, "item out of range");
+        self.words[item / 64] &= !(1 << (item % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, item: usize) -> bool {
+        item < self.n_items && (self.words[item / 64] >> (item % 64)) & 1 == 1
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `self ⊆ other` (`other` given as packed words of the same
+    /// universe).
+    pub fn is_subset_of_words(&self, other: &[u64]) -> bool {
+        self.words.iter().zip(other).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &[u64]) -> bool {
+        self.is_subset_of_words(other)
+    }
+
+    /// Union with another set of the same universe.
+    pub fn union(&self, other: &ItemSet) -> ItemSet {
+        debug_assert_eq!(self.n_items, other.n_items);
+        ItemSet {
+            n_items: self.n_items,
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+        }
+    }
+
+    /// Items as ascending indices.
+    pub fn items(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                out.push(wi * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// The packed words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Sum of `item_weights[i]` over members.
+    pub fn weight(&self, item_weights: &[f64]) -> f64 {
+        self.items().iter().map(|&i| item_weights[i]).sum()
+    }
+}
+
+impl fmt::Debug for ItemSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ItemSet{:?}", self.items())
+    }
+}
+
+/// A database of transactions over a fixed item universe, bit-packed
+/// row-major (one row per transaction).
+#[derive(Debug, Clone)]
+pub struct TransactionSet {
+    n_items: usize,
+    words_per_tx: usize,
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl TransactionSet {
+    /// An empty database over `n_items` items.
+    pub fn new(n_items: usize) -> Self {
+        TransactionSet { n_items, words_per_tx: n_items.div_ceil(64).max(1), words: Vec::new(), len: 0 }
+    }
+
+    /// Universe size.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a transaction from item indices.
+    pub fn push(&mut self, items: &[usize]) {
+        let start = self.words.len();
+        self.words.resize(start + self.words_per_tx, 0);
+        for &i in items {
+            assert!(i < self.n_items, "item out of range");
+            self.words[start + i / 64] |= 1 << (i % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Appends a transaction from packed words (extra bits beyond
+    /// `n_items` are cleared).
+    pub fn push_words(&mut self, tx: &[u64]) {
+        assert_eq!(tx.len(), self.words_per_tx, "word count mismatch");
+        let start = self.words.len();
+        self.words.extend_from_slice(tx);
+        if !self.n_items.is_multiple_of(64) {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << (self.n_items % 64)) - 1;
+        }
+        let _ = start;
+        self.len += 1;
+    }
+
+    /// The packed words of transaction `t`.
+    pub fn get(&self, t: usize) -> &[u64] {
+        &self.words[t * self.words_per_tx..(t + 1) * self.words_per_tx]
+    }
+
+    /// Number of transactions containing all items of `set` (the support).
+    pub fn support(&self, set: &ItemSet) -> usize {
+        (0..self.len).filter(|&t| set.is_subset_of(self.get(t))).count()
+    }
+
+    /// Per-item supports (frequency of each singleton).
+    pub fn item_supports(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_items];
+        for t in 0..self.len {
+            let row = self.get(t);
+            for (wi, &w) in row.iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    counts[wi * 64 + bits.trailing_zeros() as usize] += 1;
+                    bits &= bits - 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itemset_basics() {
+        let mut s = ItemSet::empty(100);
+        s.insert(3);
+        s.insert(64);
+        s.insert(99);
+        assert!(s.contains(3) && s.contains(64) && s.contains(99));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.items(), vec![3, 64, 99]);
+        s.remove(64);
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(64));
+    }
+
+    #[test]
+    fn from_words_clears_stray_bits() {
+        let s = ItemSet::from_words(3, vec![0b1111]);
+        assert_eq!(s.items(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let a = ItemSet::from_items(10, &[1, 2]);
+        let b = ItemSet::from_items(10, &[1, 2, 5]);
+        assert!(a.is_subset_of(b.words()));
+        assert!(!b.is_subset_of(a.words()));
+        let u = a.union(&ItemSet::from_items(10, &[5, 7]));
+        assert_eq!(u.items(), vec![1, 2, 5, 7]);
+    }
+
+    #[test]
+    fn weight_sums_members() {
+        let s = ItemSet::from_items(4, &[0, 2]);
+        assert_eq!(s.weight(&[1.0, 10.0, 0.5, 2.0]), 1.5);
+    }
+
+    #[test]
+    fn transaction_support() {
+        let mut txs = TransactionSet::new(5);
+        txs.push(&[0, 1, 2]);
+        txs.push(&[0, 2]);
+        txs.push(&[1, 3]);
+        assert_eq!(txs.len(), 3);
+        assert_eq!(txs.support(&ItemSet::from_items(5, &[0, 2])), 2);
+        assert_eq!(txs.support(&ItemSet::from_items(5, &[1])), 2);
+        assert_eq!(txs.support(&ItemSet::from_items(5, &[4])), 0);
+        assert_eq!(txs.support(&ItemSet::empty(5)), 3);
+        assert_eq!(txs.item_supports(), vec![2, 2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn push_words_roundtrip() {
+        let mut txs = TransactionSet::new(70);
+        let mut words = vec![0u64; 2];
+        words[0] = 1 << 5;
+        words[1] = 1 << 3; // item 67
+        txs.push_words(&words);
+        let s = ItemSet::from_items(70, &[5, 67]);
+        assert_eq!(txs.support(&s), 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Max-Miner: efficiently mining *long* maximal frequent itemsets
+//! (Bayardo, SIGMOD '98).
+//!
+//! Max-Miner searches a set-enumeration tree over items ordered by
+//! increasing support. Each node is a *candidate group* `g` with a head
+//! `h(g)` (the itemset of the node) and a tail `t(g)` (items that may still
+//! be appended). Two prunings make it fast on long patterns:
+//!
+//! 1. **Superset-frequency pruning**: if `h(g) ∪ t(g)` is frequent, every
+//!    descendant is frequent, so the whole subtree collapses into the single
+//!    maximal candidate `h(g) ∪ t(g)`.
+//! 2. **Tail pruning**: tail items `i` with `support(h(g) ∪ {i}) <
+//!    min_support` can never extend the head and are dropped.
+
+use crate::itemset::{ItemSet, TransactionSet};
+
+/// Configuration for [`max_miner`].
+#[derive(Debug, Clone, Copy)]
+pub struct MaxMinerConfig {
+    /// Minimum absolute support (transaction count).
+    pub min_support: usize,
+    /// Safety valve: stop expanding after this many candidate-group
+    /// evaluations (0 = unlimited). The result is still correct-but-partial
+    /// for CTFL's use (groups are an optimization, not a semantics change).
+    pub max_expansions: usize,
+}
+
+impl Default for MaxMinerConfig {
+    fn default() -> Self {
+        MaxMinerConfig { min_support: 1, max_expansions: 0 }
+    }
+}
+
+struct Group {
+    head: ItemSet,
+    /// Tail items, ordered by increasing support.
+    tail: Vec<usize>,
+}
+
+/// Mines the **maximal** frequent itemsets of `txs` at `config.min_support`.
+///
+/// Returns `(itemset, support)` pairs; no returned set is a subset of
+/// another. The empty set is never returned. A `min_support` of 0 is
+/// treated as 1 (support 0 sets are meaningless for grouping).
+pub fn max_miner(txs: &TransactionSet, config: MaxMinerConfig) -> Vec<(ItemSet, usize)> {
+    let min_support = config.min_support.max(1);
+    let n = txs.n_items();
+    let supports = txs.item_supports();
+
+    // Frequent items ordered by increasing support (Max-Miner's item
+    // ordering heuristic: most frequent items end up in the most tails,
+    // maximising the chance of superset-frequency pruning).
+    let mut freq_items: Vec<usize> = (0..n).filter(|&i| supports[i] >= min_support).collect();
+    freq_items.sort_by_key(|&i| (supports[i], i));
+    if freq_items.is_empty() {
+        return Vec::new();
+    }
+
+    let mut maximal: Vec<(ItemSet, usize)> = Vec::new();
+    let mut stack: Vec<Group> = Vec::new();
+
+    // Initial candidate groups: head = {item}, tail = items after it in the
+    // ordering.
+    for (pos, &item) in freq_items.iter().enumerate() {
+        stack.push(Group {
+            head: ItemSet::from_items(n, &[item]),
+            tail: freq_items[pos + 1..].to_vec(),
+        });
+    }
+    // Process deepest-first so long candidates are found early, making the
+    // subset check against `maximal` prune more.
+    stack.reverse();
+
+    let mut expansions = 0usize;
+    while let Some(group) = stack.pop() {
+        expansions += 1;
+        if config.max_expansions != 0 && expansions > config.max_expansions {
+            // Flush remaining heads as candidates (still frequent itemsets).
+            record_if_maximal(&mut maximal, group.head.clone(), txs.support(&group.head), &mut Vec::new());
+            continue;
+        }
+
+        // If head ∪ tail is already covered by a known maximal set, the whole
+        // subtree is redundant.
+        let full = group.tail.iter().fold(group.head.clone(), |mut acc, &i| {
+            acc.insert(i);
+            acc
+        });
+        if maximal.iter().any(|(m, _)| full.is_subset_of(m.words())) {
+            continue;
+        }
+
+        // Superset-frequency pruning: if h(g) ∪ t(g) is frequent we are done
+        // with this subtree.
+        let full_support = txs.support(&full);
+        if full_support >= min_support {
+            record_if_maximal(&mut maximal, full, full_support, &mut stack);
+            continue;
+        }
+
+        // Tail pruning: keep only tail items that extend the head frequently.
+        let mut viable: Vec<(usize, usize)> = Vec::with_capacity(group.tail.len());
+        for &i in &group.tail {
+            let mut ext = group.head.clone();
+            ext.insert(i);
+            let sup = txs.support(&ext);
+            if sup >= min_support {
+                viable.push((i, sup));
+            }
+        }
+
+        if viable.is_empty() {
+            // Head itself is maximal within this branch.
+            let sup = txs.support(&group.head);
+            debug_assert!(sup >= min_support);
+            record_if_maximal(&mut maximal, group.head, sup, &mut stack);
+            continue;
+        }
+
+        // Re-order viable tail by increasing extension support and expand.
+        viable.sort_by_key(|&(i, sup)| (sup, i));
+        let items: Vec<usize> = viable.iter().map(|&(i, _)| i).collect();
+        for (pos, &(i, _)) in viable.iter().enumerate() {
+            let mut head = group.head.clone();
+            head.insert(i);
+            stack.push(Group { head, tail: items[pos + 1..].to_vec() });
+        }
+    }
+
+    // Final sweep: drop any survivor that is a subset of another (can happen
+    // when a set is recorded before a superset is discovered in a different
+    // branch).
+    let mut result: Vec<(ItemSet, usize)> = Vec::new();
+    maximal.sort_by_key(|(s, _)| std::cmp::Reverse(s.len()));
+    for (s, sup) in maximal {
+        if !result.iter().any(|(m, _)| s.is_subset_of(m.words())) {
+            result.push((s, sup));
+        }
+    }
+    result
+}
+
+fn record_if_maximal(
+    maximal: &mut Vec<(ItemSet, usize)>,
+    set: ItemSet,
+    support: usize,
+    _stack: &mut Vec<Group>,
+) {
+    if set.is_empty() {
+        return;
+    }
+    if maximal.iter().any(|(m, _)| set.is_subset_of(m.words())) {
+        return;
+    }
+    // Remove dominated survivors.
+    maximal.retain(|(m, _)| !m.is_subset_of(set.words()) || m == &set);
+    maximal.push((set, support));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{brute_force, maximal_only};
+    use std::collections::BTreeSet;
+
+    fn keyed(v: &[(ItemSet, usize)]) -> BTreeSet<(Vec<usize>, usize)> {
+        v.iter().map(|(s, sup)| (s.items(), *sup)).collect()
+    }
+
+    fn check_against_oracle(txs: &TransactionSet, min_support: usize) {
+        let expect = keyed(&maximal_only(&brute_force(txs, min_support.max(1))));
+        let got = keyed(&max_miner(txs, MaxMinerConfig { min_support, max_expansions: 0 }));
+        assert_eq!(got, expect, "min_support={min_support}");
+    }
+
+    #[test]
+    fn matches_oracle_small_db() {
+        let mut txs = TransactionSet::new(5);
+        txs.push(&[0, 1, 2]);
+        txs.push(&[0, 1]);
+        txs.push(&[0, 2]);
+        txs.push(&[1, 2]);
+        txs.push(&[0, 1, 2, 3]);
+        for ms in 1..=5 {
+            check_against_oracle(&txs, ms);
+        }
+    }
+
+    #[test]
+    fn matches_oracle_long_pattern() {
+        // One long pattern repeated — superset pruning should fire.
+        let mut txs = TransactionSet::new(10);
+        for _ in 0..5 {
+            txs.push(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        }
+        txs.push(&[8, 9]);
+        txs.push(&[8]);
+        for ms in 1..=5 {
+            check_against_oracle(&txs, ms);
+        }
+    }
+
+    #[test]
+    fn matches_oracle_random_db() {
+        // Deterministic pseudo-random database (LCG), checked against brute
+        // force across support thresholds.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut txs = TransactionSet::new(12);
+        for _ in 0..40 {
+            let items: Vec<usize> = (0..12).filter(|_| next() % 3 == 0).collect();
+            txs.push(&items);
+        }
+        for ms in [1, 2, 3, 5, 8, 12] {
+            check_against_oracle(&txs, ms);
+        }
+    }
+
+    #[test]
+    fn empty_and_unsatisfiable() {
+        let txs = TransactionSet::new(4);
+        assert!(max_miner(&txs, MaxMinerConfig::default()).is_empty());
+        let mut txs = TransactionSet::new(4);
+        txs.push(&[0]);
+        assert!(max_miner(&txs, MaxMinerConfig { min_support: 2, max_expansions: 0 }).is_empty());
+    }
+
+    #[test]
+    fn results_are_mutually_incomparable() {
+        let mut txs = TransactionSet::new(8);
+        txs.push(&[0, 1, 2, 3]);
+        txs.push(&[0, 1, 2]);
+        txs.push(&[0, 1]);
+        txs.push(&[4, 5]);
+        let out = max_miner(&txs, MaxMinerConfig { min_support: 2, max_expansions: 0 });
+        for (i, (a, _)) in out.iter().enumerate() {
+            for (j, (b, _)) in out.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subset_of(b.words()), "{a:?} subset of {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_cap_still_returns_frequent_sets() {
+        let mut txs = TransactionSet::new(10);
+        for t in 0..20 {
+            let items: Vec<usize> = (0..10).filter(|i| (t + i) % 2 == 0).collect();
+            txs.push(&items);
+        }
+        let out = max_miner(&txs, MaxMinerConfig { min_support: 2, max_expansions: 3 });
+        for (s, sup) in &out {
+            assert!(*sup >= 2);
+            assert_eq!(txs.support(s), *sup);
+        }
+    }
+}

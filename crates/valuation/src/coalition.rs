@@ -1,0 +1,188 @@
+//! Coalitions as bitmasks over up to 32 participants.
+
+use std::fmt;
+
+/// A subset of participants `0..n`, packed into a `u32` bitmask.
+///
+/// The paper's federations have `n = 8` (Shapley/LeastCore become
+/// intractable beyond that); 32 leaves ample headroom.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coalition {
+    mask: u32,
+    n: u8,
+}
+
+impl Coalition {
+    /// The empty coalition over `n` participants.
+    ///
+    /// # Panics
+    /// Panics if `n > 32` or `n == 0`.
+    pub fn empty(n: usize) -> Self {
+        assert!((1..=32).contains(&n), "supported federation sizes are 1..=32");
+        Coalition { mask: 0, n: n as u8 }
+    }
+
+    /// The grand coalition `N`.
+    pub fn grand(n: usize) -> Self {
+        let mut c = Coalition::empty(n);
+        c.mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        c
+    }
+
+    /// A coalition from explicit member indices.
+    ///
+    /// # Panics
+    /// Panics if a member is `>= n`.
+    pub fn from_members(n: usize, members: &[usize]) -> Self {
+        let mut c = Coalition::empty(n);
+        for &m in members {
+            c.insert(m);
+        }
+        c
+    }
+
+    /// A coalition directly from a bitmask.
+    ///
+    /// # Panics
+    /// Panics if the mask has bits at or above `n`.
+    pub fn from_mask(n: usize, mask: u32) -> Self {
+        let c = Coalition::grand(n);
+        assert_eq!(mask & !c.mask, 0, "mask has members beyond n");
+        Coalition { mask, n: n as u8 }
+    }
+
+    /// Number of participants in the federation.
+    pub fn n_players(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The raw bitmask.
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Coalition size `|S|`.
+    pub fn len(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Whether the coalition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Whether the coalition is the grand coalition.
+    pub fn is_grand(&self) -> bool {
+        *self == Coalition::grand(self.n as usize)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, player: usize) -> bool {
+        player < self.n as usize && (self.mask >> player) & 1 == 1
+    }
+
+    /// Adds a member.
+    ///
+    /// # Panics
+    /// Panics if `player >= n`.
+    pub fn insert(&mut self, player: usize) {
+        assert!(player < self.n as usize, "player out of range");
+        self.mask |= 1 << player;
+    }
+
+    /// Removes a member.
+    pub fn remove(&mut self, player: usize) {
+        assert!(player < self.n as usize, "player out of range");
+        self.mask &= !(1 << player);
+    }
+
+    /// `S ∪ {player}` as a new coalition.
+    pub fn with(&self, player: usize) -> Self {
+        let mut c = *self;
+        c.insert(player);
+        c
+    }
+
+    /// `S ∖ {player}` as a new coalition.
+    pub fn without(&self, player: usize) -> Self {
+        let mut c = *self;
+        c.remove(player);
+        c
+    }
+
+    /// Member indices, ascending.
+    pub fn members(&self) -> Vec<usize> {
+        (0..self.n as usize).filter(|&p| self.contains(p)).collect()
+    }
+
+    /// Iterates over all `2^n` coalitions of an `n`-player federation.
+    pub fn all(n: usize) -> impl Iterator<Item = Coalition> {
+        let grand = Coalition::grand(n).mask;
+        (0..=grand).map(move |mask| Coalition { mask, n: n as u8 })
+    }
+}
+
+impl fmt::Debug for Coalition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Coalition{:?}", self.members())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let c = Coalition::from_members(5, &[0, 3]);
+        assert!(c.contains(0) && c.contains(3));
+        assert!(!c.contains(1) && !c.contains(4));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.members(), vec![0, 3]);
+        assert!(!c.is_empty());
+        assert!(!c.is_grand());
+        assert!(Coalition::grand(5).is_grand());
+        assert_eq!(Coalition::grand(5).len(), 5);
+        assert!(Coalition::empty(5).is_empty());
+    }
+
+    #[test]
+    fn with_without_are_pure() {
+        let c = Coalition::from_members(4, &[1]);
+        let d = c.with(2);
+        assert!(!c.contains(2) && d.contains(2));
+        let e = d.without(1);
+        assert!(d.contains(1) && !e.contains(1));
+    }
+
+    #[test]
+    fn all_enumerates_power_set() {
+        let all: Vec<Coalition> = Coalition::all(3).collect();
+        assert_eq!(all.len(), 8);
+        assert!(all[0].is_empty());
+        assert!(all[7].is_grand());
+        // All distinct.
+        let set: std::collections::BTreeSet<u32> = all.iter().map(|c| c.mask()).collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn full_32_player_federation() {
+        let g = Coalition::grand(32);
+        assert_eq!(g.len(), 32);
+        assert!(g.contains(31));
+    }
+
+    #[test]
+    #[should_panic(expected = "player out of range")]
+    fn insert_checks_range() {
+        let mut c = Coalition::empty(3);
+        c.insert(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask has members beyond n")]
+    fn from_mask_checks_range() {
+        let _ = Coalition::from_mask(3, 0b1000);
+    }
+}

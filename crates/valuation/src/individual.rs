@@ -1,0 +1,34 @@
+//! The Individual scheme (paper Section II-B.1): `φ(i) = v({i})`.
+
+use crate::coalition::Coalition;
+use crate::utility::{evaluate_many, UtilityFn};
+
+/// Each participant's stand-alone utility. Simple, efficient (n coalition
+/// evaluations), robust to other clients' behaviour — but blind to
+/// cooperation (paper Table I).
+pub fn individual_scores<U: UtilityFn>(u: &U, parallel: bool) -> Vec<f64> {
+    let n = u.n_players();
+    let singletons: Vec<Coalition> =
+        (0..n).map(|i| Coalition::from_members(n, &[i])).collect();
+    evaluate_many(u, &singletons, parallel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::TableUtility;
+
+    #[test]
+    fn table2_example() {
+        // Paper Example II.1: Individual underestimates C, φ(C) = 0.65 (65%).
+        let u = TableUtility::paper_table2();
+        let scores = individual_scores(&u, false);
+        assert_eq!(scores, vec![80.0, 80.0, 65.0]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let u = TableUtility::paper_table2();
+        assert_eq!(individual_scores(&u, true), individual_scores(&u, false));
+    }
+}

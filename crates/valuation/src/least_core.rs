@@ -1,0 +1,161 @@
+//! The LeastCore scheme (paper Section II-B.4, Eq. 2).
+//!
+//! ```text
+//! min e   s.t.   Σ_{i∈S} φ_i + e ≥ v(S)   ∀ sampled S ⊂ N,
+//!                Σ_{i∈N} φ_i = v(N)
+//! ```
+//!
+//! The full least core has `2^n − 2` constraints; following the paper we
+//! sample `Θ(n² log n)` distinct coalitions (plus all singletons, which are
+//! cheap and anchor individual rationality) and solve the LP with the
+//! `ctfl-lp` two-phase simplex.
+
+use rand::Rng;
+use std::collections::BTreeSet;
+
+use ctfl_lp::{ConstraintOp, LinearProgram, LpError};
+
+use crate::coalition::Coalition;
+use crate::utility::{evaluate_many, UtilityFn};
+
+/// Configuration for sampled LeastCore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeastCoreConfig {
+    /// Number of distinct coalition constraints to sample (the singletons
+    /// are always included on top of this budget).
+    pub n_constraints: usize,
+    /// Evaluate sampled coalitions on scoped threads.
+    pub parallel: bool,
+}
+
+impl Default for LeastCoreConfig {
+    fn default() -> Self {
+        LeastCoreConfig { n_constraints: 128, parallel: true }
+    }
+}
+
+/// Computes least-core scores. Returns `(scores, e)` where `e` is the
+/// optimal maximum deficit.
+pub fn least_core_scores<U: UtilityFn, R: Rng + ?Sized>(
+    u: &U,
+    config: &LeastCoreConfig,
+    rng: &mut R,
+) -> Result<(Vec<f64>, f64), LpError> {
+    let n = u.n_players();
+    let grand = Coalition::grand(n);
+
+    // Collect distinct proper, non-empty coalitions: all singletons first,
+    // then random samples up to the budget (or exhaustively for tiny n).
+    let mut masks: BTreeSet<u32> = (0..n).map(|i| 1u32 << i).collect();
+    let max_proper = (grand.mask() as usize).saturating_sub(1); // excludes ∅ and N
+    if max_proper <= config.n_constraints {
+        for mask in 1..grand.mask() {
+            masks.insert(mask);
+        }
+    } else {
+        let mut guard = 0usize;
+        while masks.len() < config.n_constraints + n && guard < config.n_constraints * 64 {
+            let mask = rng.gen_range(1..grand.mask());
+            masks.insert(mask);
+            guard += 1;
+        }
+    }
+
+    let coalitions: Vec<Coalition> =
+        masks.iter().map(|&m| Coalition::from_mask(n, m)).collect();
+    let mut all = coalitions.clone();
+    all.push(grand);
+    let values = evaluate_many(u, &all, config.parallel);
+    let v_grand = *values.last().expect("grand appended");
+
+    // Variables: φ_0..φ_{n-1} (free), e (free). Objective: min e.
+    let mut objective = vec![0.0; n + 1];
+    objective[n] = 1.0;
+    let mut lp = LinearProgram::minimize(objective);
+    for (c, &v) in coalitions.iter().zip(&values) {
+        let mut coeffs = vec![0.0; n + 1];
+        for m in c.members() {
+            coeffs[m] = 1.0;
+        }
+        coeffs[n] = 1.0; // + e
+        lp.add_constraint(coeffs, ConstraintOp::Ge, v);
+    }
+    let mut eff = vec![1.0; n + 1];
+    eff[n] = 0.0;
+    lp.add_constraint(eff, ConstraintOp::Eq, v_grand);
+
+    let solution = lp.solve()?;
+    let scores = solution.x[..n].to_vec();
+    Ok((scores, solution.objective))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::TableUtility;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_table2_least_core() {
+        let u = TableUtility::paper_table2();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (scores, e) = least_core_scores(&u, &LeastCoreConfig::default(), &mut rng).unwrap();
+        // Efficiency.
+        let sum: f64 = scores.iter().sum();
+        assert!((sum - 90.0).abs() < 1e-6, "sum {sum}");
+        // All constraints satisfied at optimum (n=3 enumerates everything).
+        for c in Coalition::all(3) {
+            if c.is_empty() || c.is_grand() {
+                continue;
+            }
+            let lhs: f64 = c.members().iter().map(|&m| scores[m]).sum::<f64>() + e;
+            assert!(lhs >= u.value(&c) - 1e-6, "violated for {c:?}");
+        }
+        // At least one constraint is tight (otherwise e could decrease).
+        let tight = Coalition::all(3).filter(|c| !c.is_empty() && !c.is_grand()).any(|c| {
+            let lhs: f64 = c.members().iter().map(|&m| scores[m]).sum::<f64>() + e;
+            (lhs - u.value(&c)).abs() < 1e-6
+        });
+        assert!(tight);
+    }
+
+    #[test]
+    fn symmetric_game_supports_equal_split() {
+        // v(S) = 10·|S| — additive game; any efficient allocation with
+        // e = 0... the least core gives e ≤ 0 and efficiency pins Σφ = 40.
+        let values: Vec<f64> = (0..16u32).map(|m| (m.count_ones() * 10) as f64).collect();
+        let u = TableUtility::new(4, values);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (scores, e) = least_core_scores(&u, &LeastCoreConfig::default(), &mut rng).unwrap();
+        let sum: f64 = scores.iter().sum();
+        assert!((sum - 40.0).abs() < 1e-6);
+        assert!(e <= 1e-6, "additive game is in the core: e = {e}");
+        // Constraint check per singleton: φ_i + e >= 10.
+        for &s in &scores {
+            assert!(s + e >= 10.0 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn sampled_constraints_are_deterministic_under_seed() {
+        let u = TableUtility::paper_table2();
+        let cfg = LeastCoreConfig { n_constraints: 3, parallel: false };
+        let a = least_core_scores(&u, &cfg, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = least_core_scores(&u, &cfg, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_player_split_the_surplus() {
+        // v(∅)=0, v(1)=10, v(2)=30, v(12)=100. Least core: maximize the
+        // minimum slack — e* = -30 with φ = (40, 60).
+        let u = TableUtility::new(2, vec![0.0, 10.0, 30.0, 100.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (scores, e) = least_core_scores(&u, &LeastCoreConfig::default(), &mut rng).unwrap();
+        assert!((scores[0] + scores[1] - 100.0).abs() < 1e-6);
+        assert!((e + 30.0).abs() < 1e-6, "e = {e}");
+        assert!((scores[0] - 40.0).abs() < 1e-6, "{scores:?}");
+        assert!((scores[1] - 60.0).abs() < 1e-6, "{scores:?}");
+    }
+}

@@ -1,0 +1,41 @@
+//! The LeaveOneOut scheme (paper Section II-B.2):
+//! `φ(i) = v(D_N) − v(D_{N∖i})`.
+
+use crate::coalition::Coalition;
+use crate::utility::{evaluate_many, UtilityFn};
+
+/// Marginal loss of removing each participant from the grand coalition.
+/// Costs `n + 1` coalition evaluations. Unfair to participants with
+/// homogeneous (substitutable) data — removing one of two identical clients
+/// loses nothing (paper Table I).
+pub fn leave_one_out_scores<U: UtilityFn>(u: &U, parallel: bool) -> Vec<f64> {
+    let n = u.n_players();
+    let grand = Coalition::grand(n);
+    let mut coalitions = vec![grand];
+    coalitions.extend((0..n).map(|i| grand.without(i)));
+    let values = evaluate_many(u, &coalitions, parallel);
+    let v_grand = values[0];
+    values[1..].iter().map(|&v| v_grand - v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::TableUtility;
+
+    #[test]
+    fn table2_example_shows_substitutability_blindness() {
+        // Paper Example II.1: A and B are substitutable, so LOO scores them 0.
+        let u = TableUtility::paper_table2();
+        let scores = leave_one_out_scores(&u, false);
+        // φ(A) = v(ABC) − v(BC) = 0; φ(B) = v(ABC) − v(AC) = 0;
+        // φ(C) = v(ABC) − v(AB) = 10.
+        assert_eq!(scores, vec![0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let u = TableUtility::paper_table2();
+        assert_eq!(leave_one_out_scores(&u, true), leave_one_out_scores(&u, false));
+    }
+}

@@ -1,0 +1,59 @@
+//! # ctfl-valuation
+//!
+//! The four baseline contribution-estimation schemes CTFL is evaluated
+//! against (paper Section II-B / VI-A):
+//!
+//! * [`individual`] — `φ(i) = v(D_i)`: a participant's stand-alone utility.
+//! * [`leave_one_out`] — `φ(i) = v(D_N) − v(D_{N∖i})`.
+//! * [`shapley`] — exact enumeration (`2^n` coalitions), permutation
+//!   Monte-Carlo sampling (`Θ(n² log n)` samples per the paper), and
+//!   truncated sampling with early stopping (GTG-Shapley style).
+//! * [`least_core`] — Eq. 2 with `Θ(n² log n)` sampled coalition
+//!   constraints, solved by the `ctfl-lp` simplex.
+//!
+//! All schemes act on a [`utility::UtilityFn`] — any set function over
+//! coalitions. [`utility::ModelUtility`] is the real one (train a logical
+//! network on the coalition's pooled data, measure test accuracy, per
+//! paper Eq. 1); [`utility::TableUtility`] backs tests and the Table II
+//! example; [`utility::CachedUtility`] memoizes and counts evaluations so
+//! the benchmark harness can report both wall-clock and model-training
+//! counts.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coalition;
+pub mod individual;
+pub mod least_core;
+pub mod leave_one_out;
+pub mod rank;
+pub mod shapley;
+pub mod utility;
+
+pub use coalition::Coalition;
+pub use individual::individual_scores;
+pub use least_core::{least_core_scores, LeastCoreConfig};
+pub use leave_one_out::leave_one_out_scores;
+pub use rank::{kendall_tau, spearman_rho};
+pub use shapley::{exact_shapley, sampled_shapley, ShapleySamplingConfig};
+pub use utility::{CachedUtility, ModelUtility, TableUtility, UtilityFn};
+
+/// The paper's sampling budget for approximate Shapley / LeastCore:
+/// `Θ(n² log n)` (with a small floor so tiny federations still sample
+/// something meaningful).
+pub fn paper_sample_budget(n: usize) -> usize {
+    let n_f = n as f64;
+    ((n_f * n_f * n_f.max(2.0).ln()).ceil() as usize).max(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_budget_grows_superquadratically() {
+        assert!(paper_sample_budget(8) >= 128);
+        assert!(paper_sample_budget(16) > 4 * paper_sample_budget(8) - 64);
+        assert!(paper_sample_budget(1) >= 8);
+    }
+}

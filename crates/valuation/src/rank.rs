@@ -1,0 +1,145 @@
+//! Rank-correlation metrics for comparing contribution rankings.
+
+/// Average ranks (1-based) with ties sharing the mean rank.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman's ρ between two score vectors (Pearson correlation of ranks,
+/// handling ties by mid-ranking). Returns 0 for degenerate inputs
+/// (constant vectors or length < 2).
+///
+/// # Panics
+/// Panics if the vectors differ in length.
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let mean = (n + 1) as f64 / 2.0;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..n {
+        let da = ra[i] - mean;
+        let db = rb[i] - mean;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// Kendall's τ-b between two score vectors (tie-corrected).
+///
+/// # Panics
+/// Panics if the vectors differ in length.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 && db == 0.0 {
+                continue;
+            }
+            if da == 0.0 {
+                ties_a += 1;
+            } else if db == 0.0 {
+                ties_b += 1;
+            } else if (da > 0.0) == (db > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = concordant + discordant;
+    let denom = (((n0 + ties_a) as f64) * ((n0 + ties_b) as f64)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_disagreement() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((spearman_rho(&a, &b) + 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_are_mid_ranked() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn partial_agreement_is_between() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 1.0, 3.0, 4.0]; // one swap
+        let rho = spearman_rho(&a, &b);
+        let tau = kendall_tau(&a, &b);
+        assert!(rho > 0.0 && rho < 1.0, "rho {rho}");
+        assert!(tau > 0.0 && tau < 1.0, "tau {tau}");
+        // Known value: tau = (C - D) / C(4,2) = (5 - 1) / 6.
+        assert!((tau - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(spearman_rho(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman_rho(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn checks_lengths() {
+        spearman_rho(&[1.0], &[1.0, 2.0]);
+    }
+}

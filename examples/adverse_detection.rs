@@ -1,0 +1,75 @@
+//! Detecting adverse participants (paper Section IV-A).
+//!
+//! ```text
+//! cargo run --release --example adverse_detection
+//! ```
+//!
+//! An 6-client federation where client 4 replicates its data 3× and client
+//! 5 flips 40% of its labels. CTFL's micro/macro divergence flags the
+//! replicator; the loss-tracing allocation concentrates blame on the
+//! flipper; honest clients stay clean.
+
+use ctfl::core::estimator::{CtflConfig, CtflEstimator};
+use ctfl::data::adverse::{flip_labels, replicate};
+use ctfl::data::partition::skew_label;
+use ctfl::data::split::train_test_split;
+use ctfl::data::synthetic::adult_like;
+use ctfl::fl::fedavg::{train_federated, FlConfig};
+use ctfl::nn::extract::{extract_rules, ExtractOptions};
+use ctfl::nn::net::LogicalNetConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let (data, _) = adult_like(0.03, 5);
+    let (train, test) = train_test_split(&data, 0.2, true, &mut rng);
+    let n_clients = 6;
+    let partition = skew_label(train.labels(), 2, n_clients, 0.8, &mut rng);
+
+    // Client 4 replicates aggressively; client 5 flips 40% of its labels.
+    let (train, partition, rep) = replicate(&train, &partition, &[4], (1.0, 1.0), &mut rng);
+    println!("client 4 replicated {} rows", rep.affected_rows[0]);
+    let (train, partition, flip) = flip_labels(&train, &partition, &[5], (0.4, 0.4), &mut rng);
+    println!("client 5 flipped {} labels\n", flip.affected_rows[0]);
+
+    let shards: Vec<_> =
+        (0..n_clients).map(|c| train.subset(&partition.client_indices(c))).collect();
+    let net_config = LogicalNetConfig {
+        lr_logical: 0.1,
+        lr_linear: 0.3,
+        momentum: 0.0,
+        seed: 1,
+        ..LogicalNetConfig::default()
+    };
+    let fl = FlConfig { rounds: 30, local_epochs: 5, parallel: true };
+    let net = train_federated(&shards, 2, &net_config, &fl).expect("training succeeds");
+    let model = extract_rules(&net, ExtractOptions::default()).expect("extraction succeeds");
+    println!("global model accuracy: {:.3}\n", model.accuracy(&test).expect("non-empty"));
+
+    let estimator = CtflEstimator::new(model, CtflConfig::default());
+    let report =
+        estimator.estimate(&train, &partition.client_of, &test).expect("valid inputs");
+
+    println!("client  micro    macro    inflation  loss-share  useless%");
+    for (c, signals) in report.robustness.clients.iter().enumerate() {
+        println!(
+            "{c:>6}  {:.4}  {:.4}  {:>9.2}  {:>10.4}  {:>7.1}",
+            signals.micro,
+            signals.macro_,
+            signals.replication_inflation,
+            signals.loss_share,
+            signals.useless_ratio * 100.0
+        );
+    }
+    println!();
+    println!("suspected replicators:     {:?}", report.robustness.suspected_replicators);
+    println!("suspected label flippers:  {:?}", report.robustness.suspected_label_flippers);
+    println!("suspected low quality:     {:?}", report.robustness.suspected_low_quality);
+    println!();
+    println!(
+        "note how the flipper's flipped records stop matching correctly classified\n\
+         tests (micro score drops) while its matches on MISclassified tests (loss\n\
+         share / useless ratio) rise — exactly the paper's detection signals."
+    );
+}

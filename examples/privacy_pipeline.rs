@@ -1,0 +1,99 @@
+//! The privacy-preserving deployment (paper Section V "Data Privacy
+//! Analysis").
+//!
+//! ```text
+//! cargo run --release --example privacy_pipeline
+//! ```
+//!
+//! Clients never upload raw features: each computes the rule activation
+//! bitsets of its private shard locally (optionally perturbed by randomized
+//! response for local differential privacy) and uploads only those. The
+//! federation assembles the tracing inputs from the uploads and produces
+//! the same contribution scores — exactly, without perturbation; and with a
+//! quantifiable drift as ε shrinks.
+
+use ctfl::core::allocation::{micro_scores, CreditDirection};
+use ctfl::core::estimator::{CtflConfig, CtflEstimator};
+use ctfl::core::tracing::{trace, TraceConfig};
+use ctfl::data::partition::skew_label;
+use ctfl::data::split::train_test_split;
+use ctfl::data::tictactoe_endgame;
+use ctfl::fl::fedavg::{train_federated, FlConfig};
+use ctfl::fl::privacy::{assemble_trace_inputs, trace_inputs_from_parts, ActivationUpload, PrivacyConfig};
+use ctfl::nn::extract::{extract_rules, ExtractOptions};
+use ctfl::nn::net::LogicalNetConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let data = tictactoe_endgame();
+    let (train, test) = train_test_split(&data, 0.2, true, &mut rng);
+    let n_clients = 4;
+    let partition = skew_label(train.labels(), 2, n_clients, 0.8, &mut rng);
+    let shards: Vec<_> =
+        (0..n_clients).map(|c| train.subset(&partition.client_indices(c))).collect();
+
+    let net_config = LogicalNetConfig {
+        lr_logical: 0.1,
+        lr_linear: 0.3,
+        momentum: 0.0,
+        seed: 4,
+        ..LogicalNetConfig::default()
+    };
+    let fl = FlConfig { rounds: 30, local_epochs: 5, parallel: true };
+    let net = train_federated(&shards, 2, &net_config, &fl).expect("training succeeds");
+    let model = extract_rules(&net, ExtractOptions::default()).expect("extraction succeeds");
+
+    // Reference: the in-memory estimator (sees raw features).
+    let reference = CtflEstimator::new(model.clone(), CtflConfig::default())
+        .estimate(&train, &partition.client_of, &test)
+        .expect("valid inputs");
+
+    // Federation-side test artifacts (the federation OWNS the test set).
+    let test_acts = model.activation_matrix(&test, true).expect("schema matches");
+    let predictions: Vec<usize> =
+        (0..test.len()).map(|i| model.classify_from_activations(&test_acts, i)).collect();
+
+    for flip_probability in [0.0, 0.02, 0.10] {
+        let cfg = PrivacyConfig { flip_probability };
+        // Each client computes its upload LOCALLY.
+        let uploads: Vec<ActivationUpload> = shards
+            .iter()
+            .enumerate()
+            .map(|(c, shard)| {
+                ActivationUpload::compute(c, &model, shard, &cfg, &mut rng)
+                    .expect("upload succeeds")
+            })
+            .collect();
+        // The federation assembles tracing inputs from uploads alone.
+        let (train_acts, train_labels, client_of) =
+            assemble_trace_inputs(&uploads).expect("uploads are consistent");
+        let inputs = trace_inputs_from_parts(
+            &model,
+            &train_acts,
+            &train_labels,
+            &client_of,
+            n_clients,
+            &test_acts,
+            test.labels(),
+            &predictions,
+        );
+        let outcome = trace(&inputs, &TraceConfig::default()).expect("valid inputs");
+        let scores = micro_scores(&outcome, CreditDirection::Gain);
+        let max_dev = scores
+            .iter()
+            .zip(&reference.micro)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "flip p = {flip_probability:<4} (eps = {:>6.3}): scores = {:?}  max drift vs raw = {max_dev:.4}",
+            cfg.epsilon(),
+            scores.iter().map(|s| (s * 1e4).round() / 1e4).collect::<Vec<_>>(),
+        );
+    }
+    println!(
+        "\nwith p = 0 the upload pipeline reproduces the raw-data scores exactly;\n\
+         randomized response trades a bounded score drift for per-bit local DP."
+    );
+}

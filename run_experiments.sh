@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerates every paper artifact; outputs under results/.
+# Default scales are sized for a single-core CI-class machine; raise
+# --scale on real hardware for wider CTFL-vs-Shapley gaps.
+set -u
+cd "$(dirname "$0")"
+BIN=./target/release
+S=${SCALE:-0.008}
+$BIN/fig4_accuracy --scale $S --seed 7 > results/fig4.txt 2>&1; echo "fig4 rc=$?"
+$BIN/fig5_time --scale $S --seed 7 > results/fig5.txt 2>&1; echo "fig5 rc=$?"
+$BIN/fig6_robustness --scale $S --seed 7 --datasets tictactoe,adult > results/fig6.txt 2>&1; echo "fig6 rc=$?"
+$BIN/fig7_interpret_ttt --seed 7 > results/fig7.txt 2>&1; echo "fig7 rc=$?"
+$BIN/table5_interpret_adult --seed 7 > results/table5.txt 2>&1; echo "table5 rc=$?"
+$BIN/table2_example > results/table2.txt 2>&1; echo "table2 rc=$?"
+$BIN/table1_comparison --seed 7 > results/table1.txt 2>&1; echo "table1 rc=$?"
+$BIN/ablation --seed 7 > results/ablation.txt 2>&1; echo "ablation rc=$?"
+echo ALL_EXPERIMENTS_DONE

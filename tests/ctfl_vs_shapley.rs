@@ -1,0 +1,59 @@
+//! Cross-crate agreement: CTFL's single-pass scores should rank clients
+//! consistently with exact Shapley values on small federations where the
+//! ground truth is computable (paper RQ1).
+
+use ctfl::core::estimator::{CtflConfig, CtflEstimator};
+use ctfl::data::partition::skew_label;
+use ctfl::data::split::train_test_split;
+use ctfl::data::tictactoe_endgame;
+use ctfl::fl::fedavg::{train_federated, FlConfig};
+use ctfl::nn::extract::{extract_rules, ExtractOptions};
+use ctfl::nn::net::LogicalNetConfig;
+use ctfl::valuation::rank::spearman_rho;
+use ctfl::valuation::shapley::exact_shapley;
+use ctfl::valuation::utility::{CachedUtility, ModelUtility};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn ctfl_ranks_agree_with_exact_shapley_on_small_federation() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let data = tictactoe_endgame();
+    let (train, test) = train_test_split(&data, 0.2, true, &mut rng);
+    let n_clients = 4;
+    // Strong label skew makes contributions markedly unequal.
+    let partition = skew_label(train.labels(), 2, n_clients, 0.5, &mut rng);
+    let shards: Vec<_> =
+        (0..n_clients).map(|c| train.subset(&partition.client_indices(c))).collect();
+
+    let net_config = LogicalNetConfig {
+        lr_logical: 0.1,
+        lr_linear: 0.3,
+        momentum: 0.0,
+        epochs: 25,
+        seed: 6,
+        ..LogicalNetConfig::default()
+    };
+    let fl = FlConfig { rounds: 25, local_epochs: 5, parallel: true };
+    let net = train_federated(&shards, 2, &net_config, &fl).unwrap();
+    let model = extract_rules(&net, ExtractOptions::default()).unwrap();
+    assert!(model.accuracy(&test).unwrap() > 0.7);
+
+    let estimator = CtflEstimator::new(model, CtflConfig::default());
+    let report = estimator.estimate(&train, &partition.client_of, &test).unwrap();
+
+    // Ground truth: exact Shapley over 2^4 = 16 coalitions (centralized
+    // retraining utility keeps this test fast).
+    let utility =
+        CachedUtility::new(ModelUtility::new(shards.clone(), test.clone(), net_config));
+    let shapley = exact_shapley(&utility);
+    assert_eq!(utility.evaluations(), 16);
+
+    let rho = spearman_rho(&report.micro, &shapley);
+    assert!(
+        rho > 0.3,
+        "CTFL/Shapley rank correlation too low: rho = {rho}\n  ctfl    = {:?}\n  shapley = {:?}",
+        report.micro,
+        shapley
+    );
+}

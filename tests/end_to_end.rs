@@ -1,0 +1,126 @@
+//! End-to-end integration: data → federated training → rule extraction →
+//! contribution tracing → allocation → robustness → interpretation.
+
+use ctfl::core::estimator::{CtflConfig, CtflEstimator};
+use ctfl::core::tracing::GroupingStrategy;
+use ctfl::data::adverse::flip_labels;
+use ctfl::data::partition::skew_label;
+use ctfl::data::split::train_test_split;
+use ctfl::data::tictactoe_endgame;
+use ctfl::fl::fedavg::{train_federated, FlConfig};
+use ctfl::nn::extract::{extract_rules, ExtractOptions};
+use ctfl::nn::net::LogicalNetConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn net_config(seed: u64) -> LogicalNetConfig {
+    LogicalNetConfig {
+        lr_logical: 0.1,
+        lr_linear: 0.3,
+        momentum: 0.0,
+        seed,
+        ..LogicalNetConfig::default()
+    }
+}
+
+fn fl_config() -> FlConfig {
+    FlConfig { rounds: 25, local_epochs: 5, parallel: true }
+}
+
+#[test]
+fn tictactoe_pipeline_satisfies_group_rationality() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = tictactoe_endgame();
+    let (train, test) = train_test_split(&data, 0.2, true, &mut rng);
+    let partition = skew_label(train.labels(), 2, 4, 0.8, &mut rng);
+    let shards: Vec<_> = (0..4).map(|c| train.subset(&partition.client_indices(c))).collect();
+
+    let net = train_federated(&shards, 2, &net_config(2), &fl_config()).unwrap();
+    let model = extract_rules(&net, ExtractOptions::default()).unwrap();
+    let accuracy = model.accuracy(&test).unwrap();
+    assert!(accuracy > 0.75, "federated tic-tac-toe accuracy {accuracy}");
+
+    let estimator = CtflEstimator::new(model, CtflConfig::default());
+    let report = estimator.estimate(&train, &partition.client_of, &test).unwrap();
+
+    // Group rationality: micro scores sum to (matched) test accuracy.
+    let sum: f64 = report.micro.iter().sum();
+    assert!(
+        sum <= report.test_accuracy + 1e-9,
+        "scores sum {sum} exceeds accuracy {}",
+        report.test_accuracy
+    );
+    assert!(sum > report.test_accuracy * 0.8, "most correct tests should be matched: {sum}");
+
+    // Everyone holds real data, so every client earns something.
+    assert!(report.micro.iter().all(|&s| s > 0.0), "{:?}", report.micro);
+    // No false adverse flags on an honest federation.
+    assert!(report.robustness.suspected_label_flippers.is_empty());
+}
+
+#[test]
+fn grouping_strategies_agree_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = tictactoe_endgame();
+    let (train, test) = train_test_split(&data, 0.25, true, &mut rng);
+    let partition = skew_label(train.labels(), 2, 3, 0.7, &mut rng);
+    let shards: Vec<_> = (0..3).map(|c| train.subset(&partition.client_indices(c))).collect();
+    let net = train_federated(&shards, 2, &net_config(7), &fl_config()).unwrap();
+    let model = extract_rules(&net, ExtractOptions::default()).unwrap();
+
+    let run = |grouping| {
+        let estimator = CtflEstimator::new(
+            model.clone(),
+            CtflConfig { grouping, parallel: false, ..CtflConfig::default() },
+        );
+        estimator.estimate(&train, &partition.client_of, &test).unwrap()
+    };
+    let brute = run(GroupingStrategy::BruteForce);
+    let dedup = run(GroupingStrategy::SignatureDedup);
+    let mined = run(GroupingStrategy::FrequentRuleSets { min_support: 0.05 });
+    for (a, b) in brute.micro.iter().zip(&dedup.micro) {
+        assert!((a - b).abs() < 1e-12, "dedup differs: {a} vs {b}");
+    }
+    for (a, b) in brute.micro.iter().zip(&mined.micro) {
+        assert!((a - b).abs() < 1e-12, "max-miner grouping differs: {a} vs {b}");
+    }
+    assert_eq!(brute.macro_, dedup.macro_);
+    assert_eq!(brute.macro_, mined.macro_);
+}
+
+#[test]
+fn label_flipping_client_is_detected_and_scores_drop() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let data = tictactoe_endgame();
+    let (train, test) = train_test_split(&data, 0.2, true, &mut rng);
+    let partition = skew_label(train.labels(), 2, 4, 0.9, &mut rng);
+
+    // Baseline scores.
+    let shards: Vec<_> = (0..4).map(|c| train.subset(&partition.client_indices(c))).collect();
+    let net = train_federated(&shards, 2, &net_config(3), &fl_config()).unwrap();
+    let model = extract_rules(&net, ExtractOptions::default()).unwrap();
+    let estimator = CtflEstimator::new(model, CtflConfig::default());
+    let base = estimator.estimate(&train, &partition.client_of, &test).unwrap();
+
+    // Client 2 flips 45% of its labels; model retrained.
+    let (train2, partition2, _) = flip_labels(&train, &partition, &[2], (0.45, 0.45), &mut rng);
+    let shards2: Vec<_> = (0..4).map(|c| train2.subset(&partition2.client_indices(c))).collect();
+    let net2 = train_federated(&shards2, 2, &net_config(3), &fl_config()).unwrap();
+    let model2 = extract_rules(&net2, ExtractOptions::default()).unwrap();
+    let estimator2 = CtflEstimator::new(model2, CtflConfig::default());
+    let after = estimator2.estimate(&train2, &partition2.client_of, &test).unwrap();
+
+    // The flipper's contribution must drop; its loss share must rise.
+    assert!(
+        after.micro[2] < base.micro[2],
+        "flipper micro should drop: {} -> {}",
+        base.micro[2],
+        after.micro[2]
+    );
+    assert!(
+        after.loss[2] >= base.loss[2],
+        "flipper loss share should not drop: {} -> {}",
+        base.loss[2],
+        after.loss[2]
+    );
+}
