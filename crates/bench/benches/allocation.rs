@@ -3,12 +3,12 @@
 //! negligible fraction of the pipeline (tracing dominates), which these
 //! numbers document.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ctfl_core::allocation::{macro_scores, macro_scores_multi, micro_scores, CreditDirection};
 use ctfl_core::tracing::{TestTrace, TraceOutcome};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::Rng;
+use ctfl_rng::SeedableRng;
+use ctfl_testkit::Bencher;
 
 fn big_trace(n_test: usize, n_clients: usize) -> TraceOutcome {
     let mut rng = StdRng::seed_from_u64(4);
@@ -31,23 +31,15 @@ fn big_trace(n_test: usize, n_clients: usize) -> TraceOutcome {
     TraceOutcome::from_per_test(per_test, n_clients, 0)
 }
 
-fn bench_allocation(c: &mut Criterion) {
+fn bench_allocation() {
     let outcome = big_trace(20_000, 8);
-    let mut group = c.benchmark_group("allocation_20k_tests_8_clients");
-    group.bench_function("micro", |b| {
-        b.iter(|| micro_scores(&outcome, CreditDirection::Gain))
-    });
-    group.bench_function("macro_delta2", |b| {
-        b.iter(|| macro_scores(&outcome, 2, CreditDirection::Gain).unwrap())
-    });
-    group.bench_function("macro_multi_5deltas", |b| {
-        b.iter(|| macro_scores_multi(&outcome, &[1, 2, 4, 8, 16], CreditDirection::Gain).unwrap())
-    });
-    group.bench_function("micro_loss_direction", |b| {
-        b.iter(|| micro_scores(&outcome, CreditDirection::Loss))
-    });
-    group.finish();
+    let mut group = Bencher::new("allocation_20k_tests_8_clients");
+    group.bench("micro", || micro_scores(&outcome, CreditDirection::Gain));
+    group.bench("macro_delta2", || macro_scores(&outcome, 2, CreditDirection::Gain).unwrap());
+    group.bench("macro_multi_5deltas", || macro_scores_multi(&outcome, &[1, 2, 4, 8, 16], CreditDirection::Gain).unwrap());
+    group.bench("micro_loss_direction", || micro_scores(&outcome, CreditDirection::Loss));
 }
 
-criterion_group!(benches, bench_allocation);
-criterion_main!(benches);
+fn main() {
+    bench_allocation();
+}

@@ -2,36 +2,33 @@
 //! grafted training step, and rule extraction — the building blocks whose
 //! cost dominates CTFL's single training pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema};
 use ctfl_nn::extract::{extract_rules, ExtractOptions};
 use ctfl_nn::logical::LogicalLayer;
 use ctfl_nn::matrix::Matrix;
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::Rng;
+use ctfl_rng::SeedableRng;
+use ctfl_testkit::Bencher;
 use std::sync::Arc;
 
-fn bench_layer_forward(c: &mut Criterion) {
+fn bench_layer_forward() {
     let mut rng = StdRng::seed_from_u64(5);
     let layer = LogicalLayer::new(256, 64, &mut rng);
     let mut x = Matrix::zeros(256, 256);
     for v in x.data_mut() {
         *v = if rng.gen_bool(0.15) { 1.0 } else { 0.0 };
     }
-    let mut group = c.benchmark_group("logical_layer_256x64_batch256");
-    group.bench_function("forward_soft", |b| b.iter(|| layer.forward_soft(&x)));
-    group.bench_function("forward_discrete", |b| b.iter(|| layer.forward_discrete(&x)));
+    let mut group = Bencher::new("logical_layer_256x64_batch256");
+    group.bench("forward_soft", || layer.forward_soft(&x));
+    group.bench("forward_discrete", || layer.forward_discrete(&x));
     let y = layer.forward_soft(&x);
     let dy = Matrix::from_vec(256, 64, vec![1.0; 256 * 64]);
-    group.bench_function("backward", |b| {
-        b.iter(|| {
-            let mut dw = Matrix::zeros(64, 256);
-            layer.backward(&x, &y, &dy, &mut dw)
-        })
+    group.bench("backward", || {
+        let mut dw = Matrix::zeros(64, 256);
+        layer.backward(&x, &y, &dy, &mut dw)
     });
-    group.finish();
 }
 
 fn training_dataset() -> Dataset {
@@ -48,7 +45,7 @@ fn training_dataset() -> Dataset {
     ds
 }
 
-fn bench_training_and_extraction(c: &mut Criterion) {
+fn bench_training_and_extraction() {
     let ds = training_dataset();
     let cfg = LogicalNetConfig {
         tau_d: 8,
@@ -58,28 +55,26 @@ fn bench_training_and_extraction(c: &mut Criterion) {
         seed: 5,
         ..LogicalNetConfig::default()
     };
-    let mut group = c.benchmark_group("logical_net_512rows");
+    let mut group = Bencher::new("logical_net_512rows");
     group.sample_size(20);
-    group.bench_function("one_grafted_epoch", |b| {
+    {
         let net = LogicalNet::new(Arc::clone(ds.schema()), 2, cfg.clone()).unwrap();
         let encoded = net.encode(&ds).unwrap();
-        b.iter_batched(
-            || net.clone(),
-            |mut n| n.train(&encoded).unwrap(),
-            criterion::BatchSize::SmallInput,
-        );
-    });
+        // Clone-per-iteration replaces criterion's iter_batched: training
+        // mutates the net, so each sample starts from the same fresh state.
+        group.bench("one_grafted_epoch", || {
+            let mut n = net.clone();
+            n.train(&encoded).unwrap()
+        });
+    }
     let mut trained = LogicalNet::new(Arc::clone(ds.schema()), 2, cfg).unwrap();
     trained.fit(&ds).unwrap();
-    group.bench_function("extract_rules", |b| {
-        b.iter(|| extract_rules(&trained, ExtractOptions::default()).unwrap())
-    });
+    group.bench("extract_rules", || extract_rules(&trained, ExtractOptions::default()).unwrap());
     let model = extract_rules(&trained, ExtractOptions::default()).unwrap();
-    group.bench_function("activation_matrix", |b| {
-        b.iter(|| model.activation_matrix(&ds, false).unwrap())
-    });
-    group.finish();
+    group.bench("activation_matrix", || model.activation_matrix(&ds, false).unwrap());
 }
 
-criterion_group!(benches, bench_layer_forward, bench_training_and_extraction);
-criterion_main!(benches);
+fn main() {
+    bench_layer_forward();
+    bench_training_and_extraction();
+}

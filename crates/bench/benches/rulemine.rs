@@ -2,13 +2,13 @@
 //! maximal patterns (Max-Miner's superset-frequency pruning is the reason
 //! the paper picks it for test-group partitioning).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ctfl_rulemine::apriori::apriori;
 use ctfl_rulemine::maxminer::{max_miner, MaxMinerConfig};
 use ctfl_rulemine::TransactionSet;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::Rng;
+use ctfl_rng::SeedableRng;
+use ctfl_testkit::Bencher;
 
 /// Transactions with planted long patterns plus noise — the regime where
 /// Max-Miner's pruning pays off.
@@ -26,7 +26,7 @@ fn db(n_tx: usize, n_items: usize, pattern_len: usize) -> TransactionSet {
         .collect();
     let mut txs = TransactionSet::new(n_items);
     for _ in 0..n_tx {
-        let mut items = patterns[rng.gen_range(0..4)].clone();
+        let mut items = patterns[rng.gen_range(0..4usize)].clone();
         for i in 0..n_items {
             if rng.gen_bool(0.02) {
                 items.push(i);
@@ -39,17 +39,15 @@ fn db(n_tx: usize, n_items: usize, pattern_len: usize) -> TransactionSet {
     txs
 }
 
-fn bench_miners(c: &mut Criterion) {
+fn bench_miners() {
     let txs = db(800, 64, 10);
     let min_support = 80;
-    let mut group = c.benchmark_group("mining_800tx_64items");
+    let mut group = Bencher::new("mining_800tx_64items");
     group.sample_size(20);
-    group.bench_function("max_miner", |b| {
-        b.iter(|| max_miner(&txs, MaxMinerConfig { min_support, max_expansions: 0 }))
-    });
-    group.bench_function("apriori_all_frequent", |b| b.iter(|| apriori(&txs, min_support)));
-    group.finish();
+    group.bench("max_miner", || max_miner(&txs, MaxMinerConfig { min_support, max_expansions: 0 }));
+    group.bench("apriori_all_frequent", || apriori(&txs, min_support));
 }
 
-criterion_group!(benches, bench_miners);
-criterion_main!(benches);
+fn main() {
+    bench_miners();
+}

@@ -1,14 +1,14 @@
 //! End-to-end scheme comparison at miniature scale: one CTFL pass vs. the
-//! baselines' repeated retraining — the criterion-tracked core of the
+//! baselines' repeated retraining — the bench-tracked core of the
 //! paper's Figure 5 claim. (The `fig5_time` binary runs the full-size
 //! version; this keeps a small, stable datapoint under `cargo bench`.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ctfl_bench::datasets::DatasetSpec;
 use ctfl_bench::federation::{default_fl, Federation, FederationConfig, SkewMode};
 use ctfl_bench::schemes::{run_baseline, run_ctfl, Scheme};
+use ctfl_testkit::Bencher;
 
-fn bench_schemes(c: &mut Criterion) {
+fn bench_schemes() {
     let mut cfg = FederationConfig::new(DatasetSpec::TicTacToe, 1.0, 11);
     cfg.n_clients = 4;
     cfg.utility_epochs = 4;
@@ -19,18 +19,13 @@ fn bench_schemes(c: &mut Criterion) {
     fl.rounds = 5;
     fl.local_epochs = 2;
 
-    let mut group = c.benchmark_group("schemes_tictactoe_4clients");
+    let mut group = Bencher::new("schemes_tictactoe_4clients");
     group.sample_size(10);
-    group.bench_function("ctfl_end_to_end", |b| b.iter(|| run_ctfl(&fed, &fl)));
-    group.bench_function("individual", |b| {
-        b.iter(|| run_baseline(Scheme::Individual, &fed, 11))
-    });
-    group.bench_function("leave_one_out", |b| {
-        b.iter(|| run_baseline(Scheme::LeaveOneOut, &fed, 11))
-    });
-    group.finish();
+    group.bench("ctfl_end_to_end", || run_ctfl(&fed, &fl));
+    group.bench("individual", || run_baseline(Scheme::Individual, &fed, 11));
+    group.bench("leave_one_out", || run_baseline(Scheme::LeaveOneOut, &fed, 11));
 
-    // Shapley/LeastCore are far too slow to iterate under criterion even at
+    // Shapley/LeastCore are far too slow to iterate in the harness even at
     // miniature scale; a single timed run each documents the gap.
     let t = std::time::Instant::now();
     let shapley = run_baseline(Scheme::ShapleyValue, &fed, 11);
@@ -48,5 +43,6 @@ fn bench_schemes(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);
+fn main() {
+    bench_schemes();
+}

@@ -3,12 +3,12 @@
 //! Computation of CTFL"). SignatureDedup and the Max-Miner FrequentRuleSets
 //! grouping must beat BruteForce on redundant activation data.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ctfl_core::activation::ActivationMatrix;
 use ctfl_core::tracing::{trace, GroupingStrategy, TraceConfig, TraceInputs};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::Rng;
+use ctfl_rng::SeedableRng;
+use ctfl_testkit::Bencher;
 
 struct Setup {
     train: ActivationMatrix,
@@ -30,7 +30,7 @@ fn setup(n_train: usize, n_test: usize, n_rules: usize) -> Setup {
         .map(|_| (0..n_rules).map(|_| rng.gen_bool(0.12)).collect())
         .collect();
     let sample = |rng: &mut StdRng| -> (Vec<bool>, u32) {
-        let a = rng.gen_range(0..n_archetypes);
+        let a = rng.gen_range(0..n_archetypes) as usize;
         let mut bits = archetypes[a].clone();
         // Small perturbation keeps some rows unique.
         if rng.gen_bool(0.3) {
@@ -65,7 +65,7 @@ fn setup(n_train: usize, n_test: usize, n_rules: usize) -> Setup {
     Setup { train, train_labels, client_of, test, test_labels, predictions, weights, masks }
 }
 
-fn bench_tracing(c: &mut Criterion) {
+fn bench_tracing() {
     let s = setup(4000, 800, 128);
     let inputs = TraceInputs {
         train_acts: &s.train,
@@ -78,7 +78,7 @@ fn bench_tracing(c: &mut Criterion) {
         weights: &s.weights,
         class_masks: &s.masks,
     };
-    let mut group = c.benchmark_group("tracing_4000x800");
+    let mut group = Bencher::new("tracing_4000x800");
     group.sample_size(10);
     for (name, strategy) in [
         ("brute_force", GroupingStrategy::BruteForce),
@@ -86,15 +86,13 @@ fn bench_tracing(c: &mut Criterion) {
         ("max_miner_groups", GroupingStrategy::FrequentRuleSets { min_support: 0.05 }),
     ] {
         for parallel in [false, true] {
-            let id = BenchmarkId::new(name, if parallel { "parallel" } else { "serial" });
-            group.bench_with_input(id, &strategy, |b, &strategy| {
-                let cfg = TraceConfig { tau_w: 0.9, parallel, grouping: strategy };
-                b.iter(|| trace(&inputs, &cfg).unwrap());
-            });
+            let id = format!("{name}/{}", if parallel { "parallel" } else { "serial" });
+            let cfg = TraceConfig { tau_w: 0.9, parallel, grouping: strategy };
+            group.bench(&id, || trace(&inputs, &cfg).unwrap());
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_tracing);
-criterion_main!(benches);
+fn main() {
+    bench_tracing();
+}

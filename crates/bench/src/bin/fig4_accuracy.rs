@@ -14,7 +14,7 @@ use ctfl_bench::federation::{Federation, FederationConfig, SkewMode};
 use ctfl_bench::report::Table;
 use ctfl_bench::schemes::{curve_auc, removal_curve, run_baseline, run_ctfl, Scheme, SchemeResult};
 use ctfl_valuation::utility::CachedUtility;
-use serde_json::json;
+use ctfl_testkit::json;
 
 fn main() {
     let args = CommonArgs::parse();
@@ -92,6 +92,6 @@ fn main() {
     }
 
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&json_out).expect("serializable"));
+        println!("{}", ctfl_testkit::json::Json::Array(json_out).pretty());
     }
 }

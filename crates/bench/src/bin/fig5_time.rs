@@ -12,7 +12,7 @@ use ctfl_bench::datasets::DatasetSpec;
 use ctfl_bench::federation::{Federation, FederationConfig, SkewMode};
 use ctfl_bench::report::{fmt_seconds, Table};
 use ctfl_bench::schemes::{run_baseline, run_ctfl, Scheme};
-use serde_json::json;
+use ctfl_testkit::json;
 
 fn main() {
     let args = CommonArgs::parse();
@@ -74,6 +74,6 @@ fn main() {
     }
 
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&json_out).expect("serializable"));
+        println!("{}", ctfl_testkit::json::Json::Array(json_out).pretty());
     }
 }

@@ -18,10 +18,10 @@ use ctfl_core::robustness::relative_change;
 use ctfl_data::adverse::{flip_labels, inject_low_quality, replicate};
 use ctfl_data::partition::Partition;
 use ctfl_fl::fedavg::FlConfig;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde_json::json;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::seq::SliceRandom;
+use ctfl_rng::SeedableRng;
+use ctfl_testkit::json;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Behaviour {
@@ -150,6 +150,6 @@ fn main() {
     }
 
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&json_out).expect("serializable"));
+        println!("{}", ctfl_testkit::json::Json::Array(json_out).pretty());
     }
 }

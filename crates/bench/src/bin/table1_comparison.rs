@@ -12,8 +12,8 @@ use ctfl_bench::schemes::{curve_auc, removal_curve, run_baseline, run_ctfl, Sche
 use ctfl_core::robustness::relative_change;
 use ctfl_data::adverse::replicate;
 use ctfl_valuation::utility::CachedUtility;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::SeedableRng;
 
 fn grade(rank: usize) -> &'static str {
     match rank {

@@ -18,8 +18,8 @@ use ctfl_valuation::least_core::{least_core_scores, LeastCoreConfig};
 use ctfl_valuation::leave_one_out::leave_one_out_scores;
 use ctfl_valuation::shapley::exact_shapley;
 use ctfl_valuation::utility::{TableUtility, UtilityFn};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::SeedableRng;
 
 fn main() {
     let u = TableUtility::paper_table2();

@@ -8,8 +8,8 @@ use ctfl_fl::fedavg::{train_federated, FlConfig};
 use ctfl_nn::extract::{extract_rules, ExtractOptions};
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
 use ctfl_valuation::utility::ModelUtility;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::SeedableRng;
 
 use crate::datasets::DatasetSpec;
 

@@ -9,8 +9,8 @@ use ctfl_valuation::leave_one_out::leave_one_out_scores;
 use ctfl_valuation::shapley::{sampled_shapley, ShapleySamplingConfig};
 use ctfl_valuation::utility::{CachedUtility, UtilityFn};
 use ctfl_valuation::paper_sample_budget;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::SeedableRng;
 use std::time::Instant;
 
 use crate::federation::Federation;

@@ -14,8 +14,8 @@
 //!   label).
 
 use ctfl_core::data::Dataset;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ctfl_rng::seq::SliceRandom;
+use ctfl_rng::Rng;
 
 use crate::partition::Partition;
 
@@ -157,8 +157,8 @@ pub fn flip_labels<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use ctfl_core::data::{FeatureKind, FeatureSchema};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ctfl_rng::rngs::StdRng;
+    use ctfl_rng::SeedableRng;
 
     fn setup() -> (Dataset, Partition) {
         let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);

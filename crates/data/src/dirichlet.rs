@@ -1,80 +1,20 @@
-//! Gamma and Dirichlet sampling.
+//! Gamma and Dirichlet sampling — re-exported from [`ctfl_rng::dist`].
 //!
 //! The paper controls partition skew with a symmetric Dirichlet
-//! distribution (`α ∈ [0.6, 1]` by default). `rand` 0.8 ships no gamma
-//! sampler, so we implement Marsaglia–Tsang (2000): for shape `α ≥ 1`,
-//! squeeze-accept `d·v` with `d = α − 1/3`, `v = (1 + c·z)³`; for `α < 1`,
-//! boost via `Gamma(α) = Gamma(α+1) · U^{1/α}`.
+//! distribution (`α ∈ [0.6, 1]` by default). The Marsaglia–Tsang sampler
+//! originally lived here; it moved into `ctfl-rng` so every crate draws
+//! from one pinned, golden-tested implementation, and this module keeps the
+//! old paths (`ctfl_data::dirichlet::{sample_gamma, sample_dirichlet}`)
+//! alive for existing callers. The statistical acceptance tests stay here,
+//! exercising the samplers through the public re-export.
 
-use rand::Rng;
-
-/// One standard-normal draw (Box–Muller; we discard the second value for
-/// simplicity — sampling here is far from any hot path).
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.gen();
-        if u1 <= f64::EPSILON {
-            continue;
-        }
-        let u2: f64 = rng.gen();
-        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    }
-}
-
-/// Samples `Gamma(shape, scale = 1)`.
-///
-/// # Panics
-/// Panics if `shape <= 0`.
-pub fn sample_gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
-    assert!(shape > 0.0, "gamma shape must be positive");
-    if shape < 1.0 {
-        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
-        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
-    }
-    let d = shape - 1.0 / 3.0;
-    let c = 1.0 / (9.0 * d).sqrt();
-    loop {
-        let z = standard_normal(rng);
-        let v = (1.0 + c * z).powi(3);
-        if v <= 0.0 {
-            continue;
-        }
-        let u: f64 = rng.gen();
-        // Squeeze check then full acceptance check.
-        if u < 1.0 - 0.0331 * z.powi(4) {
-            return d * v;
-        }
-        if u.ln() < 0.5 * z * z + d * (1.0 - v + v.ln()) {
-            return d * v;
-        }
-    }
-}
-
-/// Samples a symmetric `Dirichlet(α, …, α)` vector of length `k`
-/// (non-negative entries summing to 1).
-///
-/// # Panics
-/// Panics if `alpha <= 0` or `k == 0`.
-pub fn sample_dirichlet<R: Rng + ?Sized>(alpha: f64, k: usize, rng: &mut R) -> Vec<f64> {
-    assert!(k > 0, "dirichlet dimension must be positive");
-    let mut draws: Vec<f64> = (0..k).map(|_| sample_gamma(alpha, rng)).collect();
-    let sum: f64 = draws.iter().sum();
-    if sum <= 0.0 {
-        // Astronomically unlikely; fall back to uniform.
-        return vec![1.0 / k as f64; k];
-    }
-    for d in &mut draws {
-        *d /= sum;
-    }
-    draws
-}
+pub use ctfl_rng::dist::{sample_dirichlet, sample_gamma};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ctfl_rng::rngs::StdRng;
+    use ctfl_rng::SeedableRng;
 
     #[test]
     fn gamma_moments_match_theory() {
@@ -129,9 +69,7 @@ mod tests {
         let avg_max = |alpha: f64, rng: &mut StdRng| {
             let n = 2_000;
             (0..n)
-                .map(|_| {
-                    sample_dirichlet(alpha, 8, rng).into_iter().fold(0.0f64, f64::max)
-                })
+                .map(|_| sample_dirichlet(alpha, 8, rng).into_iter().fold(0.0f64, f64::max))
                 .sum::<f64>()
                 / n as f64
         };

@@ -9,8 +9,8 @@
 //! client would make FedAvg weights and several baselines degenerate), by
 //! reassigning single rows from the largest clients when necessary.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ctfl_rng::seq::SliceRandom;
+use ctfl_rng::Rng;
 
 use crate::dirichlet::sample_dirichlet;
 
@@ -170,8 +170,8 @@ pub fn skew_label<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ctfl_rng::rngs::StdRng;
+    use ctfl_rng::SeedableRng;
 
     #[test]
     fn skew_sample_covers_all_rows_nonempty_clients() {
@@ -250,42 +250,51 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use ctfl_rng::Rng;
+        use ctfl_testkit::{check, prop_assert, prop_assert_eq};
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn skew_sample_is_a_partition() {
+            check(
+                "skew_sample_is_a_partition",
+                64,
+                |g| {
+                    (g.len_in(1, 399), g.usize_in(1, 11), g.f64_in(0.1, 5.0), g.rng().gen::<u64>())
+                },
+                |&(n_rows, n_clients, alpha, seed)| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let p = skew_sample(n_rows, n_clients, alpha, &mut rng);
+                    prop_assert_eq!(p.len(), n_rows);
+                    prop_assert_eq!(p.counts().iter().sum::<usize>(), n_rows);
+                    if n_rows >= n_clients {
+                        prop_assert!(p.counts().iter().all(|&c| c > 0), "{:?}", p.counts());
+                    }
+                    Ok(())
+                },
+            );
+        }
 
-            #[test]
-            fn skew_sample_is_a_partition(
-                n_rows in 1usize..400,
-                n_clients in 1usize..12,
-                alpha in 0.1f64..5.0,
-                seed in any::<u64>(),
-            ) {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let p = skew_sample(n_rows, n_clients, alpha, &mut rng);
-                prop_assert_eq!(p.len(), n_rows);
-                prop_assert_eq!(p.counts().iter().sum::<usize>(), n_rows);
-                if n_rows >= n_clients {
-                    prop_assert!(p.counts().iter().all(|&c| c > 0), "{:?}", p.counts());
-                }
-            }
-
-            #[test]
-            fn skew_label_preserves_rows_and_nonemptiness(
-                labels in proptest::collection::vec(0u32..3, 3..300),
-                n_clients in 1usize..8,
-                alpha in 0.1f64..5.0,
-                seed in any::<u64>(),
-            ) {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let p = skew_label(&labels, 3, n_clients, alpha, &mut rng);
-                prop_assert_eq!(p.len(), labels.len());
-                prop_assert_eq!(p.counts().iter().sum::<usize>(), labels.len());
-                if labels.len() >= n_clients {
-                    prop_assert!(p.counts().iter().all(|&c| c > 0));
-                }
-            }
+        #[test]
+        fn skew_label_preserves_rows_and_nonemptiness() {
+            check(
+                "skew_label_preserves_rows_and_nonemptiness",
+                64,
+                |g| {
+                    let n = g.len_in(3, 299);
+                    let labels = g.vec(n, |g| g.u32_in(0, 2));
+                    (labels, g.usize_in(1, 7), g.f64_in(0.1, 5.0), g.rng().gen::<u64>())
+                },
+                |(labels, n_clients, alpha, seed)| {
+                    let mut rng = StdRng::seed_from_u64(*seed);
+                    let p = skew_label(labels, 3, *n_clients, *alpha, &mut rng);
+                    prop_assert_eq!(p.len(), labels.len());
+                    prop_assert_eq!(p.counts().iter().sum::<usize>(), labels.len());
+                    if labels.len() >= *n_clients {
+                        prop_assert!(p.counts().iter().all(|&c| c > 0));
+                    }
+                    Ok(())
+                },
+            );
         }
     }
 }

@@ -5,8 +5,8 @@
 //! represented in both halves.
 
 use ctfl_core::data::Dataset;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ctfl_rng::seq::SliceRandom;
+use ctfl_rng::Rng;
 
 /// Splits `data` into `(train, test)` with `test_fraction` of rows in the
 /// test set.
@@ -61,8 +61,8 @@ pub fn train_test_split<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use ctfl_core::data::{FeatureKind, FeatureSchema};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ctfl_rng::rngs::StdRng;
+    use ctfl_rng::SeedableRng;
 
     fn dataset(n: usize, pos_rate: f64) -> Dataset {
         let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);

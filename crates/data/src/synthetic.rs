@@ -10,9 +10,9 @@
 //! real benchmark.
 
 use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema, FeatureValue};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::Rng;
+use ctfl_rng::SeedableRng;
 use std::sync::Arc;
 
 /// One planted conjunctive term of the ground-truth DNF.

@@ -17,7 +17,7 @@ use ctfl_core::data::Dataset;
 use ctfl_core::error::{CoreError, Result};
 use ctfl_core::model::RuleModel;
 use ctfl_core::tracing::TraceInputs;
-use rand::Rng;
+use ctfl_rng::Rng;
 
 /// Local-DP configuration for activation uploads.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,8 +159,8 @@ mod tests {
     use super::*;
     use ctfl_core::data::{FeatureKind, FeatureSchema};
     use ctfl_core::rule::{conjunction, Predicate};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ctfl_rng::rngs::StdRng;
+    use ctfl_rng::SeedableRng;
     use std::sync::Arc;
 
     fn model_and_data() -> (RuleModel, Dataset, Dataset) {

@@ -16,7 +16,7 @@
 use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema, FeatureValue};
 use ctfl_core::error::{CoreError, Result};
 use ctfl_core::rule::Predicate;
-use rand::Rng;
+use ctfl_rng::Rng;
 
 use crate::matrix::Matrix;
 
@@ -184,8 +184,8 @@ impl EncodedData {
 mod tests {
     use super::*;
     use ctfl_core::data::FeatureSchema;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ctfl_rng::rngs::StdRng;
+    use ctfl_rng::SeedableRng;
 
     fn schema() -> std::sync::Arc<FeatureSchema> {
         FeatureSchema::new(vec![

@@ -8,7 +8,7 @@
 // Index-based loops below mirror the textbook formulations; iterator
 // rewrites obscure the row/column arithmetic.
 #![allow(clippy::needless_range_loop)]
-use rand::Rng;
+use ctfl_rng::Rng;
 
 use crate::matrix::Matrix;
 
@@ -108,8 +108,8 @@ impl LinearHead {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ctfl_rng::rngs::StdRng;
+    use ctfl_rng::SeedableRng;
 
     #[test]
     fn forward_known_values() {

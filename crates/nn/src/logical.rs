@@ -12,7 +12,7 @@
 //! `∧_{w_i=1} x_i` and `∨_{w_i=1} x_i` — the *discrete* forward used by
 //! gradient grafting and rule extraction.
 
-use rand::Rng;
+use ctfl_rng::Rng;
 
 use crate::matrix::Matrix;
 
@@ -228,8 +228,8 @@ impl LogicalLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ctfl_rng::rngs::StdRng;
+    use ctfl_rng::SeedableRng;
 
     fn tiny_layer(w: Vec<f32>, kinds: Vec<NodeKind>, in_dim: usize) -> LogicalLayer {
         let n = kinds.len();
@@ -351,87 +351,105 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use ctfl_testkit::prop::Gen;
+        use ctfl_testkit::{check, prop_assert};
 
-        fn binary_layer(in_dim: usize, n_nodes: usize) -> impl Strategy<Value = LogicalLayer> {
-            proptest::collection::vec(any::<bool>(), in_dim * n_nodes).prop_map(move |bits| {
-                let w = Matrix::from_vec(
-                    n_nodes,
-                    in_dim,
-                    bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
-                );
-                let kinds = (0..n_nodes)
-                    .map(|j| if j < n_nodes / 2 { NodeKind::Conj } else { NodeKind::Disj })
-                    .collect();
-                LogicalLayer { in_dim, kinds, w }
-            })
+        fn binary_layer(g: &mut Gen, in_dim: usize, n_nodes: usize) -> LogicalLayer {
+            let bits = g.vec(in_dim * n_nodes, Gen::bool);
+            let w = Matrix::from_vec(
+                n_nodes,
+                in_dim,
+                bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+            );
+            let kinds = (0..n_nodes)
+                .map(|j| if j < n_nodes / 2 { NodeKind::Conj } else { NodeKind::Disj })
+                .collect();
+            LogicalLayer { in_dim, kinds, w }
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(128))]
+        /// With binary weights and binary inputs, Eq. 7's soft activations
+        /// reduce exactly to AND/OR — so the soft and discrete forwards
+        /// agree.
+        #[test]
+        fn soft_equals_discrete_at_binary_corners() {
+            check(
+                "soft_equals_discrete_at_binary_corners",
+                128,
+                |g| (binary_layer(g, 6, 4), g.vec(12, Gen::bool)),
+                |(layer, x_bits)| {
+                    let x = Matrix::from_vec(
+                        2,
+                        6,
+                        x_bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+                    );
+                    let soft = layer.forward_soft(&x);
+                    let disc = layer.forward_discrete(&x);
+                    for (a, b) in soft.data().iter().zip(disc.data()) {
+                        prop_assert!((a - b).abs() < 1e-6, "soft {a} != discrete {b}");
+                    }
+                    Ok(())
+                },
+            );
+        }
 
-            /// With binary weights and binary inputs, Eq. 7's soft
-            /// activations reduce exactly to AND/OR — so the soft and
-            /// discrete forwards agree.
-            #[test]
-            fn soft_equals_discrete_at_binary_corners(
-                layer in binary_layer(6, 4),
-                x_bits in proptest::collection::vec(any::<bool>(), 12),
-            ) {
-                let x = Matrix::from_vec(
-                    2,
-                    6,
-                    x_bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
-                );
-                let soft = layer.forward_soft(&x);
-                let disc = layer.forward_discrete(&x);
-                for (a, b) in soft.data().iter().zip(disc.data()) {
-                    prop_assert!((a - b).abs() < 1e-6, "soft {a} != discrete {b}");
-                }
-            }
-
-            /// Soft outputs stay in [0, 1] for any inputs/weights in the
-            /// unit box.
-            #[test]
-            fn soft_outputs_in_unit_interval(
-                weights in proptest::collection::vec(0.0f32..=1.0, 24),
-                inputs in proptest::collection::vec(0.0f32..=1.0, 12),
-            ) {
-                let layer = LogicalLayer {
-                    in_dim: 6,
-                    kinds: vec![NodeKind::Conj, NodeKind::Conj, NodeKind::Disj, NodeKind::Disj],
-                    w: Matrix::from_vec(4, 6, weights),
-                };
-                let x = Matrix::from_vec(2, 6, inputs);
-                let y = layer.forward_soft(&x);
-                for &v in y.data() {
-                    prop_assert!((0.0..=1.0).contains(&v), "out of range: {v}");
-                }
-            }
-
-            /// Monotonicity: raising a conjunction input can only raise the
-            /// node output; same for disjunction.
-            #[test]
-            fn soft_forward_is_monotone_in_inputs(
-                weights in proptest::collection::vec(0.0f32..=1.0, 6),
-                base in proptest::collection::vec(0.0f32..=0.8, 6),
-                bump_idx in 0usize..6,
-            ) {
-                for kind in [NodeKind::Conj, NodeKind::Disj] {
+        /// Soft outputs stay in [0, 1] for any inputs/weights in the unit
+        /// box.
+        #[test]
+        fn soft_outputs_in_unit_interval() {
+            check(
+                "soft_outputs_in_unit_interval",
+                128,
+                |g| {
+                    let weights = g.vec(24, |g| g.f64_in(0.0, 1.0) as f32);
+                    let inputs = g.vec(12, |g| g.f64_in(0.0, 1.0) as f32);
+                    (weights, inputs)
+                },
+                |(weights, inputs)| {
                     let layer = LogicalLayer {
                         in_dim: 6,
-                        kinds: vec![kind],
-                        w: Matrix::from_vec(1, 6, weights.clone()),
+                        kinds: vec![NodeKind::Conj, NodeKind::Conj, NodeKind::Disj, NodeKind::Disj],
+                        w: Matrix::from_vec(4, 6, weights.clone()),
                     };
-                    let x0 = Matrix::from_vec(1, 6, base.clone());
-                    let mut bumped = base.clone();
-                    bumped[bump_idx] += 0.2;
-                    let x1 = Matrix::from_vec(1, 6, bumped);
-                    let y0 = layer.forward_soft(&x0).get(0, 0);
-                    let y1 = layer.forward_soft(&x1).get(0, 0);
-                    prop_assert!(y1 >= y0 - 1e-6, "{kind:?}: {y0} -> {y1}");
-                }
-            }
+                    let x = Matrix::from_vec(2, 6, inputs.clone());
+                    let y = layer.forward_soft(&x);
+                    for &v in y.data() {
+                        prop_assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+                    }
+                    Ok(())
+                },
+            );
+        }
+
+        /// Monotonicity: raising a conjunction input can only raise the
+        /// node output; same for disjunction.
+        #[test]
+        fn soft_forward_is_monotone_in_inputs() {
+            check(
+                "soft_forward_is_monotone_in_inputs",
+                128,
+                |g| {
+                    let weights = g.vec(6, |g| g.f64_in(0.0, 1.0) as f32);
+                    let base = g.vec(6, |g| g.f64_in(0.0, 0.8) as f32);
+                    (weights, base, g.usize_in(0, 5))
+                },
+                |(weights, base, bump_idx)| {
+                    for kind in [NodeKind::Conj, NodeKind::Disj] {
+                        let layer = LogicalLayer {
+                            in_dim: 6,
+                            kinds: vec![kind],
+                            w: Matrix::from_vec(1, 6, weights.clone()),
+                        };
+                        let x0 = Matrix::from_vec(1, 6, base.clone());
+                        let mut bumped = base.clone();
+                        bumped[*bump_idx] += 0.2;
+                        let x1 = Matrix::from_vec(1, 6, bumped);
+                        let y0 = layer.forward_soft(&x0).get(0, 0);
+                        let y1 = layer.forward_soft(&x1).get(0, 0);
+                        prop_assert!(y1 >= y0 - 1e-6, "{kind:?}: {y0} -> {y1}");
+                    }
+                    Ok(())
+                },
+            );
         }
     }
 }

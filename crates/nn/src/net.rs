@@ -16,9 +16,9 @@
 
 use ctfl_core::data::{Dataset, FeatureSchema};
 use ctfl_core::error::{CoreError, Result};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::seq::SliceRandom;
+use ctfl_rng::SeedableRng;
 use std::sync::Arc;
 
 use crate::encoding::{EncodedData, Encoder};

@@ -1,0 +1,116 @@
+//! Non-uniform distributions: standard normal, `Gamma`, symmetric
+//! `Dirichlet`.
+//!
+//! These back the experiment pipeline — the Dirichlet partitioner that
+//! controls client skew (paper §IV, `α ∈ [0.6, 1]`), and Gaussian noise.
+//! `rand` 0.8 ships no gamma sampler either, so the seed repo already
+//! hand-rolled Marsaglia–Tsang; it now lives here so every crate draws from
+//! one pinned implementation.
+
+use crate::{Rng, RngCore};
+
+/// One standard-normal draw.
+///
+/// Box–Muller, cosine branch only (we discard the second value for
+/// simplicity — sampling here is far from any hot path).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::EPSILON {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// A normal draw with the given mean and standard deviation.
+///
+/// # Panics
+/// Panics if `std_dev` is negative.
+pub fn normal<R: RngCore + ?Sized>(mean: f64, std_dev: f64, rng: &mut R) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples `Gamma(shape, scale = 1)`.
+///
+/// Marsaglia–Tsang (2000): for shape `α ≥ 1`, squeeze-accept `d·v` with
+/// `d = α − 1/3`, `v = (1 + c·z)³`; for `α < 1`, boost via
+/// `Gamma(α) = Gamma(α+1) · U^{1/α}`.
+///
+/// # Panics
+/// Panics if `shape <= 0`.
+pub fn sample_gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let z = standard_normal(rng);
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        // Squeeze check then full acceptance check.
+        if u < 1.0 - 0.0331 * z.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * z * z + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Samples a symmetric `Dirichlet(α, …, α)` vector of length `k`
+/// (non-negative entries summing to 1).
+///
+/// # Panics
+/// Panics if `alpha <= 0` or `k == 0`.
+pub fn sample_dirichlet<R: Rng + ?Sized>(alpha: f64, k: usize, rng: &mut R) -> Vec<f64> {
+    assert!(k > 0, "dirichlet dimension must be positive");
+    let mut draws: Vec<f64> = (0..k).map(|_| sample_gamma(alpha, rng)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Astronomically unlikely; fall back to uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(3.0, 0.5, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Sequence helpers: Fisher–Yates shuffle and uniform element choice.
+//! Mirrors `rand::seq::SliceRandom`.
+
+use crate::{Rng, RngCore};
+
+/// Shuffling and sampling on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Uniform in-place permutation (Fisher–Yates, identical order of draws
+    /// to `rand` 0.8: swap index `i` with a sample from `0..=i`, descending).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "seed 4 must actually permute");
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let shuffled = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<usize> = (0..32).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(shuffled(6), shuffled(6));
+        assert_ne!(shuffled(6), shuffled(7));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = [10usize, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &x = v.choose(&mut rng).unwrap();
+            seen[x / 10 - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,255 @@
+//! A minimal JSON value, writer, and [`json!`](crate::json!) macro.
+//!
+//! Stands in for `serde_json` in the experiment binaries and the bench
+//! harness. Output only — nothing in the workspace parses JSON — and the
+//! writer is deliberately boring: stable key order (insertion order),
+//! `format!`-shortest float rendering, full string escaping per RFC 8259.
+
+use std::fmt;
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also what non-finite floats render as, matching serde_json).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any integer that fits i64 — rendered without a decimal point.
+    Int(i64),
+    /// A float — rendered with Rust's shortest-roundtrip formatting.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Pretty-prints with two-space indentation (the
+    /// `serde_json::to_string_pretty` replacement).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&"  ".repeat(depth + 1));
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(']');
+            }
+            Json::Object(entries) if !entries.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&"  ".repeat(depth + 1));
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push('}');
+            }
+            other => {
+                use fmt::Write;
+                write!(out, "{other}").expect("writing to String cannot fail");
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact (single-line) rendering — what JSON-lines consumers read.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Json::Float(_) => write!(f, "null"),
+            Json::Str(s) => {
+                let mut buf = String::new();
+                write_escaped(&mut buf, s);
+                write!(f, "{buf}")
+            }
+            Json::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Object(entries) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut buf = String::new();
+                    write_escaped(&mut buf, k);
+                    write!(f, "{buf}:{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::Float(x)
+    }
+}
+impl From<f32> for Json {
+    fn from(x: f32) -> Self {
+        Json::Float(f64::from(x))
+    }
+}
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Json {
+            fn from(i: $t) -> Self {
+                Json::Int(i64::try_from(i).expect("integer fits JSON i64"))
+            }
+        }
+    )*};
+}
+impl_from_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_from_ref {
+    ($($t:ty),*) => {$(
+        impl From<&$t> for Json {
+            fn from(v: &$t) -> Self {
+                Json::from(*v)
+            }
+        }
+    )*};
+}
+impl_from_ref!(bool, f32, f64, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json> + Clone> From<&[T]> for Json {
+    fn from(v: &[T]) -> Self {
+        Json::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Builds a [`Json`] value with `serde_json::json!`-style syntax for the
+/// shapes the workspace uses: object literals with expression values,
+/// array literals, and bare expressions convertible via `Into<Json>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::json::Json::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::json::Json::Object(vec![
+            $( ($key.to_string(), $crate::json::Json::from($value)) ),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::json::Json::Array(vec![ $( $crate::json::Json::from($value) ),* ])
+    };
+    ($value:expr) => { $crate::json::Json::from($value) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = crate::json!({
+            "name": "fig4",
+            "auc": 0.25,
+            "k": 3usize,
+            "ok": true,
+            "curve": vec![1.0f64, 0.5],
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"fig4","auc":0.25,"k":3,"ok":true,"curve":[1,0.5]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_is_indented_and_valid() {
+        let v = Json::Array(vec![
+            crate::json!({ "a": 1i64 }),
+            crate::json!({ "b": vec![2.0f64] }),
+        ]);
+        let s = v.pretty();
+        assert_eq!(
+            s,
+            "[\n  {\n    \"a\": 1\n  },\n  {\n    \"b\": [\n      2\n    ]\n  }\n]"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn nonfinite_floats_render_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Array(vec![]).to_string(), "[]");
+        assert_eq!(Json::Object(vec![]).pretty(), "{}");
+    }
+}

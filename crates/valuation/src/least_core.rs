@@ -10,7 +10,7 @@
 //! cheap and anchor individual rationality) and solve the LP with the
 //! `ctfl-lp` two-phase simplex.
 
-use rand::Rng;
+use ctfl_rng::Rng;
 use std::collections::BTreeSet;
 
 use ctfl_lp::{ConstraintOp, LinearProgram, LpError};
@@ -93,8 +93,8 @@ pub fn least_core_scores<U: UtilityFn, R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::utility::TableUtility;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ctfl_rng::rngs::StdRng;
+    use ctfl_rng::SeedableRng;
 
     #[test]
     fn paper_table2_least_core() {

@@ -11,8 +11,8 @@
 //!   `truncation_tolerance` of `v(N)` (remaining marginals ≈ 0 — the
 //!   GTG-Shapley acceleration the paper applies to this baseline).
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ctfl_rng::seq::SliceRandom;
+use ctfl_rng::Rng;
 
 use crate::coalition::Coalition;
 use crate::utility::UtilityFn;
@@ -104,8 +104,8 @@ pub fn sampled_shapley<U: UtilityFn, R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::utility::{CachedUtility, TableUtility};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ctfl_rng::rngs::StdRng;
+    use ctfl_rng::SeedableRng;
 
     /// Shapley values of the paper's Table II game, computed by hand over
     /// all 6 orderings: φ(A) = φ(B) = 85/6 ≈ 14.17, φ(C) = 70/6 ≈ 11.67.

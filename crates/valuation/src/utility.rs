@@ -3,10 +3,9 @@
 use ctfl_core::data::Dataset;
 use ctfl_nn::extract::{extract_rules, ExtractOptions};
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::coalition::Coalition;
 
@@ -96,7 +95,7 @@ impl<U: UtilityFn> UtilityFn for CachedUtility<U> {
         self.inner.n_players()
     }
     fn value(&self, coalition: &Coalition) -> f64 {
-        if let Some(&v) = self.cache.lock().get(&coalition.mask()) {
+        if let Some(&v) = self.cache.lock().expect("cache lock poisoned").get(&coalition.mask()) {
             return v;
         }
         // Compute OUTSIDE the lock: model training takes seconds and other
@@ -104,7 +103,7 @@ impl<U: UtilityFn> UtilityFn for CachedUtility<U> {
         // the same mask is possible but harmless (both produce the same
         // deterministic value).
         let v = self.inner.value(coalition);
-        self.cache.lock().insert(coalition.mask(), v);
+        self.cache.lock().expect("cache lock poisoned").insert(coalition.mask(), v);
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         v
     }

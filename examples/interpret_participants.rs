@@ -17,8 +17,8 @@ use ctfl::data::tictactoe_endgame;
 use ctfl::fl::fedavg::{train_federated, FlConfig};
 use ctfl::nn::extract::{extract_rules, ExtractOptions};
 use ctfl::nn::net::LogicalNetConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(3);

@@ -20,8 +20,8 @@ use ctfl::data::synthetic::bank_like;
 use ctfl::fl::fedavg::{train_federated, FlConfig};
 use ctfl::nn::extract::{extract_rules, ExtractOptions};
 use ctfl::nn::net::LogicalNetConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::SeedableRng;
 
 const REVENUE_POOL: f64 = 10_000.0; // currency units per settlement
 

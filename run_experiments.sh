@@ -2,10 +2,49 @@
 # Regenerates every paper artifact; outputs under results/.
 # Default scales are sized for a single-core CI-class machine; raise
 # --scale on real hardware for wider CTFL-vs-Shapley gaps.
+#
+#   ./run_experiments.sh           regenerate all artifacts into results/
+#   ./run_experiments.sh --check   hermetic verification: release build,
+#                                  full test suite, and a determinism gate
+#                                  that runs one experiment twice and
+#                                  byte-diffs the outputs.
 set -u
 cd "$(dirname "$0")"
 BIN=./target/release
 S=${SCALE:-0.008}
+
+check() {
+    set -e
+    echo "== build (release, all targets) =="
+    cargo build --workspace --release
+    echo "== tests (entire workspace) =="
+    cargo test -q --workspace
+    echo "== determinism: double-run byte diff =="
+    # Same binary, same seed, twice: the outputs must be byte-identical.
+    # fig7 exercises the full pipeline (partition -> FedAvg -> extraction ->
+    # tracing -> interpretation) including the parallel code paths, in
+    # seconds; the slower Shapley-bearing binaries share the same RNG plumbing.
+    cargo build --release -p ctfl-bench --bin fig7_interpret_ttt
+    local a b
+    a=$(mktemp) && b=$(mktemp)
+    trap 'rm -f "$a" "$b"' RETURN
+    $BIN/fig7_interpret_ttt --seed 7 > "$a" 2>&1
+    $BIN/fig7_interpret_ttt --seed 7 > "$b" 2>&1
+    if ! diff -q "$a" "$b"; then
+        echo "DETERMINISM VIOLATION: two identical-seed runs differ" >&2
+        diff "$a" "$b" | head -20 >&2
+        exit 1
+    fi
+    echo "determinism ok ($(wc -c < "$a") bytes, byte-identical)"
+    echo ALL_CHECKS_PASSED
+}
+
+if [ "${1:-}" = "--check" ]; then
+    check
+    exit 0
+fi
+
+mkdir -p results
 $BIN/fig4_accuracy --scale $S --seed 7 > results/fig4.txt 2>&1; echo "fig4 rc=$?"
 $BIN/fig5_time --scale $S --seed 7 > results/fig5.txt 2>&1; echo "fig5 rc=$?"
 $BIN/fig6_robustness --scale $S --seed 7 --datasets tictactoe,adult > results/fig6.txt 2>&1; echo "fig6 rc=$?"

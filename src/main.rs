@@ -19,8 +19,8 @@ use ctfl::data::tictactoe_endgame;
 use ctfl::fl::fedavg::{train_federated, FlConfig};
 use ctfl::nn::extract::{extract_rules, ExtractOptions};
 use ctfl::nn::net::LogicalNetConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::SeedableRng;
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -239,7 +239,7 @@ fn estimate(args: &[String]) -> ExitCode {
     // Reserve a stratified test split; ownership follows the train rows.
     let mut rng = StdRng::seed_from_u64(seed);
     let mut order: Vec<usize> = (0..train_all.len()).collect();
-    use rand::seq::SliceRandom;
+    use ctfl_rng::seq::SliceRandom;
     order.shuffle(&mut rng);
     let n_test = ((train_all.len() as f64 * test_fraction) as usize)
         .clamp(1, train_all.len().saturating_sub(n_clients).max(1));

@@ -12,8 +12,8 @@ use ctfl::nn::net::LogicalNetConfig;
 use ctfl::valuation::rank::spearman_rho;
 use ctfl::valuation::shapley::exact_shapley;
 use ctfl::valuation::utility::{CachedUtility, ModelUtility};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::SeedableRng;
 
 #[test]
 fn ctfl_ranks_agree_with_exact_shapley_on_small_federation() {

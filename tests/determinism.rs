@@ -10,8 +10,8 @@ use ctfl::data::synthetic::adult_like;
 use ctfl::fl::fedavg::{train_federated, FlConfig};
 use ctfl::nn::extract::{extract_rules, ExtractOptions};
 use ctfl::nn::net::LogicalNetConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::SeedableRng;
 
 fn run_once(seed: u64) -> (Vec<f64>, Vec<f64>, usize) {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -12,8 +12,8 @@ use ctfl::fl::fedavg::{train_federated, FlConfig};
 use ctfl::fl::privacy::{assemble_trace_inputs, trace_inputs_from_parts, ActivationUpload, PrivacyConfig};
 use ctfl::nn::extract::{extract_rules, ExtractOptions};
 use ctfl::nn::net::LogicalNetConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::SeedableRng;
 
 #[test]
 fn upload_pipeline_reproduces_raw_estimation_exactly() {
