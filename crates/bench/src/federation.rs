@@ -4,7 +4,9 @@ use ctfl_core::data::Dataset;
 use ctfl_core::model::RuleModel;
 use ctfl_data::partition::{skew_label, skew_sample, Partition};
 use ctfl_data::split::train_test_split;
-use ctfl_fl::fedavg::{train_federated, FlConfig};
+use ctfl_fl::faults::FaultPlan;
+use ctfl_fl::fedavg::{train_federated, train_federated_with, FlConfig};
+use ctfl_fl::guard::{FederationLog, GuardConfig};
 use ctfl_nn::extract::{extract_rules, ExtractOptions};
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
 use ctfl_valuation::utility::ModelUtility;
@@ -149,6 +151,22 @@ impl Federation {
             .expect("federation shards are valid");
         let model = extract_rules(&net, ExtractOptions::default()).expect("extraction succeeds");
         (net, model)
+    }
+
+    /// Like [`Federation::train_global`], but under a system-level fault
+    /// plan and server guard; also returns the per-round federation log.
+    pub fn train_global_faulty(
+        &self,
+        fl: &FlConfig,
+        plan: &FaultPlan,
+        guard: &GuardConfig,
+    ) -> (LogicalNet, RuleModel, FederationLog) {
+        let shards = self.client_datasets();
+        let run =
+            train_federated_with(&shards, self.train.n_classes(), &self.net_config, fl, plan, guard)
+                .expect("federation shards are valid");
+        let model = extract_rules(&run.net, ExtractOptions::default()).expect("extraction succeeds");
+        (run.net, model, run.log)
     }
 
     /// The coalition utility function the baselines evaluate (Eq. 1):

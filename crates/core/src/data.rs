@@ -180,7 +180,7 @@ impl From<u32> for FeatureValue {
 /// Rows are stored flattened row-major for cache locality; the schema is
 /// reference-counted so datasets derived from one another (partitions,
 /// train/test splits) share it cheaply.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     schema: Arc<FeatureSchema>,
     values: Vec<FeatureValue>,

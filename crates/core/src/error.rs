@@ -63,6 +63,21 @@ pub enum CoreError {
         /// What was empty.
         what: &'static str,
     },
+    /// A numeric vector contained NaN or infinite entries where only finite
+    /// values are meaningful (e.g. client parameter vectors offered for
+    /// aggregation — averaging a NaN would silently poison the global model).
+    NonFinite {
+        /// What contained the non-finite value (e.g. `"client parameter vector"`).
+        what: &'static str,
+        /// Index of the offending vector / element within its container.
+        index: usize,
+    },
+    /// A federated client thread panicked during its local update and the
+    /// caller asked for panics to be fatal rather than recorded as faults.
+    ClientPanicked {
+        /// Id of the panicking client.
+        client: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -87,6 +102,12 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid parameter {name}: {message}")
             }
             CoreError::Empty { what } => write!(f, "{what} must not be empty"),
+            CoreError::NonFinite { what, index } => {
+                write!(f, "{what} {index} contains NaN or infinite values")
+            }
+            CoreError::ClientPanicked { client } => {
+                write!(f, "client {client} panicked during its local update")
+            }
         }
     }
 }

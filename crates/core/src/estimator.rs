@@ -12,7 +12,9 @@ use crate::data::Dataset;
 use crate::error::{CoreError, Result};
 use crate::interpret::{client_profiles, coverage_gaps, ClientProfile, CoverageGap};
 use crate::model::RuleModel;
-use crate::robustness::{analyze, RobustnessConfig, RobustnessReport};
+use crate::robustness::{
+    analyze_with_participation, ClientParticipation, RobustnessConfig, RobustnessReport,
+};
 use crate::tracing::{inputs_from_model, trace, GroupingStrategy, TraceConfig, TraceOutcome};
 
 /// Configuration for a full CTFL estimation run.
@@ -60,6 +62,15 @@ pub struct ContributionReport {
     pub macro_: Vec<f64>,
     /// Loss-tracing micro scores (blame shares for misclassifications).
     pub loss: Vec<f64>,
+    /// Per-client fraction of federation rounds with an accepted update
+    /// (all 1.0 when no participation record was supplied).
+    pub participation_rate: Vec<f64>,
+    /// Participation-weighted micro scores: `micro[i] · rate[i]`. A client
+    /// whose every update was rejected or dropped contributed nothing to
+    /// the global model, so its *effective* contribution is zero no matter
+    /// what its data matches — CTFL's zero-element property lifted to the
+    /// run level.
+    pub micro_effective: Vec<f64>,
     /// Global model test accuracy `v(D_N)`.
     pub test_accuracy: f64,
     /// Robustness signals and flagged clients.
@@ -116,6 +127,33 @@ impl CtflEstimator {
         client_of: &[u32],
         test: &Dataset,
     ) -> Result<ContributionReport> {
+        self.estimate_impl(train, client_of, test, None)
+    }
+
+    /// [`CtflEstimator::estimate`] plus the federation runtime's per-client
+    /// participation record (from `ctfl-fl`'s `FederationLog::participation`).
+    ///
+    /// The record feeds the robustness analysis (unreliable-client flags)
+    /// and the `micro_effective` scores, which weight each client's micro
+    /// score by the fraction of rounds its updates actually entered the
+    /// global model.
+    pub fn estimate_with_participation(
+        &self,
+        train: &Dataset,
+        client_of: &[u32],
+        test: &Dataset,
+        participation: &[ClientParticipation],
+    ) -> Result<ContributionReport> {
+        self.estimate_impl(train, client_of, test, Some(participation))
+    }
+
+    fn estimate_impl(
+        &self,
+        train: &Dataset,
+        client_of: &[u32],
+        test: &Dataset,
+        participation: Option<&[ClientParticipation]>,
+    ) -> Result<ContributionReport> {
         if train.is_empty() {
             return Err(CoreError::Empty { what: "training data" });
         }
@@ -160,7 +198,14 @@ impl CtflEstimator {
         let micro = micro_scores(&outcome, CreditDirection::Gain);
         let macro_ = macro_scores(&outcome, self.config.delta, CreditDirection::Gain)?;
         let loss = micro_scores(&outcome, CreditDirection::Loss);
-        let robustness = analyze(&outcome, client_of, &self.config.robustness)?;
+        let robustness =
+            analyze_with_participation(&outcome, client_of, participation, &self.config.robustness)?;
+        let participation_rate: Vec<f64> = match participation {
+            Some(p) => p.iter().map(ClientParticipation::rate).collect(),
+            None => vec![1.0; n_clients],
+        };
+        let micro_effective: Vec<f64> =
+            micro.iter().zip(&participation_rate).map(|(m, r)| m * r).collect();
         let profiles = client_profiles(&outcome, client_of, self.config.interpret_top_k);
         let gaps = coverage_gaps(
             &outcome,
@@ -174,6 +219,8 @@ impl CtflEstimator {
             micro,
             macro_,
             loss,
+            participation_rate,
+            micro_effective,
             test_accuracy,
             robustness,
             profiles,
@@ -296,6 +343,29 @@ mod tests {
         assert!(after.micro[1] < base.micro[1], "victim deficit");
         assert!((after.macro_[0] - base.macro_[0]).abs() < 1e-12, "macro robust");
         assert!((after.macro_[1] - base.macro_[1]).abs() < 1e-12, "macro robust");
+    }
+
+    #[test]
+    fn participation_zeroes_effective_score_of_excluded_client() {
+        use crate::robustness::ClientParticipation;
+        let (est, train, client_of, test) = separable_setup();
+        // Client 1's updates were rejected in every round (e.g. a NaN
+        // corrupter): its raw micro score survives — its data still matches
+        // tests — but its effective contribution must be exactly zero.
+        let part = vec![
+            ClientParticipation::full(10),
+            ClientParticipation { accepted: 0, rejected: 10, missed: 0, rounds: 10 },
+        ];
+        let report = est.estimate_with_participation(&train, &client_of, &test, &part).unwrap();
+        assert!(report.micro[1] > 0.0, "raw data-level score survives");
+        assert_eq!(report.micro_effective[1], 0.0, "zero-element: excluded client earns nothing");
+        assert_eq!(report.micro_effective[0], report.micro[0]);
+        assert_eq!(report.participation_rate, vec![1.0, 0.0]);
+        assert_eq!(report.robustness.suspected_unreliable, vec![1]);
+        // Plain estimate defaults to full participation.
+        let plain = est.estimate(&train, &client_of, &test).unwrap();
+        assert_eq!(plain.micro_effective, plain.micro);
+        assert!(plain.robustness.suspected_unreliable.is_empty());
     }
 
     #[test]

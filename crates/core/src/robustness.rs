@@ -13,8 +13,45 @@
 //!   the flipping client far above the background rate of honest mistakes.
 
 use crate::allocation::{macro_scores, micro_scores, CreditDirection};
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::tracing::TraceOutcome;
+
+/// A client's run-level participation record, produced by the federation
+/// runtime's round log (`ctfl-fl`'s `FederationLog::participation`) and
+/// consumed here as a fourth robustness signal: a client whose updates were
+/// rejected (or who barely participated) contributed nothing to the global
+/// model regardless of what its *data* matches — CTFL's zero-element
+/// property demands its effective score reflect that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientParticipation {
+    /// Rounds in which the client's update was accepted into a committed
+    /// aggregate.
+    pub accepted: usize,
+    /// Rounds in which the server rejected its update (non-finite,
+    /// norm-exploded).
+    pub rejected: usize,
+    /// Rounds missed entirely (dropout, crash, straggling, degraded round).
+    pub missed: usize,
+    /// Total rounds of the run.
+    pub rounds: usize,
+}
+
+impl ClientParticipation {
+    /// A full-participation record over `rounds` rounds.
+    pub fn full(rounds: usize) -> Self {
+        ClientParticipation { accepted: rounds, rejected: 0, missed: 0, rounds }
+    }
+
+    /// Fraction of rounds with an accepted update (1.0 for a zero-round
+    /// run, where nobody could have participated).
+    pub fn rate(&self) -> f64 {
+        if self.rounds == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / self.rounds as f64
+        }
+    }
+}
 
 /// Summary of the robustness signals for one client.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +68,11 @@ pub struct ClientRobustness {
     pub useless_ratio: f64,
     /// Micro loss score: share of blame for misclassified tests.
     pub loss_share: f64,
+    /// Fraction of federation rounds with an accepted update (1.0 when no
+    /// participation record was supplied).
+    pub participation_rate: f64,
+    /// Rounds in which the server rejected this client's update.
+    pub rejected_rounds: usize,
 }
 
 /// Full robustness report.
@@ -45,6 +87,10 @@ pub struct RobustnessReport {
     pub suspected_replicators: Vec<usize>,
     /// Clients whose useless-data ratio exceeds the configured threshold.
     pub suspected_low_quality: Vec<usize>,
+    /// Clients whose participation rate fell below `min_participation` or
+    /// whose updates the server ever rejected (empty when no participation
+    /// record was supplied).
+    pub suspected_unreliable: Vec<usize>,
 }
 
 /// Thresholds for flagging clients.
@@ -63,6 +109,9 @@ pub struct RobustnessConfig {
     /// Absolute floor for the label-flip flag (avoids flagging noise when
     /// every client's loss share is tiny).
     pub loss_floor: f64,
+    /// Flag a client as unreliable when its participation rate drops below
+    /// this (only applies when a participation record is supplied).
+    pub min_participation: f64,
 }
 
 impl Default for RobustnessConfig {
@@ -73,18 +122,42 @@ impl Default for RobustnessConfig {
             useless_threshold: 0.6,
             loss_z: 1.0,
             loss_floor: 0.02,
+            min_participation: 0.5,
         }
     }
 }
 
 /// Computes the robustness report from a trace outcome and the client
-/// assignment of training rows.
+/// assignment of training rows (no participation record — see
+/// [`analyze_with_participation`]).
 pub fn analyze(
     outcome: &TraceOutcome,
     client_of: &[u32],
     config: &RobustnessConfig,
 ) -> Result<RobustnessReport> {
+    analyze_with_participation(outcome, client_of, None, config)
+}
+
+/// [`analyze`] plus the federation runtime's participation record: each
+/// client gains a `participation_rate` signal and clients below
+/// `min_participation` (or with any server-rejected update) are flagged
+/// unreliable.
+pub fn analyze_with_participation(
+    outcome: &TraceOutcome,
+    client_of: &[u32],
+    participation: Option<&[ClientParticipation]>,
+    config: &RobustnessConfig,
+) -> Result<RobustnessReport> {
     let n = outcome.n_clients;
+    if let Some(p) = participation {
+        if p.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "participation record",
+                expected: n,
+                actual: p.len(),
+            });
+        }
+    }
     let micro = micro_scores(outcome, CreditDirection::Gain);
     let macro_ = macro_scores(outcome, config.macro_delta, CreditDirection::Gain)?;
     let loss = micro_scores(outcome, CreditDirection::Loss);
@@ -121,6 +194,8 @@ pub fn analyze(
                     unmatched_rows[i] as f64 / total_rows[i] as f64
                 },
                 loss_share: loss[i],
+                participation_rate: participation.map_or(1.0, |p| p[i].rate()),
+                rejected_rounds: participation.map_or(0, |p| p[i].rejected),
             }
         })
         .collect();
@@ -144,11 +219,19 @@ pub fn analyze(
     let suspected_low_quality: Vec<usize> =
         (0..n).filter(|&i| clients[i].useless_ratio > config.useless_threshold).collect();
 
+    let suspected_unreliable: Vec<usize> = match participation {
+        Some(p) => (0..n)
+            .filter(|&i| p[i].rate() < config.min_participation || p[i].rejected > 0)
+            .collect(),
+        None => Vec::new(),
+    };
+
     Ok(RobustnessReport {
         clients,
         suspected_label_flippers,
         suspected_replicators,
         suspected_low_quality,
+        suspected_unreliable,
     })
 }
 
@@ -240,6 +323,41 @@ mod tests {
         assert!(report.suspected_label_flippers.is_empty());
         assert!(report.suspected_replicators.is_empty());
         assert!(report.suspected_low_quality.is_empty());
+    }
+
+    #[test]
+    fn participation_record_flags_unreliable_clients() {
+        let outcome = trace(vec![(1, 1, vec![3, 3, 3]), (0, 0, vec![2, 2, 2])], 3);
+        // Client 1: rejected every round; client 2: mostly absent.
+        let part = vec![
+            ClientParticipation::full(10),
+            ClientParticipation { accepted: 0, rejected: 10, missed: 0, rounds: 10 },
+            ClientParticipation { accepted: 3, rejected: 0, missed: 7, rounds: 10 },
+        ];
+        let report = analyze_with_participation(
+            &outcome,
+            &[0, 1, 2],
+            Some(&part),
+            &RobustnessConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.suspected_unreliable, vec![1, 2]);
+        assert_eq!(report.clients[0].participation_rate, 1.0);
+        assert_eq!(report.clients[1].participation_rate, 0.0);
+        assert_eq!(report.clients[1].rejected_rounds, 10);
+        assert!((report.clients[2].participation_rate - 0.3).abs() < 1e-12);
+        // Length mismatch is a typed error.
+        assert!(analyze_with_participation(
+            &outcome,
+            &[0, 1, 2],
+            Some(&part[..2]),
+            &RobustnessConfig::default()
+        )
+        .is_err());
+        // Without a record, nothing is flagged and rates default to 1.
+        let plain = analyze(&outcome, &[0, 1, 2], &RobustnessConfig::default()).unwrap();
+        assert!(plain.suspected_unreliable.is_empty());
+        assert!(plain.clients.iter().all(|c| c.participation_rate == 1.0));
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub fn replicate<R: Rng + ?Sized>(
         let owned = partition.client_indices(client);
         let ratio = sample_ratio(ratio_range, rng);
         let n_dup = ((owned.len() as f64 * ratio).round() as usize).min(owned.len() * 10);
+        if n_dup == 0 {
+            affected.push(0);
+            ratios.push(ratio);
+            continue;
+        }
         let mut dup_rows = Vec::with_capacity(n_dup);
         for _ in 0..n_dup {
             let &src = owned.choose(rng).expect("clients own at least one row");
@@ -236,5 +241,69 @@ mod tests {
         let (ds, p) = setup();
         let mut rng = StdRng::seed_from_u64(5);
         let _ = replicate(&ds, &p, &[0], (0.9, 0.1), &mut rng);
+    }
+
+    /// 4 clients where client 3 owns exactly one row (the degenerate case).
+    fn setup_single_row_client() -> (Dataset, Partition) {
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let mut ds = Dataset::empty(schema, 2);
+        for i in 0..10 {
+            ds.push_row(&[(i as f32 / 10.0).into()], (i % 2 == 0) as usize).unwrap();
+        }
+        let client_of: Vec<u32> = vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3];
+        (ds, Partition::new(client_of, 4))
+    }
+
+    #[test]
+    fn empty_client_slice_is_a_no_op_with_empty_report() {
+        let (ds, p) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let empty_report = AdverseReport { clients: vec![], affected_rows: vec![], ratios: vec![] };
+        let (out, p2, report) = replicate(&ds, &p, &[], (0.1, 0.5), &mut rng);
+        assert_eq!(out, ds);
+        assert_eq!(p2, p);
+        assert_eq!(report, empty_report);
+        let (out, p2, report) = inject_low_quality(&ds, &p, &[], (0.1, 0.5), &mut rng);
+        assert_eq!((out, p2, report), (ds.clone(), p.clone(), empty_report.clone()));
+        let (out, p2, report) = flip_labels(&ds, &p, &[], (0.1, 0.5), &mut rng);
+        assert_eq!((out, p2, report), (ds.clone(), p.clone(), empty_report));
+    }
+
+    #[test]
+    fn zero_ratio_range_is_a_no_op_with_accurate_report() {
+        let (ds, p) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (out, p2, report) = replicate(&ds, &p, &[0, 2], (0.0, 0.0), &mut rng);
+        assert_eq!(out, ds);
+        assert_eq!(p2, p);
+        assert_eq!(report.clients, vec![0, 2]);
+        assert_eq!(report.affected_rows, vec![0, 0]);
+        assert_eq!(report.ratios, vec![0.0, 0.0]);
+        let (out, _, report) = inject_low_quality(&ds, &p, &[1], (0.0, 0.0), &mut rng);
+        assert_eq!(out, ds);
+        assert_eq!(report.affected_rows, vec![0]);
+        let (out, _, report) = flip_labels(&ds, &p, &[3], (0.0, 0.0), &mut rng);
+        assert_eq!(out, ds);
+        assert_eq!(report.affected_rows, vec![0]);
+    }
+
+    #[test]
+    fn single_row_client_degenerate_cases() {
+        let (ds, p) = setup_single_row_client();
+        let mut rng = StdRng::seed_from_u64(8);
+        // Replication at ratio 0.3 rounds to zero duplicates of the one row.
+        let (out, p2, report) = replicate(&ds, &p, &[3], (0.3, 0.3), &mut rng);
+        assert_eq!(out, ds);
+        assert_eq!(p2, p);
+        assert_eq!(report.affected_rows, vec![0]);
+        // Low quality resamples from the client's own one-label pool: the
+        // row is "modified" but the dataset cannot change.
+        let (out, _, report) = inject_low_quality(&ds, &p, &[3], (1.0, 1.0), &mut rng);
+        assert_eq!(out, ds);
+        assert_eq!(report.affected_rows, vec![1]);
+        // Flipping at ratio 0.4 rounds to zero flips.
+        let (out, _, report) = flip_labels(&ds, &p, &[3], (0.4, 0.4), &mut rng);
+        assert_eq!(out, ds);
+        assert_eq!(report.affected_rows, vec![0]);
     }
 }

@@ -1,17 +1,31 @@
-//! The FedAvg training loop (McMahan et al. 2017).
+//! The FedAvg training loop (McMahan et al. 2017), fault-tolerant edition.
 //!
 //! Trains a global [`LogicalNet`] over client shards: each round, every
-//! client loads the global parameters, runs local gradient-grafting epochs,
-//! and the server aggregates the updates weighted by shard size. Clients
-//! run concurrently with scoped threads — they are independent within a
-//! round.
+//! live client loads the global parameters, runs local gradient-grafting
+//! epochs, and the server aggregates the accepted updates weighted by shard
+//! size. Clients run concurrently with scoped threads — they are
+//! independent within a round.
+//!
+//! [`train_federated_with`] is the full runtime: a [`FaultPlan`] injects
+//! system-level faults (dropout, crash, straggling, corrupted uploads,
+//! panics), a [`GuardConfig`] validates every update server-side and
+//! enforces the quorum/degradation policy, and the returned
+//! [`FederationLog`] records what happened each round.
+//! [`train_federated`] is the zero-fault back-compat wrapper: no injected
+//! faults, strict guard (any panic or non-finite upload is a typed error).
 
 use ctfl_core::data::Dataset;
 use ctfl_core::error::{CoreError, Result};
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 use crate::client::Client;
+use crate::faults::{Fate, FaultInjector, FaultPlan};
+use crate::guard::{
+    judge_round, FederationLog, GuardConfig, PanicPolicy, Participation, ParticipationEntry,
+    RoundReport, UpdateCandidate,
+};
 use crate::server::aggregate;
 
 /// Federated-training configuration.
@@ -31,20 +45,67 @@ impl Default for FlConfig {
     }
 }
 
-/// Trains a global model with FedAvg over per-client datasets.
+/// Output of a fault-tolerant training run: the global model plus the
+/// per-round participation log.
+#[derive(Debug, Clone)]
+pub struct FederationRun {
+    /// The trained global network.
+    pub net: LogicalNet,
+    /// Who participated, who was rejected and why, retry counts, degraded
+    /// rounds.
+    pub log: FederationLog,
+}
+
+/// A client's local computation outcome: `Err(())` means its thread
+/// panicked (the panic was contained).
+type LocalOutcome = std::result::Result<Result<Vec<f32>>, ()>;
+
+fn needs_compute(fate: Fate) -> bool {
+    matches!(fate, Fate::Healthy | Fate::Straggler | Fate::Corrupt(_) | Fate::Panic)
+}
+
+/// Runs one client's local work with panic containment. The injected
+/// [`Fate::Panic`] fires inside this closure, so it exercises exactly the
+/// containment path a genuine client panic would take.
+fn run_local(client: &mut Client, fate: Fate, global: &[f32], epochs: usize) -> LocalOutcome {
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if fate == Fate::Panic {
+            panic!("injected fault: client {} panicked", client.id);
+        }
+        client.local_update(global, epochs)
+    }))
+    .map_err(|_| ())
+}
+
+/// Trains a global model with FedAvg over per-client datasets, under an
+/// explicit fault plan and server-side guard.
 ///
 /// All client datasets must share a schema; `net_config.seed` fixes the
-/// encoder so every replica agrees on the literal layout.
+/// encoder so every replica agrees on the literal layout. `plan` must cover
+/// exactly `client_data.len()` clients (rounds beyond the plan's horizon are
+/// fault-free).
 ///
-/// Returns the trained global network.
-pub fn train_federated(
+/// The run is fully deterministic: the same inputs produce bit-identical
+/// parameters and a byte-identical [`FederationLog`], with the parallel and
+/// serial paths agreeing exactly (clients are independent within a round
+/// and aggregation order is fixed by client id).
+pub fn train_federated_with(
     client_data: &[Dataset],
     n_classes: usize,
     net_config: &LogicalNetConfig,
     fl_config: &FlConfig,
-) -> Result<LogicalNet> {
+    plan: &FaultPlan,
+    guard: &GuardConfig,
+) -> Result<FederationRun> {
     if client_data.is_empty() {
         return Err(CoreError::Empty { what: "client data" });
+    }
+    if plan.n_clients() != client_data.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "fault plan clients",
+            expected: client_data.len(),
+            actual: plan.n_clients(),
+        });
     }
     let schema = Arc::clone(client_data[0].schema());
     for (i, d) in client_data.iter().enumerate() {
@@ -77,38 +138,197 @@ pub fn train_federated(
         })
         .collect::<Result<_>>()?;
 
+    let n = clients.len();
     let weights: Vec<usize> = clients.iter().map(Client::n_rows).collect();
-    for _round in 0..fl_config.rounds {
+    let mut injector = FaultInjector::new(plan.clone());
+    let mut log = FederationLog::new(n);
+    // Stragglers' late updates, delivered at the start of the next round.
+    let mut stale_buffer: Vec<UpdateCandidate> = Vec::new();
+
+    for round in 0..fl_config.rounds {
         let global_params = global.params();
-        let updates: Vec<Vec<f32>> = if fl_config.parallel && clients.len() > 1 {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = clients
-                    .iter_mut()
-                    .map(|c| {
-                        let gp = &global_params;
-                        s.spawn(move || c.local_update(gp, fl_config.local_epochs))
+        let stale_arrivals = std::mem::take(&mut stale_buffer);
+        let mut attempt = 0usize;
+        loop {
+            let fates: Vec<Fate> = (0..n).map(|c| injector.fate(round, attempt, c)).collect();
+
+            // Local work for every client whose fate requires compute.
+            let n_computing = fates.iter().filter(|f| needs_compute(**f)).count();
+            let outcomes: Vec<Option<LocalOutcome>> =
+                if fl_config.parallel && n_computing > 1 {
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = clients
+                            .iter_mut()
+                            .zip(&fates)
+                            .map(|(c, &fate)| {
+                                if !needs_compute(fate) {
+                                    return None;
+                                }
+                                let gp = &global_params;
+                                Some(s.spawn(move || {
+                                    run_local(c, fate, gp, fl_config.local_epochs)
+                                }))
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.map(|h| h.join().unwrap_or(Err(()))))
+                            .collect()
                     })
-                    .collect();
-                handles
+                } else {
+                    clients
+                        .iter_mut()
+                        .zip(&fates)
+                        .map(|(c, &fate)| {
+                            needs_compute(fate)
+                                .then(|| run_local(c, fate, &global_params, fl_config.local_epochs))
+                        })
+                        .collect()
+                };
+
+            // Interpret outcomes: build fresh candidates, deferred straggler
+            // updates, and the non-reporting entries.
+            let mut entries: Vec<ParticipationEntry> = Vec::new();
+            let mut fresh: Vec<UpdateCandidate> = Vec::new();
+            let mut deferred: Vec<UpdateCandidate> = Vec::new();
+            for (c, (fate, outcome)) in fates.iter().zip(outcomes).enumerate() {
+                match (fate, outcome) {
+                    (Fate::Crashed, _) => entries.push(ParticipationEntry {
+                        client: c,
+                        stale: false,
+                        outcome: Participation::Crashed,
+                    }),
+                    (Fate::Dropout, _) => entries.push(ParticipationEntry {
+                        client: c,
+                        stale: false,
+                        outcome: Participation::Dropout,
+                    }),
+                    (_, Some(Err(()))) => {
+                        if guard.panic_policy == PanicPolicy::Error {
+                            return Err(CoreError::ClientPanicked { client: c });
+                        }
+                        entries.push(ParticipationEntry {
+                            client: c,
+                            stale: false,
+                            outcome: Participation::Panicked,
+                        });
+                    }
+                    // A genuine error from local training (not a fault) is a
+                    // programming error and always propagates.
+                    (_, Some(Ok(Err(e)))) => return Err(e),
+                    (Fate::Straggler, Some(Ok(Ok(params)))) => {
+                        deferred.push(UpdateCandidate {
+                            client: c,
+                            stale: true,
+                            params,
+                            weight: weights[c],
+                        });
+                        entries.push(ParticipationEntry {
+                            client: c,
+                            stale: false,
+                            outcome: Participation::Straggling,
+                        });
+                    }
+                    (&fate, Some(Ok(Ok(mut params)))) => {
+                        if let Fate::Corrupt(kind) = fate {
+                            FaultInjector::corrupt(kind, &mut params, &global_params);
+                        }
+                        fresh.push(UpdateCandidate {
+                            client: c,
+                            stale: false,
+                            params,
+                            weight: weights[c],
+                        });
+                    }
+                    (_, None) => unreachable!("computing fate without an outcome"),
+                }
+            }
+
+            // Server-side validation over stale arrivals + fresh updates, in
+            // a fixed order so aggregation arithmetic is deterministic.
+            let mut candidates = stale_arrivals.clone();
+            candidates.extend(fresh);
+            candidates.sort_by_key(|c| (c.client, c.stale));
+            let judged = judge_round(&global_params, candidates, guard)?;
+            for j in &judged {
+                entries.push(ParticipationEntry {
+                    client: j.candidate.client,
+                    stale: j.candidate.stale,
+                    outcome: j.outcome,
+                });
+            }
+            entries.sort_by_key(|e| (e.client, e.stale));
+
+            let n_accepted =
+                judged.iter().filter(|j| matches!(j.outcome, Participation::Accepted { .. })).count();
+            let n_active = fates.iter().filter(|f| **f != Fate::Crashed).count();
+            let needed = ((guard.quorum_frac * n_active as f64).ceil() as usize).max(1);
+            let quorum_met = n_accepted >= needed;
+
+            if !quorum_met && attempt < guard.max_round_retries && n_active > 0 {
+                // Re-run the round against the remaining clients; the
+                // aborted attempt's straggler packets are lost with it.
+                attempt += 1;
+                continue;
+            }
+
+            if quorum_met {
+                let (updates, agg_weights): (Vec<Vec<f32>>, Vec<usize>) = judged
                     .into_iter()
-                    .map(|h| h.join().expect("client thread panicked"))
-                    .collect::<Result<Vec<_>>>()
-            })?
-        } else {
-            clients
-                .iter_mut()
-                .map(|c| c.local_update(&global_params, fl_config.local_epochs))
-                .collect::<Result<Vec<_>>>()?
-        };
-        let aggregated = aggregate(&updates, &weights)?;
-        global.set_params(&aggregated)?;
+                    .filter(|j| matches!(j.outcome, Participation::Accepted { .. }))
+                    .map(|j| (j.candidate.params, j.candidate.weight))
+                    .unzip();
+                let aggregated = aggregate(&updates, &agg_weights)?;
+                global.set_params(&aggregated)?;
+            } else if guard.fail_fast {
+                return Err(CoreError::InvalidParameter {
+                    name: "quorum",
+                    message: format!(
+                        "round {round}: {n_accepted}/{needed} required updates accepted"
+                    ),
+                });
+            }
+            // else: graceful degradation — carry the global params forward.
+
+            stale_buffer = deferred;
+            log.rounds.push(RoundReport {
+                round,
+                attempts: attempt + 1,
+                degraded: !quorum_met,
+                entries,
+            });
+            break;
+        }
     }
-    Ok(global)
+    Ok(FederationRun { net: global, log })
+}
+
+/// Trains a global model with FedAvg over per-client datasets — the
+/// zero-fault path.
+///
+/// Equivalent to [`train_federated_with`] under [`FaultPlan::none`] and
+/// [`GuardConfig::strict`]: no faults are injected, every client must
+/// report every round, a client panic surfaces as
+/// [`CoreError::ClientPanicked`] (never a process abort), and a non-finite
+/// upload as [`CoreError::NonFinite`].
+///
+/// Returns the trained global network.
+pub fn train_federated(
+    client_data: &[Dataset],
+    n_classes: usize,
+    net_config: &LogicalNetConfig,
+    fl_config: &FlConfig,
+) -> Result<LogicalNet> {
+    let plan = FaultPlan::none(client_data.len(), fl_config.rounds);
+    train_federated_with(client_data, n_classes, net_config, fl_config, &plan, &GuardConfig::strict())
+        .map(|run| run.net)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{CorruptionKind, FaultKind, FaultSpec};
+    use crate::guard::RejectReason;
     use ctfl_core::data::{FeatureKind, FeatureSchema};
 
     fn shards() -> Vec<Dataset> {
@@ -124,6 +344,20 @@ mod tests {
             target.push_row(&[v.into()], (v > 0.5) as usize).unwrap();
         }
         vec![a, b]
+    }
+
+    fn many_shards(n: usize) -> Vec<Dataset> {
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        (0..n)
+            .map(|c| {
+                let mut d = Dataset::empty(Arc::clone(&schema), 2);
+                for i in 0..40 {
+                    let v = ((i * n + c) % 120) as f32 / 120.0;
+                    d.push_row(&[v.into()], (v > 0.5) as usize).unwrap();
+                }
+                d
+            })
+            .collect()
     }
 
     fn cfg(seed: u64) -> LogicalNetConfig {
@@ -162,6 +396,169 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_serial_are_bit_identical_under_faults() {
+        let shards = many_shards(4);
+        let plan = FaultPlan::none(4, 3)
+            .with_event(0, 1, FaultKind::Dropout)
+            .with_event(1, 2, FaultKind::Straggler)
+            .with_event(2, 0, FaultKind::Corrupt(CorruptionKind::NaN));
+        let run = |parallel| {
+            let fl = FlConfig { rounds: 3, local_epochs: 1, parallel };
+            train_federated_with(&shards, 2, &cfg(4), &fl, &plan, &GuardConfig::default()).unwrap()
+        };
+        let p = run(true);
+        let s = run(false);
+        assert_eq!(p.net.params(), s.net.params(), "parallel/serial divergence");
+        assert_eq!(p.log, s.log);
+        assert_eq!(p.log.render(), s.log.render());
+    }
+
+    #[test]
+    fn zero_fault_runtime_matches_back_compat_wrapper() {
+        let shards = shards();
+        let fl = FlConfig { rounds: 3, local_epochs: 1, parallel: true };
+        let wrapped = train_federated(&shards, 2, &cfg(5), &fl).unwrap();
+        let plan = FaultPlan::none(2, 3);
+        let run = train_federated_with(&shards, 2, &cfg(5), &fl, &plan, &GuardConfig::default())
+            .unwrap();
+        assert_eq!(wrapped.params(), run.net.params(), "guards must be inert without faults");
+        assert_eq!(run.log.rounds.len(), 3);
+        assert!(run.log.rounds.iter().all(|r| !r.degraded && r.attempts == 1));
+        assert!(run.log.participation().iter().all(|p| p.accepted == 3));
+    }
+
+    #[test]
+    fn dropout_and_crash_shrink_the_round() {
+        let shards = many_shards(4);
+        let fl = FlConfig { rounds: 4, local_epochs: 1, parallel: false };
+        let plan = FaultPlan::none(4, 4)
+            .with_event(1, 0, FaultKind::Dropout)
+            .with_event(2, 3, FaultKind::Crash);
+        let run =
+            train_federated_with(&shards, 2, &fl_cfg_net(), &fl, &plan, &GuardConfig::default())
+                .unwrap();
+        let part = run.log.participation();
+        assert_eq!(part[0].accepted, 3, "one dropout round");
+        assert_eq!(part[3].accepted, 2, "crashed from round 2 on");
+        assert_eq!(part[3].missed, 2);
+        // Crash persists in the log.
+        for r in &run.log.rounds[2..] {
+            assert!(r
+                .entries
+                .iter()
+                .any(|e| e.client == 3 && e.outcome == Participation::Crashed));
+        }
+    }
+
+    fn fl_cfg_net() -> LogicalNetConfig {
+        cfg(6)
+    }
+
+    #[test]
+    fn corrupted_update_is_rejected_every_round_it_reports() {
+        let shards = many_shards(3);
+        let fl = FlConfig { rounds: 3, local_epochs: 1, parallel: true };
+        let plan = FaultPlan::none(3, 3).with_persistent_corruption(1, CorruptionKind::NaN);
+        let run = train_federated_with(&shards, 2, &cfg(7), &fl, &plan, &GuardConfig::default())
+            .unwrap();
+        assert!(run.net.params().iter().all(|p| p.is_finite()), "NaN leaked into global model");
+        let part = run.log.participation();
+        assert_eq!(part[1].rejected, 3);
+        assert_eq!(part[1].accepted, 0);
+        for r in &run.log.rounds {
+            assert!(r.entries.iter().any(|e| e.client == 1
+                && matches!(e.outcome, Participation::Rejected(RejectReason::NonFinite { .. }))));
+        }
+    }
+
+    #[test]
+    fn straggler_update_arrives_one_round_late() {
+        let shards = many_shards(3);
+        let fl = FlConfig { rounds: 3, local_epochs: 1, parallel: false };
+        let plan = FaultPlan::none(3, 3).with_event(0, 2, FaultKind::Straggler);
+        let run = train_federated_with(&shards, 2, &cfg(8), &fl, &plan, &GuardConfig::default())
+            .unwrap();
+        let r0 = &run.log.rounds[0];
+        assert!(r0
+            .entries
+            .iter()
+            .any(|e| e.client == 2 && e.outcome == Participation::Straggling));
+        let r1 = &run.log.rounds[1];
+        let stale: Vec<_> = r1.entries.iter().filter(|e| e.stale).collect();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].client, 2);
+        assert!(matches!(stale[0].outcome, Participation::Accepted { .. }));
+        // Client 2 also reports fresh in round 1.
+        assert!(r1.entries.iter().any(|e| e.client == 2 && !e.stale));
+    }
+
+    #[test]
+    fn quorum_failure_degrades_gracefully_and_retry_recovers_dropouts() {
+        let shards = many_shards(2);
+        let fl = FlConfig { rounds: 2, local_epochs: 1, parallel: false };
+        // Both clients drop out in round 0: no retry -> degraded round.
+        let plan = FaultPlan::none(2, 2)
+            .with_event(0, 0, FaultKind::Dropout)
+            .with_event(0, 1, FaultKind::Dropout);
+        let guard = GuardConfig { max_round_retries: 0, ..GuardConfig::default() };
+        let run = train_federated_with(&shards, 2, &cfg(9), &fl, &plan, &guard).unwrap();
+        assert!(run.log.rounds[0].degraded);
+        assert!(!run.log.rounds[1].degraded);
+        assert_eq!(run.log.n_degraded(), 1);
+
+        // With one retry the dropouts (transient) come back and the round
+        // commits on the second attempt.
+        let guard = GuardConfig { max_round_retries: 1, ..GuardConfig::default() };
+        let run = train_federated_with(&shards, 2, &cfg(9), &fl, &plan, &guard).unwrap();
+        assert!(!run.log.rounds[0].degraded);
+        assert_eq!(run.log.rounds[0].attempts, 2);
+    }
+
+    #[test]
+    fn injected_panic_is_contained_or_fatal_per_policy() {
+        let shards = many_shards(3);
+        let plan = FaultPlan::none(3, 2).with_event(0, 1, FaultKind::Panic);
+        for parallel in [false, true] {
+            let fl = FlConfig { rounds: 2, local_epochs: 1, parallel };
+            // Record policy: the panic becomes a logged fault.
+            let run =
+                train_federated_with(&shards, 2, &cfg(10), &fl, &plan, &GuardConfig::default())
+                    .unwrap();
+            assert!(run.log.rounds[0]
+                .entries
+                .iter()
+                .any(|e| e.client == 1 && e.outcome == Participation::Panicked));
+            // Error policy: the panic surfaces as a typed error, never an
+            // abort.
+            let guard = GuardConfig { panic_policy: PanicPolicy::Error, ..GuardConfig::default() };
+            let err =
+                train_federated_with(&shards, 2, &cfg(10), &fl, &plan, &guard).unwrap_err();
+            assert_eq!(err, CoreError::ClientPanicked { client: 1 });
+        }
+    }
+
+    #[test]
+    fn same_seed_produces_byte_identical_logs() {
+        let shards = many_shards(5);
+        let spec = FaultSpec {
+            dropout: 0.3,
+            straggler: 0.1,
+            corrupt: 0.1,
+            corruption: CorruptionKind::NaN,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(5, 4, &spec, 99);
+        let fl = FlConfig { rounds: 4, local_epochs: 1, parallel: true };
+        let a = train_federated_with(&shards, 2, &cfg(11), &fl, &plan, &GuardConfig::default())
+            .unwrap();
+        let b = train_federated_with(&shards, 2, &cfg(11), &fl, &plan, &GuardConfig::default())
+            .unwrap();
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.log.render(), b.log.render());
+        assert_eq!(a.net.params(), b.net.params());
+    }
+
+    #[test]
     fn validation_errors() {
         assert!(train_federated(&[], 2, &cfg(0), &FlConfig::default()).is_err());
         let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
@@ -173,6 +570,17 @@ mod tests {
         let other = FeatureSchema::new(vec![("y", FeatureKind::continuous(0.0, 2.0))]);
         let mut b = Dataset::empty(other, 2);
         b.push_row(&[0.5f32.into()], 1).unwrap();
-        assert!(train_federated(&[a, b], 2, &cfg(0), &FlConfig::default()).is_err());
+        assert!(train_federated(&[a.clone(), b], 2, &cfg(0), &FlConfig::default()).is_err());
+        // Fault plan sized for the wrong federation.
+        let plan = FaultPlan::none(3, 2);
+        assert!(train_federated_with(
+            &[a],
+            2,
+            &cfg(0),
+            &FlConfig::default(),
+            &plan,
+            &GuardConfig::default()
+        )
+        .is_err());
     }
 }

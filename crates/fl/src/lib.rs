@@ -8,6 +8,11 @@
 //!   by shard size.
 //! * [`client`] / [`server`] — the two roles, separable so tests can drive
 //!   each in isolation.
+//! * [`faults`] — seeded, deterministic system-level fault injection
+//!   (dropout, crash, straggling, corrupted uploads, panics).
+//! * [`guard`] — server-side update validation (finiteness, norm clipping
+//!   against the median survivor norm), the quorum/degradation policy, and
+//!   the per-round [`guard::FederationLog`].
 //! * [`metrics`] — test accuracy and F1 for trained models.
 //! * [`privacy`] — the activation-vector upload pipeline of paper Section V:
 //!   each participant computes its rule activation bitsets *locally* and
@@ -19,11 +24,15 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod faults;
 pub mod fedavg;
+pub mod guard;
 pub mod metrics;
 pub mod privacy;
 pub mod server;
 
-pub use fedavg::{train_federated, FlConfig};
+pub use faults::{CorruptionKind, FaultKind, FaultPlan, FaultSpec};
+pub use fedavg::{train_federated, train_federated_with, FederationRun, FlConfig};
+pub use guard::{FederationLog, GuardConfig, PanicPolicy};
 pub use metrics::{accuracy_of, f1_binary};
 pub use privacy::{assemble_trace_inputs, ActivationUpload, PrivacyConfig};

@@ -5,6 +5,11 @@ use ctfl_core::error::{CoreError, Result};
 /// Aggregates client parameter vectors by FedAvg's data-size-weighted mean:
 /// `θ = Σ_i (n_i / Σ_j n_j) · θ_i`.
 ///
+/// Every vector must be entirely finite: a single NaN or infinity would
+/// silently poison the global model, so non-finite inputs are rejected with
+/// [`CoreError::NonFinite`] naming the offending client index. (The round
+/// guard filters these earlier; this is the server's last line of defence.)
+///
 /// Returns the aggregated vector.
 pub fn aggregate(client_params: &[Vec<f32>], weights: &[usize]) -> Result<Vec<f32>> {
     if client_params.is_empty() {
@@ -26,7 +31,9 @@ pub fn aggregate(client_params: &[Vec<f32>], weights: &[usize]) -> Result<Vec<f3
                 actual: p.len(),
             });
         }
-        let _ = i;
+        if p.iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::NonFinite { what: "client parameter vector", index: i });
+        }
     }
     let total: f64 = weights.iter().map(|&w| w as f64).sum();
     if total <= 0.0 {
@@ -77,5 +84,17 @@ mod tests {
         assert!(aggregate(&[vec![1.0]], &[1, 2]).is_err());
         assert!(aggregate(&[vec![1.0], vec![1.0, 2.0]], &[1, 1]).is_err());
         assert!(aggregate(&[vec![1.0]], &[0]).is_err());
+    }
+
+    #[test]
+    fn non_finite_vectors_are_rejected_with_typed_error() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let err = aggregate(&[vec![1.0, 1.0], vec![1.0, bad]], &[1, 1]).unwrap_err();
+            assert_eq!(
+                err,
+                CoreError::NonFinite { what: "client parameter vector", index: 1 },
+                "{bad} must be rejected"
+            );
+        }
     }
 }

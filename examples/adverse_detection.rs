@@ -8,13 +8,20 @@
 //! 5 flips 40% of its labels. CTFL's micro/macro divergence flags the
 //! replicator; the loss-tracing allocation concentrates blame on the
 //! flipper; honest clients stay clean.
+//!
+//! A second act re-runs the *honest* federation under system-level faults —
+//! seeded dropout plus one client that persistently reports NaN parameters
+//! — to show the server guard quarantining the corrupted client and the
+//! participation-weighted scores collapsing its contribution to zero.
 
 use ctfl::core::estimator::{CtflConfig, CtflEstimator};
 use ctfl::data::adverse::{flip_labels, replicate};
 use ctfl::data::partition::skew_label;
 use ctfl::data::split::train_test_split;
 use ctfl::data::synthetic::adult_like;
-use ctfl::fl::fedavg::{train_federated, FlConfig};
+use ctfl::fl::faults::{CorruptionKind, FaultPlan, FaultSpec};
+use ctfl::fl::fedavg::{train_federated, train_federated_with, FlConfig};
+use ctfl::fl::guard::GuardConfig;
 use ctfl::nn::extract::{extract_rules, ExtractOptions};
 use ctfl::nn::net::LogicalNetConfig;
 use ctfl_rng::rngs::StdRng;
@@ -71,5 +78,44 @@ fn main() {
         "note how the flipper's flipped records stop matching correctly classified\n\
          tests (micro score drops) while its matches on MISclassified tests (loss\n\
          share / useless ratio) rise — exactly the paper's detection signals."
+    );
+
+    // --- Act 2: system-level faults on an honest federation -------------
+    // Adverse *data* is one threat model; adverse *runtime behaviour* is
+    // another. Re-run the honest federation under 20% per-round dropout
+    // with client 3 persistently reporting NaN parameters.
+    println!("\n== system faults: 20% dropout + persistently NaN client 3 ==\n");
+    let mut rng = StdRng::seed_from_u64(22);
+    let (train, test) = train_test_split(&data, 0.2, true, &mut rng);
+    let partition = skew_label(train.labels(), 2, n_clients, 0.8, &mut rng);
+    let shards: Vec<_> =
+        (0..n_clients).map(|c| train.subset(&partition.client_indices(c))).collect();
+    let plan = FaultPlan::generate(n_clients, fl.rounds, &FaultSpec::dropout_only(0.2), 42)
+        .with_persistent_corruption(3, CorruptionKind::NaN);
+    let run = train_federated_with(&shards, 2, &net_config, &fl, &plan, &GuardConfig::default())
+        .expect("faulty training still succeeds");
+    print!("{}", run.log.render());
+
+    let model = extract_rules(&run.net, ExtractOptions::default()).expect("extraction succeeds");
+    println!("\nglobal model accuracy: {:.3}\n", model.accuracy(&test).expect("non-empty"));
+    let report = CtflEstimator::new(model, CtflConfig::default())
+        .estimate_with_participation(&train, &partition.client_of, &test, &run.log.participation())
+        .expect("valid inputs");
+    println!("client  participation  micro    effective");
+    for c in 0..n_clients {
+        println!(
+            "{c:>6}  {:>13.4}  {:.4}  {:>9.4}{}",
+            report.participation_rate[c],
+            report.micro[c],
+            report.micro_effective[c],
+            if c == 3 { "  <- every update rejected by the guard" } else { "" },
+        );
+    }
+    println!("suspected unreliable:      {:?}", report.robustness.suspected_unreliable);
+    println!();
+    println!(
+        "the guard rejects the NaN client every round, quorum retries absorb the\n\
+         dropouts, and the participation-weighted (effective) score zeroes the\n\
+         corrupted client — however plausible its local data looks."
     );
 }

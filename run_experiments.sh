@@ -36,6 +36,21 @@ check() {
         exit 1
     fi
     echo "determinism ok ($(wc -c < "$a") bytes, byte-identical)"
+    echo "== chaos: seeded fault injection, double-run byte diff =="
+    # 5 clients, 30% dropout + one persistently-NaN client: the guard must
+    # reject the corrupted client every round, quorum retries must absorb
+    # the dropouts, and the full federation log + participation-weighted
+    # scores must be byte-identical across identical-seed runs.
+    cargo build --release -p ctfl-bench --bin chaos
+    $BIN/chaos --seed 7 > "$a" 2>&1
+    $BIN/chaos --seed 7 > "$b" 2>&1
+    if ! diff -q "$a" "$b"; then
+        echo "CHAOS DETERMINISM VIOLATION: two identical-seed faulty runs differ" >&2
+        diff "$a" "$b" | head -20 >&2
+        exit 1
+    fi
+    grep -q CHAOS_SCENARIO_OK "$a" || { echo "chaos scenario failed" >&2; exit 1; }
+    echo "chaos ok ($(wc -c < "$a") bytes, byte-identical)"
     echo ALL_CHECKS_PASSED
 }
 
@@ -53,4 +68,5 @@ $BIN/table5_interpret_adult --seed 7 > results/table5.txt 2>&1; echo "table5 rc=
 $BIN/table2_example > results/table2.txt 2>&1; echo "table2 rc=$?"
 $BIN/table1_comparison --seed 7 > results/table1.txt 2>&1; echo "table1 rc=$?"
 $BIN/ablation --seed 7 > results/ablation.txt 2>&1; echo "ablation rc=$?"
+$BIN/chaos --seed 7 > results/chaos.txt 2>&1; echo "chaos rc=$?"
 echo ALL_EXPERIMENTS_DONE
