@@ -40,7 +40,7 @@ fn training_dataset() -> Dataset {
     for i in 0..512 {
         let x = (i % 128) as f32 / 128.0;
         let cat = (i % 4) as u32;
-        ds.push_row(&[x.into(), cat.into()], ((x > 0.4) && cat != 3) as usize).unwrap();
+        ds.push_row(&[x.into(), cat.into()], ((x > 0.4) && cat != 3) as u32).unwrap();
     }
     ds
 }

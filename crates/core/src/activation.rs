@@ -184,6 +184,32 @@ impl ActivationMatrix {
         sum
     }
 
+    /// Sets bit-column `bit` from a row-indexed bitmask (`rows[i / 64] >>
+    /// (i % 64)` is row `i`'s value, as produced by the batch evaluator).
+    ///
+    /// Only *sets* bits — callers scatter into an all-zero column. The cost
+    /// is proportional to the number of set bits, which for typical sparse
+    /// activations beats a full 64×64 bit transpose.
+    ///
+    /// # Panics
+    /// Panics if `bit >= n_bits` or the mask covers more rows than the
+    /// matrix has.
+    pub fn scatter_bit(&mut self, bit: usize, rows: &[u64]) {
+        assert!(bit < self.n_bits, "activation index out of range");
+        assert!(rows.len() <= self.n_rows.div_ceil(64), "row mask wider than matrix");
+        let wi = bit / 64;
+        let mask = 1u64 << (bit % 64);
+        for (word_i, &w) in rows.iter().enumerate() {
+            let base_row = word_i * 64;
+            let mut bits = w;
+            while bits != 0 {
+                let r = base_row + bits.trailing_zeros() as usize;
+                self.words[r * self.words_per_row + wi] |= mask;
+                bits &= bits - 1;
+            }
+        }
+    }
+
     /// A stable 64-bit signature of a row, used to group identical
     /// activation vectors (FNV-1a over the packed words).
     pub fn row_signature(&self, row: usize) -> u64 {
@@ -277,6 +303,22 @@ mod tests {
         n.set(0, 2, true);
         n.set(1, 2, true);
         assert_eq!(m, n);
+    }
+
+    #[test]
+    fn scatter_bit_matches_per_row_sets() {
+        // 70 rows so the row mask spans two words; 130 bits so the bit
+        // column lands in the second word of each matrix row.
+        let n_rows = 70;
+        let mut scattered = ActivationMatrix::zeros(n_rows, 130);
+        let mut reference = ActivationMatrix::zeros(n_rows, 130);
+        let mut mask = vec![0u64; n_rows.div_ceil(64)];
+        for i in (0..n_rows).filter(|i| i % 3 == 0) {
+            mask[i / 64] |= 1 << (i % 64);
+            reference.set(i, 129, true);
+        }
+        scattered.scatter_bit(129, &mask);
+        assert_eq!(scattered, reference);
     }
 
     #[test]

@@ -169,7 +169,9 @@ impl CtflEstimator {
         }
         let n_clients = client_of.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
 
-        // Single model inference pass: activations + predictions.
+        // Single model inference pass: activations + predictions. The fills
+        // run the compiled columnar evaluator (one predicate scan per unique
+        // predicate, word-wide combine), not per-row rule dispatch.
         let train_acts = self.model.activation_matrix(train, self.config.parallel)?;
         let test_acts = self.model.activation_matrix(test, self.config.parallel)?;
         let predictions: Vec<usize> =

@@ -10,8 +10,9 @@
 //! 1. [`rule`] / [`model`] — rule-based task models (Definitions III.1/III.2,
 //!    Eq. 3): logical rules over mixed discrete/continuous features, combined
 //!    by weighted voting.
-//! 2. [`activation`] — bit-packed rule activation matrices used to compare
-//!    training and test instances efficiently.
+//! 2. [`activation`] / [`batch`] — bit-packed rule activation matrices and
+//!    the compiled columnar evaluator that fills them one predicate column
+//!    at a time.
 //! 3. [`tracing`] — the rule-based tracing strategy (Eq. 4) that matches each
 //!    test instance to the training data that taught the model the rules it
 //!    used, covering all four cases (TP/TN/FP/FN).
@@ -43,7 +44,7 @@
 //! let mut train = Dataset::empty(schema.clone(), 2);
 //! for i in 0..20 {
 //!     let v = i as f32 / 20.0;
-//!     train.push_row(&[v.into()], (v > 0.5) as usize).unwrap();
+//!     train.push_row(&[v.into()], (v > 0.5) as u32).unwrap();
 //! }
 //! let test = train.clone();
 //!
@@ -67,6 +68,7 @@
 
 pub mod activation;
 pub mod allocation;
+pub mod batch;
 pub mod data;
 pub mod error;
 pub mod estimator;
@@ -78,7 +80,8 @@ pub mod rule;
 pub mod tracing;
 
 pub use activation::ActivationMatrix;
-pub use data::{Dataset, FeatureKind, FeatureSchema, FeatureValue};
+pub use batch::CompiledRules;
+pub use data::{Column, Dataset, DatasetView, FeatureKind, FeatureSchema, FeatureValue};
 pub use error::{CoreError, Result};
 pub use estimator::{ContributionReport, CtflConfig, CtflEstimator};
 pub use model::RuleModel;

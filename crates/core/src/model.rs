@@ -11,7 +11,8 @@
 use std::sync::Arc;
 
 use crate::activation::ActivationMatrix;
-use crate::data::{Dataset, FeatureSchema, FeatureValue};
+use crate::batch::CompiledRules;
+use crate::data::{Dataset, DatasetView, FeatureSchema, FeatureValue};
 use crate::error::{CoreError, Result};
 use crate::rule::Rule;
 
@@ -21,6 +22,9 @@ pub struct RuleModel {
     schema: Arc<FeatureSchema>,
     n_classes: usize,
     rules: Vec<Rule>,
+    /// The rules compiled into columnar predicate programs; built once at
+    /// construction, reused by every activation-matrix fill.
+    compiled: CompiledRules,
     /// Per-class bit masks over rule indices, used for Eq. 4 tracing.
     class_masks: Vec<Vec<u64>>,
     /// Rule weights as f64 for stable accumulation.
@@ -50,8 +54,11 @@ impl RuleModel {
                 message: format!("need at least 2 classes, got {n_classes}"),
             });
         }
+        // Compilation validates every predicate against the schema (feature
+        // range, kind agreement, category arity) — the typed errors the
+        // columnar evaluator relies on to assume well-typed programs.
+        let compiled = CompiledRules::compile(&rules, &schema)?;
         for rule in &rules {
-            rule.expr.validate(&schema)?;
             if rule.class >= n_classes {
                 return Err(CoreError::ClassOutOfRange { class: rule.class, n_classes });
             }
@@ -87,7 +94,7 @@ impl RuleModel {
             })
             .collect();
         let weights = rules.iter().map(|r| r.weight as f64).collect();
-        Ok(RuleModel { schema, n_classes, rules, class_masks, weights, biases })
+        Ok(RuleModel { schema, n_classes, rules, compiled, class_masks, weights, biases })
     }
 
     /// The feature schema.
@@ -173,10 +180,11 @@ impl RuleModel {
         best
     }
 
-    /// Predicted labels for a whole dataset.
+    /// Predicted labels for a whole dataset (batched: one activation-matrix
+    /// fill, then per-row weighted voting over the packed bits).
     pub fn predict(&self, data: &Dataset) -> Result<Vec<usize>> {
-        self.check_schema(data)?;
-        Ok((0..data.len()).map(|i| self.classify(data.row(i))).collect())
+        let acts = self.activation_matrix(data, false)?;
+        Ok((0..data.len()).map(|i| self.classify_from_activations(&acts, i)).collect())
     }
 
     /// Test accuracy on a dataset (Eq. 1's utility metric).
@@ -189,67 +197,47 @@ impl RuleModel {
         Ok(correct as f64 / data.len() as f64)
     }
 
-    /// Builds the bit-packed activation matrix for a dataset.
-    ///
-    /// The computation is embarrassingly parallel across rows; with
-    /// `parallel = true` it is chunked over `std::thread::scope` threads
-    /// (the paper's GPU parallelization, realised on CPU).
+    /// Builds the bit-packed activation matrix for a dataset via the
+    /// compiled columnar evaluator: each unique predicate scans its column
+    /// once for all rows, rule formulas combine the resulting row masks
+    /// word-at-a-time. With `parallel = true` the predicate scans are
+    /// chunked over `std::thread::scope` threads (the paper's GPU
+    /// parallelization, realised on CPU); output is identical either way.
     pub fn activation_matrix(&self, data: &Dataset, parallel: bool) -> Result<ActivationMatrix> {
+        self.activation_matrix_view(&data.view(), parallel)
+    }
+
+    /// [`RuleModel::activation_matrix`] over a zero-copy [`DatasetView`].
+    pub fn activation_matrix_view(
+        &self,
+        view: &DatasetView<'_>,
+        parallel: bool,
+    ) -> Result<ActivationMatrix> {
+        if view.schema().as_ref() != self.schema.as_ref() {
+            return Err(CoreError::InvalidParameter {
+                name: "dataset",
+                message: "dataset schema differs from model schema".into(),
+            });
+        }
+        Ok(self.compiled.activation_matrix(view, parallel))
+    }
+
+    /// Reference implementation of [`RuleModel::activation_matrix`]: per-row
+    /// `Rule::activated` dispatch. Kept as the baseline the property tests
+    /// and the activation-fill microbench compare the batch evaluator
+    /// against; not used on any hot path.
+    pub fn activation_matrix_rowwise(&self, data: &Dataset) -> Result<ActivationMatrix> {
         self.check_schema(data)?;
-        let n_bits = self.rules.len();
-        let mut m = ActivationMatrix::zeros(data.len(), n_bits);
-        if !parallel || data.len() < 1024 {
-            for i in 0..data.len() {
-                let row = data.row(i);
-                for (bit, rule) in self.rules.iter().enumerate() {
-                    if rule.activated(row) {
-                        m.set(i, bit, true);
-                    }
+        let mut m = ActivationMatrix::zeros(data.len(), self.rules.len());
+        for i in 0..data.len() {
+            let row = data.row(i);
+            for (bit, rule) in self.rules.iter().enumerate() {
+                if rule.activated(&row) {
+                    m.set(i, bit, true);
                 }
             }
-            return Ok(m);
         }
-        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        let chunk = data.len().div_ceil(n_threads);
-        let wpr = m.words_per_row();
-        // Compute each thread's block of packed words independently, then
-        // stitch them together.
-        let blocks: Vec<Vec<u64>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..data.len())
-                .step_by(chunk.max(1))
-                .map(|start| {
-                    let end = (start + chunk).min(data.len());
-                    s.spawn(move || {
-                        let mut words = vec![0u64; (end - start) * wpr];
-                        for i in start..end {
-                            let row = data.row(i);
-                            let base = (i - start) * wpr;
-                            for (bit, rule) in self.rules.iter().enumerate() {
-                                if rule.activated(row) {
-                                    words[base + bit / 64] |= 1 << (bit % 64);
-                                }
-                            }
-                        }
-                        words
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("activation worker panicked")).collect()
-        });
-        let mut flat = Vec::with_capacity(data.len() * wpr);
-        for b in blocks {
-            flat.extend_from_slice(&b);
-        }
-        let mut out = ActivationMatrix::zeros(0, n_bits);
-        for i in 0..data.len() {
-            // Rebuild via push to keep invariants in one place.
-            let mut bits = vec![false; n_bits];
-            for (bit, flag) in bits.iter_mut().enumerate() {
-                *flag = (flat[i * wpr + bit / 64] >> (bit % 64)) & 1 == 1;
-            }
-            out.push_row(&bits)?;
-        }
-        Ok(out)
+        Ok(m)
     }
 
     fn check_schema(&self, data: &Dataset) -> Result<()> {
@@ -350,12 +338,27 @@ mod tests {
         data.push_row(&row(10_000.0, 8.0, 2, 10.0, 0), 0).unwrap();
         let m = model.activation_matrix(&data, false).unwrap();
         for i in 0..data.len() {
-            let expect = model.activations(data.row(i));
+            let expect = model.activations(&data.row(i));
             for (bit, &e) in expect.iter().enumerate() {
                 assert_eq!(m.get(i, bit), e, "row {i} bit {bit}");
             }
-            assert_eq!(model.classify_from_activations(&m, i), model.classify(data.row(i)));
+            assert_eq!(model.classify_from_activations(&m, i), model.classify(&data.row(i)));
         }
+        // The batch evaluator agrees with the row-wise reference path.
+        assert_eq!(m, model.activation_matrix_rowwise(&data).unwrap());
+    }
+
+    #[test]
+    fn activation_matrix_view_matches_subset() {
+        let (schema, model) = paper_figure2_model();
+        let mut data = Dataset::empty(schema, 2);
+        data.push_row(&row(25_000.0, 16.0, 1, 10.0, 0), 1).unwrap();
+        data.push_row(&row(1_000.0, 10.0, 0, 20.0, 1), 0).unwrap();
+        data.push_row(&row(10_000.0, 8.0, 2, 10.0, 0), 0).unwrap();
+        let idx = [2usize, 0, 0, 1];
+        let on_view = model.activation_matrix_view(&data.view_of(&idx), false).unwrap();
+        let on_copy = model.activation_matrix(&data.subset(&idx), false).unwrap();
+        assert_eq!(on_view, on_copy);
     }
 
     #[test]
@@ -368,11 +371,12 @@ mod tests {
             let wc = (i % 4) as u32;
             let hours = (i % 60) as f32;
             let ms = (i % 2) as u32;
-            data.push_row(&row(gain, edu, wc, hours, ms), (i % 2) as usize).unwrap();
+            data.push_row(&row(gain, edu, wc, hours, ms), (i % 2) as u32).unwrap();
         }
         let serial = model.activation_matrix(&data, false).unwrap();
         let parallel = model.activation_matrix(&data, true).unwrap();
         assert_eq!(serial, parallel);
+        assert_eq!(serial, model.activation_matrix_rowwise(&data).unwrap());
     }
 
     #[test]
@@ -430,7 +434,7 @@ mod tests {
         let mut data = Dataset::empty(schema, 2);
         for i in 0..10 {
             let v = i as f32 / 10.0 + 0.05;
-            data.push_row(&[v.into()], (v > 0.5) as usize).unwrap();
+            data.push_row(&[v.into()], (v > 0.5) as u32).unwrap();
         }
         assert_eq!(model.accuracy(&data).unwrap(), 1.0);
     }

@@ -99,12 +99,22 @@ impl Predicate {
 
     /// Evaluates the predicate on a row.
     ///
-    /// A kind mismatch (e.g. a `Gt` predicate on a discrete value) evaluates
-    /// to `false` rather than erroring: rules extracted from a binarized
-    /// network are validated once at construction, and evaluation is the hot
-    /// path.
+    /// Predicates reaching evaluation are expected to be well-typed:
+    /// [`RuleModel`](crate::model::RuleModel) construction validates every
+    /// predicate against the schema (via the columnar compiler), so a kind
+    /// mismatch or out-of-range feature here is a caller bug. Debug builds
+    /// panic on it; release builds keep the historical `false` so the hot
+    /// path stays check-free.
     pub fn eval(&self, row: &[FeatureValue]) -> bool {
-        let Some(value) = row.get(self.feature()) else { return false };
+        let Some(value) = row.get(self.feature()) else {
+            debug_assert!(
+                false,
+                "predicate feature {} out of range for a {}-value row",
+                self.feature(),
+                row.len()
+            );
+            return false;
+        };
         match (*self, value) {
             (Predicate::Gt { threshold, .. }, FeatureValue::Continuous(v)) => *v > threshold,
             (Predicate::Ge { threshold, .. }, FeatureValue::Continuous(v)) => *v >= threshold,
@@ -112,7 +122,14 @@ impl Predicate {
             (Predicate::Le { threshold, .. }, FeatureValue::Continuous(v)) => *v <= threshold,
             (Predicate::Eq { category, .. }, FeatureValue::Discrete(c)) => *c == category,
             (Predicate::Neq { category, .. }, FeatureValue::Discrete(c)) => *c != category,
-            _ => false,
+            _ => {
+                debug_assert!(
+                    false,
+                    "predicate kind mismatch on feature {} (validate rules at model construction)",
+                    self.feature()
+                );
+                false
+            }
         }
     }
 
@@ -347,10 +364,22 @@ mod tests {
         assert!(Predicate::le(2, 40.0).eval(&r));
         assert!(Predicate::eq(1, 2).eval(&r));
         assert!(Predicate::neq(1, 3).eval(&r));
-        // Kind mismatch evaluates to false, never panics.
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "kind mismatch"))]
+    fn kind_mismatch_eval_is_a_caller_bug() {
+        // Model construction rejects ill-typed predicates; evaluating one
+        // anyway trips the debug assertion (release builds return false).
+        let r = row(21_500.0, 2, 40.0);
         assert!(!Predicate::eq(0, 1).eval(&r));
         assert!(!Predicate::gt(1, 0.5).eval(&r));
-        // Out-of-range feature evaluates to false.
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "out of range"))]
+    fn out_of_range_feature_eval_is_a_caller_bug() {
+        let r = row(21_500.0, 2, 40.0);
         assert!(!Predicate::gt(9, 0.0).eval(&r));
     }
 

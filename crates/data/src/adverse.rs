@@ -69,8 +69,9 @@ pub fn replicate<R: Rng + ?Sized>(
             let &src = owned.choose(rng).expect("clients own at least one row");
             dup_rows.push(src);
         }
-        let dup = data.subset(&dup_rows);
-        out = Dataset::concat([&out, &dup]).expect("same schema");
+        // Zero-copy gather: duplicated rows are appended straight from the
+        // source columns, no intermediate dataset.
+        out.extend_from_view(&data.view_of(&dup_rows)).expect("same schema");
         client_of.extend(std::iter::repeat_n(client as u32, n_dup));
         affected.push(n_dup);
         ratios.push(ratio);
@@ -98,13 +99,13 @@ pub fn inject_low_quality<R: Rng + ?Sized>(
         let mut owned = partition.client_indices(client);
         // Empirical label pool of this client (sampling from it models an
         // annotator who assigns plausible-but-wrong labels).
-        let pool: Vec<u32> = owned.iter().map(|&i| data.label(i) as u32).collect();
+        let pool: Vec<u32> = owned.iter().map(|&i| data.label(i)).collect();
         let ratio = sample_ratio(ratio_range, rng);
         let n_mod = (owned.len() as f64 * ratio).round() as usize;
         owned.shuffle(rng);
         for &i in owned.iter().take(n_mod) {
             let &new_label = pool.choose(rng).expect("non-empty pool");
-            out.set_label(i, new_label as usize).expect("label in range");
+            out.set_label(i, new_label).expect("label in range");
         }
         affected.push(n_mod);
         ratios.push(ratio);
@@ -139,10 +140,11 @@ pub fn flip_labels<R: Rng + ?Sized>(
             let new = if n_classes == 2 {
                 1 - old
             } else {
-                // A random *different* label.
-                let mut l = rng.gen_range(0..n_classes);
+                // A random *different* label (sampled as usize to keep the
+                // historical RNG stream byte-identical).
+                let mut l = rng.gen_range(0..n_classes) as u32;
                 while l == old {
-                    l = rng.gen_range(0..n_classes);
+                    l = rng.gen_range(0..n_classes) as u32;
                 }
                 l
             };
@@ -169,7 +171,7 @@ mod tests {
         let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
         let mut ds = Dataset::empty(schema, 2);
         for i in 0..100 {
-            ds.push_row(&[(i as f32 / 100.0).into()], (i % 2 == 0) as usize).unwrap();
+            ds.push_row(&[(i as f32 / 100.0).into()], (i % 2 == 0) as u32).unwrap();
         }
         let client_of: Vec<u32> = (0..100).map(|i| (i / 25) as u32).collect(); // 4 clients × 25
         (ds, Partition::new(client_of, 4))
@@ -248,7 +250,7 @@ mod tests {
         let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
         let mut ds = Dataset::empty(schema, 2);
         for i in 0..10 {
-            ds.push_row(&[(i as f32 / 10.0).into()], (i % 2 == 0) as usize).unwrap();
+            ds.push_row(&[(i as f32 / 10.0).into()], (i % 2 == 0) as u32).unwrap();
         }
         let client_of: Vec<u32> = vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3];
         (ds, Partition::new(client_of, 4))

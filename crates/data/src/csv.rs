@@ -9,7 +9,7 @@
 //! feature over its observed categories (plus an `<unknown>` slot, matching
 //! the paper's encoding for unseen values).
 
-use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema, FeatureValue};
+use ctfl_core::data::{Column, Dataset, FeatureKind, FeatureSchema};
 use ctfl_core::error::{CoreError, Result};
 use std::collections::BTreeMap;
 use std::io::BufRead;
@@ -160,28 +160,32 @@ pub fn load_csv<R: BufRead>(reader: R, label_column: &str) -> Result<CsvDataset>
         });
     }
 
-    let schema = FeatureSchema::new(kinds);
-    let mut data = Dataset::empty(schema, classes.len());
-    let mut row_buf: Vec<FeatureValue> = Vec::with_capacity(feature_cols.len());
-    for r in &records {
-        row_buf.clear();
-        for (fi, &c) in feature_cols.iter().enumerate() {
-            match &infos[fi] {
-                ColumnInfo::Continuous { .. } => {
-                    row_buf.push(FeatureValue::Continuous(r[c].parse().expect("checked")));
-                }
-                ColumnInfo::Discrete { categories } => {
-                    let idx = categories
-                        .iter()
-                        .position(|cat| cat == &r[c])
-                        .unwrap_or(categories.len() - 1) as u32;
-                    row_buf.push(FeatureValue::Discrete(idx));
-                }
+    // Columnar construction: each feature column is parsed top to bottom
+    // into its typed column, and the whole dataset is assembled in one
+    // validated call — no per-row dispatch.
+    let columns: Vec<Column> = feature_cols
+        .iter()
+        .zip(&infos)
+        .map(|(&c, info)| match info {
+            ColumnInfo::Continuous { .. } => {
+                Column::F32(records.iter().map(|r| r[c].parse().expect("checked")).collect())
             }
-        }
-        let label = class_dict[r[label_idx].as_str()] as usize;
-        data.push_row(&row_buf, label)?;
-    }
+            ColumnInfo::Discrete { categories } => Column::U32(
+                records
+                    .iter()
+                    .map(|r| {
+                        categories
+                            .iter()
+                            .position(|cat| cat == &r[c])
+                            .unwrap_or(categories.len() - 1) as u32
+                    })
+                    .collect(),
+            ),
+        })
+        .collect();
+    let labels: Vec<u32> = records.iter().map(|r| class_dict[r[label_idx].as_str()]).collect();
+    let schema = FeatureSchema::new(kinds);
+    let data = Dataset::from_columns(schema, classes.len(), columns, labels)?;
     Ok(CsvDataset { data, columns: infos, classes })
 }
 
@@ -218,7 +222,7 @@ age,job,balance,outcome
         // insertion with BTreeMap entry() -> keyed order is sorted, but
         // indices were assigned at insert time). Verify via data.
         let yes_idx = csv.classes.iter().position(|c| c == "yes").unwrap();
-        assert_eq!(csv.data.label(0), yes_idx);
+        assert_eq!(csv.data.label(0) as usize, yes_idx);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! client would make FedAvg weights and several baselines degenerate), by
 //! reassigning single rows from the largest clients when necessary.
 
+use ctfl_core::data::{Dataset, DatasetView};
 use ctfl_rng::seq::SliceRandom;
 use ctfl_rng::Rng;
 
@@ -54,6 +55,23 @@ impl Partition {
             .filter(|(_, &c)| c as usize == client)
             .map(|(i, _)| i)
             .collect()
+    }
+
+    /// Zero-copy view of `client`'s rows in `data` — no cell data is cloned;
+    /// the view holds only the gathered row indices.
+    ///
+    /// # Panics
+    /// Panics if `data` does not cover the same rows as the partition.
+    pub fn client_view<'a>(&self, data: &'a Dataset, client: usize) -> DatasetView<'a> {
+        assert_eq!(data.len(), self.len(), "partition/dataset length mismatch");
+        let indices: Vec<u32> = self
+            .client_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c as usize == client)
+            .map(|(i, _)| i as u32)
+            .collect();
+        data.view_of_rows(indices)
     }
 
     /// Per-client row counts.
@@ -246,6 +264,23 @@ mod tests {
     #[should_panic(expected = "client index out of range")]
     fn partition_validates() {
         Partition::new(vec![0, 5], 2);
+    }
+
+    #[test]
+    fn client_view_matches_client_indices_subset() {
+        use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema};
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let mut ds = Dataset::empty(schema, 2);
+        for i in 0..60 {
+            ds.push_row(&[(i as f32 / 60.0).into()], (i % 2) as u32).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = skew_sample(60, 4, 1.0, &mut rng);
+        for c in 0..4 {
+            let view = p.client_view(&ds, c);
+            let subset = ds.subset(&p.client_indices(c));
+            assert_eq!(view.materialize(), subset, "client {c}");
+        }
     }
 
     mod properties {

@@ -29,7 +29,7 @@ pub fn train_test_split<R: Rng + ?Sized>(
     let mut test_indices: Vec<usize> = Vec::new();
     let mut train_indices: Vec<usize> = Vec::new();
     if stratified {
-        for class in 0..data.n_classes() {
+        for class in 0..data.n_classes() as u32 {
             let mut idx: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == class).collect();
             if idx.is_empty() {
                 continue;
@@ -54,7 +54,8 @@ pub fn train_test_split<R: Rng + ?Sized>(
     }
     train_indices.sort_unstable();
     test_indices.sort_unstable();
-    (data.subset(&train_indices), data.subset(&test_indices))
+    // Materialize through zero-copy views: one typed gather per column.
+    (data.view_of(&train_indices).materialize(), data.view_of(&test_indices).materialize())
 }
 
 #[cfg(test)]
@@ -68,7 +69,7 @@ mod tests {
         let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
         let mut ds = Dataset::empty(schema, 2);
         for i in 0..n {
-            let label = ((i as f64 / n as f64) < pos_rate) as usize;
+            let label = ((i as f64 / n as f64) < pos_rate) as u32;
             ds.push_row(&[(i as f32).into()], label).unwrap();
         }
         ds

@@ -9,7 +9,7 @@
 //! boundary *is* a rule set exercises exactly the same code paths as the
 //! real benchmark.
 
-use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema, FeatureValue};
+use ctfl_core::data::{Column, Dataset, FeatureKind, FeatureSchema, FeatureValue};
 use ctfl_rng::rngs::StdRng;
 use ctfl_rng::Rng;
 use ctfl_rng::SeedableRng;
@@ -75,8 +75,8 @@ pub struct GroundTruth {
 
 impl GroundTruth {
     /// Noise-free label of a row.
-    pub fn clean_label(&self, row: &[FeatureValue]) -> usize {
-        self.terms.iter().any(|t| t.literals.iter().all(|l| l.holds(row))) as usize
+    pub fn clean_label(&self, row: &[FeatureValue]) -> u32 {
+        self.terms.iter().any(|t| t.literals.iter().all(|l| l.holds(row))) as u32
     }
 }
 
@@ -154,7 +154,13 @@ pub fn generate(config: &SyntheticConfig) -> (Dataset, GroundTruth) {
         .collect();
     let truth = GroundTruth { terms, noise: config.label_noise };
 
-    let mut ds = Dataset::empty(Arc::clone(&schema), 2);
+    // Columnar construction: values land straight in their typed columns
+    // (the row buffer only exists for the ground-truth check). The RNG call
+    // sequence is identical to the historical row-wise generator, so seeded
+    // datasets are bit-for-bit unchanged.
+    let mut columns: Vec<Column> =
+        schema.iter().map(|spec| Column::empty_for(spec.kind)).collect();
+    let mut labels: Vec<u32> = Vec::with_capacity(config.n_instances);
     let mut row = Vec::with_capacity(n_features);
     for _ in 0..config.n_instances {
         row.clear();
@@ -168,8 +174,17 @@ pub fn generate(config: &SyntheticConfig) -> (Dataset, GroundTruth) {
         if config.label_noise > 0.0 && rng.gen_bool(config.label_noise) {
             label = 1 - label;
         }
-        ds.push_row(&row, label).expect("generated rows are schema-valid");
+        for (col, &value) in columns.iter_mut().zip(&row) {
+            match (col, value) {
+                (Column::F32(c), FeatureValue::Continuous(v)) => c.push(v),
+                (Column::U32(c), FeatureValue::Discrete(v)) => c.push(v),
+                _ => unreachable!("rows are generated in schema order"),
+            }
+        }
+        labels.push(label);
     }
+    let ds = Dataset::from_columns(Arc::clone(&schema), 2, columns, labels)
+        .expect("generated columns are schema-valid");
     (ds, truth)
 }
 
@@ -270,7 +285,7 @@ mod tests {
         let cfg = SyntheticConfig { label_noise: 0.2, n_instances: 20_000, ..tiny() };
         let (ds, truth) = generate(&cfg);
         let flipped = (0..ds.len())
-            .filter(|&i| ds.label(i) != truth.clean_label(ds.row(i)))
+            .filter(|&i| ds.label(i) != truth.clean_label(&ds.row(i)))
             .count() as f64
             / ds.len() as f64;
         assert!((flipped - 0.2).abs() < 0.02, "observed noise {flipped}");
@@ -281,7 +296,7 @@ mod tests {
         let cfg = SyntheticConfig { label_noise: 0.0, ..tiny() };
         let (ds, truth) = generate(&cfg);
         for i in 0..ds.len() {
-            assert_eq!(ds.label(i), truth.clean_label(ds.row(i)));
+            assert_eq!(ds.label(i), truth.clean_label(&ds.row(i)));
         }
     }
 

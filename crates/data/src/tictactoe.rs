@@ -12,7 +12,7 @@
 //! asserted in tests, so this substrate is byte-equivalent in content to the
 //! UCI distribution up to row order.
 
-use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema};
+use ctfl_core::data::{Column, Dataset, FeatureKind, FeatureSchema};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -71,14 +71,19 @@ pub fn tictactoe_endgame() -> Dataset {
     let mut boards = BTreeSet::new();
     let mut board = [CELL_BLANK; 9];
     enumerate_terminal(&mut board, CELL_X, &mut boards);
-    let schema = schema();
-    let mut ds = Dataset::empty(schema, 2);
-    for b in boards {
-        let row: Vec<ctfl_core::data::FeatureValue> = b.iter().map(|&c| c.into()).collect();
-        let label = wins(&b, CELL_X) as usize;
-        ds.push_row(&row, label).expect("generated rows are schema-valid");
+    // Columnar assembly: one `u32` column per square, labels alongside.
+    let mut columns = vec![Column::U32(Vec::with_capacity(boards.len())); 9];
+    let mut labels = Vec::with_capacity(boards.len());
+    for b in &boards {
+        for (col, &cell) in columns.iter_mut().zip(b.iter()) {
+            match col {
+                Column::U32(v) => v.push(cell),
+                Column::F32(_) => unreachable!("all board columns are discrete"),
+            }
+        }
+        labels.push(wins(b, CELL_X) as u32);
     }
-    ds
+    Dataset::from_columns(schema(), 2, columns, labels).expect("generated columns are schema-valid")
 }
 
 #[cfg(test)]

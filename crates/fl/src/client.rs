@@ -58,7 +58,7 @@ mod tests {
         let mut ds = Dataset::empty(Arc::clone(&schema), 2);
         for i in 0..50 {
             let v = i as f32 / 50.0;
-            ds.push_row(&[v.into()], (v > 0.5) as usize).unwrap();
+            ds.push_row(&[v.into()], (v > 0.5) as u32).unwrap();
         }
         let cfg = LogicalNetConfig {
             tau_d: 4,

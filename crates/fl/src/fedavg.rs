@@ -14,7 +14,7 @@
 //! [`train_federated`] is the zero-fault back-compat wrapper: no injected
 //! faults, strict guard (any panic or non-finite upload is a typed error).
 
-use ctfl_core::data::Dataset;
+use ctfl_core::data::{Dataset, DatasetView};
 use ctfl_core::error::{CoreError, Result};
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
 use std::panic::AssertUnwindSafe;
@@ -97,6 +97,25 @@ pub fn train_federated_with(
     plan: &FaultPlan,
     guard: &GuardConfig,
 ) -> Result<FederationRun> {
+    let views: Vec<DatasetView<'_>> = client_data.iter().map(Dataset::view).collect();
+    train_federated_with_views(&views, n_classes, net_config, fl_config, plan, guard)
+}
+
+/// Trains a global model with FedAvg over zero-copy per-client views, under
+/// an explicit fault plan and server-side guard.
+///
+/// This is the primitive behind [`train_federated_with`]: client shards are
+/// [`DatasetView`]s (for example, index slices of one pooled dataset), so
+/// constructing a federation never clones cell data. Encoding reads the
+/// source columns through each view.
+pub fn train_federated_with_views(
+    client_data: &[DatasetView<'_>],
+    n_classes: usize,
+    net_config: &LogicalNetConfig,
+    fl_config: &FlConfig,
+    plan: &FaultPlan,
+    guard: &GuardConfig,
+) -> Result<FederationRun> {
     if client_data.is_empty() {
         return Err(CoreError::Empty { what: "client data" });
     }
@@ -133,7 +152,7 @@ pub fn train_federated_with(
         .enumerate()
         .map(|(id, d)| {
             let net = LogicalNet::new(Arc::clone(&schema), n_classes, net_config.clone())?;
-            let encoded = net.encode(d)?;
+            let encoded = net.encode_view(d)?;
             Ok(Client::new(id, encoded, net))
         })
         .collect::<Result<_>>()?;
@@ -341,7 +360,7 @@ mod tests {
             let v = i as f32 / 90.0;
             let skewed_to_a = (v <= 0.5) == (i % 4 != 0);
             let target = if skewed_to_a { &mut a } else { &mut b };
-            target.push_row(&[v.into()], (v > 0.5) as usize).unwrap();
+            target.push_row(&[v.into()], (v > 0.5) as u32).unwrap();
         }
         vec![a, b]
     }
@@ -353,7 +372,7 @@ mod tests {
                 let mut d = Dataset::empty(Arc::clone(&schema), 2);
                 for i in 0..40 {
                     let v = ((i * n + c) % 120) as f32 / 120.0;
-                    d.push_row(&[v.into()], (v > 0.5) as usize).unwrap();
+                    d.push_row(&[v.into()], (v > 0.5) as u32).unwrap();
                 }
                 d
             })

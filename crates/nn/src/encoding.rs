@@ -13,7 +13,7 @@
 //! realises, which is what lets [`crate::extract`] turn binarized weights
 //! back into human-readable rules.
 
-use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema, FeatureValue};
+use ctfl_core::data::{Dataset, DatasetView, FeatureKind, FeatureSchema, FeatureValue};
 use ctfl_core::error::{CoreError, Result};
 use ctfl_core::rule::Predicate;
 use ctfl_rng::Rng;
@@ -142,18 +142,74 @@ impl Encoder {
 
     /// Encodes a dataset into an [`EncodedData`] batch.
     pub fn encode(&self, data: &Dataset) -> Result<EncodedData> {
-        if data.schema().len() != self.n_features {
+        self.encode_view(&data.view())
+    }
+
+    /// Encodes a zero-copy [`DatasetView`] into an [`EncodedData`] batch.
+    ///
+    /// Columnar: the outer loop runs over literals, each scanning its dense
+    /// feature column (`&[f32]` / `&[u32]`) once for all selected rows — no
+    /// per-cell [`FeatureValue`] dispatch.
+    pub fn encode_view(&self, view: &DatasetView<'_>) -> Result<EncodedData> {
+        if view.schema().len() != self.n_features {
             return Err(CoreError::LengthMismatch {
                 what: "schema width",
                 expected: self.n_features,
-                actual: data.schema().len(),
+                actual: view.schema().len(),
             });
         }
-        let mut x = Matrix::zeros(data.len(), self.width());
-        for i in 0..data.len() {
-            self.encode_row(data.row(i), x.row_mut(i));
+        let n = view.len();
+        let width = self.width();
+        let mut x = Matrix::zeros(n, width);
+        let cells = x.data_mut();
+        for (j, lit) in self.literals.iter().enumerate() {
+            let feature = match *lit {
+                Literal::Eq { feature, .. }
+                | Literal::Gt { feature, .. }
+                | Literal::Lt { feature, .. } => feature,
+            };
+            let column = view.source().column(feature);
+            match *lit {
+                Literal::Eq { category, .. } => {
+                    let vals = column.as_u32().ok_or(CoreError::KindMismatch { feature })?;
+                    fill_column(cells, width, j, vals, view.indices(), |c| c == category);
+                }
+                Literal::Gt { bound, .. } => {
+                    let vals = column.as_f32().ok_or(CoreError::KindMismatch { feature })?;
+                    fill_column(cells, width, j, vals, view.indices(), |v| v > bound);
+                }
+                Literal::Lt { bound, .. } => {
+                    let vals = column.as_f32().ok_or(CoreError::KindMismatch { feature })?;
+                    fill_column(cells, width, j, vals, view.indices(), |v| v < bound);
+                }
+            }
         }
-        Ok(EncodedData { x, labels: data.labels().to_vec(), n_classes: data.n_classes() })
+        Ok(EncodedData { x, labels: view.labels_vec(), n_classes: view.n_classes() })
+    }
+}
+
+/// Writes literal `j`'s 0/1 outcomes down one column of the row-major
+/// encoded matrix, scanning the feature column directly (all-rows view) or
+/// through the view's index list.
+fn fill_column<T: Copy>(
+    cells: &mut [f32],
+    width: usize,
+    j: usize,
+    values: &[T],
+    indices: Option<&[u32]>,
+    lit: impl Fn(T) -> bool,
+) {
+    match indices {
+        None => {
+            for (i, &v) in values.iter().enumerate() {
+                cells[i * width + j] = lit(v) as u32 as f32;
+            }
+        }
+        Some(idx) => {
+            for (i, &r) in idx.iter().enumerate() {
+                cells[i * width + j] = lit(values[r as usize]) as u32 as f32;
+            }
+        }
     }
 }
 
@@ -251,6 +307,29 @@ mod tests {
         assert_eq!(e.labels, vec![0, 1]);
         // Every encoded value is binary.
         assert!(e.x.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn columnar_encode_matches_per_row_encode() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = schema();
+        let enc = Encoder::new(&s, 3, &mut rng).unwrap();
+        let mut ds = Dataset::empty(s, 2);
+        for i in 0..20u32 {
+            ds.push_row(&[(i as f32 * 5.0).into(), (i % 3).into()], i % 2).unwrap();
+        }
+        let e = enc.encode(&ds).unwrap();
+        let mut expect = vec![0.0; enc.width()];
+        for i in 0..ds.len() {
+            enc.encode_row(&ds.row(i), &mut expect);
+            assert_eq!(e.x.row(i), &expect[..], "row {i}");
+        }
+        // Encoding a view equals encoding the materialized subset.
+        let idx = [19usize, 3, 3, 0, 7];
+        let on_view = enc.encode_view(&ds.view_of(&idx)).unwrap();
+        let on_copy = enc.encode(&ds.subset(&idx)).unwrap();
+        assert_eq!(on_view.x.data(), on_copy.x.data());
+        assert_eq!(on_view.labels, on_copy.labels);
     }
 
     #[test]

@@ -210,7 +210,7 @@ mod tests {
         for i in 0..300 {
             let x = (i % 100) as f32 / 100.0;
             let cat = (i % 3) as u32;
-            let label = ((x > 0.5 && cat == 1) || cat == 2) as usize;
+            let label = ((x > 0.5 && cat == 1) || cat == 2) as u32;
             ds.push_row(&[x.into(), cat.into()], label).unwrap();
         }
         ds
@@ -244,7 +244,7 @@ mod tests {
         for i in 0..ds.len() {
             assert_eq!(
                 model.classify_from_activations(&acts, i),
-                model.classify(ds.row(i)),
+                model.classify(&ds.row(i)),
                 "row {i}"
             );
         }

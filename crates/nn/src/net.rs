@@ -14,7 +14,7 @@
 //! projected-SGD step (staying in `[0,1]`); the linear head takes an Adam
 //! step and is never binarized.
 
-use ctfl_core::data::{Dataset, FeatureSchema};
+use ctfl_core::data::{Dataset, DatasetView, FeatureSchema};
 use ctfl_core::error::{CoreError, Result};
 use ctfl_rng::rngs::StdRng;
 use ctfl_rng::seq::SliceRandom;
@@ -260,6 +260,11 @@ impl LogicalNet {
         self.encoder.encode(data)
     }
 
+    /// Encodes a zero-copy dataset view with this network's encoder.
+    pub fn encode_view(&self, view: &DatasetView<'_>) -> Result<EncodedData> {
+        self.encoder.encode_view(view)
+    }
+
     /// Runs one gradient-grafting step on a batch. Returns the discrete
     /// cross-entropy before the step.
     fn grafted_step(
@@ -401,7 +406,14 @@ impl LogicalNet {
 
     /// Convenience: encode + train a raw dataset.
     pub fn fit(&mut self, data: &Dataset) -> Result<TrainReport> {
-        let encoded = self.encode(data)?;
+        self.fit_view(&data.view())
+    }
+
+    /// Encode + train a zero-copy dataset view: coalition retraining in
+    /// `ctfl-valuation` goes through here without materializing the
+    /// coalition's rows.
+    pub fn fit_view(&mut self, view: &DatasetView<'_>) -> Result<TrainReport> {
+        let encoded = self.encode_view(view)?;
         self.train(&encoded)
     }
 
@@ -496,7 +508,7 @@ mod tests {
         for _ in 0..25 {
             for a in 0..2u32 {
                 for b in 0..2u32 {
-                    ds.push_row(&[a.into(), b.into()], ((a ^ b) == 1) as usize).unwrap();
+                    ds.push_row(&[a.into(), b.into()], ((a ^ b) == 1) as u32).unwrap();
                 }
             }
         }
@@ -509,7 +521,7 @@ mod tests {
         let mut ds = Dataset::empty(schema, 2);
         for i in 0..200 {
             let v = i as f32 / 200.0;
-            ds.push_row(&[v.into()], (v > 0.55) as usize).unwrap();
+            ds.push_row(&[v.into()], (v > 0.55) as u32).unwrap();
         }
         ds
     }

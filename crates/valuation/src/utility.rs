@@ -1,6 +1,6 @@
 //! Data-utility functions `v : 2^N → ℝ` (paper Definition II.1).
 
-use ctfl_core::data::Dataset;
+use ctfl_core::data::{Dataset, DatasetView};
 use ctfl_nn::extract::{extract_rules, ExtractOptions};
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
 use std::collections::HashMap;
@@ -123,8 +123,15 @@ pub enum UtilityMode {
 
 /// The real utility of paper Eq. 1: train the task model on the coalition's
 /// data, report test accuracy.
+///
+/// All client shards are pooled **once** at construction; every coalition is
+/// then a zero-copy [`DatasetView`] over the pooled columns (an index slice
+/// per member range), so evaluating `v(S)` never clones row data.
 pub struct ModelUtility {
-    client_data: Vec<Dataset>,
+    /// Client shards concatenated in client order.
+    pooled: Dataset,
+    /// Contiguous row range of each client inside `pooled`.
+    ranges: Vec<std::ops::Range<u32>>,
     test: Dataset,
     net_config: LogicalNetConfig,
     mode: UtilityMode,
@@ -138,7 +145,8 @@ impl ModelUtility {
     /// (centralized retraining; see [`ModelUtility::federated`]).
     ///
     /// # Panics
-    /// Panics if `client_data` is empty or any shard/test set is empty.
+    /// Panics if `client_data` is empty, any shard/test set is empty, or the
+    /// shards disagree on schema.
     pub fn new(client_data: Vec<Dataset>, test: Dataset, net_config: LogicalNetConfig) -> Self {
         assert!(!client_data.is_empty(), "need at least one client");
         assert!(client_data.iter().all(|d| !d.is_empty()), "clients must hold data");
@@ -146,7 +154,15 @@ impl ModelUtility {
         let counts = test.class_counts();
         let empty_value =
             *counts.iter().max().expect("at least one class") as f64 / test.len() as f64;
-        ModelUtility { client_data, test, net_config, mode: UtilityMode::Centralized, empty_value }
+        let mut ranges = Vec::with_capacity(client_data.len());
+        let mut start = 0u32;
+        for d in &client_data {
+            let end = start + d.len() as u32;
+            ranges.push(start..end);
+            start = end;
+        }
+        let pooled = Dataset::concat(client_data.iter()).expect("shards share a schema");
+        ModelUtility { pooled, ranges, test, net_config, mode: UtilityMode::Centralized, empty_value }
     }
 
     /// Switches to federated per-coalition retraining (the paper's cost
@@ -161,15 +177,20 @@ impl ModelUtility {
         &self.test
     }
 
-    /// Per-client shards.
-    pub fn client_data(&self) -> &[Dataset] {
-        &self.client_data
+    /// All client shards pooled in client order.
+    pub fn pooled(&self) -> &Dataset {
+        &self.pooled
+    }
+
+    /// Zero-copy view of client `m`'s rows inside the pooled training data.
+    pub fn client_view(&self, m: usize) -> DatasetView<'_> {
+        self.pooled.view_of_rows(self.ranges[m].clone().collect())
     }
 }
 
 impl UtilityFn for ModelUtility {
     fn n_players(&self) -> usize {
-        self.client_data.len()
+        self.ranges.len()
     }
 
     fn value(&self, coalition: &Coalition) -> f64 {
@@ -179,30 +200,39 @@ impl UtilityFn for ModelUtility {
         }
         let net = match &self.mode {
             UtilityMode::Centralized => {
-                let parts: Vec<&Dataset> =
-                    coalition.members().into_iter().map(|m| &self.client_data[m]).collect();
-                let pooled = Dataset::concat(parts).expect("shards share a schema");
+                // The coalition's pooled data is an index slice — row order
+                // matches the old shard concatenation exactly, so training
+                // is bit-identical to the materialized path.
+                let indices: Vec<u32> =
+                    coalition.members().into_iter().flat_map(|m| self.ranges[m].clone()).collect();
+                let view = self.pooled.view_of_rows(indices);
                 let mut net = LogicalNet::new(
-                    Arc::clone(pooled.schema()),
-                    pooled.n_classes(),
+                    Arc::clone(self.pooled.schema()),
+                    self.pooled.n_classes(),
                     self.net_config.clone(),
                 )
                 .expect("valid net config");
-                net.fit(&pooled).expect("non-empty pooled data");
+                net.fit_view(&view).expect("non-empty pooled data");
                 net
             }
             UtilityMode::Federated(fl) => {
-                let shards: Vec<Dataset> = coalition
-                    .members()
-                    .into_iter()
-                    .map(|m| self.client_data[m].clone())
-                    .collect();
-                let n_classes = shards[0].n_classes();
+                let shards: Vec<DatasetView<'_>> =
+                    coalition.members().into_iter().map(|m| self.client_view(m)).collect();
+                let n_classes = self.pooled.n_classes();
                 // Coalition evaluations already run concurrently; avoid
                 // nested thread fan-out inside each FedAvg round.
                 let fl = ctfl_fl::fedavg::FlConfig { parallel: false, ..*fl };
-                ctfl_fl::fedavg::train_federated(&shards, n_classes, &self.net_config, &fl)
-                    .expect("coalition shards are valid")
+                let plan = ctfl_fl::faults::FaultPlan::none(shards.len(), fl.rounds);
+                ctfl_fl::fedavg::train_federated_with_views(
+                    &shards,
+                    n_classes,
+                    &self.net_config,
+                    &fl,
+                    &plan,
+                    &ctfl_fl::guard::GuardConfig::strict(),
+                )
+                .expect("coalition shards are valid")
+                .net
             }
         };
         let model = extract_rules(&net, ExtractOptions::default()).expect("extraction succeeds");
@@ -280,7 +310,7 @@ mod tests {
             } else {
                 b.push_row(&[v.into()], 1).unwrap();
             }
-            test.push_row(&[v.into()], (v > 0.5) as usize).unwrap();
+            test.push_row(&[v.into()], (v > 0.5) as u32).unwrap();
         }
         let cfg = LogicalNetConfig {
             tau_d: 6,

@@ -19,6 +19,8 @@ check() {
     cargo build --workspace --release
     echo "== tests (entire workspace) =="
     cargo test -q --workspace
+    echo "== lints (clippy, warnings are errors) =="
+    cargo clippy --workspace --all-targets --offline -- -D warnings
     echo "== determinism: double-run byte diff =="
     # Same binary, same seed, twice: the outputs must be byte-identical.
     # fig7 exercises the full pipeline (partition -> FedAvg -> extraction ->

@@ -33,7 +33,7 @@ fn shards(n: usize, rows: usize) -> Vec<Dataset> {
             let mut d = Dataset::empty(Arc::clone(&schema), 2);
             for i in 0..rows {
                 let v = ((i * n + c) % 120) as f32 / 120.0;
-                d.push_row(&[v.into()], (v > 0.5) as usize).unwrap();
+                d.push_row(&[v.into()], (v > 0.5) as u32).unwrap();
             }
             d
         })
