@@ -5,7 +5,9 @@ use ctfl_core::model::RuleModel;
 use ctfl_data::partition::{skew_label, skew_sample, Partition};
 use ctfl_data::split::train_test_split;
 use ctfl_fl::faults::FaultPlan;
-use ctfl_fl::fedavg::{train_federated, train_federated_with, FlConfig};
+use ctfl_fl::fedavg::{
+    train_federated, train_federated_byzantine, train_federated_with, ByzantineSetup, FlConfig,
+};
 use ctfl_fl::guard::{FederationLog, GuardConfig};
 use ctfl_nn::extract::{extract_rules, ExtractOptions};
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
@@ -164,6 +166,22 @@ impl Federation {
         let shards = self.client_datasets();
         let run =
             train_federated_with(&shards, self.train.n_classes(), &self.net_config, fl, plan, guard)
+                .expect("federation shards are valid");
+        let model = extract_rules(&run.net, ExtractOptions::default()).expect("extraction succeeds");
+        (run.net, model, run.log)
+    }
+
+    /// Like [`Federation::train_global_faulty`], but under the full
+    /// Byzantine runtime: system faults, update-level adversaries, and a
+    /// pluggable aggregation rule.
+    pub fn train_global_byzantine(
+        &self,
+        fl: &FlConfig,
+        setup: &ByzantineSetup<'_>,
+    ) -> (LogicalNet, RuleModel, FederationLog) {
+        let shards = self.client_datasets();
+        let run =
+            train_federated_byzantine(&shards, self.train.n_classes(), &self.net_config, fl, setup)
                 .expect("federation shards are valid");
         let model = extract_rules(&run.net, ExtractOptions::default()).expect("extraction succeeds");
         (run.net, model, run.log)

@@ -235,16 +235,213 @@ pub fn analyze_with_participation(
     })
 }
 
+/// Baseline magnitudes below this are treated as exactly zero by
+/// [`relative_change`]: a relative change against a (near-)zero baseline is
+/// numerically meaningless (division blows up to ±∞ long before the clamp),
+/// so the convention is an explicit 0. The same epsilon covers `before ==
+/// 0.0`, `-0.0`, and denormal residue from float cancellation.
+pub const RELATIVE_CHANGE_EPS: f64 = 1e-12;
+
 /// Relative score change `(φ(i') - φ(i)) / φ(i)` used by the paper's
 /// robustness metric (Section VI-A), clipped to `[-1, 1]`.
 ///
-/// Returns 0 when the baseline score is (near) zero, matching the paper's
-/// convention that an all-zero baseline has no meaningful relative change.
+/// Returns 0 when `|before| <` [`RELATIVE_CHANGE_EPS`], matching the
+/// paper's convention that an all-zero baseline has no meaningful relative
+/// change (this includes `before == 0.0` itself — never a division by
+/// zero). Negative baselines are supported: the change is still measured
+/// relative to the baseline's own sign.
 pub fn relative_change(before: f64, after: f64) -> f64 {
-    if before.abs() < 1e-12 {
+    if before.abs() < RELATIVE_CHANGE_EPS {
         return 0.0;
     }
     ((after - before) / before).clamp(-1.0, 1.0)
+}
+
+// ---------------------------------------------------------------------------
+// Update-level signatures (Byzantine-adversarial layer)
+// ---------------------------------------------------------------------------
+
+/// Server-side similarity fingerprint of one client's submitted update in
+/// one round, computed by the federation runtime (`ctfl-fl`'s round loop)
+/// *before* the guard judges the update and accumulated into the
+/// `FederationLog`.
+///
+/// Data-level detectors see what a client's *data* matches; these
+/// signatures see what its *updates* look like on the wire — the only place
+/// update-level gaming (colluding replication, free-riding) is visible,
+/// since such clients' local data can be perfectly honest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateSignature {
+    /// Reporting client.
+    pub client: usize,
+    /// L2 norm of the update delta `‖θᵢ − θ_global‖₂`. (A zero-delta
+    /// free-rider submits the global parameters back unchanged: norm 0.)
+    pub delta_norm: f64,
+    /// L2 distance to the *previous* round's global parameters. (A
+    /// stale-echo free-rider replays exactly those: distance 0.)
+    pub echo_dist: f64,
+    /// The other client whose submitted update is L2-closest to this one
+    /// (`None` when this is the round's only update, or when this update's
+    /// delta is itself ~zero — a zero vector is "near" everything and
+    /// carries no collusion information).
+    pub nearest_peer: Option<usize>,
+    /// L2 distance to `nearest_peer`, *relative* to the larger of the two
+    /// delta norms (0 for byte-identical copies; `INFINITY` when no peer).
+    pub peer_dist: f64,
+    /// Cosine similarity of the two update *deltas* (0 when no peer or
+    /// either delta is ~zero).
+    pub peer_cos: f64,
+}
+
+/// All update signatures of one committed round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSignatures {
+    /// Round index.
+    pub round: usize,
+    /// One signature per finite fresh update offered that round, sorted by
+    /// client id.
+    pub entries: Vec<UpdateSignature>,
+}
+
+/// Thresholds for the update-signature detectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignatureConfig {
+    /// A pair of updates counts as a *copy* when their relative L2 distance
+    /// ([`UpdateSignature::peer_dist`]) is at most this. Colluders submit
+    /// byte-identical vectors (distance exactly 0); honest clients training
+    /// on different shards with different RNG streams land orders of
+    /// magnitude apart.
+    pub copy_dist: f64,
+    /// ...and the cosine of their deltas is at least this.
+    pub copy_cos: f64,
+    /// Flag a client as colluding when at least this fraction of its signed
+    /// rounds were copy rounds (and it signed at least one).
+    pub colluder_round_frac: f64,
+    /// A round counts as *free-riding* for a client when its delta norm is
+    /// at most this fraction of the round's median delta norm (zero-delta
+    /// submission), or its `echo_dist` is at most this fraction of the
+    /// median (stale echo of the previous global).
+    pub free_ride_norm_frac: f64,
+    /// Flag a client as free-riding when at least this fraction of its
+    /// signed rounds were free-riding rounds.
+    pub free_rider_round_frac: f64,
+    /// Rounds whose median delta norm is below this yield no free-ride
+    /// signal: with no meaningful scale (e.g. a fully converged federation)
+    /// a small delta is not evidence of anything.
+    pub norm_eps: f64,
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        SignatureConfig {
+            copy_dist: 1e-6,
+            copy_cos: 0.999,
+            colluder_round_frac: 0.5,
+            free_ride_norm_frac: 1e-3,
+            free_rider_round_frac: 0.5,
+            norm_eps: 1e-12,
+        }
+    }
+}
+
+/// Per-client tallies over a run's update signatures.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClientSignatureStats {
+    /// Rounds in which this client submitted a (finite, fresh) update.
+    pub signed_rounds: usize,
+    /// Rounds in which its update was a near-exact copy of another client's.
+    pub copy_rounds: usize,
+    /// Rounds in which its update was a zero-delta or stale-echo submission.
+    pub free_ride_rounds: usize,
+    /// Distinct nearest peers over its copy rounds, sorted ascending — the
+    /// suspected collusion ring as seen from this client.
+    pub copy_peers: Vec<usize>,
+}
+
+/// Output of [`analyze_signatures`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureReport {
+    /// Per-client tallies.
+    pub clients: Vec<ClientSignatureStats>,
+    /// Clients whose copy-round fraction exceeds the threshold: the
+    /// suspected colluding ring(s), sources and copiers alike (a copy pair
+    /// is symmetric — both ends submitted the same bytes).
+    pub suspected_colluders: Vec<usize>,
+    /// Clients whose free-ride-round fraction exceeds the threshold.
+    pub suspected_free_riders: Vec<usize>,
+}
+
+/// Runs the update-level detectors over a run's accumulated round
+/// signatures (`ctfl-fl`'s `FederationLog::update_signatures`).
+///
+/// Complements [`analyze`]: data-level detectors (replication, low quality,
+/// label flips) are blind to clients that game the *updates* they submit
+/// while holding perfectly honest data; these detectors are blind to data
+/// attacks. Together they cover both sides of the paper's §IV-A threat
+/// model plus the update-level gap shown by Pejó et al.
+pub fn analyze_signatures(
+    rounds: &[RoundSignatures],
+    n_clients: usize,
+    config: &SignatureConfig,
+) -> Result<SignatureReport> {
+    let mut clients = vec![ClientSignatureStats::default(); n_clients];
+    for round in rounds {
+        // Median delta norm of the round — the free-ride scale reference.
+        let mut norms: Vec<f64> = round.entries.iter().map(|s| s.delta_norm).collect();
+        norms.sort_by(f64::total_cmp);
+        let median = if norms.is_empty() {
+            0.0
+        } else if norms.len() % 2 == 1 {
+            norms[norms.len() / 2]
+        } else {
+            0.5 * (norms[norms.len() / 2 - 1] + norms[norms.len() / 2])
+        };
+        for sig in &round.entries {
+            if sig.client >= n_clients {
+                return Err(CoreError::InvalidParameter {
+                    name: "rounds",
+                    message: format!(
+                        "signature names client {} but the federation has {n_clients}",
+                        sig.client
+                    ),
+                });
+            }
+            let stats = &mut clients[sig.client];
+            stats.signed_rounds += 1;
+            if let Some(peer) = sig.nearest_peer {
+                if sig.peer_dist <= config.copy_dist && sig.peer_cos >= config.copy_cos {
+                    stats.copy_rounds += 1;
+                    if let Err(pos) = stats.copy_peers.binary_search(&peer) {
+                        stats.copy_peers.insert(pos, peer);
+                    }
+                }
+            }
+            if median > config.norm_eps {
+                let bound = config.free_ride_norm_frac * median;
+                if sig.delta_norm <= bound || sig.echo_dist <= bound {
+                    stats.free_ride_rounds += 1;
+                }
+            }
+        }
+    }
+    let frac_flag = |hits: usize, total: usize, frac: f64| {
+        total > 0 && hits > 0 && hits as f64 >= frac * total as f64
+    };
+    let suspected_colluders: Vec<usize> = (0..n_clients)
+        .filter(|&c| {
+            frac_flag(clients[c].copy_rounds, clients[c].signed_rounds, config.colluder_round_frac)
+        })
+        .collect();
+    let suspected_free_riders: Vec<usize> = (0..n_clients)
+        .filter(|&c| {
+            frac_flag(
+                clients[c].free_ride_rounds,
+                clients[c].signed_rounds,
+                config.free_rider_round_frac,
+            )
+        })
+        .collect();
+    Ok(SignatureReport { clients, suspected_colluders, suspected_free_riders })
 }
 
 #[cfg(test)]
@@ -366,5 +563,103 @@ mod tests {
         assert!((relative_change(0.2, 0.3) - 0.5).abs() < 1e-9);
         assert_eq!(relative_change(0.2, 0.0), -1.0);
         assert_eq!(relative_change(0.1, 0.9), 1.0); // clipped
+    }
+
+    #[test]
+    fn relative_change_near_zero_baselines_use_explicit_epsilon() {
+        // Anything under the epsilon is "zero baseline" — including exact
+        // zero, negative zero, and denormal cancellation residue.
+        assert_eq!(relative_change(0.0, 1.0e6), 0.0);
+        assert_eq!(relative_change(-0.0, -5.0), 0.0);
+        assert_eq!(relative_change(RELATIVE_CHANGE_EPS / 2.0, 1.0), 0.0);
+        assert_eq!(relative_change(-RELATIVE_CHANGE_EPS / 2.0, 1.0), 0.0);
+        // Just above the epsilon, the ratio is live again (and clamped).
+        assert_eq!(relative_change(RELATIVE_CHANGE_EPS * 2.0, 1.0), 1.0);
+        // Negative baselines measure relative to their own sign.
+        assert!((relative_change(-0.2, -0.3) - 0.5).abs() < 1e-9);
+        assert!((relative_change(-0.2, -0.1) + 0.5).abs() < 1e-9);
+    }
+
+    fn sig(
+        client: usize,
+        delta_norm: f64,
+        echo_dist: f64,
+        peer: Option<(usize, f64, f64)>,
+    ) -> UpdateSignature {
+        let (nearest_peer, peer_dist, peer_cos) = match peer {
+            Some((p, d, c)) => (Some(p), d, c),
+            None => (None, f64::INFINITY, 0.0),
+        };
+        UpdateSignature { client, delta_norm, echo_dist, nearest_peer, peer_dist, peer_cos }
+    }
+
+    #[test]
+    fn signature_analysis_flags_colluders_and_free_riders() {
+        // 3 rounds, 5 clients: 1 and 3 submit identical copies every round,
+        // 4 free-rides (zero delta in rounds 0/1, stale echo in round 2),
+        // 0 and 2 are honest.
+        let rounds: Vec<RoundSignatures> = (0..3)
+            .map(|round| RoundSignatures {
+                round,
+                entries: vec![
+                    sig(0, 1.0, 2.0, Some((2, 0.4, 0.2))),
+                    sig(1, 1.1, 2.1, Some((3, 0.0, 1.0))),
+                    sig(2, 0.9, 1.9, Some((0, 0.4, 0.2))),
+                    sig(3, 1.1, 2.1, Some((1, 0.0, 1.0))),
+                    if round < 2 {
+                        sig(4, 0.0, 2.0, None)
+                    } else {
+                        sig(4, 1.0, 0.0, Some((0, 0.7, 0.1)))
+                    },
+                ],
+            })
+            .collect();
+        let report = analyze_signatures(&rounds, 5, &SignatureConfig::default()).unwrap();
+        assert_eq!(report.suspected_colluders, vec![1, 3]);
+        assert_eq!(report.suspected_free_riders, vec![4]);
+        assert_eq!(report.clients[1].copy_rounds, 3);
+        assert_eq!(report.clients[1].copy_peers, vec![3]);
+        assert_eq!(report.clients[3].copy_peers, vec![1]);
+        assert_eq!(report.clients[4].free_ride_rounds, 3);
+        assert_eq!(report.clients[0].copy_rounds, 0);
+        assert_eq!(report.clients[0].free_ride_rounds, 0);
+    }
+
+    #[test]
+    fn signature_analysis_honest_rounds_are_clean() {
+        let rounds = vec![RoundSignatures {
+            round: 0,
+            entries: vec![
+                sig(0, 1.0, 2.0, Some((1, 0.3, 0.5))),
+                sig(1, 1.2, 2.2, Some((0, 0.3, 0.5))),
+            ],
+        }];
+        let report = analyze_signatures(&rounds, 2, &SignatureConfig::default()).unwrap();
+        assert!(report.suspected_colluders.is_empty());
+        assert!(report.suspected_free_riders.is_empty());
+        // Empty input: nothing to flag, stats all zero.
+        let empty = analyze_signatures(&[], 3, &SignatureConfig::default()).unwrap();
+        assert_eq!(empty.clients.len(), 3);
+        assert!(empty.suspected_colluders.is_empty() && empty.suspected_free_riders.is_empty());
+    }
+
+    #[test]
+    fn signature_analysis_converged_rounds_give_no_free_ride_signal() {
+        // Every delta norm ~0: the round has no scale, so nobody is flagged
+        // even though every norm is "tiny".
+        let rounds = vec![RoundSignatures {
+            round: 0,
+            entries: vec![sig(0, 0.0, 0.0, None), sig(1, 1e-14, 1e-14, None)],
+        }];
+        let report = analyze_signatures(&rounds, 2, &SignatureConfig::default()).unwrap();
+        assert!(report.suspected_free_riders.is_empty());
+        assert_eq!(report.clients[0].free_ride_rounds, 0);
+    }
+
+    #[test]
+    fn signature_analysis_rejects_out_of_range_clients() {
+        let rounds =
+            vec![RoundSignatures { round: 0, entries: vec![sig(7, 1.0, 1.0, None)] }];
+        assert!(analyze_signatures(&rounds, 3, &SignatureConfig::default()).is_err());
     }
 }

@@ -1,0 +1,348 @@
+//! Seeded, deterministic **update-level** adversaries.
+//!
+//! `ctfl-data::adverse` models clients with bad *data*; [`crate::faults`]
+//! models clients with bad *runtime behaviour*. This module closes the
+//! third gap (Pejó et al., "On the Fragility of Contribution Score
+//! Computation in Federated Learning"): strategic clients whose data and
+//! uptime are spotless but who rewrite the *updates* they submit — to
+//! poison the global model or to game the contribution ranking.
+//!
+//! Mirroring the [`crate::faults::FaultPlan`] design, an [`AdversaryPlan`]
+//! is inspectable data (hand-built for tests or sampled once with a seed)
+//! and an [`AdversaryInjector`] replays it inside the round loop, rewriting
+//! fresh updates in-flight between client computation and the server guard.
+//! The same plan always reproduces the same run byte for byte.
+
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::seq::SliceRandom;
+use ctfl_rng::SeedableRng;
+
+use crate::guard::UpdateCandidate;
+
+/// How an adversarial client rewrites its (honestly computed) update
+/// before submitting it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackKind {
+    /// Sign-flip poisoning: submit `θ_g − scale · (θ − θ_g)` — the update
+    /// delta negated (and optionally amplified), steering the aggregate
+    /// *away* from the honest direction. `scale = 1` keeps the delta norm
+    /// honest-looking, sliding under norm-based guards.
+    SignFlip {
+        /// Amplification of the negated delta.
+        scale: f32,
+    },
+    /// Scaled-gradient amplification: submit `θ_g + factor · (θ − θ_g)`,
+    /// inflating this client's pull on a mean-based aggregate.
+    ScaleGradient {
+        /// Delta amplification factor.
+        factor: f32,
+    },
+    /// Colluding replication: submit a byte-identical copy of `leader`'s
+    /// update this round, so the ring's shared direction counts k times —
+    /// inflating overlap-based credit and mean-based influence. A client
+    /// whose `leader` is itself submits its own update unchanged (the
+    /// ring's source). If the leader produced no fresh update this round,
+    /// the copier submits its own update unchanged.
+    Collude {
+        /// Client whose update the ring replicates.
+        leader: usize,
+    },
+    /// Free-riding, zero-delta flavour: submit the current global
+    /// parameters back unchanged — credit for participation without any
+    /// training compute.
+    FreeRideZero,
+    /// Free-riding, stale-echo flavour: replay the *previous* round's
+    /// global parameters (round 0 degenerates to a zero delta). Looks like
+    /// a plausible nonzero update while costing nothing.
+    FreeRideStale,
+    /// Targeted class poisoning: push the global head bias of one class by
+    /// `boost`, biasing predictions toward (positive boost) or away from
+    /// (negative) that class. Exploits the parameter layout fact that the
+    /// trailing `n_classes` entries are the classifier head bias.
+    ClassBias {
+        /// Targeted class.
+        class: usize,
+        /// Additive bias push.
+        boost: f32,
+    },
+}
+
+impl AttackKind {
+    /// Display name (used in experiment tables and logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::SignFlip { .. } => "sign-flip",
+            AttackKind::ScaleGradient { .. } => "scale-gradient",
+            AttackKind::Collude { .. } => "collude",
+            AttackKind::FreeRideZero => "free-ride(zero)",
+            AttackKind::FreeRideStale => "free-ride(stale)",
+            AttackKind::ClassBias { .. } => "class-bias",
+        }
+    }
+}
+
+/// A deterministic assignment of update-level attacks to clients.
+///
+/// Attacks are *persistent roles*: unlike transient system faults, a
+/// strategic client rewrites its update every round it reports. Plans are
+/// plain data — build exact scenarios with [`AdversaryPlan::with_attacker`]
+/// / [`AdversaryPlan::with_colluding_ring`], or sample a fraction of
+/// adversarial clients once with [`AdversaryPlan::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryPlan {
+    n_clients: usize,
+    attacks: Vec<Option<AttackKind>>,
+}
+
+impl AdversaryPlan {
+    /// A plan with no adversaries (the back-compat path).
+    pub fn none(n_clients: usize) -> Self {
+        AdversaryPlan { n_clients, attacks: vec![None; n_clients] }
+    }
+
+    /// Assigns `kind` to `client` (replacing any previous role).
+    pub fn with_attacker(mut self, client: usize, kind: AttackKind) -> Self {
+        assert!(client < self.n_clients, "client {client} outside federation");
+        if let AttackKind::Collude { leader } = kind {
+            assert!(leader < self.n_clients, "collusion leader {leader} outside federation");
+        }
+        if let AttackKind::ClassBias { boost, .. } = kind {
+            assert!(boost.is_finite(), "class-bias boost must be finite");
+        }
+        self.attacks[client] = Some(kind);
+        self
+    }
+
+    /// Marks `members` as a colluding ring replicating `leader`'s update
+    /// (the leader is part of the ring: it submits the original copy).
+    pub fn with_colluding_ring(mut self, leader: usize, members: &[usize]) -> Self {
+        self = self.with_attacker(leader, AttackKind::Collude { leader });
+        for &m in members {
+            self = self.with_attacker(m, AttackKind::Collude { leader });
+        }
+        self
+    }
+
+    /// Samples a plan where a `frac` fraction of clients (rounded to the
+    /// nearest count) play `kind`, chosen by a seeded shuffle — a pure
+    /// function of `(n_clients, frac, kind, seed)`.
+    ///
+    /// When `kind` is [`AttackKind::Collude`], the given leader is ignored
+    /// and the lowest-id sampled client becomes the ring's leader.
+    pub fn generate(n_clients: usize, frac: f64, kind: AttackKind, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "adversarial fraction {frac} outside [0, 1]");
+        let k = ((frac * n_clients as f64).round() as usize).min(n_clients);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<usize> = (0..n_clients).collect();
+        ids.shuffle(&mut rng);
+        let mut chosen: Vec<usize> = ids.into_iter().take(k).collect();
+        chosen.sort_unstable();
+        let mut plan = AdversaryPlan::none(n_clients);
+        if let AttackKind::Collude { .. } = kind {
+            if let Some((&leader, members)) = chosen.split_first() {
+                plan = plan.with_colluding_ring(leader, members);
+            }
+        } else {
+            for c in chosen {
+                plan = plan.with_attacker(c, kind);
+            }
+        }
+        plan
+    }
+
+    /// Number of clients the plan covers.
+    pub fn n_clients(&self) -> usize {
+        self.n_clients
+    }
+
+    /// The attack assigned to `client`, if any.
+    pub fn attack_for(&self, client: usize) -> Option<AttackKind> {
+        self.attacks[client]
+    }
+
+    /// All adversarial clients, ascending.
+    pub fn adversaries(&self) -> Vec<usize> {
+        (0..self.n_clients).filter(|&c| self.attacks[c].is_some()).collect()
+    }
+
+    /// True when no client is adversarial.
+    pub fn is_empty(&self) -> bool {
+        self.attacks.iter().all(Option::is_none)
+    }
+}
+
+/// Replays an [`AdversaryPlan`] against the round loop.
+#[derive(Debug, Clone)]
+pub struct AdversaryInjector {
+    plan: AdversaryPlan,
+}
+
+impl AdversaryInjector {
+    /// Wraps a plan.
+    pub fn new(plan: AdversaryPlan) -> Self {
+        AdversaryInjector { plan }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &AdversaryPlan {
+        &self.plan
+    }
+
+    /// Rewrites a round's fresh update candidates in-flight, between
+    /// client computation and the server guard.
+    ///
+    /// `global` is the round's global parameter vector, `prev_global` the
+    /// previous round's (equal to `global` in round 0), and `n_classes`
+    /// the classifier head width (the trailing bias region
+    /// [`AttackKind::ClassBias`] targets). Collusion copies are taken from
+    /// a snapshot of the updates *as computed*, so a ring replicates its
+    /// leader's honest update even when rewrites run in any order.
+    pub fn rewrite_round(
+        &self,
+        fresh: &mut [UpdateCandidate],
+        global: &[f32],
+        prev_global: &[f32],
+        n_classes: usize,
+    ) {
+        if self.plan.is_empty() {
+            return;
+        }
+        // Snapshot the as-computed params of every collusion leader that
+        // reported fresh this round.
+        let leader_params: Vec<(usize, Vec<f32>)> = fresh
+            .iter()
+            .filter(|c| {
+                self.plan.attacks.iter().flatten().any(|a| {
+                    matches!(a, AttackKind::Collude { leader } if *leader == c.client)
+                })
+            })
+            .map(|c| (c.client, c.params.clone()))
+            .collect();
+        for cand in fresh.iter_mut() {
+            let Some(attack) = self.plan.attack_for(cand.client) else { continue };
+            match attack {
+                AttackKind::SignFlip { scale } => {
+                    for (p, &g) in cand.params.iter_mut().zip(global) {
+                        *p = g - scale * (*p - g);
+                    }
+                }
+                AttackKind::ScaleGradient { factor } => {
+                    for (p, &g) in cand.params.iter_mut().zip(global) {
+                        *p = g + factor * (*p - g);
+                    }
+                }
+                AttackKind::Collude { leader } => {
+                    if leader != cand.client {
+                        if let Some((_, lp)) =
+                            leader_params.iter().find(|(c, _)| *c == leader)
+                        {
+                            cand.params.copy_from_slice(lp);
+                        }
+                    }
+                }
+                AttackKind::FreeRideZero => cand.params.copy_from_slice(global),
+                AttackKind::FreeRideStale => cand.params.copy_from_slice(prev_global),
+                AttackKind::ClassBias { class, boost } => {
+                    let dim = cand.params.len();
+                    if class < n_classes && dim >= n_classes {
+                        cand.params[dim - n_classes + class] += boost;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(client: usize, params: Vec<f32>) -> UpdateCandidate {
+        UpdateCandidate { client, stale: false, params, weight: 1 }
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_sized() {
+        let a = AdversaryPlan::generate(10, 0.3, AttackKind::SignFlip { scale: 1.0 }, 42);
+        let b = AdversaryPlan::generate(10, 0.3, AttackKind::SignFlip { scale: 1.0 }, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.adversaries().len(), 3);
+        let c = AdversaryPlan::generate(10, 0.3, AttackKind::SignFlip { scale: 1.0 }, 43);
+        assert_ne!(a, c, "different seeds should pick different clients");
+        assert!(AdversaryPlan::generate(5, 0.0, AttackKind::FreeRideZero, 1).is_empty());
+    }
+
+    #[test]
+    fn generated_collusion_ring_shares_one_leader() {
+        let plan = AdversaryPlan::generate(8, 0.375, AttackKind::Collude { leader: 0 }, 7);
+        let ring = plan.adversaries();
+        assert_eq!(ring.len(), 3);
+        let leader = ring[0];
+        for &m in &ring {
+            assert_eq!(plan.attack_for(m), Some(AttackKind::Collude { leader }));
+        }
+    }
+
+    #[test]
+    fn sign_flip_and_scale_rewrite_the_delta() {
+        let global = vec![1.0f32; 4];
+        let plan = AdversaryPlan::none(2)
+            .with_attacker(0, AttackKind::SignFlip { scale: 2.0 })
+            .with_attacker(1, AttackKind::ScaleGradient { factor: 3.0 });
+        let inj = AdversaryInjector::new(plan);
+        let mut fresh = vec![cand(0, vec![2.0; 4]), cand(1, vec![2.0; 4])];
+        inj.rewrite_round(&mut fresh, &global, &global, 2);
+        assert_eq!(fresh[0].params, vec![-1.0; 4], "1 - 2·(2-1)");
+        assert_eq!(fresh[1].params, vec![4.0; 4], "1 + 3·(2-1)");
+    }
+
+    #[test]
+    fn colluders_replicate_the_leaders_as_computed_update() {
+        let global = vec![0.0f32; 3];
+        let plan = AdversaryPlan::none(4).with_colluding_ring(1, &[2, 3]);
+        let inj = AdversaryInjector::new(plan);
+        let mut fresh = vec![
+            cand(0, vec![9.0; 3]),
+            cand(1, vec![1.0, 2.0, 3.0]),
+            cand(2, vec![7.0; 3]),
+            cand(3, vec![8.0; 3]),
+        ];
+        inj.rewrite_round(&mut fresh, &global, &global, 2);
+        assert_eq!(fresh[0].params, vec![9.0; 3], "honest client untouched");
+        assert_eq!(fresh[1].params, vec![1.0, 2.0, 3.0], "leader submits its own update");
+        assert_eq!(fresh[2].params, vec![1.0, 2.0, 3.0]);
+        assert_eq!(fresh[3].params, vec![1.0, 2.0, 3.0]);
+
+        // Leader absent this round: copiers fall back to their own update.
+        let mut fresh = vec![cand(2, vec![7.0; 3]), cand(3, vec![8.0; 3])];
+        inj.rewrite_round(&mut fresh, &global, &global, 2);
+        assert_eq!(fresh[0].params, vec![7.0; 3]);
+        assert_eq!(fresh[1].params, vec![8.0; 3]);
+    }
+
+    #[test]
+    fn free_riders_echo_global_or_previous_global() {
+        let global = vec![5.0f32; 3];
+        let prev = vec![4.0f32; 3];
+        let plan = AdversaryPlan::none(2)
+            .with_attacker(0, AttackKind::FreeRideZero)
+            .with_attacker(1, AttackKind::FreeRideStale);
+        let inj = AdversaryInjector::new(plan);
+        let mut fresh = vec![cand(0, vec![1.0; 3]), cand(1, vec![2.0; 3])];
+        inj.rewrite_round(&mut fresh, &global, &prev, 2);
+        assert_eq!(fresh[0].params, global);
+        assert_eq!(fresh[1].params, prev);
+    }
+
+    #[test]
+    fn class_bias_pushes_the_trailing_bias_entry() {
+        // dim 5, n_classes 2: bias region is the last two entries.
+        let global = vec![0.0f32; 5];
+        let plan =
+            AdversaryPlan::none(1).with_attacker(0, AttackKind::ClassBias { class: 1, boost: 2.5 });
+        let inj = AdversaryInjector::new(plan);
+        let mut fresh = vec![cand(0, vec![1.0; 5])];
+        inj.rewrite_round(&mut fresh, &global, &global, 2);
+        assert_eq!(fresh[0].params, vec![1.0, 1.0, 1.0, 1.0, 3.5]);
+    }
+}

@@ -6,13 +6,18 @@
 //! size. Clients run concurrently with scoped threads — they are
 //! independent within a round.
 //!
-//! [`train_federated_with`] is the full runtime: a [`FaultPlan`] injects
-//! system-level faults (dropout, crash, straggling, corrupted uploads,
-//! panics), a [`GuardConfig`] validates every update server-side and
-//! enforces the quorum/degradation policy, and the returned
-//! [`FederationLog`] records what happened each round.
-//! [`train_federated`] is the zero-fault back-compat wrapper: no injected
-//! faults, strict guard (any panic or non-finite upload is a typed error).
+//! [`train_federated_byzantine`] is the full runtime: a [`FaultPlan`]
+//! injects system-level faults (dropout, crash, straggling, corrupted
+//! uploads, panics), an [`AdversaryPlan`] rewrites strategic clients'
+//! updates in-flight (sign-flip, collusion, free-riding, …), a
+//! [`GuardConfig`] validates every update server-side and enforces the
+//! quorum/degradation policy, a pluggable [`Aggregator`] fuses the accepted
+//! updates, and the returned [`FederationLog`] records what happened each
+//! round — including per-update similarity signatures for the update-level
+//! detectors. [`train_federated_with`] is the fault-only entry point
+//! (no adversaries, weighted FedAvg), and [`train_federated`] the
+//! zero-fault back-compat wrapper: no injected faults, strict guard (any
+//! panic or non-finite upload is a typed error).
 
 use ctfl_core::data::{Dataset, DatasetView};
 use ctfl_core::error::{CoreError, Result};
@@ -20,13 +25,14 @@ use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
+use crate::adversary::{AdversaryInjector, AdversaryPlan};
+use crate::aggregate::{Aggregator, WeightedFedAvg};
 use crate::client::Client;
 use crate::faults::{Fate, FaultInjector, FaultPlan};
 use crate::guard::{
-    judge_round, FederationLog, GuardConfig, PanicPolicy, Participation, ParticipationEntry,
-    RoundReport, UpdateCandidate,
+    judge_round, sign_updates, FederationLog, GuardConfig, PanicPolicy, Participation,
+    ParticipationEntry, RoundReport, UpdateCandidate,
 };
-use crate::server::aggregate;
 
 /// Federated-training configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +107,26 @@ pub fn train_federated_with(
     train_federated_with_views(&views, n_classes, net_config, fl_config, plan, guard)
 }
 
+/// The full server-side policy of a Byzantine federation run: which system
+/// faults fire, which clients rewrite their updates, how the guard judges
+/// candidates, and which rule fuses the survivors.
+///
+/// `faults: FaultPlan::none + adversary: AdversaryPlan::none + aggregator:
+/// WeightedFedAvg` reproduces the plain fault-tolerant runtime bit for bit —
+/// [`train_federated_with`] is exactly that delegation.
+#[derive(Debug, Clone, Copy)]
+pub struct ByzantineSetup<'a> {
+    /// System-level fault schedule (dropout, crash, straggle, corrupt,
+    /// panic).
+    pub faults: &'a FaultPlan,
+    /// Update-level attack roles (sign-flip, collusion, free-riding, …).
+    pub adversary: &'a AdversaryPlan,
+    /// Server-side validation, quorum, and degradation policy.
+    pub guard: &'a GuardConfig,
+    /// The rule fusing accepted updates into the next global model.
+    pub aggregator: &'a dyn Aggregator,
+}
+
 /// Trains a global model with FedAvg over zero-copy per-client views, under
 /// an explicit fault plan and server-side guard.
 ///
@@ -116,6 +142,50 @@ pub fn train_federated_with_views(
     plan: &FaultPlan,
     guard: &GuardConfig,
 ) -> Result<FederationRun> {
+    let adversary = AdversaryPlan::none(client_data.len());
+    let setup =
+        ByzantineSetup { faults: plan, adversary: &adversary, guard, aggregator: &WeightedFedAvg };
+    train_federated_byzantine_views(client_data, n_classes, net_config, fl_config, &setup)
+}
+
+/// Trains a global model under the full Byzantine runtime: system faults,
+/// update-level adversaries, server guard, and a pluggable aggregation rule.
+///
+/// See [`train_federated_byzantine_views`] for the semantics; this is the
+/// owned-dataset convenience wrapper.
+pub fn train_federated_byzantine(
+    client_data: &[Dataset],
+    n_classes: usize,
+    net_config: &LogicalNetConfig,
+    fl_config: &FlConfig,
+    setup: &ByzantineSetup<'_>,
+) -> Result<FederationRun> {
+    let views: Vec<DatasetView<'_>> = client_data.iter().map(Dataset::view).collect();
+    train_federated_byzantine_views(&views, n_classes, net_config, fl_config, setup)
+}
+
+/// Trains a global model with a pluggable aggregator over zero-copy
+/// per-client views, under explicit fault *and* adversary plans.
+///
+/// Each round, after honest local computation and system-fault injection,
+/// the adversary rewrites its clients' *fresh* submissions in-flight
+/// (stale straggler arrivals pass unmodified — a late update was computed
+/// against an older global and is already handled by the staleness path).
+/// The server then fingerprints every finite fresh submission
+/// ([`sign_updates`] — recorded per round in the [`FederationLog`] for the
+/// collusion/free-riding detectors), judges candidates with the guard, and
+/// fuses the accepted survivors with `setup.aggregator`.
+///
+/// Determinism contract unchanged: same inputs → bit-identical parameters
+/// and a byte-identical log, parallel and serial paths agreeing exactly.
+pub fn train_federated_byzantine_views(
+    client_data: &[DatasetView<'_>],
+    n_classes: usize,
+    net_config: &LogicalNetConfig,
+    fl_config: &FlConfig,
+    setup: &ByzantineSetup<'_>,
+) -> Result<FederationRun> {
+    let (plan, guard) = (setup.faults, setup.guard);
     if client_data.is_empty() {
         return Err(CoreError::Empty { what: "client data" });
     }
@@ -124,6 +194,13 @@ pub fn train_federated_with_views(
             what: "fault plan clients",
             expected: client_data.len(),
             actual: plan.n_clients(),
+        });
+    }
+    if setup.adversary.n_clients() != client_data.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "adversary plan clients",
+            expected: client_data.len(),
+            actual: setup.adversary.n_clients(),
         });
     }
     let schema = Arc::clone(client_data[0].schema());
@@ -160,9 +237,13 @@ pub fn train_federated_with_views(
     let n = clients.len();
     let weights: Vec<usize> = clients.iter().map(Client::n_rows).collect();
     let mut injector = FaultInjector::new(plan.clone());
+    let adversary = AdversaryInjector::new(setup.adversary.clone());
     let mut log = FederationLog::new(n);
     // Stragglers' late updates, delivered at the start of the next round.
     let mut stale_buffer: Vec<UpdateCandidate> = Vec::new();
+    // The previous round's global parameters — the stale-echo reference for
+    // update signatures (round 0: the initial global itself).
+    let mut prev_global = global.params();
 
     for round in 0..fl_config.rounds {
         let global_params = global.params();
@@ -263,11 +344,18 @@ pub fn train_federated_with_views(
                 }
             }
 
+            // Update-level adversaries rewrite their fresh submissions
+            // in-flight, between client computation and the server guard.
+            adversary.rewrite_round(&mut fresh, &global_params, &prev_global, n_classes);
+
             // Server-side validation over stale arrivals + fresh updates, in
             // a fixed order so aggregation arithmetic is deterministic.
             let mut candidates = stale_arrivals.clone();
             candidates.extend(fresh);
             candidates.sort_by_key(|c| (c.client, c.stale));
+            // Fingerprint the submissions as-submitted (pre-clipping); the
+            // computation is read-only and RNG-free.
+            let signatures = sign_updates(&candidates, &global_params, &prev_global);
             let judged = judge_round(&global_params, candidates, guard)?;
             for j in &judged {
                 entries.push(ParticipationEntry {
@@ -297,7 +385,7 @@ pub fn train_federated_with_views(
                     .filter(|j| matches!(j.outcome, Participation::Accepted { .. }))
                     .map(|j| (j.candidate.params, j.candidate.weight))
                     .unzip();
-                let aggregated = aggregate(&updates, &agg_weights)?;
+                let aggregated = setup.aggregator.aggregate(&updates, &agg_weights)?;
                 global.set_params(&aggregated)?;
             } else if guard.fail_fast {
                 return Err(CoreError::InvalidParameter {
@@ -315,9 +403,11 @@ pub fn train_federated_with_views(
                 attempts: attempt + 1,
                 degraded: !quorum_met,
                 entries,
+                signatures,
             });
             break;
         }
+        prev_global = global_params;
     }
     Ok(FederationRun { net: global, log })
 }

@@ -19,8 +19,17 @@
 //! runs with the same seed produce byte-identical logs.
 
 use ctfl_core::error::{CoreError, Result};
-use ctfl_core::robustness::ClientParticipation;
+use ctfl_core::robustness::{ClientParticipation, RoundSignatures, UpdateSignature};
 use std::fmt::Write as _;
+
+/// Median delta norms at or below this are treated as *no scale at all* by
+/// [`judge_round`]: relative norm checks against a (near-)zero median are
+/// meaningless — the old `median.max(f64::MIN_POSITIVE)` fallback made the
+/// rejection bound effectively zero, so a fully converged federation (or a
+/// round where most clients submit zero deltas) would reject every honest
+/// nonzero update. With the median at or below this epsilon, no clipping or
+/// rejection happens; the finiteness check still applies.
+pub const NORM_EPS: f64 = 1e-12;
 
 /// What the runtime does when a client thread panics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +173,10 @@ pub struct RoundReport {
     pub degraded: bool,
     /// Per-client outcomes of the final attempt, sorted by `(client, stale)`.
     pub entries: Vec<ParticipationEntry>,
+    /// Update-similarity fingerprints of the final attempt's finite fresh
+    /// updates *as submitted* (before clipping), sorted by client — the raw
+    /// material for `ctfl-core`'s collusion / free-riding detectors.
+    pub signatures: Vec<UpdateSignature>,
 }
 
 impl RoundReport {
@@ -239,6 +252,15 @@ impl FederationLog {
         self.rounds.iter().filter(|r| r.degraded).count()
     }
 
+    /// The per-round update signatures in the shape
+    /// `ctfl-core::robustness::analyze_signatures` consumes.
+    pub fn update_signatures(&self) -> Vec<RoundSignatures> {
+        self.rounds
+            .iter()
+            .map(|r| RoundSignatures { round: r.round, entries: r.signatures.clone() })
+            .collect()
+    }
+
     /// Deterministic text rendering, suitable for byte-diffing two runs.
     pub fn render(&self) -> String {
         let mut s = String::new();
@@ -267,6 +289,22 @@ impl FederationLog {
                 );
             }
             let _ = writeln!(s);
+            if !r.signatures.is_empty() {
+                let _ = write!(s, "  sig:");
+                for g in &r.signatures {
+                    let _ = write!(
+                        s,
+                        " {}(dn={:.3e} echo={:.3e} peer={} pd={:.3e} cos={:.3})",
+                        g.client,
+                        g.delta_norm,
+                        g.echo_dist,
+                        g.nearest_peer.map_or("-".into(), |p| p.to_string()),
+                        g.peer_dist,
+                        g.peer_cos
+                    );
+                }
+                let _ = writeln!(s);
+            }
         }
         let part = self.participation();
         for (c, p) in part.iter().enumerate() {
@@ -324,7 +362,9 @@ fn delta_norm(params: &[f32], global: &[f32]) -> f64 {
 /// Order of checks: finiteness first (a NaN poisons any norm computation),
 /// then the delta-norm rejection bound, then clipping. The median is taken
 /// over the delta norms of the *finite* candidates — the "survivor" norm; a
-/// single candidate is its own median and therefore never clipped.
+/// single candidate is its own median and therefore never clipped. A median
+/// at or below [`NORM_EPS`] disables the norm checks entirely (see the
+/// constant's docs for why).
 ///
 /// Candidates must arrive sorted by `(client, stale)`; the output preserves
 /// that order, which in turn fixes the floating-point aggregation order.
@@ -354,8 +394,11 @@ pub fn judge_round(
     } else {
         0.5 * (finite[finite.len() / 2 - 1] + finite[finite.len() / 2])
     };
-    let reject_limit = guard.reject_factor * median.max(f64::MIN_POSITIVE);
-    let clip_limit = guard.clip_factor * median.max(f64::MIN_POSITIVE);
+    let (reject_limit, clip_limit) = if median <= NORM_EPS {
+        (f64::INFINITY, f64::INFINITY)
+    } else {
+        (guard.reject_factor * median, guard.clip_factor * median)
+    };
 
     let mut out = Vec::with_capacity(candidates.len());
     for ((mut cand, norm), bad) in candidates.into_iter().zip(norms).zip(n_bad) {
@@ -381,6 +424,80 @@ pub fn judge_round(
         out.push(JudgedUpdate { candidate: cand, outcome });
     }
     Ok(out)
+}
+
+fn l2_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Computes the update-similarity signatures of one round's candidates, as
+/// submitted (call it *before* [`judge_round`] clips anything).
+///
+/// Only finite fresh candidates are signed — stale arrivals were computed
+/// against an older global, so their distances are not comparable, and
+/// non-finite vectors have no meaningful norm. Peer matching (the collusion
+/// signal) skips updates whose delta norm is at or below [`NORM_EPS`]: a
+/// zero vector is "near" everything and carries no collusion information.
+/// The computation is read-only and RNG-free, so recording signatures never
+/// perturbs the training stream.
+pub fn sign_updates(
+    candidates: &[UpdateCandidate],
+    global: &[f32],
+    prev_global: &[f32],
+) -> Vec<UpdateSignature> {
+    let signed: Vec<&UpdateCandidate> = candidates
+        .iter()
+        .filter(|c| !c.stale && c.params.iter().all(|p| p.is_finite()))
+        .collect();
+    let norms: Vec<f64> = signed.iter().map(|c| delta_norm(&c.params, global)).collect();
+    signed
+        .iter()
+        .enumerate()
+        .map(|(i, cand)| {
+            let mut nearest_peer = None;
+            let mut peer_dist = f64::INFINITY;
+            let mut peer_cos = 0.0;
+            if norms[i] > NORM_EPS {
+                for (j, peer) in signed.iter().enumerate() {
+                    if j == i || norms[j] <= NORM_EPS {
+                        continue;
+                    }
+                    // Relative distance: byte-identical copies land at
+                    // exactly 0 no matter the federation's scale.
+                    let rel = l2_dist(&cand.params, &peer.params) / norms[i].max(norms[j]);
+                    if rel < peer_dist {
+                        peer_dist = rel;
+                        nearest_peer = Some(peer.client);
+                        let dot: f64 = cand
+                            .params
+                            .iter()
+                            .zip(&peer.params)
+                            .zip(global)
+                            .map(|((&a, &b), &g)| {
+                                (f64::from(a) - f64::from(g)) * (f64::from(b) - f64::from(g))
+                            })
+                            .sum();
+                        peer_cos = dot / (norms[i] * norms[j]);
+                    }
+                }
+            }
+            UpdateSignature {
+                client: cand.client,
+                delta_norm: norms[i],
+                echo_dist: l2_dist(&cand.params, prev_global),
+                nearest_peer,
+                peer_dist,
+                peer_cos,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -485,6 +602,14 @@ mod tests {
                 },
                 ParticipationEntry { client: 2, stale: false, outcome: Participation::Dropout },
             ],
+            signatures: vec![UpdateSignature {
+                client: 0,
+                delta_norm: 1.5,
+                echo_dist: 2.5,
+                nearest_peer: None,
+                peer_dist: f64::INFINITY,
+                peer_cos: 0.0,
+            }],
         });
         log.rounds.push(RoundReport {
             round: 1,
@@ -495,6 +620,7 @@ mod tests {
                 stale: false,
                 outcome: Participation::Accepted { clipped: false },
             }],
+            signatures: Vec::new(),
         });
         let p = log.participation();
         // Round 1 degraded: client 0's accepted entry counts as missed.
@@ -507,5 +633,95 @@ mod tests {
         assert_eq!(r, log.render());
         assert!(r.contains("rejected(non-finite x1)"));
         assert!(r.contains("DEGRADED"));
+        assert!(r.contains("sig: 0(dn=1.500e0"), "signatures are rendered: {r}");
+        // And they round-trip into the core detector's shape.
+        let sigs = log.update_signatures();
+        assert_eq!(sigs.len(), 2);
+        assert_eq!(sigs[0].entries.len(), 1);
+        assert!(sigs[1].entries.is_empty());
+    }
+
+    #[test]
+    fn zero_median_round_disables_norm_checks() {
+        // Majority zero-delta candidates drive the median delta norm to 0.
+        // The old MIN_POSITIVE fallback made the rejection bound ~0 and
+        // threw the one honest nonzero update away; with explicit epsilon
+        // semantics the round has no scale, so no norm check applies.
+        let global = vec![1.0f32; 4];
+        let cands = vec![
+            cand(0, vec![1.0; 4]),
+            cand(1, vec![1.0; 4]),
+            cand(2, vec![2.0; 4]), // honest nonzero update
+        ];
+        let judged = judge_round(&global, cands, &GuardConfig::default()).unwrap();
+        for j in &judged {
+            assert_eq!(j.outcome, Participation::Accepted { clipped: false });
+        }
+        assert_eq!(judged[2].candidate.params, vec![2.0; 4], "no clipping either");
+    }
+
+    #[test]
+    fn near_zero_median_uses_the_explicit_epsilon() {
+        // Denormal-scale deltas are below NORM_EPS: still "no scale".
+        let global = vec![0.0f32; 2];
+        let tiny = 1.0e-20f32;
+        let cands = vec![cand(0, vec![tiny; 2]), cand(1, vec![tiny; 2]), cand(2, vec![1.0; 2])];
+        let judged = judge_round(&global, cands, &GuardConfig::default()).unwrap();
+        assert!(judged
+            .iter()
+            .all(|j| j.outcome == Participation::Accepted { clipped: false }));
+        // Just above the epsilon the relative check is live again.
+        let small = 1.0e-5f32;
+        let cands = vec![
+            cand(0, vec![small; 2]),
+            cand(1, vec![small; 2]),
+            cand(2, vec![1.0e4; 2]),
+        ];
+        let judged = judge_round(&global, cands, &GuardConfig::default()).unwrap();
+        assert!(matches!(
+            judged[2].outcome,
+            Participation::Rejected(RejectReason::NormExploded { .. })
+        ));
+    }
+
+    #[test]
+    fn sign_updates_fingerprints_copies_and_echoes() {
+        let global = vec![0.0f32; 3];
+        let prev = vec![-1.0f32; 3];
+        let cands = vec![
+            cand(0, vec![1.0, 2.0, 3.0]),
+            cand(1, vec![1.0, 2.0, 3.0]), // byte-identical copy of 0
+            cand(2, vec![-3.0, 1.0, 0.5]),
+            cand(3, vec![-1.0; 3]), // stale echo of prev_global
+            cand(4, vec![0.0; 3]),  // zero delta: excluded from peer matching
+        ];
+        let sigs = sign_updates(&cands, &global, &prev);
+        assert_eq!(sigs.len(), 5);
+        assert_eq!(sigs[0].nearest_peer, Some(1));
+        assert_eq!(sigs[0].peer_dist, 0.0);
+        assert!((sigs[0].peer_cos - 1.0).abs() < 1e-12);
+        assert_eq!(sigs[1].nearest_peer, Some(0));
+        assert_eq!(sigs[1].peer_dist, 0.0);
+        assert_eq!(sigs[3].echo_dist, 0.0, "stale echo lands at distance 0");
+        assert!(sigs[3].delta_norm > 0.0);
+        assert_eq!(sigs[4].delta_norm, 0.0);
+        assert_eq!(sigs[4].nearest_peer, None, "zero delta carries no collusion signal");
+        assert_eq!(sigs[4].peer_dist, f64::INFINITY);
+        // No honest pair is a "copy" under the default thresholds.
+        assert!(sigs[2].peer_dist > 1e-3);
+    }
+
+    #[test]
+    fn sign_updates_skips_stale_and_non_finite_candidates() {
+        let global = vec![0.0f32; 2];
+        let cands = vec![
+            cand(0, vec![1.0, 1.0]),
+            UpdateCandidate { client: 1, stale: true, params: vec![1.0, 1.0], weight: 1 },
+            cand(2, vec![f32::NAN, 1.0]),
+        ];
+        let sigs = sign_updates(&cands, &global, &global);
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].client, 0);
+        assert_eq!(sigs[0].nearest_peer, None, "only candidate: no peer");
     }
 }

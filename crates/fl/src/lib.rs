@@ -10,9 +10,17 @@
 //!   each in isolation.
 //! * [`faults`] — seeded, deterministic system-level fault injection
 //!   (dropout, crash, straggling, corrupted uploads, panics).
+//! * [`adversary`] — seeded, deterministic *update-level* adversaries
+//!   (sign-flip poisoning, scaled gradients, colluding replication,
+//!   free-riding, targeted class poisoning), rewriting client submissions
+//!   in-flight.
+//! * [`aggregate`] — the pluggable [`aggregate::Aggregator`] rule: weighted
+//!   FedAvg (the bit-compatible default), coordinate-wise median, trimmed
+//!   mean, and (Multi-)Krum for Byzantine-robust fusion.
 //! * [`guard`] — server-side update validation (finiteness, norm clipping
-//!   against the median survivor norm), the quorum/degradation policy, and
-//!   the per-round [`guard::FederationLog`].
+//!   against the median survivor norm), update-similarity signatures for
+//!   the collusion/free-riding detectors, the quorum/degradation policy,
+//!   and the per-round [`guard::FederationLog`].
 //! * [`metrics`] — test accuracy and F1 for trained models.
 //! * [`privacy`] — the activation-vector upload pipeline of paper Section V:
 //!   each participant computes its rule activation bitsets *locally* and
@@ -23,6 +31,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adversary;
+pub mod aggregate;
 pub mod client;
 pub mod faults;
 pub mod fedavg;
@@ -31,8 +41,13 @@ pub mod metrics;
 pub mod privacy;
 pub mod server;
 
+pub use adversary::{AdversaryInjector, AdversaryPlan, AttackKind};
+pub use aggregate::{Aggregator, CoordinateMedian, MultiKrum, TrimmedMean, WeightedFedAvg};
 pub use faults::{CorruptionKind, FaultKind, FaultPlan, FaultSpec};
-pub use fedavg::{train_federated, train_federated_with, FederationRun, FlConfig};
+pub use fedavg::{
+    train_federated, train_federated_byzantine, train_federated_with, ByzantineSetup,
+    FederationRun, FlConfig,
+};
 pub use guard::{FederationLog, GuardConfig, PanicPolicy};
 pub use metrics::{accuracy_of, f1_binary};
 pub use privacy::{assemble_trace_inputs, ActivationUpload, PrivacyConfig};

@@ -12,29 +12,7 @@ use ctfl_core::error::{CoreError, Result};
 ///
 /// Returns the aggregated vector.
 pub fn aggregate(client_params: &[Vec<f32>], weights: &[usize]) -> Result<Vec<f32>> {
-    if client_params.is_empty() {
-        return Err(CoreError::Empty { what: "client parameter list" });
-    }
-    if client_params.len() != weights.len() {
-        return Err(CoreError::LengthMismatch {
-            what: "aggregation weights",
-            expected: client_params.len(),
-            actual: weights.len(),
-        });
-    }
-    let dim = client_params[0].len();
-    for (i, p) in client_params.iter().enumerate() {
-        if p.len() != dim {
-            return Err(CoreError::LengthMismatch {
-                what: "client parameter vector",
-                expected: dim,
-                actual: p.len(),
-            });
-        }
-        if p.iter().any(|v| !v.is_finite()) {
-            return Err(CoreError::NonFinite { what: "client parameter vector", index: i });
-        }
-    }
+    let dim = crate::aggregate::validate_updates(client_params, weights)?;
     let total: f64 = weights.iter().map(|&w| w as f64).sum();
     if total <= 0.0 {
         return Err(CoreError::InvalidParameter {
@@ -80,10 +58,32 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(aggregate(&[], &[]).is_err());
-        assert!(aggregate(&[vec![1.0]], &[1, 2]).is_err());
-        assert!(aggregate(&[vec![1.0], vec![1.0, 2.0]], &[1, 1]).is_err());
-        assert!(aggregate(&[vec![1.0]], &[0]).is_err());
+        // An empty client slice is a typed error, never a panic or a silent
+        // zero-length result.
+        assert_eq!(
+            aggregate(&[], &[]).unwrap_err(),
+            CoreError::Empty { what: "client parameter list" }
+        );
+        // Mismatched weights are a typed error naming both lengths.
+        assert_eq!(
+            aggregate(&[vec![1.0]], &[1, 2]).unwrap_err(),
+            CoreError::LengthMismatch { what: "aggregation weights", expected: 1, actual: 2 }
+        );
+        assert_eq!(
+            aggregate(&[vec![1.0], vec![1.0, 2.0]], &[1, 1]).unwrap_err(),
+            CoreError::LengthMismatch {
+                what: "client parameter vector",
+                expected: 1,
+                actual: 2
+            }
+        );
+        assert_eq!(
+            aggregate(&[vec![1.0]], &[0]).unwrap_err(),
+            CoreError::InvalidParameter {
+                name: "weights",
+                message: "total weight must be positive".into()
+            }
+        );
     }
 
     #[test]

@@ -13,14 +13,28 @@
 //! seeded dropout plus one client that persistently reports NaN parameters
 //! — to show the server guard quarantining the corrupted client and the
 //! participation-weighted scores collapsing its contribution to zero.
+//!
+//! A third act covers the remaining threat surface: *update-level* gaming.
+//! Clients 1 and 4 collude (4 submits byte-identical copies of 1's update)
+//! and client 2 free-rides (echoes the global parameters back untrained).
+//! Their *data* is perfectly honest, so the data-level detectors have
+//! nothing to attribute: compared with an honest control run their flags
+//! merely wobble with model quality and never isolate the gaming trio.
+//! Only the server-side update signatures name the ring and the free-rider
+//! precisely — and they name nobody on the control.
 
 use ctfl::core::estimator::{CtflConfig, CtflEstimator};
+use ctfl::core::robustness::{analyze_signatures, SignatureConfig};
 use ctfl::data::adverse::{flip_labels, replicate};
 use ctfl::data::partition::skew_label;
 use ctfl::data::split::train_test_split;
 use ctfl::data::synthetic::adult_like;
+use ctfl::fl::adversary::{AdversaryPlan, AttackKind};
+use ctfl::fl::aggregate::CoordinateMedian;
 use ctfl::fl::faults::{CorruptionKind, FaultPlan, FaultSpec};
-use ctfl::fl::fedavg::{train_federated, train_federated_with, FlConfig};
+use ctfl::fl::fedavg::{
+    train_federated, train_federated_byzantine, train_federated_with, ByzantineSetup, FlConfig,
+};
 use ctfl::fl::guard::GuardConfig;
 use ctfl::nn::extract::{extract_rules, ExtractOptions};
 use ctfl::nn::net::LogicalNetConfig;
@@ -117,5 +131,109 @@ fn main() {
         "the guard rejects the NaN client every round, quorum retries absorb the\n\
          dropouts, and the participation-weighted (effective) score zeroes the\n\
          corrupted client — however plausible its local data looks."
+    );
+
+    // --- Act 3: update-level gaming on honest data -----------------------
+    // Colluding ring {1, 4} (client 4 replays client 1's update byte for
+    // byte) and free-rider 2 (echoes the global back untrained). Their
+    // shards are untouched, so data-level tracing has nothing to attribute;
+    // the coordinate-wise median blunts the ring's doubled direction.
+    println!("\n== update-level gaming: colluding ring {{1, 4}} + free-rider 2 ==\n");
+    let adversary = AdversaryPlan::none(n_clients)
+        .with_colluding_ring(1, &[4])
+        .with_attacker(2, AttackKind::FreeRideZero);
+    let faults = FaultPlan::none(n_clients, fl.rounds);
+    let guard = GuardConfig::default();
+    let setup = ByzantineSetup {
+        faults: &faults,
+        adversary: &adversary,
+        guard: &guard,
+        aggregator: &CoordinateMedian,
+    };
+    let run = train_federated_byzantine(&shards, 2, &net_config, &fl, &setup)
+        .expect("byzantine training still succeeds");
+
+    // Honest control: same shards, same aggregator, nobody gaming. The
+    // data-level detectors see the *data*, which is identical in both runs,
+    // so whatever they report here is baseline noise of this tiny demo
+    // federation — not evidence about the gamers.
+    let honest = AdversaryPlan::none(n_clients);
+    let control_setup = ByzantineSetup { adversary: &honest, ..setup };
+    let control = train_federated_byzantine(&shards, 2, &net_config, &fl, &control_setup)
+        .expect("honest training succeeds");
+
+    let report_of = |run: &ctfl::fl::fedavg::FederationRun| {
+        let model =
+            extract_rules(&run.net, ExtractOptions::default()).expect("extraction succeeds");
+        CtflEstimator::new(model, CtflConfig::default())
+            .estimate_with_participation(
+                &train,
+                &partition.client_of,
+                &test,
+                &run.log.participation(),
+            )
+            .expect("valid inputs")
+    };
+    let report = report_of(&run);
+    let control_report = report_of(&control);
+
+    println!("data-level detectors (gamed run vs honest control — same data both times):");
+    for (name, gamed, ctrl) in [
+        (
+            "suspected replicators:    ",
+            &report.robustness.suspected_replicators,
+            &control_report.robustness.suspected_replicators,
+        ),
+        (
+            "suspected label flippers: ",
+            &report.robustness.suspected_label_flippers,
+            &control_report.robustness.suspected_label_flippers,
+        ),
+        (
+            "suspected low quality:    ",
+            &report.robustness.suspected_low_quality,
+            &control_report.robustness.suspected_low_quality,
+        ),
+        (
+            "suspected unreliable:     ",
+            &report.robustness.suspected_unreliable,
+            &control_report.robustness.suspected_unreliable,
+        ),
+        // The data is identical in both runs, so any flag movement between
+        // the two columns is model-quality noise, not evidence. Crucially,
+        // no data-level category isolates the gaming trio {1, 2, 4}.
+    ] {
+        println!("  {name} {gamed:?}  control {ctrl:?}");
+        assert_ne!(*gamed, vec![1, 2, 4], "data-level tracing must not attribute the gaming");
+    }
+
+    let sig_config = SignatureConfig::default();
+    let control_sig =
+        analyze_signatures(&control.log.update_signatures(), n_clients, &sig_config)
+            .expect("signatures are well-formed");
+    assert!(
+        control_sig.suspected_colluders.is_empty() && control_sig.suspected_free_riders.is_empty(),
+        "signature detectors must flag nobody on the honest control"
+    );
+    let sig = analyze_signatures(&run.log.update_signatures(), n_clients, &sig_config)
+        .expect("signatures are well-formed");
+    println!("\nupdate signatures (server-side, per submitted update):");
+    println!("client  signed  copy-rounds  free-ride-rounds  copy-peers");
+    for (c, stats) in sig.clients.iter().enumerate() {
+        println!(
+            "{c:>6}  {:>6}  {:>11}  {:>16}  {:?}",
+            stats.signed_rounds, stats.copy_rounds, stats.free_ride_rounds, stats.copy_peers
+        );
+    }
+    println!();
+    println!("suspected colluders:       {:?}", sig.suspected_colluders);
+    println!("suspected free-riders:     {:?}", sig.suspected_free_riders);
+    assert_eq!(sig.suspected_colluders, vec![1, 4], "ring must be flagged, source and copier");
+    assert_eq!(sig.suspected_free_riders, vec![2], "free-rider must be flagged");
+    println!();
+    println!(
+        "the ring's copies sit at relative distance 0 on the wire and the\n\
+         free-rider's delta norm is 0 against the round median — update-level\n\
+         signatures catch exactly the gaming that data-level tracing cannot."
     );
 }

@@ -53,6 +53,24 @@ check() {
     fi
     grep -q CHAOS_SCENARIO_OK "$a" || { echo "chaos scenario failed" >&2; exit 1; }
     echo "chaos ok ($(wc -c < "$a") bytes, byte-identical)"
+    echo "== attack sweep: update-level attacks x aggregation rules, double-run byte diff =="
+    # 10 clients, 30% adversarial per attack (sign-flip, scaled-gradient,
+    # collusion, free-riding, class-bias) x 4 aggregation rules. The binary
+    # asserts the honest clients' contribution ranking survives under at
+    # least one robust rule, that the update-signature detectors name the
+    # injected ring/free-riders exactly with no honest-baseline false
+    # positives, and prints ATTACK_SWEEP_OK only if every gate held. The
+    # double run byte-diffs the adversary injector + signature pipeline.
+    cargo build --release -p ctfl-bench --bin attack_sweep
+    $BIN/attack_sweep --seed 7 > "$a" 2>&1
+    $BIN/attack_sweep --seed 7 > "$b" 2>&1
+    if ! diff -q "$a" "$b"; then
+        echo "ATTACK-SWEEP DETERMINISM VIOLATION: two identical-seed adversarial runs differ" >&2
+        diff "$a" "$b" | head -20 >&2
+        exit 1
+    fi
+    grep -q ATTACK_SWEEP_OK "$a" || { echo "attack sweep gates failed" >&2; tail -20 "$a" >&2; exit 1; }
+    echo "attack sweep ok ($(wc -c < "$a") bytes, byte-identical)"
     echo ALL_CHECKS_PASSED
 }
 
@@ -71,4 +89,5 @@ $BIN/table2_example > results/table2.txt 2>&1; echo "table2 rc=$?"
 $BIN/table1_comparison --seed 7 > results/table1.txt 2>&1; echo "table1 rc=$?"
 $BIN/ablation --seed 7 > results/ablation.txt 2>&1; echo "ablation rc=$?"
 $BIN/chaos --seed 7 > results/chaos.txt 2>&1; echo "chaos rc=$?"
+$BIN/attack_sweep --seed 7 > results/attack_sweep.txt 2>&1; echo "attack_sweep rc=$?"
 echo ALL_EXPERIMENTS_DONE
