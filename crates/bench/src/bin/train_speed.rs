@@ -1,0 +1,235 @@
+//! **Training-speed gate**: the workspace data plane (packed matmul,
+//! planned discrete forward, zero-alloc batch loop) against the pinned
+//! naive baseline (`LogicalNet::train_reference`), on a fixed synthetic
+//! workload.
+//!
+//! Three gates, all of which must hold for `TRAIN_SPEED_OK` to print:
+//!
+//! 1. **Bit-identity** — the fast and naive paths must produce the same
+//!    trained parameter bits (the FNV hash over them prints on stdout).
+//! 2. **Speedup** — median wall-clock of the workspace path must be at
+//!    least 2x the naive path's.
+//! 3. **Coalition parity** — one federated coalition retraining through
+//!    pre-encoded shards must reproduce the view-encoding path's parameter
+//!    bits (and its timing is reported as the per-coalition figure).
+//!
+//! Output discipline: everything on **stdout** is deterministic (workload
+//! shape, parameter hashes, gate verdicts) so `run_experiments.sh --check`
+//! can double-run and byte-diff it; wall-clock numbers go to **stderr** and
+//! to `results/BENCH_train.json` (written with `ctfl-testkit`'s JSON
+//! writer).
+
+use ctfl_bench::args::CommonArgs;
+use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema};
+use ctfl_fl::adversary::AdversaryPlan;
+use ctfl_fl::aggregate::WeightedFedAvg;
+use ctfl_fl::faults::FaultPlan;
+use ctfl_fl::fedavg::{
+    train_federated_preencoded, train_federated_with_views, ByzantineSetup, FlConfig,
+};
+use ctfl_fl::guard::GuardConfig;
+use ctfl_nn::encoding::EncodedData;
+use ctfl_nn::{LogicalNet, LogicalNetConfig};
+use ctfl_rng::rngs::StdRng;
+use ctfl_rng::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// FNV-1a over the little-endian bit patterns of the parameter vector.
+fn fnv1a_bits(values: &[f32]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Median wall-clock nanoseconds of `samples` runs of `f` (one untimed
+/// warmup). Timing stays out of stdout so the determinism gate can
+/// byte-diff it.
+fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u128 {
+    std::hint::black_box(f());
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// The fixed synthetic workload: four continuous features, two classes,
+/// a noisy compound rule — enough structure that training does real work.
+fn workload(seed: u64, rows: usize) -> Dataset {
+    let schema = FeatureSchema::new(vec![
+        ("f0", FeatureKind::continuous(0.0, 1.0)),
+        ("f1", FeatureKind::continuous(0.0, 1.0)),
+        ("f2", FeatureKind::continuous(0.0, 1.0)),
+        ("f3", FeatureKind::discrete(4)),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7EA1_5EED);
+    let mut ds = Dataset::empty(schema, 2);
+    for _ in 0..rows {
+        let (a, b, c) = (rng.gen::<f32>(), rng.gen::<f32>(), rng.gen::<f32>());
+        let d = rng.gen_range(0..4u32);
+        let noisy = rng.gen::<f64>() < 0.05;
+        let label = u32::from(((a > 0.6) && (b < 0.4)) ^ (d == 3) ^ noisy);
+        ds.push_row(&[a.into(), b.into(), c.into(), d.into()], label).unwrap();
+    }
+    ds
+}
+
+fn net_config(seed: u64) -> LogicalNetConfig {
+    LogicalNetConfig {
+        tau_d: 8,
+        layer_sizes: vec![64],
+        literal_skip: true,
+        epochs: 6,
+        batch_size: 64,
+        seed,
+        ..LogicalNetConfig::default()
+    }
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    const ROWS: usize = 1200;
+    let ds = workload(args.seed, ROWS);
+    let cfg = net_config(args.seed);
+    let probe = LogicalNet::new(Arc::clone(ds.schema()), 2, cfg.clone()).expect("valid config");
+    let encoded = probe.encode(&ds).expect("workload encodes");
+    println!(
+        "workload: {} rows x {} literals, layers {:?}, {} epochs, batch {}",
+        ROWS,
+        probe.encoder().width(),
+        cfg.layer_sizes,
+        cfg.epochs,
+        cfg.batch_size
+    );
+
+    // Gate 1: bit-identity of the two training paths.
+    let mut fast = LogicalNet::new(Arc::clone(ds.schema()), 2, cfg.clone()).expect("valid config");
+    let mut naive = LogicalNet::new(Arc::clone(ds.schema()), 2, cfg.clone()).expect("valid config");
+    fast.train(&encoded).expect("training succeeds");
+    naive.train_reference(&encoded).expect("training succeeds");
+    let fast_hash = fnv1a_bits(&fast.params());
+    let naive_hash = fnv1a_bits(&naive.params());
+    println!("params hash fast  {fast_hash:#018X}");
+    println!("params hash naive {naive_hash:#018X}");
+    assert_eq!(fast_hash, naive_hash, "workspace path diverged from the naive baseline");
+    println!("bit-identity ok");
+
+    // Gate 2: >= 2x median speedup. Each sample trains a freshly seeded net
+    // so both paths pay the same construction cost and start from the same
+    // parameters; the fast net is reused across samples to exercise the
+    // warm-workspace steady state the data plane is built for.
+    const SAMPLES: usize = 5;
+    let naive_ns = median_ns(SAMPLES, || {
+        let mut net =
+            LogicalNet::new(Arc::clone(ds.schema()), 2, cfg.clone()).expect("valid config");
+        net.train_reference(&encoded).expect("training succeeds");
+        net
+    });
+    let fast_ns = median_ns(SAMPLES, || {
+        let mut net =
+            LogicalNet::new(Arc::clone(ds.schema()), 2, cfg.clone()).expect("valid config");
+        net.train(&encoded).expect("training succeeds");
+        net
+    });
+    let speedup = naive_ns as f64 / fast_ns as f64;
+    let epochs_per_sec = cfg.epochs as f64 / (fast_ns as f64 / 1e9);
+    eprintln!("naive train   median {:>10.3} ms", naive_ns as f64 / 1e6);
+    eprintln!(
+        "fast  train   median {:>10.3} ms   ({epochs_per_sec:.2} epochs/s)",
+        fast_ns as f64 / 1e6
+    );
+    eprintln!("speedup       {speedup:.2}x (gate: >= 2.0x)");
+
+    // Gate 3: per-coalition federated retraining — pre-encoded shards vs
+    // per-coalition view encoding, same coalition, byte-equal parameters.
+    const CLIENTS: usize = 4;
+    let shards: Vec<Dataset> = (0..CLIENTS)
+        .map(|c| {
+            let mut d = Dataset::empty(Arc::clone(ds.schema()), 2);
+            for i in (c..ds.len()).step_by(CLIENTS) {
+                d.push_row(&ds.row(i), ds.label(i)).unwrap();
+            }
+            d
+        })
+        .collect();
+    let fl = FlConfig { rounds: 4, local_epochs: 1, parallel: false };
+    let plan = FaultPlan::none(CLIENTS, fl.rounds);
+    let adversary = AdversaryPlan::none(CLIENTS);
+    let guard = GuardConfig::strict();
+    let setup = ByzantineSetup {
+        faults: &plan,
+        adversary: &adversary,
+        guard: &guard,
+        aggregator: &WeightedFedAvg,
+    };
+    let schema = Arc::clone(ds.schema());
+    let encoder = LogicalNet::encoder_for(&schema, &cfg).expect("valid config");
+    let shard_arcs: Vec<Arc<EncodedData>> =
+        shards.iter().map(|d| Arc::new(encoder.encode(d).expect("shard encodes"))).collect();
+
+    let view_run = {
+        let views: Vec<_> = shards.iter().map(Dataset::view).collect();
+        train_federated_with_views(&views, 2, &cfg, &fl, &plan, &guard).expect("federation runs")
+    };
+    let pre_run = train_federated_preencoded(&schema, &shard_arcs, 2, &cfg, &fl, &setup)
+        .expect("federation runs");
+    let view_hash = fnv1a_bits(&view_run.net.params());
+    let pre_hash = fnv1a_bits(&pre_run.net.params());
+    println!("coalition hash views      {view_hash:#018X}");
+    println!("coalition hash preencoded {pre_hash:#018X}");
+    assert_eq!(view_hash, pre_hash, "pre-encoded federation diverged from view encoding");
+    println!("coalition parity ok");
+
+    let coalition_view_ns = median_ns(3, || {
+        let views: Vec<_> = shards.iter().map(Dataset::view).collect();
+        train_federated_with_views(&views, 2, &cfg, &fl, &plan, &guard).expect("federation runs")
+    });
+    let coalition_pre_ns = median_ns(3, || {
+        train_federated_preencoded(&schema, &shard_arcs, 2, &cfg, &fl, &setup)
+            .expect("federation runs")
+    });
+    let coalition_speedup = coalition_view_ns as f64 / coalition_pre_ns as f64;
+    eprintln!("coalition retrain (view-encoded) median {:>10.3} ms", coalition_view_ns as f64 / 1e6);
+    eprintln!("coalition retrain (pre-encoded)  median {:>10.3} ms", coalition_pre_ns as f64 / 1e6);
+    eprintln!("coalition speedup {coalition_speedup:.2}x (figure, not gated)");
+
+    let report = ctfl_testkit::json!({
+        "bench": "train_speed",
+        "seed": args.seed as i64,
+        "workload": ctfl_testkit::json!({
+            "rows": ROWS,
+            "literals": probe.encoder().width(),
+            "layers": cfg.layer_sizes.clone(),
+            "epochs": cfg.epochs,
+            "batch_size": cfg.batch_size,
+        }),
+        "params_hash": format!("{fast_hash:#018X}"),
+        "naive_median_ns": naive_ns as f64,
+        "fast_median_ns": fast_ns as f64,
+        "speedup": speedup,
+        "epochs_per_sec": epochs_per_sec,
+        "coalition_view_median_ns": coalition_view_ns as f64,
+        "coalition_preencoded_median_ns": coalition_pre_ns as f64,
+        "coalition_speedup": coalition_speedup,
+        "gate": "speedup >= 2.0",
+    });
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_train.json", report.pretty() + "\n")
+        .expect("write BENCH_train.json");
+
+    assert!(
+        speedup >= 2.0,
+        "workspace training is only {speedup:.2}x the naive baseline (gate: >= 2.0x)"
+    );
+    println!("TRAIN_SPEED_OK");
+}

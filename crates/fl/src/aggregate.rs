@@ -68,6 +68,21 @@ pub trait Aggregator: Send + Sync + std::fmt::Debug {
     /// Combines the updates. `weights` are the clients' reported row
     /// counts; rank-based rules ignore them (see module docs).
     fn aggregate(&self, client_params: &[Vec<f32>], weights: &[usize]) -> Result<Vec<f32>>;
+
+    /// [`Aggregator::aggregate`] into a caller-owned buffer (cleared
+    /// first) — the round loop reuses one buffer across rounds. The default
+    /// delegates to `aggregate`; rules with an allocation-free core (like
+    /// [`WeightedFedAvg`]) override it. Must produce bytes identical to
+    /// `aggregate`.
+    fn aggregate_into(
+        &self,
+        client_params: &[Vec<f32>],
+        weights: &[usize],
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        *out = self.aggregate(client_params, weights)?;
+        Ok(())
+    }
 }
 
 /// FedAvg's data-size-weighted mean — the bit-compatible default rule,
@@ -82,6 +97,15 @@ impl Aggregator for WeightedFedAvg {
 
     fn aggregate(&self, client_params: &[Vec<f32>], weights: &[usize]) -> Result<Vec<f32>> {
         crate::server::aggregate(client_params, weights)
+    }
+
+    fn aggregate_into(
+        &self,
+        client_params: &[Vec<f32>],
+        weights: &[usize],
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        crate::server::aggregate_into(client_params, weights, out)
     }
 }
 

@@ -3,14 +3,18 @@
 use ctfl_core::error::Result;
 use ctfl_nn::encoding::EncodedData;
 use ctfl_nn::net::LogicalNet;
+use std::sync::Arc;
 
 /// One federated participant.
 #[derive(Debug, Clone)]
 pub struct Client {
     /// Client id (its index in the federation).
     pub id: usize,
-    /// The client's private encoded shard.
-    data: EncodedData,
+    /// The client's private encoded shard. Shared: coalition retraining
+    /// re-federates the same shards over and over, and the encoding only
+    /// depends on the (fixed) encoder seed — so callers encode once and
+    /// hand every federation an `Arc` of the same buffer.
+    data: Arc<EncodedData>,
     /// Local model replica (re-seeded from the global parameters each
     /// round).
     net: LogicalNet,
@@ -23,6 +27,11 @@ impl Client {
     /// seed as the server's global model so encoders agree — FedAvg
     /// averages parameters positionally.
     pub fn new(id: usize, data: EncodedData, net: LogicalNet) -> Self {
+        Client { id, data: Arc::new(data), net }
+    }
+
+    /// [`Client::new`] over an already-shared shard — no copy.
+    pub fn shared(id: usize, data: Arc<EncodedData>, net: LogicalNet) -> Self {
         Client { id, data, net }
     }
 
@@ -33,6 +42,11 @@ impl Client {
 
     /// The local shard.
     pub fn data(&self) -> &EncodedData {
+        &self.data
+    }
+
+    /// The local shard's shared handle.
+    pub fn data_shared(&self) -> &Arc<EncodedData> {
         &self.data
     }
 

@@ -19,8 +19,9 @@
 //! zero-fault back-compat wrapper: no injected faults, strict guard (any
 //! panic or non-finite upload is a typed error).
 
-use ctfl_core::data::{Dataset, DatasetView};
+use ctfl_core::data::{Dataset, DatasetView, FeatureSchema};
 use ctfl_core::error::{CoreError, Result};
+use ctfl_nn::encoding::EncodedData;
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -185,7 +186,7 @@ pub fn train_federated_byzantine_views(
     fl_config: &FlConfig,
     setup: &ByzantineSetup<'_>,
 ) -> Result<FederationRun> {
-    let (plan, guard) = (setup.faults, setup.guard);
+    let plan = setup.faults;
     if client_data.is_empty() {
         return Err(CoreError::Empty { what: "client data" });
     }
@@ -219,12 +220,11 @@ pub fn train_federated_byzantine_views(
         }
     }
 
-    let mut global = LogicalNet::new(Arc::clone(&schema), n_classes, net_config.clone())?;
     // Each client gets a replica with a distinct RNG stream (for minibatch
     // shuffling) but the same encoder seed via set_params + same config —
     // LogicalNet::new derives the encoder from config.seed, so replicas use
     // the SAME seed to keep literal layouts identical.
-    let mut clients: Vec<Client> = client_data
+    let clients: Vec<Client> = client_data
         .iter()
         .enumerate()
         .map(|(id, d)| {
@@ -233,7 +233,89 @@ pub fn train_federated_byzantine_views(
             Ok(Client::new(id, encoded, net))
         })
         .collect::<Result<_>>()?;
+    run_federation(&schema, clients, n_classes, net_config, fl_config, setup)
+}
 
+/// Trains over shards that are **already encoded** (each shared by `Arc`) —
+/// the valuation engine's path: a coalition sweep re-federates the same
+/// client shards hundreds of times, and re-encoding them per coalition was
+/// pure waste. Encode each shard once with [`LogicalNet::encoder_for`]
+/// (same seed → same encoder → bit-identical encoding) and hand out `Arc`
+/// clones.
+///
+/// Bit-identical to [`train_federated_byzantine_views`] over views of the
+/// same rows: encoding is a pure per-row function of the (seed-fixed)
+/// encoder, so pre-encoding commutes with federation.
+pub fn train_federated_preencoded(
+    schema: &Arc<FeatureSchema>,
+    shards: &[Arc<EncodedData>],
+    n_classes: usize,
+    net_config: &LogicalNetConfig,
+    fl_config: &FlConfig,
+    setup: &ByzantineSetup<'_>,
+) -> Result<FederationRun> {
+    if shards.is_empty() {
+        return Err(CoreError::Empty { what: "client data" });
+    }
+    if setup.faults.n_clients() != shards.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "fault plan clients",
+            expected: shards.len(),
+            actual: setup.faults.n_clients(),
+        });
+    }
+    if setup.adversary.n_clients() != shards.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "adversary plan clients",
+            expected: shards.len(),
+            actual: setup.adversary.n_clients(),
+        });
+    }
+    let width = LogicalNet::encoder_for(schema, net_config)?.width();
+    for (i, s) in shards.iter().enumerate() {
+        if s.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "shards",
+                message: format!("client {i} has no data"),
+            });
+        }
+        if s.x.cols() != width {
+            return Err(CoreError::LengthMismatch {
+                what: "encoded width",
+                expected: width,
+                actual: s.x.cols(),
+            });
+        }
+        if s.labels.iter().any(|&l| (l as usize) >= n_classes) {
+            return Err(CoreError::InvalidParameter {
+                name: "shards",
+                message: format!("client {i} has a label out of range"),
+            });
+        }
+    }
+    let clients: Vec<Client> = shards
+        .iter()
+        .enumerate()
+        .map(|(id, s)| {
+            let net = LogicalNet::new(Arc::clone(schema), n_classes, net_config.clone())?;
+            Ok(Client::shared(id, Arc::clone(s), net))
+        })
+        .collect::<Result<_>>()?;
+    run_federation(schema, clients, n_classes, net_config, fl_config, setup)
+}
+
+/// The round loop shared by the view-encoding and pre-encoded entry points.
+/// Inputs are validated; `clients` are built and ordered by id.
+fn run_federation(
+    schema: &Arc<FeatureSchema>,
+    mut clients: Vec<Client>,
+    n_classes: usize,
+    net_config: &LogicalNetConfig,
+    fl_config: &FlConfig,
+    setup: &ByzantineSetup<'_>,
+) -> Result<FederationRun> {
+    let (plan, guard) = (setup.faults, setup.guard);
+    let mut global = LogicalNet::new(Arc::clone(schema), n_classes, net_config.clone())?;
     let n = clients.len();
     let weights: Vec<usize> = clients.iter().map(Client::n_rows).collect();
     let mut injector = FaultInjector::new(plan.clone());
@@ -242,11 +324,15 @@ pub fn train_federated_byzantine_views(
     // Stragglers' late updates, delivered at the start of the next round.
     let mut stale_buffer: Vec<UpdateCandidate> = Vec::new();
     // The previous round's global parameters — the stale-echo reference for
-    // update signatures (round 0: the initial global itself).
+    // update signatures (round 0: the initial global itself). `global_params`
+    // and `aggregated` are refilled in place each round instead of
+    // reallocated; at round end the buffers swap roles.
     let mut prev_global = global.params();
+    let mut global_params: Vec<f32> = Vec::new();
+    let mut aggregated: Vec<f32> = Vec::new();
 
     for round in 0..fl_config.rounds {
-        let global_params = global.params();
+        global.params_into(&mut global_params);
         let stale_arrivals = std::mem::take(&mut stale_buffer);
         let mut attempt = 0usize;
         loop {
@@ -385,7 +471,7 @@ pub fn train_federated_byzantine_views(
                     .filter(|j| matches!(j.outcome, Participation::Accepted { .. }))
                     .map(|j| (j.candidate.params, j.candidate.weight))
                     .unzip();
-                let aggregated = setup.aggregator.aggregate(&updates, &agg_weights)?;
+                setup.aggregator.aggregate_into(&updates, &agg_weights, &mut aggregated)?;
                 global.set_params(&aggregated)?;
             } else if guard.fail_fast {
                 return Err(CoreError::InvalidParameter {
@@ -407,7 +493,10 @@ pub fn train_federated_byzantine_views(
             });
             break;
         }
-        prev_global = global_params;
+        // This round's starting params become the stale-echo reference; the
+        // old `prev_global` allocation is recycled as next round's
+        // `global_params` buffer.
+        std::mem::swap(&mut prev_global, &mut global_params);
     }
     Ok(FederationRun { net: global, log })
 }
@@ -665,6 +754,70 @@ mod tests {
         assert_eq!(a.log, b.log);
         assert_eq!(a.log.render(), b.log.render());
         assert_eq!(a.net.params(), b.net.params());
+    }
+
+    #[test]
+    fn preencoded_matches_view_encoding_bitwise() {
+        let shards = many_shards(3);
+        let fl = FlConfig { rounds: 3, local_epochs: 1, parallel: false };
+        let plan = FaultPlan::none(3, 3).with_event(1, 0, FaultKind::Straggler);
+        let adversary = AdversaryPlan::none(3);
+        let guard = GuardConfig::default();
+        let setup = ByzantineSetup {
+            faults: &plan,
+            adversary: &adversary,
+            guard: &guard,
+            aggregator: &WeightedFedAvg,
+        };
+        let net_cfg = cfg(12);
+        let views: Vec<DatasetView<'_>> = shards.iter().map(Dataset::view).collect();
+        let a = train_federated_byzantine_views(&views, 2, &net_cfg, &fl, &setup).unwrap();
+
+        let encoder = LogicalNet::encoder_for(shards[0].schema(), &net_cfg).unwrap();
+        let encoded: Vec<Arc<ctfl_nn::EncodedData>> =
+            shards.iter().map(|d| Arc::new(encoder.encode(d).unwrap())).collect();
+        let b =
+            train_federated_preencoded(shards[0].schema(), &encoded, 2, &net_cfg, &fl, &setup)
+                .unwrap();
+        assert_eq!(a.net.params(), b.net.params(), "preencoded path diverges");
+        assert_eq!(a.log, b.log);
+    }
+
+    #[test]
+    fn preencoded_validation_errors() {
+        let shards = many_shards(2);
+        let net_cfg = cfg(13);
+        let fl = FlConfig { rounds: 1, local_epochs: 1, parallel: false };
+        let plan = FaultPlan::none(2, 1);
+        let adversary = AdversaryPlan::none(2);
+        let guard = GuardConfig::default();
+        let setup = ByzantineSetup {
+            faults: &plan,
+            adversary: &adversary,
+            guard: &guard,
+            aggregator: &WeightedFedAvg,
+        };
+        let schema = Arc::clone(shards[0].schema());
+        // Empty shard list.
+        assert!(
+            train_federated_preencoded(&schema, &[], 2, &net_cfg, &fl, &setup).is_err()
+        );
+        // Wrong encoded width (encoder from a different tau_d).
+        let other_cfg = LogicalNetConfig { tau_d: 3, ..net_cfg.clone() };
+        let wrong = LogicalNet::encoder_for(&schema, &other_cfg).unwrap();
+        let bad: Vec<Arc<ctfl_nn::EncodedData>> =
+            shards.iter().map(|d| Arc::new(wrong.encode(d).unwrap())).collect();
+        assert!(
+            train_federated_preencoded(&schema, &bad, 2, &net_cfg, &fl, &setup).is_err()
+        );
+        // Label out of range for n_classes.
+        let encoder = LogicalNet::encoder_for(&schema, &net_cfg).unwrap();
+        let mut enc = encoder.encode(&shards[0]).unwrap();
+        enc.labels[0] = 9;
+        let bad = vec![Arc::new(enc.clone()), Arc::new(enc)];
+        assert!(
+            train_federated_preencoded(&schema, &bad, 2, &net_cfg, &fl, &setup).is_err()
+        );
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub use adversary::{AdversaryInjector, AdversaryPlan, AttackKind};
 pub use aggregate::{Aggregator, CoordinateMedian, MultiKrum, TrimmedMean, WeightedFedAvg};
 pub use faults::{CorruptionKind, FaultKind, FaultPlan, FaultSpec};
 pub use fedavg::{
-    train_federated, train_federated_byzantine, train_federated_with, ByzantineSetup,
-    FederationRun, FlConfig,
+    train_federated, train_federated_byzantine, train_federated_preencoded,
+    train_federated_with, ByzantineSetup, FederationRun, FlConfig,
 };
 pub use guard::{FederationLog, GuardConfig, PanicPolicy};
 pub use metrics::{accuracy_of, f1_binary};

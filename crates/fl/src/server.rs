@@ -12,6 +12,19 @@ use ctfl_core::error::{CoreError, Result};
 ///
 /// Returns the aggregated vector.
 pub fn aggregate(client_params: &[Vec<f32>], weights: &[usize]) -> Result<Vec<f32>> {
+    let mut out = Vec::new();
+    aggregate_into(client_params, weights, &mut out)?;
+    Ok(out)
+}
+
+/// [`aggregate`] into a caller-owned buffer (cleared first), so the FedAvg
+/// round loop reuses one output vector across rounds. Accumulation stays in
+/// `f64` — results are bit-identical to [`aggregate`].
+pub fn aggregate_into(
+    client_params: &[Vec<f32>],
+    weights: &[usize],
+    out: &mut Vec<f32>,
+) -> Result<()> {
     let dim = crate::aggregate::validate_updates(client_params, weights)?;
     let total: f64 = weights.iter().map(|&w| w as f64).sum();
     if total <= 0.0 {
@@ -20,14 +33,16 @@ pub fn aggregate(client_params: &[Vec<f32>], weights: &[usize]) -> Result<Vec<f3
             message: "total weight must be positive".into(),
         });
     }
-    let mut out = vec![0.0f64; dim];
+    let mut acc = vec![0.0f64; dim];
     for (params, &w) in client_params.iter().zip(weights) {
         let frac = w as f64 / total;
-        for (o, &p) in out.iter_mut().zip(params) {
+        for (o, &p) in acc.iter_mut().zip(params) {
             *o += frac * f64::from(p);
         }
     }
-    Ok(out.into_iter().map(|v| v as f32).collect())
+    out.clear();
+    out.extend(acc.into_iter().map(|v| v as f32));
+    Ok(())
 }
 
 #[cfg(test)]

@@ -42,4 +42,5 @@ pub mod net;
 pub mod optim;
 
 pub use encoding::{EncodedData, Encoder, Literal};
+pub use logical::{DiscretePlan, LogicalLayer};
 pub use net::{LogicalNet, LogicalNetConfig, TrainReport};

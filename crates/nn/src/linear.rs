@@ -10,15 +10,27 @@
 #![allow(clippy::needless_range_loop)]
 use ctfl_rng::Rng;
 
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, PackedRhs};
 
 /// Linear head mapping `n_rules` activations to `n_classes` logits.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LinearHead {
     /// `n_rules × n_classes` weights.
     v: Matrix,
     /// Per-class bias.
     bias: Vec<f32>,
+}
+
+impl Clone for LinearHead {
+    fn clone(&self) -> Self {
+        LinearHead { v: self.v.clone(), bias: self.bias.clone() }
+    }
+
+    /// Reuses the destination's buffers (best-epoch snapshotting).
+    fn clone_from(&mut self, src: &Self) {
+        self.v.clone_from(&src.v);
+        self.bias.clone_from(&src.bias);
+    }
 }
 
 impl LinearHead {
@@ -70,6 +82,66 @@ impl LinearHead {
             }
         }
         logits
+    }
+
+    /// Repacks the weight matrix transposed into `packed` (once per
+    /// training step — the weights only move at optimizer steps).
+    pub fn pack_weights_into(&self, packed: &mut PackedRhs) {
+        packed.pack_from(&self.v);
+    }
+
+    /// `logits = r · V + b` into a caller-owned buffer, reading `V` through
+    /// its packed transpose. Bit-identical to [`Self::forward`]: the packed
+    /// matmul replays the axpy summation order exactly, and the bias is
+    /// added afterwards element-by-element as before.
+    ///
+    /// # Panics
+    /// Panics if `packed` does not match the head's weight shape.
+    pub fn forward_packed_into(&self, r: &Matrix, packed: &PackedRhs, out: &mut Matrix) {
+        assert_eq!(packed.rows(), self.v.rows(), "packed weight shape mismatch");
+        assert_eq!(packed.cols(), self.v.cols(), "packed weight shape mismatch");
+        r.matmul_packed_into(packed, out);
+        for b in 0..out.rows() {
+            for (l, &bias) in out.row_mut(b).iter_mut().zip(&self.bias) {
+                *l += bias;
+            }
+        }
+    }
+
+    /// Backward into a caller-owned `dr` buffer (resized and fully
+    /// overwritten; `dv`/`dbias` accumulated as in [`Self::backward`]).
+    pub fn backward_into(
+        &self,
+        r: &Matrix,
+        dlogits: &Matrix,
+        dv: &mut Matrix,
+        dbias: &mut [f32],
+        dr: &mut Matrix,
+    ) {
+        assert_eq!(dlogits.cols(), self.n_classes());
+        assert_eq!(dv.rows(), self.v.rows());
+        assert_eq!(dbias.len(), self.bias.len());
+        dr.resize(r.rows(), self.v.rows());
+        let n_classes = self.n_classes();
+        for b in 0..r.rows() {
+            let rb = r.row(b);
+            let gb = &dlogits.row(b)[..n_classes];
+            for (c, &g) in gb.iter().enumerate() {
+                dbias[c] += g;
+            }
+            let drb = dr.row_mut(b);
+            for j in 0..self.v.rows() {
+                let vj = &self.v.row(j)[..n_classes];
+                let dvj = &mut dv.row_mut(j)[..n_classes];
+                let rbj = rb[j];
+                let mut d = 0.0;
+                for c in 0..n_classes {
+                    dvj[c] += rbj * gb[c];
+                    d += vj[c] * gb[c];
+                }
+                drb[j] = d;
+            }
+        }
     }
 
     /// Backward: given input activations `r` and upstream `dlogits`,

@@ -12,9 +12,13 @@
 //! `∧_{w_i=1} x_i` and `∨_{w_i=1} x_i` — the *discrete* forward used by
 //! gradient grafting and rule extraction.
 
+// The hot kernels below index multiple parallel slices by position; the
+// iterator forms clippy suggests obscure the lockstep row/column arithmetic.
+#![allow(clippy::needless_range_loop)]
+
 use ctfl_rng::Rng;
 
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, PackedRhs};
 
 /// Node connective kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,16 +34,55 @@ pub enum NodeKind {
 /// soft-logic layers; the bias it introduces vanishes away from saturation.
 const FACTOR_EPS: f32 = 1e-6;
 
+/// The binarized execution plan of one layer's discrete forward: per-node
+/// CSR lists of the input indices selected by `1(w > 0.5)`.
+///
+/// The naive discrete forward re-tests every weight against 0.5 for every
+/// row of the batch; the plan performs that scan **once per training step**
+/// (weights only change at optimizer steps) and the per-row work shrinks to
+/// the few selected literals per node. The output is pure boolean logic, so
+/// the planned forward is trivially bit-identical to
+/// [`LogicalLayer::forward_discrete`].
+#[derive(Debug, Clone, Default)]
+pub struct DiscretePlan {
+    /// `n_nodes + 1` CSR offsets into `indices`.
+    offsets: Vec<u32>,
+    /// Concatenated selected-input indices of all nodes.
+    indices: Vec<u32>,
+}
+
+impl DiscretePlan {
+    /// The selected input indices of `node`.
+    #[inline]
+    fn selected(&self, node: usize) -> &[u32] {
+        &self.indices[self.offsets[node] as usize..self.offsets[node + 1] as usize]
+    }
+}
+
 /// A layer of `n_nodes` logical nodes over `in_dim` inputs.
 ///
 /// The first half of the nodes are conjunctions, the second half
 /// disjunctions (both halves non-empty for `n_nodes >= 2`).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LogicalLayer {
     in_dim: usize,
     kinds: Vec<NodeKind>,
     /// `n_nodes × in_dim` continuous weights in `[0, 1]`.
     w: Matrix,
+}
+
+impl Clone for LogicalLayer {
+    fn clone(&self) -> Self {
+        LogicalLayer { in_dim: self.in_dim, kinds: self.kinds.clone(), w: self.w.clone() }
+    }
+
+    /// Reuses the destination's buffers — the training loop's best-epoch
+    /// snapshot goes through here instead of allocating a fresh layer.
+    fn clone_from(&mut self, src: &Self) {
+        self.in_dim = src.in_dim;
+        self.kinds.clone_from(&src.kinds);
+        self.w.clone_from(&src.w);
+    }
 }
 
 impl LogicalLayer {
@@ -170,6 +213,311 @@ impl LogicalLayer {
             }
         }
         y
+    }
+
+    /// Rebuilds `plan` from the current binarized weights (CSR over
+    /// `w > 0.5`), reusing its allocations.
+    pub fn plan_discrete_into(&self, plan: &mut DiscretePlan) {
+        plan.offsets.clear();
+        plan.indices.clear();
+        plan.offsets.push(0);
+        for j in 0..self.n_nodes() {
+            let wr = self.w.row(j);
+            for (i, &w) in wr.iter().enumerate() {
+                if w > 0.5 {
+                    plan.indices.push(i as u32);
+                }
+            }
+            plan.offsets.push(plan.indices.len() as u32);
+        }
+    }
+
+    /// Discrete forward through a prebuilt [`DiscretePlan`], writing into a
+    /// caller-owned buffer. Bit-identical to [`Self::forward_discrete`]
+    /// (same boolean semantics, including the empty-AND=true / empty-OR=false
+    /// conventions), but touches only the selected inputs per node.
+    ///
+    /// # Panics
+    /// Panics if `x`'s width or the plan's node count disagree with the
+    /// layer.
+    pub fn forward_discrete_planned_into(&self, x: &Matrix, plan: &DiscretePlan, y: &mut Matrix) {
+        assert_eq!(x.cols(), self.in_dim, "input width mismatch");
+        assert_eq!(plan.offsets.len(), self.n_nodes() + 1, "plan node count mismatch");
+        y.resize(x.rows(), self.n_nodes());
+        for b in 0..x.rows() {
+            let xr = x.row(b);
+            let yr = y.row_mut(b);
+            for (j, kind) in self.kinds.iter().enumerate() {
+                let sel = plan.selected(j);
+                let hit = match kind {
+                    NodeKind::Conj => sel.iter().all(|&i| xr[i as usize] > 0.5),
+                    NodeKind::Disj => sel.iter().any(|&i| xr[i as usize] > 0.5),
+                };
+                yr[j] = if hit { 1.0 } else { 0.0 };
+            }
+        }
+    }
+
+    /// Continuous forward into a caller-owned buffer.
+    ///
+    /// Bit-identical to [`Self::forward_soft`], restructured for
+    /// instruction-level parallelism: each node's soft product is a serial
+    /// FP multiply chain (`p *= …` depends on the previous multiply), so
+    /// single-node evaluation is latency-bound. Nodes are therefore
+    /// processed four at a time — four *independent* chains keep the
+    /// multiplier pipeline full — while each chain still multiplies its
+    /// factors in the same k-ascending order as the naive loop.
+    ///
+    /// Two further identities keep the blocked lanes exact:
+    /// * terms with `w_i == 0` contribute a factor of exactly `1.0`
+    ///   (`1 − 0·(1−x) = 1` and `1 − 0·x = 1`), and `p × 1.0 == p` in
+    ///   IEEE-754 — so the lanes multiply unconditionally where the scalar
+    ///   loop skips;
+    /// * hoisting `1 − x_i` out of the four lanes reuses the identical
+    ///   subtraction the scalar loop performs per term.
+    pub fn forward_soft_into(&self, x: &Matrix, y: &mut Matrix) {
+        assert_eq!(x.cols(), self.in_dim, "input width mismatch");
+        y.resize(x.rows(), self.n_nodes());
+        let n = self.n_nodes();
+        for b in 0..x.rows() {
+            let xr = x.row(b);
+            let yr = y.row_mut(b);
+            // Walk maximal runs of equal node kind (layers lay nodes out as
+            // one Conj run then one Disj run, but any layout works).
+            let mut s = 0;
+            while s < n {
+                let kind = self.kinds[s];
+                let mut e = s + 1;
+                while e < n && self.kinds[e] == kind {
+                    e += 1;
+                }
+                let in_dim = self.in_dim;
+                let xs = &xr[..in_dim];
+                let mut j = s;
+                while j + 8 <= e {
+                    let w0 = &self.w.row(j)[..in_dim];
+                    let w1 = &self.w.row(j + 1)[..in_dim];
+                    let w2 = &self.w.row(j + 2)[..in_dim];
+                    let w3 = &self.w.row(j + 3)[..in_dim];
+                    let w4 = &self.w.row(j + 4)[..in_dim];
+                    let w5 = &self.w.row(j + 5)[..in_dim];
+                    let w6 = &self.w.row(j + 6)[..in_dim];
+                    let w7 = &self.w.row(j + 7)[..in_dim];
+                    let mut p = [1.0f32; 8];
+                    match kind {
+                        NodeKind::Conj => {
+                            for i in 0..in_dim {
+                                let u = 1.0 - xs[i];
+                                p[0] *= 1.0 - w0[i] * u;
+                                p[1] *= 1.0 - w1[i] * u;
+                                p[2] *= 1.0 - w2[i] * u;
+                                p[3] *= 1.0 - w3[i] * u;
+                                p[4] *= 1.0 - w4[i] * u;
+                                p[5] *= 1.0 - w5[i] * u;
+                                p[6] *= 1.0 - w6[i] * u;
+                                p[7] *= 1.0 - w7[i] * u;
+                            }
+                            yr[j..j + 8].copy_from_slice(&p);
+                        }
+                        NodeKind::Disj => {
+                            for i in 0..in_dim {
+                                let xi = xs[i];
+                                p[0] *= 1.0 - w0[i] * xi;
+                                p[1] *= 1.0 - w1[i] * xi;
+                                p[2] *= 1.0 - w2[i] * xi;
+                                p[3] *= 1.0 - w3[i] * xi;
+                                p[4] *= 1.0 - w4[i] * xi;
+                                p[5] *= 1.0 - w5[i] * xi;
+                                p[6] *= 1.0 - w6[i] * xi;
+                                p[7] *= 1.0 - w7[i] * xi;
+                            }
+                            for (dst, pk) in yr[j..j + 8].iter_mut().zip(p) {
+                                *dst = 1.0 - pk;
+                            }
+                        }
+                    }
+                    j += 8;
+                }
+                for jj in j..e {
+                    let wr = self.w.row(jj);
+                    yr[jj] = match kind {
+                        NodeKind::Conj => {
+                            let mut p = 1.0f32;
+                            for (xi, wi) in xr.iter().zip(wr) {
+                                if *wi == 0.0 {
+                                    continue;
+                                }
+                                p *= 1.0 - wi * (1.0 - xi);
+                            }
+                            p
+                        }
+                        NodeKind::Disj => {
+                            let mut p = 1.0f32;
+                            for (xi, wi) in xr.iter().zip(wr) {
+                                if *wi == 0.0 {
+                                    continue;
+                                }
+                                p *= 1.0 - wi * xi;
+                            }
+                            1.0 - p
+                        }
+                    };
+                }
+                s = e;
+            }
+        }
+    }
+
+    /// [`Self::forward_soft_into`] against pre-transposed weights.
+    ///
+    /// `wt` must be this layer's weight matrix packed column-major
+    /// (`wt.col(i)` holds every node's weight for input `i`, contiguous),
+    /// so eight product chains advance on one contiguous load per input
+    /// column — the layout the vectorizer needs. Each chain still
+    /// multiplies its factors in the same k-ascending order as the scalar
+    /// loop, and zero weights multiply through as exact `×1.0` factors, so
+    /// the output is bit-identical (see [`Self::forward_soft_into`]).
+    ///
+    /// # Panics
+    /// Panics if `x`'s width or `wt`'s shape disagree with the layer.
+    pub fn forward_soft_packed_into(&self, x: &Matrix, wt: &PackedRhs, y: &mut Matrix) {
+        assert_eq!(x.cols(), self.in_dim, "input width mismatch");
+        assert_eq!(wt.rows(), self.n_nodes(), "packed weight rows mismatch");
+        assert_eq!(wt.cols(), self.in_dim, "packed weight cols mismatch");
+        y.resize(x.rows(), self.n_nodes());
+        let n = self.n_nodes();
+        let in_dim = self.in_dim;
+        for b in 0..x.rows() {
+            let xr = &x.row(b)[..in_dim];
+            let yr = y.row_mut(b);
+            let mut s = 0;
+            while s < n {
+                let kind = self.kinds[s];
+                let mut e = s + 1;
+                while e < n && self.kinds[e] == kind {
+                    e += 1;
+                }
+                let mut j = s;
+                while j + 8 <= e {
+                    let mut p = [1.0f32; 8];
+                    match kind {
+                        NodeKind::Conj => {
+                            for i in 0..in_dim {
+                                let u = 1.0 - xr[i];
+                                let w = &wt.col(i)[j..j + 8];
+                                for l in 0..8 {
+                                    p[l] *= 1.0 - w[l] * u;
+                                }
+                            }
+                            yr[j..j + 8].copy_from_slice(&p);
+                        }
+                        NodeKind::Disj => {
+                            for i in 0..in_dim {
+                                let xi = xr[i];
+                                let w = &wt.col(i)[j..j + 8];
+                                for l in 0..8 {
+                                    p[l] *= 1.0 - w[l] * xi;
+                                }
+                            }
+                            for (dst, pk) in yr[j..j + 8].iter_mut().zip(p) {
+                                *dst = 1.0 - pk;
+                            }
+                        }
+                    }
+                    j += 8;
+                }
+                for jj in j..e {
+                    let wr = self.w.row(jj);
+                    yr[jj] = match kind {
+                        NodeKind::Conj => {
+                            let mut p = 1.0f32;
+                            for (xi, wi) in xr.iter().zip(wr) {
+                                if *wi == 0.0 {
+                                    continue;
+                                }
+                                p *= 1.0 - wi * (1.0 - xi);
+                            }
+                            p
+                        }
+                        NodeKind::Disj => {
+                            let mut p = 1.0f32;
+                            for (xi, wi) in xr.iter().zip(wr) {
+                                if *wi == 0.0 {
+                                    continue;
+                                }
+                                p *= 1.0 - wi * xi;
+                            }
+                            1.0 - p
+                        }
+                    };
+                }
+                s = e;
+            }
+        }
+    }
+
+    /// Backward through the soft forward, writing the input gradient into a
+    /// caller-owned buffer (`dx` is zeroed and accumulated here; `dw` is
+    /// accumulated into as passed, exactly like [`Self::backward`]).
+    ///
+    /// Bit-identical to [`Self::backward`]: the arithmetic is the naive
+    /// loop's, element for element — same saturation guard, same
+    /// per-element accumulation order into `dw` and `dx`. The only changes
+    /// are structural: gradients land in caller-owned buffers, and the
+    /// inner loop is branch-free straight-line FP over pre-sliced rows so
+    /// the compiler can keep the (SIMD) divider busy. In particular there
+    /// is deliberately *no* skip of `w_i == 0` terms here — the division
+    /// skip would be exact (`y / 1.0 == y`), but a data-dependent branch in
+    /// the middle of the division pipeline costs more than the divisions
+    /// it saves, and it blocks vectorization of the whole loop.
+    pub fn backward_into(
+        &self,
+        x: &Matrix,
+        y: &Matrix,
+        dy: &Matrix,
+        dw: &mut Matrix,
+        dx: &mut Matrix,
+    ) {
+        assert_eq!(dy.cols(), self.n_nodes());
+        assert_eq!(dw.rows(), self.n_nodes());
+        assert_eq!(dw.cols(), self.in_dim);
+        dx.resize(x.rows(), self.in_dim);
+        dx.fill_zero();
+        let in_dim = self.in_dim;
+        for b in 0..x.rows() {
+            let xr = &x.row(b)[..in_dim];
+            let yr = y.row(b);
+            let dyr = dy.row(b);
+            let dxr = &mut dx.row_mut(b)[..in_dim];
+            for (j, kind) in self.kinds.iter().enumerate() {
+                let g = dyr[j];
+                if g == 0.0 {
+                    continue;
+                }
+                let wr = &self.w.row(j)[..in_dim];
+                let dwr = &mut dw.row_mut(j)[..in_dim];
+                match kind {
+                    NodeKind::Conj => {
+                        let yj = yr[j];
+                        for i in 0..in_dim {
+                            let f = (1.0 - wr[i] * (1.0 - xr[i])).max(FACTOR_EPS);
+                            let rest = yj / f;
+                            dwr[i] += g * (-(1.0 - xr[i])) * rest;
+                            dxr[i] += g * wr[i] * rest;
+                        }
+                    }
+                    NodeKind::Disj => {
+                        let p = 1.0 - yr[j];
+                        for i in 0..in_dim {
+                            let gi = (1.0 - wr[i] * xr[i]).max(FACTOR_EPS);
+                            let rest = p / gi;
+                            dwr[i] += g * xr[i] * rest;
+                            dxr[i] += g * wr[i] * rest;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Backward through the soft forward.

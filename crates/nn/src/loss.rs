@@ -26,20 +26,35 @@ pub fn cross_entropy(logits: &Matrix, labels: &[u32]) -> f32 {
 /// Gradient of the mean cross-entropy w.r.t. the logits:
 /// `softmax(logits) − onehot(label)`, scaled by `1/batch`.
 pub fn cross_entropy_grad(logits: &Matrix, labels: &[u32]) -> Matrix {
+    let mut grad = Matrix::default();
+    cross_entropy_grad_into(logits, labels, &mut grad, &mut Vec::new());
+    grad
+}
+
+/// [`cross_entropy_grad`] into caller-owned buffers: `grad` is resized and
+/// fully overwritten; `exps` is the per-row exponential scratch (the naive
+/// path allocated it afresh for every row of every batch). Values are
+/// bit-identical — only the buffer lifetimes change.
+pub fn cross_entropy_grad_into(
+    logits: &Matrix,
+    labels: &[u32],
+    grad: &mut Matrix,
+    exps: &mut Vec<f32>,
+) {
     assert_eq!(labels.len(), logits.rows(), "label count mismatch");
     let n = logits.rows().max(1) as f32;
-    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    grad.resize(logits.rows(), logits.cols());
     for (b, &label) in labels.iter().enumerate() {
         let row = logits.row(b);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&l| (l - max).exp()).collect();
+        exps.clear();
+        exps.extend(row.iter().map(|&l| (l - max).exp()));
         let sum: f32 = exps.iter().sum();
         let g = grad.row_mut(b);
         for (c, &e) in exps.iter().enumerate() {
             g[c] = (e / sum - if c == label as usize { 1.0 } else { 0.0 }) / n;
         }
     }
-    grad
 }
 
 /// Batch accuracy of argmax predictions (ties toward the higher class, the

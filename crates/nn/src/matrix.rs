@@ -7,11 +7,26 @@
 //! friendly.
 
 /// Dense row-major `f32` matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.clone() }
+    }
+
+    /// Reuses `self`'s allocation (the snapshot slots in the training loop
+    /// clone every improving epoch; a fresh heap block each time would be
+    /// the single largest allocation in the epoch).
+    fn clone_from(&mut self, src: &Self) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clone_from(&src.data);
+    }
 }
 
 impl Matrix {
@@ -87,13 +102,52 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Reshapes in place, reusing the allocation where capacity allows.
+    ///
+    /// Elements that survive the reshape keep **stale values** (newly grown
+    /// tail elements are zero) — callers must fully overwrite the matrix or
+    /// [`Self::fill_zero`] it, whichever their kernel requires. Steady-state
+    /// training resizes workspace buffers to the final (smaller) batch and
+    /// back without touching the allocator.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an element-for-element copy of `src`, reusing the
+    /// allocation (shape follows `src`).
+    pub fn fill_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// `self · other` (`rows×cols` by `cols×k`).
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self · other` written into a caller-owned buffer (resized to fit,
+    /// no allocation once warm).
+    ///
+    /// Floating-point contract: for every output element, partial products
+    /// are accumulated in ascending inner-index order with exact-zero LHS
+    /// entries skipped — the summation order of the original axpy loop, so
+    /// results are **bitwise identical** to [`Self::matmul`]'s history.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.resize(self.rows, other.cols);
+        out.fill_zero();
         for r in 0..self.rows {
             let a_row = self.row(r);
             let out_row = out.row_mut(r);
@@ -107,16 +161,125 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// `self · rhs` against a pre-transposed right-hand side.
+    ///
+    /// Each output element is a k-ascending dot product over one contiguous
+    /// LHS row and one contiguous packed column — bitwise identical to
+    /// [`Self::matmul`]'s axpy loop. Two deliberate differences from the
+    /// axpy form, both exact:
+    ///
+    /// * no zero-skip: a `±0.0` product never changes the accumulator,
+    ///   because the running sum starts at `+0.0` and can only be `+0.0` or
+    ///   nonzero (opposite-sign cancellation rounds to `+0.0` in
+    ///   round-to-nearest), and `s + ±0.0 == s` for such `s`. On the 0/1
+    ///   rule activations this path serves, a data-dependent skip branch
+    ///   mispredicts roughly every other element — costlier than the
+    ///   multiply it avoids;
+    /// * rows are processed four at a time: four independent accumulator
+    ///   chains hide the FP add latency a single running dot is bound by.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_packed_into(&self, rhs: &PackedRhs, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
+        out.resize(self.rows, rhs.cols);
+        let k = self.cols;
+        let mut r = 0;
+        while r + 4 <= self.rows {
+            let a0 = &self.row(r)[..k];
+            let a1 = &self.row(r + 1)[..k];
+            let a2 = &self.row(r + 2)[..k];
+            let a3 = &self.row(r + 3)[..k];
+            for o in 0..rhs.cols {
+                let col = &rhs.col(o)[..k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for i in 0..k {
+                    let b = col[i];
+                    s0 += a0[i] * b;
+                    s1 += a1[i] * b;
+                    s2 += a2[i] * b;
+                    s3 += a3[i] * b;
+                }
+                out.set(r, o, s0);
+                out.set(r + 1, o, s1);
+                out.set(r + 2, o, s2);
+                out.set(r + 3, o, s3);
+            }
+            r += 4;
+        }
+        while r < self.rows {
+            let a_row = &self.row(r)[..k];
+            for o in 0..rhs.cols {
+                let col = &rhs.col(o)[..k];
+                let mut acc = 0.0f32;
+                for i in 0..k {
+                    acc += a_row[i] * col[i];
+                }
+                out.set(r, o, acc);
+            }
+            r += 1;
+        }
     }
 
     /// A new matrix containing the given rows (in order).
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
+        let mut out = Matrix::default();
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Gathers the given rows into a caller-owned buffer (resized to fit,
+    /// no allocation once warm) — the per-batch minibatch gather.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize(indices.len(), self.cols);
         for (oi, &i) in indices.iter().enumerate() {
             out.row_mut(oi).copy_from_slice(self.row(i));
         }
-        out
+    }
+}
+
+/// A right-hand-side matrix packed transposed (column-major over the
+/// original layout), so [`Matrix::matmul_packed_into`] reads each output
+/// column contiguously. Packed once per training step, reused for every
+/// forward in that step.
+#[derive(Debug, Clone, Default)]
+pub struct PackedRhs {
+    rows: usize,
+    cols: usize,
+    /// `data[c * rows + r] = m[r][c]`.
+    data: Vec<f32>,
+}
+
+impl PackedRhs {
+    /// Repacks from a source matrix, reusing the allocation.
+    pub fn pack_from(&mut self, m: &Matrix) {
+        self.rows = m.rows();
+        self.cols = m.cols();
+        self.data.resize(self.rows * self.cols, 0.0);
+        for r in 0..self.rows {
+            let src = m.row(r);
+            for (c, &v) in src.iter().enumerate() {
+                self.data[c * self.rows + r] = v;
+            }
+        }
+    }
+
+    /// Rows of the original (unpacked) matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the original (unpacked) matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One original column as a contiguous slice.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[f32] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
     }
 }
 
@@ -162,6 +325,62 @@ mod tests {
         assert_eq!(s.row(0), &[5.0, 6.0]);
         assert_eq!(s.row(1), &[1.0, 2.0]);
         assert_eq!(s.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn resize_and_fill_from_reuse_allocation() {
+        let mut m = Matrix::zeros(4, 4);
+        let cap = |m: &Matrix| m.data.capacity();
+        let c0 = cap(&m);
+        m.resize(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.resize(4, 4);
+        assert_eq!(cap(&m), c0, "shrink+regrow must not reallocate");
+        let src = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        m.fill_from(&src);
+        assert_eq!(m, src);
+        assert_eq!(cap(&m), c0);
+        let mut snap = Matrix::zeros(2, 2);
+        snap.clone_from(&src);
+        assert_eq!(snap, src);
+    }
+
+    #[test]
+    fn matmul_into_and_packed_match_naive_bitwise() {
+        let a = Matrix::from_vec(
+            3,
+            4,
+            vec![0.0, 1.5, -2.25, 0.0, 3.0, 0.0, 0.125, 7.5, -0.5, 0.75, 0.0, 1.0],
+        );
+        let b = Matrix::from_vec(4, 2, vec![1.0, -1.0, 0.5, 2.0, 3.0, -0.25, 0.0, 4.0]);
+        let naive = a.matmul(&b);
+        // Dirty buffers of the wrong shape must be fully reshaped/overwritten.
+        let mut out = Matrix::from_vec(1, 1, vec![99.0]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), naive.data());
+        let mut packed = PackedRhs::default();
+        packed.pack_from(&b);
+        assert_eq!((packed.rows(), packed.cols()), (4, 2));
+        let mut out2 = Matrix::from_vec(2, 5, vec![5.0; 10]);
+        a.matmul_packed_into(&packed, &mut out2);
+        assert_eq!(out2.data(), naive.data());
+    }
+
+    #[test]
+    fn select_rows_into_matches_select_rows() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = Matrix::from_vec(1, 3, vec![9.0, 9.0, 9.0]);
+        m.select_rows_into(&[2, 0], &mut out);
+        assert_eq!(out, m.select_rows(&[2, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dimension mismatch")]
+    fn matmul_packed_dimension_check() {
+        let a = Matrix::zeros(2, 3);
+        let mut packed = PackedRhs::default();
+        packed.pack_from(&Matrix::zeros(2, 3));
+        a.matmul_packed_into(&packed, &mut Matrix::default());
     }
 
     #[test]

@@ -23,9 +23,9 @@ use std::sync::Arc;
 
 use crate::encoding::{EncodedData, Encoder};
 use crate::linear::LinearHead;
-use crate::logical::LogicalLayer;
-use crate::loss::{accuracy, argmax_tie_high, cross_entropy, cross_entropy_grad};
-use crate::matrix::Matrix;
+use crate::logical::{DiscretePlan, LogicalLayer};
+use crate::loss::{accuracy, argmax_tie_high, cross_entropy, cross_entropy_grad, cross_entropy_grad_into};
+use crate::matrix::{Matrix, PackedRhs};
 use crate::optim::{Adam, ProjectedSgd};
 
 /// Hyper-parameters of the logical network.
@@ -83,7 +83,7 @@ pub struct TrainReport {
 }
 
 /// The trainable logical neural network.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LogicalNet {
     schema: Arc<FeatureSchema>,
     n_classes: usize,
@@ -97,6 +97,28 @@ pub struct LogicalNet {
     /// (resetting them every round cripples convergence; FedAvg averages
     /// parameters only, so local state is each client's own business).
     local_optim: Option<OptimState>,
+    /// Training scratch buffers, kept across `train`/`train_local` calls so
+    /// steady-state batches allocate nothing. Boxed: the struct is large and
+    /// most `LogicalNet`s (evaluation copies) never train.
+    workspace: Option<Box<TrainWorkspace>>,
+}
+
+impl Clone for LogicalNet {
+    fn clone(&self) -> Self {
+        LogicalNet {
+            schema: Arc::clone(&self.schema),
+            n_classes: self.n_classes,
+            encoder: self.encoder.clone(),
+            layers: self.layers.clone(),
+            head: self.head.clone(),
+            config: self.config.clone(),
+            rng: self.rng.clone(),
+            local_optim: self.local_optim.clone(),
+            // Scratch is rebuilt lazily on the first training step; cloning
+            // dead buffers (and a possibly stale snapshot) would only cost.
+            workspace: None,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -113,6 +135,129 @@ struct ForwardCache {
     layer_outputs: Vec<Matrix>,
     /// Concatenated rule-activation matrix (head input).
     rules: Matrix,
+}
+
+/// Buffers for one forward pass (discrete or continuous). All matrices are
+/// resized in place and fully overwritten each pass.
+#[derive(Debug, Clone, Default)]
+struct PassBuffers {
+    /// Skip-concatenated input per layer `k >= 1` (layer 0 reads the batch
+    /// matrix directly).
+    inputs: Vec<Matrix>,
+    /// Output per layer.
+    outputs: Vec<Matrix>,
+    /// Concatenated rule activations (head input).
+    rules: Matrix,
+}
+
+impl PassBuffers {
+    fn ensure(&mut self, n_layers: usize) {
+        self.inputs.resize_with(n_layers.saturating_sub(1), Matrix::default);
+        self.outputs.resize_with(n_layers, Matrix::default);
+    }
+}
+
+/// Reusable training scratch: batch staging, per-layer forward/backward
+/// intermediates, packed head weights, discrete execution plans, and the
+/// best-epoch snapshot slot. Once warm, a training step touches no
+/// allocator.
+#[derive(Debug, Clone, Default)]
+struct TrainWorkspace {
+    /// Gathered minibatch rows.
+    x: Matrix,
+    /// Gathered minibatch labels.
+    labels: Vec<u32>,
+    /// Shuffled row order for the epoch loop.
+    order: Vec<usize>,
+    /// Per-layer CSR plans over the binarized weights (rebuilt per step).
+    plans: Vec<DiscretePlan>,
+    /// Per-layer weights packed transposed for the continuous forward
+    /// (repacked per step).
+    packed_layers: Vec<PackedRhs>,
+    /// Head weights packed transposed (repacked per step).
+    packed_head: PackedRhs,
+    /// Discrete-pass intermediates.
+    disc: PassBuffers,
+    /// Continuous-pass intermediates.
+    cont: PassBuffers,
+    logits: Matrix,
+    dlogits: Matrix,
+    /// Per-row softmax scratch for the loss gradient.
+    exp_scratch: Vec<f32>,
+    dv: Matrix,
+    dbias: Vec<f32>,
+    dr: Matrix,
+    /// Per-layer weight gradients.
+    dws: Vec<Matrix>,
+    /// Output gradient of the layer currently being back-propagated.
+    dy: Matrix,
+    /// Input gradient of the layer back-propagated *last* iteration (its
+    /// leading columns are the carry into the layer below).
+    dx: Matrix,
+    /// Best-epoch parameter snapshot, written with `clone_from` so the
+    /// improving-epoch path stops allocating.
+    snapshot: Option<(Vec<LogicalLayer>, LinearHead)>,
+}
+
+/// Forward pass through `layers` into `buf`, reading the batch from `x`.
+/// `plans` selects the discrete path (binarized weights, boolean logic);
+/// `None` runs the soft path, through per-layer transposed weight packs
+/// when `packed` provides them. Bit-identical to [`LogicalNet::forward`]:
+/// the per-layer kernels replay the naive summation order exactly and the
+/// skip/rule concatenation copies the same slices in the same order.
+fn forward_ws(
+    layers: &[LogicalLayer],
+    literal_skip: bool,
+    x: &Matrix,
+    plans: Option<&[DiscretePlan]>,
+    packed: Option<&[PackedRhs]>,
+    buf: &mut PassBuffers,
+) {
+    let batch = x.rows();
+    buf.ensure(layers.len());
+    for k in 0..layers.len() {
+        let (prior, rest) = buf.outputs.split_at_mut(k);
+        let out = &mut rest[0];
+        if k == 0 {
+            match (plans, packed) {
+                (Some(p), _) => layers[0].forward_discrete_planned_into(x, &p[0], out),
+                (None, Some(w)) => layers[0].forward_soft_packed_into(x, &w[0], out),
+                (None, None) => layers[0].forward_soft_into(x, out),
+            }
+        } else {
+            // Skip connection: previous output ++ literals.
+            let prev = &prior[k - 1];
+            let input = &mut buf.inputs[k - 1];
+            input.resize(batch, prev.cols() + x.cols());
+            for b in 0..batch {
+                let row = input.row_mut(b);
+                row[..prev.cols()].copy_from_slice(prev.row(b));
+                row[prev.cols()..].copy_from_slice(x.row(b));
+            }
+            match (plans, packed) {
+                (Some(p), _) => layers[k].forward_discrete_planned_into(input, &p[k], out),
+                (None, Some(w)) => layers[k].forward_soft_packed_into(input, &w[k], out),
+                (None, None) => layers[k].forward_soft_into(input, out),
+            }
+        }
+    }
+    // Rule vector: all layer outputs (++ literals if skip).
+    let mut width: usize = buf.outputs.iter().map(Matrix::cols).sum();
+    if literal_skip {
+        width += x.cols();
+    }
+    buf.rules.resize(batch, width);
+    for b in 0..batch {
+        let row = buf.rules.row_mut(b);
+        let mut off = 0;
+        for out in &buf.outputs {
+            row[off..off + out.cols()].copy_from_slice(out.row(b));
+            off += out.cols();
+        }
+        if literal_skip {
+            row[off..].copy_from_slice(x.row(b));
+        }
+    }
 }
 
 impl LogicalNet {
@@ -153,7 +298,27 @@ impl LogicalNet {
         let n_rules: usize = config.layer_sizes.iter().sum::<usize>()
             + if config.literal_skip { n_literals } else { 0 };
         let head = LinearHead::new(n_rules, n_classes, &mut rng);
-        Ok(LogicalNet { schema, n_classes, encoder, layers, head, config, rng, local_optim: None })
+        Ok(LogicalNet {
+            schema,
+            n_classes,
+            encoder,
+            layers,
+            head,
+            config,
+            rng,
+            local_optim: None,
+            workspace: None,
+        })
+    }
+
+    /// Builds the encoder a [`LogicalNet::new`] call with this `schema` and
+    /// `config` would build, without constructing the network. Replays the
+    /// same RNG stream (`seed → Encoder::new` is the first draw), so the
+    /// literal bounds are identical — callers can encode shards once and
+    /// share them across every net constructed with the same seed.
+    pub fn encoder_for(schema: &FeatureSchema, config: &LogicalNetConfig) -> Result<Encoder> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        Encoder::new(schema, config.tau_d, &mut rng)
     }
 
     /// The feature schema.
@@ -265,9 +430,119 @@ impl LogicalNet {
         self.encoder.encode_view(view)
     }
 
-    /// Runs one gradient-grafting step on a batch. Returns the discrete
+    /// One gradient-grafting step reading the batch from `ws.x`/`ws.labels`,
+    /// with every intermediate living in `ws`. Returns the discrete
     /// cross-entropy before the step.
-    fn grafted_step(
+    ///
+    /// Bit-identical to [`Self::grafted_step_reference`]: the packed/planned
+    /// kernels replay the naive floating-point summation order exactly, and
+    /// the optimizer calls are unchanged.
+    fn grafted_step_ws(
+        &mut self,
+        ws: &mut TrainWorkspace,
+        sgds: &mut [ProjectedSgd],
+        adam_v: &mut Adam,
+        adam_b: &mut Adam,
+    ) -> f32 {
+        let n_layers = self.layers.len();
+        let batch = ws.x.rows();
+
+        // Rebuild the discrete plans and head packing — both change at every
+        // optimizer step, but once per *step* instead of once per row.
+        ws.plans.resize_with(n_layers, DiscretePlan::default);
+        ws.packed_layers.resize_with(n_layers, PackedRhs::default);
+        for ((layer, plan), pw) in
+            self.layers.iter().zip(ws.plans.iter_mut()).zip(ws.packed_layers.iter_mut())
+        {
+            layer.plan_discrete_into(plan);
+            pw.pack_from(layer.weights());
+        }
+        self.head.pack_weights_into(&mut ws.packed_head);
+
+        // Discrete forward → loss gradient at the binarized output.
+        forward_ws(&self.layers, self.config.literal_skip, &ws.x, Some(&ws.plans), None, &mut ws.disc);
+        self.head.forward_packed_into(&ws.disc.rules, &ws.packed_head, &mut ws.logits);
+        let loss = cross_entropy(&ws.logits, &ws.labels);
+        cross_entropy_grad_into(&ws.logits, &ws.labels, &mut ws.dlogits, &mut ws.exp_scratch);
+
+        // Continuous forward (cached) → backward with the grafted gradient.
+        forward_ws(
+            &self.layers,
+            self.config.literal_skip,
+            &ws.x,
+            None,
+            Some(&ws.packed_layers),
+            &mut ws.cont,
+        );
+        ws.dv.resize(self.head.n_rules(), self.n_classes);
+        ws.dv.fill_zero();
+        ws.dbias.clear();
+        ws.dbias.resize(self.n_classes, 0.0);
+        self.head.backward_into(&ws.cont.rules, &ws.dlogits, &mut ws.dv, &mut ws.dbias, &mut ws.dr);
+
+        ws.dws.resize_with(n_layers, Matrix::default);
+        for (layer, dw) in self.layers.iter().zip(ws.dws.iter_mut()) {
+            dw.resize(layer.n_nodes(), layer.in_dim());
+            dw.fill_zero();
+        }
+
+        // Backprop layers last → first. `ws.dx` holds the input gradient of
+        // the layer processed in the previous iteration; its leading columns
+        // are the carry into this layer's output (the skip concatenation
+        // puts the previous output first).
+        for k in (0..n_layers).rev() {
+            let out_cols = ws.cont.outputs[k].cols();
+            let seg_off: usize = ws.cont.outputs[..k].iter().map(Matrix::cols).sum();
+            ws.dy.resize(batch, out_cols);
+            for b in 0..batch {
+                let src = ws.dr.row(b);
+                ws.dy.row_mut(b).copy_from_slice(&src[seg_off..seg_off + out_cols]);
+            }
+            if k + 1 < n_layers {
+                for b in 0..batch {
+                    let carry = &ws.dx.row(b)[..out_cols];
+                    for (d, &cv) in ws.dy.row_mut(b).iter_mut().zip(carry) {
+                        *d += cv;
+                    }
+                }
+            }
+            let input: &Matrix = if k == 0 { &ws.x } else { &ws.cont.inputs[k - 1] };
+            self.layers[k].backward_into(
+                input,
+                &ws.cont.outputs[k],
+                &ws.dy,
+                &mut ws.dws[k],
+                &mut ws.dx,
+            );
+        }
+
+        // Parameter updates.
+        for (layer, (sgd, dw)) in self.layers.iter_mut().zip(sgds.iter_mut().zip(&ws.dws)) {
+            sgd.step(layer.weights_mut().data_mut(), dw.data());
+        }
+        adam_v.step(self.head.weights_mut().data_mut(), ws.dv.data());
+        adam_b.step(self.head.bias_mut(), &ws.dbias);
+        loss
+    }
+
+    /// Discrete accuracy on `data` through the workspace buffers (plans and
+    /// packing are rebuilt first — the optimizer just moved the weights).
+    /// Produces logits bit-identical to [`Self::logits_discrete`].
+    fn accuracy_ws(&self, data: &EncodedData, ws: &mut TrainWorkspace) -> f64 {
+        ws.plans.resize_with(self.layers.len(), DiscretePlan::default);
+        for (layer, plan) in self.layers.iter().zip(ws.plans.iter_mut()) {
+            layer.plan_discrete_into(plan);
+        }
+        self.head.pack_weights_into(&mut ws.packed_head);
+        forward_ws(&self.layers, self.config.literal_skip, &data.x, Some(&ws.plans), None, &mut ws.disc);
+        self.head.forward_packed_into(&ws.disc.rules, &ws.packed_head, &mut ws.logits);
+        accuracy(&ws.logits, &data.labels)
+    }
+
+    /// Runs one gradient-grafting step on a batch, allocating every
+    /// intermediate — the **pinned naive baseline** for the kernel property
+    /// tests and the `train_speed` bench. Do not optimize this path.
+    fn grafted_step_reference(
         &mut self,
         x: &Matrix,
         labels: &[u32],
@@ -349,7 +624,91 @@ impl LogicalNet {
 
     /// Trains on an encoded batch for `config.epochs` epochs, keeping the
     /// snapshot with the best discrete training accuracy.
+    ///
+    /// Runs the workspace data plane: once the scratch buffers are warm
+    /// (first batch of the first call), each step performs zero heap
+    /// allocations. The parameter stream is bit-identical to
+    /// [`Self::train_reference`].
     pub fn train(&mut self, data: &EncodedData) -> Result<TrainReport> {
+        if data.is_empty() {
+            return Err(CoreError::Empty { what: "training data" });
+        }
+        if data.x.cols() != self.encoder.width() {
+            return Err(CoreError::LengthMismatch {
+                what: "encoded width",
+                expected: self.encoder.width(),
+                actual: data.x.cols(),
+            });
+        }
+        let mut sgds: Vec<ProjectedSgd> = self
+            .layers
+            .iter()
+            .map(|l| {
+                ProjectedSgd::new(
+                    l.n_nodes() * l.in_dim(),
+                    self.config.lr_logical,
+                    self.config.momentum,
+                    self.config.l1,
+                )
+            })
+            .collect();
+        let mut adam_v = Adam::new(self.head.n_rules() * self.n_classes, self.config.lr_linear);
+        let mut adam_b = Adam::new(self.n_classes, self.config.lr_linear);
+
+        // Detach the workspace so `&mut self` stays free for the step; it is
+        // reattached (buffers warm) before returning.
+        let mut ws = self.workspace.take().unwrap_or_default();
+        ws.order.clear();
+        ws.order.extend(0..data.len());
+        let mut best_acc = -1.0f64;
+        // The workspace snapshot slot may hold stale parameters from an
+        // earlier `train` call on this instance — only restore what *this*
+        // run wrote.
+        let mut took_snapshot = false;
+        let mut final_loss = f32::NAN;
+
+        for _epoch in 0..self.config.epochs {
+            ws.order.shuffle(&mut self.rng);
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            let mut start = 0;
+            while start < ws.order.len() {
+                let end = (start + self.config.batch_size).min(ws.order.len());
+                data.x.select_rows_into(&ws.order[start..end], &mut ws.x);
+                ws.labels.clear();
+                ws.labels.extend(ws.order[start..end].iter().map(|&i| data.labels[i]));
+                start = end;
+                epoch_loss += self.grafted_step_ws(&mut ws, &mut sgds, &mut adam_v, &mut adam_b);
+                batches += 1;
+            }
+            final_loss = epoch_loss / batches.max(1) as f32;
+            let acc = self.accuracy_ws(data, &mut ws);
+            if acc > best_acc {
+                best_acc = acc;
+                match &mut ws.snapshot {
+                    Some((layers, head)) => {
+                        layers.clone_from(&self.layers);
+                        head.clone_from(&self.head);
+                    }
+                    None => ws.snapshot = Some((self.layers.clone(), self.head.clone())),
+                }
+                took_snapshot = true;
+            }
+        }
+        if took_snapshot {
+            let (layers, head) = ws.snapshot.as_ref().expect("snapshot was recorded");
+            self.layers.clone_from(layers);
+            self.head.clone_from(head);
+        }
+        self.workspace = Some(ws);
+        Ok(TrainReport { epochs: self.config.epochs, best_accuracy: best_acc, final_loss })
+    }
+
+    /// The pre-workspace `train` loop, allocating every intermediate of
+    /// every batch. **Pinned naive baseline**: the property tests assert the
+    /// workspace path reproduces this parameter stream byte-for-byte, and
+    /// `train_speed` measures its speedup against this. Do not optimize.
+    pub fn train_reference(&mut self, data: &EncodedData) -> Result<TrainReport> {
         if data.is_empty() {
             return Err(CoreError::Empty { what: "training data" });
         }
@@ -387,7 +746,13 @@ impl LogicalNet {
             for chunk in order.chunks(self.config.batch_size) {
                 let x = data.x.select_rows(chunk);
                 let labels: Vec<u32> = chunk.iter().map(|&i| data.labels[i]).collect();
-                epoch_loss += self.grafted_step(&x, &labels, &mut sgds, &mut adam_v, &mut adam_b);
+                epoch_loss += self.grafted_step_reference(
+                    &x,
+                    &labels,
+                    &mut sgds,
+                    &mut adam_v,
+                    &mut adam_b,
+                );
                 batches += 1;
             }
             final_loss = epoch_loss / batches.max(1) as f32;
@@ -417,21 +782,36 @@ impl LogicalNet {
         self.train(&encoded)
     }
 
+    /// Total trainable parameter count (the [`Self::params`] length),
+    /// computed arithmetically — no allocation.
+    pub fn n_params(&self) -> usize {
+        let logical: usize = self.layers.iter().map(|l| l.n_nodes() * l.in_dim()).sum();
+        logical + self.head.n_rules() * self.n_classes + self.n_classes
+    }
+
     /// Flattened trainable parameters (logical weights, head weights, head
     /// biases) — the unit FedAvg averages.
     pub fn params(&self) -> Vec<f32> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.n_params());
+        self.params_into(&mut out);
+        out
+    }
+
+    /// [`Self::params`] into a caller-owned buffer (cleared first). The
+    /// FedAvg round loop reuses one buffer per participant across rounds.
+    pub fn params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.n_params());
         for layer in &self.layers {
             out.extend_from_slice(layer.weights().data());
         }
         out.extend_from_slice(self.head.weights().data());
         out.extend_from_slice(self.head.bias());
-        out
     }
 
     /// Restores parameters from [`Self::params`] layout.
     pub fn set_params(&mut self, params: &[f32]) -> Result<()> {
-        let expected = self.params().len();
+        let expected = self.n_params();
         if params.len() != expected {
             return Err(CoreError::LengthMismatch {
                 what: "parameter vector",
@@ -452,32 +832,69 @@ impl LogicalNet {
         Ok(())
     }
 
+    fn fresh_optim_state(&self) -> OptimState {
+        OptimState {
+            sgds: self
+                .layers
+                .iter()
+                .map(|l| {
+                    ProjectedSgd::new(
+                        l.n_nodes() * l.in_dim(),
+                        self.config.lr_logical,
+                        self.config.momentum,
+                        self.config.l1,
+                    )
+                })
+                .collect(),
+            adam_v: Adam::new(self.head.n_rules() * self.n_classes, self.config.lr_linear),
+            adam_b: Adam::new(self.n_classes, self.config.lr_linear),
+        }
+    }
+
     /// Runs `epochs` of local training (used by the FedAvg client loop),
     /// without snapshot-keeping — federated rounds keep the server's
     /// aggregate instead. Optimizer state (momentum, Adam moments) persists
-    /// across calls on the same instance.
+    /// across calls on the same instance, as do the workspace buffers — a
+    /// client's steady-state round allocates nothing per batch. The
+    /// parameter stream is bit-identical to
+    /// [`Self::train_local_reference`].
     pub fn train_local(&mut self, data: &EncodedData, epochs: usize) -> Result<()> {
         if data.is_empty() {
             return Err(CoreError::Empty { what: "training data" });
         }
         let mut state = match self.local_optim.take() {
             Some(s) => s,
-            None => OptimState {
-                sgds: self
-                    .layers
-                    .iter()
-                    .map(|l| {
-                        ProjectedSgd::new(
-                            l.n_nodes() * l.in_dim(),
-                            self.config.lr_logical,
-                            self.config.momentum,
-                            self.config.l1,
-                        )
-                    })
-                    .collect(),
-                adam_v: Adam::new(self.head.n_rules() * self.n_classes, self.config.lr_linear),
-                adam_b: Adam::new(self.n_classes, self.config.lr_linear),
-            },
+            None => self.fresh_optim_state(),
+        };
+        let mut ws = self.workspace.take().unwrap_or_default();
+        ws.order.clear();
+        ws.order.extend(0..data.len());
+        for _ in 0..epochs {
+            ws.order.shuffle(&mut self.rng);
+            let mut start = 0;
+            while start < ws.order.len() {
+                let end = (start + self.config.batch_size).min(ws.order.len());
+                data.x.select_rows_into(&ws.order[start..end], &mut ws.x);
+                ws.labels.clear();
+                ws.labels.extend(ws.order[start..end].iter().map(|&i| data.labels[i]));
+                start = end;
+                self.grafted_step_ws(&mut ws, &mut state.sgds, &mut state.adam_v, &mut state.adam_b);
+            }
+        }
+        self.workspace = Some(ws);
+        self.local_optim = Some(state);
+        Ok(())
+    }
+
+    /// The pre-workspace `train_local` loop — **pinned naive baseline** for
+    /// the kernel property tests. Do not optimize.
+    pub fn train_local_reference(&mut self, data: &EncodedData, epochs: usize) -> Result<()> {
+        if data.is_empty() {
+            return Err(CoreError::Empty { what: "training data" });
+        }
+        let mut state = match self.local_optim.take() {
+            Some(s) => s,
+            None => self.fresh_optim_state(),
         };
         let mut order: Vec<usize> = (0..data.len()).collect();
         for _ in 0..epochs {
@@ -485,7 +902,13 @@ impl LogicalNet {
             for chunk in order.chunks(self.config.batch_size) {
                 let x = data.x.select_rows(chunk);
                 let labels: Vec<u32> = chunk.iter().map(|&i| data.labels[i]).collect();
-                self.grafted_step(&x, &labels, &mut state.sgds, &mut state.adam_v, &mut state.adam_b);
+                self.grafted_step_reference(
+                    &x,
+                    &labels,
+                    &mut state.sgds,
+                    &mut state.adam_v,
+                    &mut state.adam_b,
+                );
             }
         }
         self.local_optim = Some(state);

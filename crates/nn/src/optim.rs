@@ -32,12 +32,17 @@ impl ProjectedSgd {
     pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), self.velocity.len(), "parameter count changed");
         assert_eq!(grads.len(), params.len(), "gradient count mismatch");
+        // Hoisted constant: `lr * l1` uses the same two operands as the old
+        // per-element multiply, so the pull value (and every update) is
+        // bit-identical.
+        let pull = self.lr * self.l1;
+        let (lr, momentum) = (self.lr, self.momentum);
         for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
-            *v = self.momentum * *v + g;
-            let mut next = *p - self.lr * *v;
+            *v = momentum * *v + g;
+            let mut next = *p - lr * *v;
             // L1 pull toward zero (only shrinks, never flips sign since the
             // domain is non-negative).
-            next -= self.lr * self.l1;
+            next -= pull;
             *p = next.clamp(0.0, 1.0);
         }
     }

@@ -1,6 +1,7 @@
 //! Data-utility functions `v : 2^N → ℝ` (paper Definition II.1).
 
 use ctfl_core::data::{Dataset, DatasetView};
+use ctfl_nn::encoding::{EncodedData, Encoder};
 use ctfl_nn::extract::{extract_rules, ExtractOptions};
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
 use std::collections::HashMap;
@@ -138,6 +139,16 @@ pub struct ModelUtility {
     /// Utility of the empty coalition: majority-class accuracy on the test
     /// set (a model trained on nothing predicts the prior).
     empty_value: f64,
+    /// The encoder every coalition's net would build (the seed is fixed by
+    /// `net_config`), materialized once.
+    encoder: Encoder,
+    /// `pooled` encoded once — centralized coalition training gathers rows
+    /// of this instead of re-encoding the coalition view (encoding is a
+    /// pure per-row function, so the gather is bit-identical).
+    encoded_pooled: EncodedData,
+    /// Each client's shard encoded once, shared with every federated
+    /// coalition evaluation touching that client.
+    encoded_clients: Vec<Arc<EncodedData>>,
 }
 
 impl ModelUtility {
@@ -145,8 +156,8 @@ impl ModelUtility {
     /// (centralized retraining; see [`ModelUtility::federated`]).
     ///
     /// # Panics
-    /// Panics if `client_data` is empty, any shard/test set is empty, or the
-    /// shards disagree on schema.
+    /// Panics if `client_data` is empty, any shard/test set is empty, the
+    /// shards disagree on schema, or `net_config` is invalid.
     pub fn new(client_data: Vec<Dataset>, test: Dataset, net_config: LogicalNetConfig) -> Self {
         assert!(!client_data.is_empty(), "need at least one client");
         assert!(client_data.iter().all(|d| !d.is_empty()), "clients must hold data");
@@ -162,7 +173,30 @@ impl ModelUtility {
             start = end;
         }
         let pooled = Dataset::concat(client_data.iter()).expect("shards share a schema");
-        ModelUtility { pooled, ranges, test, net_config, mode: UtilityMode::Centralized, empty_value }
+        // Encode everything once up front: every coalition's net shares the
+        // same seed-fixed encoder, so the per-coalition re-encoding the old
+        // path performed always produced these exact bytes.
+        let encoder = LogicalNet::encoder_for(pooled.schema(), &net_config)
+            .expect("valid net config");
+        let encoded_pooled = encoder.encode(&pooled).expect("pooled data encodes");
+        let encoded_clients = ranges
+            .iter()
+            .map(|r| {
+                let view = pooled.view_of_rows(r.clone().collect());
+                Arc::new(encoder.encode_view(&view).expect("client shard encodes"))
+            })
+            .collect();
+        ModelUtility {
+            pooled,
+            ranges,
+            test,
+            net_config,
+            mode: UtilityMode::Centralized,
+            empty_value,
+            encoder,
+            encoded_pooled,
+            encoded_clients,
+        }
     }
 
     /// Switches to federated per-coalition retraining (the paper's cost
@@ -186,6 +220,16 @@ impl ModelUtility {
     pub fn client_view(&self, m: usize) -> DatasetView<'_> {
         self.pooled.view_of_rows(self.ranges[m].clone().collect())
     }
+
+    /// The seed-fixed encoder shared by every coalition's model.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Client `m`'s shard, encoded once at construction.
+    pub fn encoded_client(&self, m: usize) -> &Arc<EncodedData> {
+        &self.encoded_clients[m]
+    }
 }
 
 impl UtilityFn for ModelUtility {
@@ -200,36 +244,58 @@ impl UtilityFn for ModelUtility {
         }
         let net = match &self.mode {
             UtilityMode::Centralized => {
-                // The coalition's pooled data is an index slice — row order
-                // matches the old shard concatenation exactly, so training
-                // is bit-identical to the materialized path.
-                let indices: Vec<u32> =
-                    coalition.members().into_iter().flat_map(|m| self.ranges[m].clone()).collect();
-                let view = self.pooled.view_of_rows(indices);
+                // The coalition's rows are a gather of the pre-encoded pool:
+                // encoding is per-row and the index order matches the old
+                // shard concatenation exactly, so training is bit-identical
+                // to re-encoding the coalition view.
+                let indices: Vec<usize> = coalition
+                    .members()
+                    .into_iter()
+                    .flat_map(|m| self.ranges[m].clone())
+                    .map(|i| i as usize)
+                    .collect();
+                let encoded = EncodedData {
+                    x: self.encoded_pooled.x.select_rows(&indices),
+                    labels: indices.iter().map(|&i| self.encoded_pooled.labels[i]).collect(),
+                    n_classes: self.encoded_pooled.n_classes,
+                };
                 let mut net = LogicalNet::new(
                     Arc::clone(self.pooled.schema()),
                     self.pooled.n_classes(),
                     self.net_config.clone(),
                 )
                 .expect("valid net config");
-                net.fit_view(&view).expect("non-empty pooled data");
+                net.train(&encoded).expect("non-empty pooled data");
                 net
             }
             UtilityMode::Federated(fl) => {
-                let shards: Vec<DatasetView<'_>> =
-                    coalition.members().into_iter().map(|m| self.client_view(m)).collect();
+                // Shards were encoded once at construction; the coalition
+                // just clones their handles.
+                let shards: Vec<Arc<EncodedData>> = coalition
+                    .members()
+                    .into_iter()
+                    .map(|m| Arc::clone(&self.encoded_clients[m]))
+                    .collect();
                 let n_classes = self.pooled.n_classes();
                 // Coalition evaluations already run concurrently; avoid
                 // nested thread fan-out inside each FedAvg round.
                 let fl = ctfl_fl::fedavg::FlConfig { parallel: false, ..*fl };
                 let plan = ctfl_fl::faults::FaultPlan::none(shards.len(), fl.rounds);
-                ctfl_fl::fedavg::train_federated_with_views(
+                let adversary = ctfl_fl::adversary::AdversaryPlan::none(shards.len());
+                let guard = ctfl_fl::guard::GuardConfig::strict();
+                let setup = ctfl_fl::fedavg::ByzantineSetup {
+                    faults: &plan,
+                    adversary: &adversary,
+                    guard: &guard,
+                    aggregator: &ctfl_fl::aggregate::WeightedFedAvg,
+                };
+                ctfl_fl::fedavg::train_federated_preencoded(
+                    self.pooled.schema(),
                     &shards,
                     n_classes,
                     &self.net_config,
                     &fl,
-                    &plan,
-                    &ctfl_fl::guard::GuardConfig::strict(),
+                    &setup,
                 )
                 .expect("coalition shards are valid")
                 .net

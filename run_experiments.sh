@@ -71,6 +71,21 @@ check() {
     fi
     grep -q ATTACK_SWEEP_OK "$a" || { echo "attack sweep gates failed" >&2; tail -20 "$a" >&2; exit 1; }
     echo "attack sweep ok ($(wc -c < "$a") bytes, byte-identical)"
+    echo "== train speed: workspace data plane vs pinned naive path =="
+    # Three gates inside the binary: bit-identity of trained parameters,
+    # >= 2x median wall-clock speedup, and pre-encoded coalition parity.
+    # Stdout carries only deterministic content (hashes, verdicts) so the
+    # double run can byte-diff it; timings go to stderr and the JSON report.
+    cargo build --release -p ctfl-bench --bin train_speed
+    $BIN/train_speed --seed 7 2>/dev/null > "$a"
+    $BIN/train_speed --seed 7 2>/dev/null > "$b"
+    if ! diff -q "$a" "$b"; then
+        echo "TRAIN-SPEED DETERMINISM VIOLATION: two identical-seed runs differ" >&2
+        diff "$a" "$b" | head -20 >&2
+        exit 1
+    fi
+    grep -q TRAIN_SPEED_OK "$a" || { echo "train speed gates failed" >&2; tail -20 "$a" >&2; exit 1; }
+    echo "train speed ok ($(wc -c < "$a") bytes, byte-identical)"
     echo ALL_CHECKS_PASSED
 }
 
@@ -90,4 +105,5 @@ $BIN/table1_comparison --seed 7 > results/table1.txt 2>&1; echo "table1 rc=$?"
 $BIN/ablation --seed 7 > results/ablation.txt 2>&1; echo "ablation rc=$?"
 $BIN/chaos --seed 7 > results/chaos.txt 2>&1; echo "chaos rc=$?"
 $BIN/attack_sweep --seed 7 > results/attack_sweep.txt 2>&1; echo "attack_sweep rc=$?"
+$BIN/train_speed --seed 7 > /dev/null 2>&1; echo "train_speed rc=$?"  # writes results/BENCH_train.json
 echo ALL_EXPERIMENTS_DONE
