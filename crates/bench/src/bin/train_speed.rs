@@ -9,9 +9,10 @@
 //!    trained parameter bits (the FNV hash over them prints on stdout).
 //! 2. **Speedup** — median wall-clock of the workspace path must be at
 //!    least 2x the naive path's.
-//! 3. **Coalition parity** — one federated coalition retraining through
-//!    pre-encoded shards must reproduce the view-encoding path's parameter
-//!    bits (and its timing is reported as the per-coalition figure).
+//! 3. **Coalition parity** — one federated coalition retraining stepped
+//!    round-by-round through a [`FederationEngine`] session must reproduce
+//!    the one-shot driver's parameter bits (and the one-shot timing is
+//!    reported as the per-coalition figure).
 //!
 //! Output discipline: everything on **stdout** is deterministic (workload
 //! shape, parameter hashes, gate verdicts) so `run_experiments.sh --check`
@@ -24,11 +25,9 @@ use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema};
 use ctfl_fl::adversary::AdversaryPlan;
 use ctfl_fl::aggregate::WeightedFedAvg;
 use ctfl_fl::faults::FaultPlan;
-use ctfl_fl::fedavg::{
-    train_federated_preencoded, train_federated_with_views, ByzantineSetup, FlConfig,
-};
+use ctfl_fl::engine::FederationEngine;
+use ctfl_fl::fedavg::{train_federated_with_views, ByzantineSetup, FlConfig};
 use ctfl_fl::guard::GuardConfig;
-use ctfl_nn::encoding::EncodedData;
 use ctfl_nn::{LogicalNet, LogicalNetConfig};
 use ctfl_rng::rngs::StdRng;
 use ctfl_rng::{Rng, SeedableRng};
@@ -150,8 +149,10 @@ fn main() {
     );
     eprintln!("speedup       {speedup:.2}x (gate: >= 2.0x)");
 
-    // Gate 3: per-coalition federated retraining — pre-encoded shards vs
-    // per-coalition view encoding, same coalition, byte-equal parameters.
+    // Gate 3: per-coalition federated retraining — the one-shot driver vs
+    // a FederationEngine session stepped round-by-round, same coalition,
+    // byte-equal parameters. Proves the pause/inspect/resume state machine
+    // commits exactly the rounds the one-shot path does.
     const CLIENTS: usize = 4;
     let shards: Vec<Dataset> = (0..CLIENTS)
         .map(|c| {
@@ -172,36 +173,38 @@ fn main() {
         guard: &guard,
         aggregator: &WeightedFedAvg,
     };
-    let schema = Arc::clone(ds.schema());
-    let encoder = LogicalNet::encoder_for(&schema, &cfg).expect("valid config");
-    let shard_arcs: Vec<Arc<EncodedData>> =
-        shards.iter().map(|d| Arc::new(encoder.encode(d).expect("shard encodes"))).collect();
-
-    let view_run = {
+    let one_shot = {
         let views: Vec<_> = shards.iter().map(Dataset::view).collect();
         train_federated_with_views(&views, 2, &cfg, &fl, &plan, &guard).expect("federation runs")
     };
-    let pre_run = train_federated_preencoded(&schema, &shard_arcs, 2, &cfg, &fl, &setup)
-        .expect("federation runs");
-    let view_hash = fnv1a_bits(&view_run.net.params());
-    let pre_hash = fnv1a_bits(&pre_run.net.params());
-    println!("coalition hash views      {view_hash:#018X}");
-    println!("coalition hash preencoded {pre_hash:#018X}");
-    assert_eq!(view_hash, pre_hash, "pre-encoded federation diverged from view encoding");
+    let stepped = {
+        let views: Vec<_> = shards.iter().map(Dataset::view).collect();
+        let mut engine = FederationEngine::from_views(&views, 2, &cfg, &fl, &setup)
+            .expect("engine session opens");
+        let mut committed = 0usize;
+        while engine.step_round().expect("round steps").is_some() {
+            committed += 1;
+        }
+        assert_eq!(committed, fl.rounds, "stepped session committed every round");
+        engine.finish()
+    };
+    let one_shot_hash = fnv1a_bits(&one_shot.net.params());
+    let stepped_hash = fnv1a_bits(&stepped.net.params());
+    println!("coalition hash one-shot {one_shot_hash:#018X}");
+    println!("coalition hash stepped  {stepped_hash:#018X}");
+    assert_eq!(one_shot_hash, stepped_hash, "stepped engine diverged from the one-shot driver");
+    assert_eq!(
+        one_shot.log.render(),
+        stepped.log.render(),
+        "stepped engine log diverged from the one-shot driver"
+    );
     println!("coalition parity ok");
 
-    let coalition_view_ns = median_ns(3, || {
+    let coalition_ns = median_ns(3, || {
         let views: Vec<_> = shards.iter().map(Dataset::view).collect();
         train_federated_with_views(&views, 2, &cfg, &fl, &plan, &guard).expect("federation runs")
     });
-    let coalition_pre_ns = median_ns(3, || {
-        train_federated_preencoded(&schema, &shard_arcs, 2, &cfg, &fl, &setup)
-            .expect("federation runs")
-    });
-    let coalition_speedup = coalition_view_ns as f64 / coalition_pre_ns as f64;
-    eprintln!("coalition retrain (view-encoded) median {:>10.3} ms", coalition_view_ns as f64 / 1e6);
-    eprintln!("coalition retrain (pre-encoded)  median {:>10.3} ms", coalition_pre_ns as f64 / 1e6);
-    eprintln!("coalition speedup {coalition_speedup:.2}x (figure, not gated)");
+    eprintln!("coalition retrain median {:>10.3} ms", coalition_ns as f64 / 1e6);
 
     let report = ctfl_testkit::json!({
         "bench": "train_speed",
@@ -218,9 +221,7 @@ fn main() {
         "fast_median_ns": fast_ns as f64,
         "speedup": speedup,
         "epochs_per_sec": epochs_per_sec,
-        "coalition_view_median_ns": coalition_view_ns as f64,
-        "coalition_preencoded_median_ns": coalition_pre_ns as f64,
-        "coalition_speedup": coalition_speedup,
+        "coalition_median_ns": coalition_ns as f64,
         "gate": "speedup >= 2.0",
     });
     std::fs::create_dir_all("results").expect("results dir");

@@ -13,6 +13,7 @@
 //! fresh updates in-flight between client computation and the server guard.
 //! The same plan always reproduces the same run byte for byte.
 
+use ctfl_core::error::{CoreError, Result};
 use ctfl_rng::rngs::StdRng;
 use ctfl_rng::seq::SliceRandom;
 use ctfl_rng::SeedableRng;
@@ -101,16 +102,43 @@ impl AdversaryPlan {
     }
 
     /// Assigns `kind` to `client` (replacing any previous role).
-    pub fn with_attacker(mut self, client: usize, kind: AttackKind) -> Self {
-        assert!(client < self.n_clients, "client {client} outside federation");
+    ///
+    /// Panics on out-of-range clients/leaders or a non-finite boost;
+    /// untrusted inputs go through [`AdversaryPlan::try_with_attacker`].
+    pub fn with_attacker(self, client: usize, kind: AttackKind) -> Self {
+        self.try_with_attacker(client, kind).expect("valid attacker assignment")
+    }
+
+    /// [`AdversaryPlan::with_attacker`] with typed-error validation instead
+    /// of assertions, for plans built from untrusted (wire) input.
+    pub fn try_with_attacker(mut self, client: usize, kind: AttackKind) -> Result<Self> {
+        if client >= self.n_clients {
+            return Err(CoreError::InvalidParameter {
+                name: "attacker",
+                message: format!("client {client} outside federation of {}", self.n_clients),
+            });
+        }
         if let AttackKind::Collude { leader } = kind {
-            assert!(leader < self.n_clients, "collusion leader {leader} outside federation");
+            if leader >= self.n_clients {
+                return Err(CoreError::InvalidParameter {
+                    name: "attacker",
+                    message: format!(
+                        "collusion leader {leader} outside federation of {}",
+                        self.n_clients
+                    ),
+                });
+            }
         }
         if let AttackKind::ClassBias { boost, .. } = kind {
-            assert!(boost.is_finite(), "class-bias boost must be finite");
+            if !boost.is_finite() {
+                return Err(CoreError::InvalidParameter {
+                    name: "attacker",
+                    message: "class-bias boost must be finite".into(),
+                });
+            }
         }
         self.attacks[client] = Some(kind);
-        self
+        Ok(self)
     }
 
     /// Marks `members` as a colluding ring replicating `leader`'s update
@@ -129,8 +157,22 @@ impl AdversaryPlan {
     ///
     /// When `kind` is [`AttackKind::Collude`], the given leader is ignored
     /// and the lowest-id sampled client becomes the ring's leader.
+    ///
+    /// Panics on a fraction outside `[0, 1]`; untrusted inputs go through
+    /// [`AdversaryPlan::try_generate`].
     pub fn generate(n_clients: usize, frac: f64, kind: AttackKind, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&frac), "adversarial fraction {frac} outside [0, 1]");
+        Self::try_generate(n_clients, frac, kind, seed).expect("valid adversarial fraction")
+    }
+
+    /// [`AdversaryPlan::generate`] with typed-error validation instead of an
+    /// assertion.
+    pub fn try_generate(n_clients: usize, frac: f64, kind: AttackKind, seed: u64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&frac) {
+            return Err(CoreError::InvalidParameter {
+                name: "adversary plan",
+                message: format!("adversarial fraction {frac} outside [0, 1]"),
+            });
+        }
         let k = ((frac * n_clients as f64).round() as usize).min(n_clients);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ids: Vec<usize> = (0..n_clients).collect();
@@ -144,10 +186,10 @@ impl AdversaryPlan {
             }
         } else {
             for c in chosen {
-                plan = plan.with_attacker(c, kind);
+                plan = plan.try_with_attacker(c, kind)?;
             }
         }
-        plan
+        Ok(plan)
     }
 
     /// Number of clients the plan covers.

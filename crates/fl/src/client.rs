@@ -10,10 +10,8 @@ use std::sync::Arc;
 pub struct Client {
     /// Client id (its index in the federation).
     pub id: usize,
-    /// The client's private encoded shard. Shared: coalition retraining
-    /// re-federates the same shards over and over, and the encoding only
-    /// depends on the (fixed) encoder seed — so callers encode once and
-    /// hand every federation an `Arc` of the same buffer.
+    /// The client's private encoded shard. `Arc`ed so cloning a client (the
+    /// engine's session setup does) never copies the encoded rows.
     data: Arc<EncodedData>,
     /// Local model replica (re-seeded from the global parameters each
     /// round).
@@ -30,11 +28,6 @@ impl Client {
         Client { id, data: Arc::new(data), net }
     }
 
-    /// [`Client::new`] over an already-shared shard — no copy.
-    pub fn shared(id: usize, data: Arc<EncodedData>, net: LogicalNet) -> Self {
-        Client { id, data, net }
-    }
-
     /// Number of local training rows (FedAvg's aggregation weight).
     pub fn n_rows(&self) -> usize {
         self.data.len()
@@ -42,11 +35,6 @@ impl Client {
 
     /// The local shard.
     pub fn data(&self) -> &EncodedData {
-        &self.data
-    }
-
-    /// The local shard's shared handle.
-    pub fn data_shared(&self) -> &Arc<EncodedData> {
         &self.data
     }
 

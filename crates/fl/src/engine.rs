@@ -1,0 +1,700 @@
+//! The federation engine: one composable round-loop runtime.
+//!
+//! [`FederationEngine`] is a *session*: it owns the global model, the client
+//! replicas, the fault injector, the adversary injector, the guard policy,
+//! the aggregation rule, and the reusable round buffers. Instead of a batch
+//! `main()` that rebuilds the world per run, callers drive the session with
+//! an explicit state machine:
+//!
+//! ```text
+//! from_views/from_datasets        step_round()*             finish()
+//!        │                            │                        │
+//!        ▼                            ▼                        ▼
+//!    [round 0] ──▶ [round 1] ──▶ … ──▶ [round R-1] ──▶ Finished ──▶ FederationRun
+//! ```
+//!
+//! Each [`FederationEngine::step_round`] call executes exactly one
+//! communication round — local client computation (parallel or serial),
+//! system-fault injection, in-flight adversarial rewriting, server-side
+//! guarding, quorum retries, and aggregation — and returns the committed
+//! [`RoundReport`] so the caller can pause, inspect, and resume
+//! mid-federation. [`FederationEngine::run_to_completion`] drives the
+//! remaining rounds; [`FederationEngine::finish`] consumes the session into
+//! the legacy [`FederationRun`].
+//!
+//! **Determinism contract** (inherited bit-for-bit from the drivers this
+//! engine replaced): the same inputs produce bit-identical parameters and a
+//! byte-identical [`FederationLog`], with the parallel and serial paths
+//! agreeing exactly, however the rounds are interleaved with other sessions.
+//! Many engines can run concurrently on a worker pool
+//! (`crate::server::FederationService`) and each reproduces its solo run —
+//! sessions share no mutable state.
+
+use ctfl_core::data::{Dataset, DatasetView, FeatureSchema};
+use ctfl_core::error::{CoreError, Result};
+use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use crate::adversary::AdversaryInjector;
+use crate::aggregate::Aggregator;
+use crate::client::Client;
+use crate::faults::{Fate, FaultInjector};
+use crate::fedavg::{ByzantineSetup, FederationRun, FlConfig};
+use crate::guard::{
+    judge_round, sign_updates, FederationLog, GuardConfig, PanicPolicy, Participation,
+    ParticipationEntry, RoundReport, UpdateCandidate,
+};
+
+/// A client's local computation outcome: `Err(())` means its thread
+/// panicked (the panic was contained).
+type LocalOutcome = std::result::Result<Result<Vec<f32>>, ()>;
+
+fn needs_compute(fate: Fate) -> bool {
+    matches!(fate, Fate::Healthy | Fate::Straggler | Fate::Corrupt(_) | Fate::Panic)
+}
+
+/// Runs one client's local work with panic containment. The injected
+/// [`Fate::Panic`] fires inside this closure, so it exercises exactly the
+/// containment path a genuine client panic would take.
+fn run_local(client: &mut Client, fate: Fate, global: &[f32], epochs: usize) -> LocalOutcome {
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if fate == Fate::Panic {
+            panic!("injected fault: client {} panicked", client.id);
+        }
+        client.local_update(global, epochs)
+    }))
+    .map_err(|_| ())
+}
+
+/// Borrow adapter so the legacy entry points (which hold `&dyn Aggregator`
+/// in a [`ByzantineSetup`]) can hand their rule to an engine that owns its
+/// aggregator. Pure delegation — bit-identical to calling the rule directly.
+#[derive(Debug)]
+struct AggRef<'a>(&'a dyn Aggregator);
+
+impl Aggregator for AggRef<'_> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn aggregate(&self, client_params: &[Vec<f32>], weights: &[usize]) -> Result<Vec<f32>> {
+        self.0.aggregate(client_params, weights)
+    }
+    fn aggregate_into(
+        &self,
+        client_params: &[Vec<f32>],
+        weights: &[usize],
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.0.aggregate_into(client_params, weights, out)
+    }
+}
+
+/// Where a session is in its round loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineState {
+    /// `next_round` is the round [`FederationEngine::step_round`] will run.
+    Running {
+        /// Index of the next round to execute.
+        next_round: usize,
+    },
+    /// All configured rounds have committed (or degraded); only
+    /// [`FederationEngine::finish`] and the inspectors remain useful.
+    Finished,
+}
+
+/// One federated-training session: global model, client replicas, fault and
+/// adversary injectors, guard, aggregation rule, and round buffers, driven
+/// round by round. See the module docs for the state machine.
+pub struct FederationEngine<'a> {
+    global: LogicalNet,
+    clients: Vec<Client>,
+    weights: Vec<usize>,
+    fl: FlConfig,
+    injector: FaultInjector,
+    adversary: AdversaryInjector,
+    guard: GuardConfig,
+    aggregator: Box<dyn Aggregator + 'a>,
+    log: FederationLog,
+    /// Stragglers' late updates, delivered at the start of the next round.
+    stale_buffer: Vec<UpdateCandidate>,
+    /// The previous round's global parameters — the stale-echo reference for
+    /// update signatures (round 0: the initial global itself). `prev_global`
+    /// and `global_params` are refilled in place each round instead of
+    /// reallocated; at round end the buffers swap roles.
+    prev_global: Vec<f32>,
+    global_params: Vec<f32>,
+    aggregated: Vec<f32>,
+    next_round: usize,
+}
+
+impl std::fmt::Debug for FederationEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederationEngine")
+            .field("n_clients", &self.clients.len())
+            .field("rounds", &self.fl.rounds)
+            .field("next_round", &self.next_round)
+            .field("aggregator", &self.aggregator.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> FederationEngine<'a> {
+    /// Opens a session over zero-copy per-client views, under the full
+    /// Byzantine policy (fault plan, adversary plan, guard, aggregation
+    /// rule).
+    ///
+    /// All client views must share a schema and be non-empty; both plans
+    /// must cover exactly `client_data.len()` clients. `net_config.seed`
+    /// fixes the encoder so every replica agrees on the literal layout.
+    /// Every violation is a typed [`CoreError`] — a service layer can reject
+    /// a bad job instead of dying.
+    pub fn from_views(
+        client_data: &[DatasetView<'_>],
+        n_classes: usize,
+        net_config: &LogicalNetConfig,
+        fl_config: &FlConfig,
+        setup: &ByzantineSetup<'a>,
+    ) -> Result<Self> {
+        let plan = setup.faults;
+        if client_data.is_empty() {
+            return Err(CoreError::Empty { what: "client data" });
+        }
+        if plan.n_clients() != client_data.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "fault plan clients",
+                expected: client_data.len(),
+                actual: plan.n_clients(),
+            });
+        }
+        if setup.adversary.n_clients() != client_data.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "adversary plan clients",
+                expected: client_data.len(),
+                actual: setup.adversary.n_clients(),
+            });
+        }
+        let schema = Arc::clone(client_data[0].schema());
+        for (i, d) in client_data.iter().enumerate() {
+            if d.is_empty() {
+                return Err(CoreError::InvalidParameter {
+                    name: "client_data",
+                    message: format!("client {i} has no data"),
+                });
+            }
+            if d.schema() != &schema {
+                return Err(CoreError::InvalidParameter {
+                    name: "client_data",
+                    message: format!("client {i} has a different schema"),
+                });
+            }
+        }
+
+        // Each client gets a replica with a distinct RNG stream (for
+        // minibatch shuffling) but the same encoder seed via set_params +
+        // same config — LogicalNet::new derives the encoder from
+        // config.seed, so replicas use the SAME seed to keep literal
+        // layouts identical.
+        let clients: Vec<Client> = client_data
+            .iter()
+            .enumerate()
+            .map(|(id, d)| {
+                let net = LogicalNet::new(Arc::clone(&schema), n_classes, net_config.clone())?;
+                let encoded = net.encode_view(d)?;
+                Ok(Client::new(id, encoded, net))
+            })
+            .collect::<Result<_>>()?;
+        Self::from_clients(&schema, clients, n_classes, net_config, fl_config, setup)
+    }
+
+    /// [`FederationEngine::from_views`] over owned datasets — the
+    /// convenience constructor behind `train_federated_byzantine`.
+    pub fn from_datasets(
+        client_data: &[Dataset],
+        n_classes: usize,
+        net_config: &LogicalNetConfig,
+        fl_config: &FlConfig,
+        setup: &ByzantineSetup<'a>,
+    ) -> Result<Self> {
+        let views: Vec<DatasetView<'_>> = client_data.iter().map(Dataset::view).collect();
+        Self::from_views(&views, n_classes, net_config, fl_config, setup)
+    }
+
+    /// Opens a session over pre-built clients (inputs validated, ordered by
+    /// id). The shared tail of every constructor.
+    fn from_clients(
+        schema: &Arc<FeatureSchema>,
+        clients: Vec<Client>,
+        n_classes: usize,
+        net_config: &LogicalNetConfig,
+        fl_config: &FlConfig,
+        setup: &ByzantineSetup<'a>,
+    ) -> Result<Self> {
+        let global = LogicalNet::new(Arc::clone(schema), n_classes, net_config.clone())?;
+        let n = clients.len();
+        let weights: Vec<usize> = clients.iter().map(Client::n_rows).collect();
+        let prev_global = global.params();
+        Ok(FederationEngine {
+            global,
+            clients,
+            weights,
+            fl: *fl_config,
+            injector: FaultInjector::new(setup.faults.clone()),
+            adversary: AdversaryInjector::new(setup.adversary.clone()),
+            guard: *setup.guard,
+            aggregator: Box::new(AggRef(setup.aggregator)),
+            log: FederationLog::new(n),
+            stale_buffer: Vec::new(),
+            prev_global,
+            global_params: Vec::new(),
+            aggregated: Vec::new(),
+            next_round: 0,
+        })
+    }
+
+    /// Replaces the borrowed aggregation rule with an owned one — for
+    /// long-lived sessions (the service layer) that must not borrow from
+    /// their surroundings. Call before the first [`step_round`]; swapping
+    /// rules mid-run would break the determinism contract.
+    ///
+    /// [`step_round`]: FederationEngine::step_round
+    pub fn with_owned_aggregator(mut self, aggregator: Box<dyn Aggregator + 'a>) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Federation size.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Total rounds this session is configured to run.
+    pub fn rounds_total(&self) -> usize {
+        self.fl.rounds
+    }
+
+    /// Rounds committed so far.
+    pub fn rounds_done(&self) -> usize {
+        self.next_round
+    }
+
+    /// Current state of the round-loop state machine.
+    pub fn state(&self) -> EngineState {
+        if self.next_round >= self.fl.rounds {
+            EngineState::Finished
+        } else {
+            EngineState::Running { next_round: self.next_round }
+        }
+    }
+
+    /// True once every configured round has run.
+    pub fn is_finished(&self) -> bool {
+        self.state() == EngineState::Finished
+    }
+
+    /// The current global model (mid-federation inspection).
+    pub fn global(&self) -> &LogicalNet {
+        &self.global
+    }
+
+    /// The log so far: one [`RoundReport`] per committed round.
+    pub fn log(&self) -> &FederationLog {
+        &self.log
+    }
+
+    /// The most recent round's report, if any round has run.
+    pub fn last_report(&self) -> Option<&RoundReport> {
+        self.log.rounds.last()
+    }
+
+    /// Runs exactly one communication round — local computation, fault
+    /// injection, adversarial rewriting, guarding, quorum retries,
+    /// aggregation — and returns the committed report. Returns `Ok(None)`
+    /// when the session is already finished.
+    ///
+    /// Errors propagate exactly as in the legacy drivers: a genuine local
+    /// training failure, a panic under [`PanicPolicy::Error`], a fail-fast
+    /// guard rejection, or a quorum failure under `fail_fast` abort the
+    /// session.
+    pub fn step_round(&mut self) -> Result<Option<&RoundReport>> {
+        if self.is_finished() {
+            return Ok(None);
+        }
+        let round = self.next_round;
+        let n = self.clients.len();
+        self.global.params_into(&mut self.global_params);
+        let stale_arrivals = std::mem::take(&mut self.stale_buffer);
+        let mut attempt = 0usize;
+        loop {
+            let fates: Vec<Fate> =
+                (0..n).map(|c| self.injector.fate(round, attempt, c)).collect();
+
+            // Local work for every client whose fate requires compute.
+            let n_computing = fates.iter().filter(|f| needs_compute(**f)).count();
+            let global_params = &self.global_params;
+            let local_epochs = self.fl.local_epochs;
+            let outcomes: Vec<Option<LocalOutcome>> = if self.fl.parallel && n_computing > 1 {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = self
+                        .clients
+                        .iter_mut()
+                        .zip(&fates)
+                        .map(|(c, &fate)| {
+                            if !needs_compute(fate) {
+                                return None;
+                            }
+                            Some(s.spawn(move || run_local(c, fate, global_params, local_epochs)))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.map(|h| h.join().unwrap_or(Err(()))))
+                        .collect()
+                })
+            } else {
+                self.clients
+                    .iter_mut()
+                    .zip(&fates)
+                    .map(|(c, &fate)| {
+                        needs_compute(fate)
+                            .then(|| run_local(c, fate, global_params, local_epochs))
+                    })
+                    .collect()
+            };
+
+            // Interpret outcomes: build fresh candidates, deferred straggler
+            // updates, and the non-reporting entries.
+            let mut entries: Vec<ParticipationEntry> = Vec::new();
+            let mut fresh: Vec<UpdateCandidate> = Vec::new();
+            let mut deferred: Vec<UpdateCandidate> = Vec::new();
+            for (c, (fate, outcome)) in fates.iter().zip(outcomes).enumerate() {
+                match (fate, outcome) {
+                    (Fate::Crashed, _) => entries.push(ParticipationEntry {
+                        client: c,
+                        stale: false,
+                        outcome: Participation::Crashed,
+                    }),
+                    (Fate::Dropout, _) => entries.push(ParticipationEntry {
+                        client: c,
+                        stale: false,
+                        outcome: Participation::Dropout,
+                    }),
+                    (_, Some(Err(()))) => {
+                        if self.guard.panic_policy == PanicPolicy::Error {
+                            return Err(CoreError::ClientPanicked { client: c });
+                        }
+                        entries.push(ParticipationEntry {
+                            client: c,
+                            stale: false,
+                            outcome: Participation::Panicked,
+                        });
+                    }
+                    // A genuine error from local training (not a fault) is a
+                    // programming error and always propagates.
+                    (_, Some(Ok(Err(e)))) => return Err(e),
+                    (Fate::Straggler, Some(Ok(Ok(params)))) => {
+                        deferred.push(UpdateCandidate {
+                            client: c,
+                            stale: true,
+                            params,
+                            weight: self.weights[c],
+                        });
+                        entries.push(ParticipationEntry {
+                            client: c,
+                            stale: false,
+                            outcome: Participation::Straggling,
+                        });
+                    }
+                    (&fate, Some(Ok(Ok(mut params)))) => {
+                        if let Fate::Corrupt(kind) = fate {
+                            FaultInjector::corrupt(kind, &mut params, &self.global_params);
+                        }
+                        fresh.push(UpdateCandidate {
+                            client: c,
+                            stale: false,
+                            params,
+                            weight: self.weights[c],
+                        });
+                    }
+                    (_, None) => unreachable!("computing fate without an outcome"),
+                }
+            }
+
+            // Update-level adversaries rewrite their fresh submissions
+            // in-flight, between client computation and the server guard.
+            self.adversary.rewrite_round(
+                &mut fresh,
+                &self.global_params,
+                &self.prev_global,
+                self.global.n_classes(),
+            );
+
+            // Server-side validation over stale arrivals + fresh updates, in
+            // a fixed order so aggregation arithmetic is deterministic.
+            let mut candidates = stale_arrivals.clone();
+            candidates.extend(fresh);
+            candidates.sort_by_key(|c| (c.client, c.stale));
+            // Fingerprint the submissions as-submitted (pre-clipping); the
+            // computation is read-only and RNG-free.
+            let signatures = sign_updates(&candidates, &self.global_params, &self.prev_global);
+            let judged = judge_round(&self.global_params, candidates, &self.guard)?;
+            for j in &judged {
+                entries.push(ParticipationEntry {
+                    client: j.candidate.client,
+                    stale: j.candidate.stale,
+                    outcome: j.outcome,
+                });
+            }
+            entries.sort_by_key(|e| (e.client, e.stale));
+
+            let n_accepted = judged
+                .iter()
+                .filter(|j| matches!(j.outcome, Participation::Accepted { .. }))
+                .count();
+            let n_active = fates.iter().filter(|f| **f != Fate::Crashed).count();
+            let needed = ((self.guard.quorum_frac * n_active as f64).ceil() as usize).max(1);
+            let quorum_met = n_accepted >= needed;
+
+            if !quorum_met && attempt < self.guard.max_round_retries && n_active > 0 {
+                // Re-run the round against the remaining clients; the
+                // aborted attempt's straggler packets are lost with it.
+                attempt += 1;
+                continue;
+            }
+
+            if quorum_met {
+                let (updates, agg_weights): (Vec<Vec<f32>>, Vec<usize>) = judged
+                    .into_iter()
+                    .filter(|j| matches!(j.outcome, Participation::Accepted { .. }))
+                    .map(|j| (j.candidate.params, j.candidate.weight))
+                    .unzip();
+                self.aggregator.aggregate_into(&updates, &agg_weights, &mut self.aggregated)?;
+                self.global.set_params(&self.aggregated)?;
+            } else if self.guard.fail_fast {
+                return Err(CoreError::InvalidParameter {
+                    name: "quorum",
+                    message: format!(
+                        "round {round}: {n_accepted}/{needed} required updates accepted"
+                    ),
+                });
+            }
+            // else: graceful degradation — carry the global params forward.
+
+            self.stale_buffer = deferred;
+            self.log.rounds.push(RoundReport {
+                round,
+                attempts: attempt + 1,
+                degraded: !quorum_met,
+                entries,
+                signatures,
+            });
+            break;
+        }
+        // This round's starting params become the stale-echo reference; the
+        // old `prev_global` allocation is recycled as next round's
+        // `global_params` buffer.
+        std::mem::swap(&mut self.prev_global, &mut self.global_params);
+        self.next_round += 1;
+        Ok(self.log.rounds.last())
+    }
+
+    /// Drives every remaining round. A no-op on a finished session.
+    pub fn run_to_completion(&mut self) -> Result<()> {
+        while !self.is_finished() {
+            self.step_round()?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the session into the legacy [`FederationRun`] (trained
+    /// global model + full log). Callable at any point — finishing early
+    /// yields the model as of the last committed round.
+    pub fn finish(self) -> FederationRun {
+        FederationRun { net: self.global, log: self.log }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::AdversaryPlan;
+    use crate::aggregate::WeightedFedAvg;
+    use crate::faults::{FaultKind, FaultPlan};
+    use crate::fedavg::train_federated_byzantine;
+    use ctfl_core::data::{FeatureKind, FeatureSchema};
+
+    fn shards(n: usize) -> Vec<Dataset> {
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        (0..n)
+            .map(|c| {
+                let mut d = Dataset::empty(Arc::clone(&schema), 2);
+                for i in 0..40 {
+                    let v = ((i * n + c) % 120) as f32 / 120.0;
+                    d.push_row(&[v.into()], (v > 0.5) as u32).unwrap();
+                }
+                d
+            })
+            .collect()
+    }
+
+    fn cfg(seed: u64) -> LogicalNetConfig {
+        LogicalNetConfig {
+            tau_d: 6,
+            layer_sizes: vec![8],
+            epochs: 5,
+            batch_size: 16,
+            seed,
+            ..LogicalNetConfig::default()
+        }
+    }
+
+    #[test]
+    fn stepping_matches_one_shot_run() {
+        let shards = shards(3);
+        let fl = FlConfig { rounds: 4, local_epochs: 1, parallel: false };
+        let plan = FaultPlan::none(3, 4).with_event(1, 0, FaultKind::Dropout);
+        let adversary = AdversaryPlan::none(3);
+        let guard = GuardConfig::default();
+        let setup = ByzantineSetup {
+            faults: &plan,
+            adversary: &adversary,
+            guard: &guard,
+            aggregator: &WeightedFedAvg,
+        };
+        let one_shot = train_federated_byzantine(&shards, 2, &cfg(5), &fl, &setup).unwrap();
+
+        let mut engine = FederationEngine::from_datasets(&shards, 2, &cfg(5), &fl, &setup).unwrap();
+        assert_eq!(engine.state(), EngineState::Running { next_round: 0 });
+        let mut reports = 0;
+        while let Some(report) = engine.step_round().unwrap() {
+            assert_eq!(report.round, reports);
+            reports += 1;
+            // The session is inspectable mid-federation.
+            assert_eq!(engine.rounds_done(), reports);
+            assert!(engine.global().params().iter().all(|p| p.is_finite()));
+        }
+        assert_eq!(reports, 4);
+        assert!(engine.is_finished());
+        assert!(engine.step_round().unwrap().is_none(), "finished sessions stay finished");
+        let stepped = engine.finish();
+        assert_eq!(stepped.net.params(), one_shot.net.params());
+        assert_eq!(stepped.log, one_shot.log);
+    }
+
+    #[test]
+    fn interleaved_sessions_are_independent() {
+        // Two sessions stepped in lockstep reproduce their solo runs —
+        // the multiplexing guarantee the service layer builds on.
+        let shards_a = shards(3);
+        let shards_b = shards(4);
+        let fl = FlConfig { rounds: 3, local_epochs: 1, parallel: false };
+        let plan_a = FaultPlan::none(3, 3);
+        let plan_b = FaultPlan::none(4, 3).with_event(0, 2, FaultKind::Straggler);
+        let adv_a = AdversaryPlan::none(3);
+        let adv_b = AdversaryPlan::none(4);
+        let guard = GuardConfig::default();
+        let setup_a = ByzantineSetup {
+            faults: &plan_a,
+            adversary: &adv_a,
+            guard: &guard,
+            aggregator: &WeightedFedAvg,
+        };
+        let setup_b = ByzantineSetup {
+            faults: &plan_b,
+            adversary: &adv_b,
+            guard: &guard,
+            aggregator: &WeightedFedAvg,
+        };
+        let solo_a = train_federated_byzantine(&shards_a, 2, &cfg(6), &fl, &setup_a).unwrap();
+        let solo_b = train_federated_byzantine(&shards_b, 2, &cfg(7), &fl, &setup_b).unwrap();
+
+        let mut a = FederationEngine::from_datasets(&shards_a, 2, &cfg(6), &fl, &setup_a).unwrap();
+        let mut b = FederationEngine::from_datasets(&shards_b, 2, &cfg(7), &fl, &setup_b).unwrap();
+        while !(a.is_finished() && b.is_finished()) {
+            a.step_round().unwrap();
+            b.step_round().unwrap();
+        }
+        let (a, b) = (a.finish(), b.finish());
+        assert_eq!(a.net.params(), solo_a.net.params());
+        assert_eq!(a.log, solo_a.log);
+        assert_eq!(b.net.params(), solo_b.net.params());
+        assert_eq!(b.log, solo_b.log);
+    }
+
+    #[test]
+    fn early_finish_yields_the_partial_model() {
+        let shards = shards(3);
+        let fl = FlConfig { rounds: 5, local_epochs: 1, parallel: false };
+        let plan = FaultPlan::none(3, 5);
+        let adversary = AdversaryPlan::none(3);
+        let guard = GuardConfig::default();
+        let setup = ByzantineSetup {
+            faults: &plan,
+            adversary: &adversary,
+            guard: &guard,
+            aggregator: &WeightedFedAvg,
+        };
+        let mut engine = FederationEngine::from_datasets(&shards, 2, &cfg(8), &fl, &setup).unwrap();
+        engine.step_round().unwrap();
+        engine.step_round().unwrap();
+        assert_eq!(engine.state(), EngineState::Running { next_round: 2 });
+        let partial = engine.finish();
+        assert_eq!(partial.log.rounds.len(), 2);
+
+        // The two-round prefix equals a two-round federation.
+        let fl2 = FlConfig { rounds: 2, ..fl };
+        let plan2 = FaultPlan::none(3, 2);
+        let setup2 = ByzantineSetup {
+            faults: &plan2,
+            adversary: &adversary,
+            guard: &guard,
+            aggregator: &WeightedFedAvg,
+        };
+        let two = train_federated_byzantine(&shards, 2, &cfg(8), &fl2, &setup2).unwrap();
+        assert_eq!(partial.net.params(), two.net.params());
+    }
+
+    #[test]
+    fn constructor_rejects_bad_sessions_with_typed_errors() {
+        let shards = shards(2);
+        let fl = FlConfig { rounds: 1, local_epochs: 1, parallel: false };
+        let adversary = AdversaryPlan::none(2);
+        let guard = GuardConfig::default();
+        // Fault plan sized for a different federation.
+        let plan = FaultPlan::none(3, 1);
+        let setup = ByzantineSetup {
+            faults: &plan,
+            adversary: &adversary,
+            guard: &guard,
+            aggregator: &WeightedFedAvg,
+        };
+        let err = FederationEngine::from_datasets(&shards, 2, &cfg(9), &fl, &setup).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::LengthMismatch { what: "fault plan clients", expected: 2, actual: 3 }
+        );
+        // Adversary plan sized for a different federation.
+        let plan = FaultPlan::none(2, 1);
+        let adversary3 = AdversaryPlan::none(3);
+        let setup = ByzantineSetup {
+            faults: &plan,
+            adversary: &adversary3,
+            guard: &guard,
+            aggregator: &WeightedFedAvg,
+        };
+        let err = FederationEngine::from_datasets(&shards, 2, &cfg(9), &fl, &setup).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::LengthMismatch { what: "adversary plan clients", expected: 2, actual: 3 }
+        );
+        // Empty federation.
+        let setup = ByzantineSetup {
+            faults: &plan,
+            adversary: &adversary,
+            guard: &guard,
+            aggregator: &WeightedFedAvg,
+        };
+        let err = FederationEngine::from_datasets(&[], 2, &cfg(9), &fl, &setup).unwrap_err();
+        assert_eq!(err, CoreError::Empty { what: "client data" });
+    }
+}

@@ -11,6 +11,7 @@
 //! loop. Everything is deterministic: the same plan always produces the same
 //! [`crate::guard::FederationLog`], byte for byte.
 
+use ctfl_core::error::{CoreError, Result};
 use ctfl_rng::rngs::StdRng;
 use ctfl_rng::{Rng, SeedableRng};
 
@@ -110,6 +111,26 @@ impl FaultSpec {
     pub fn dropout_only(p: f64) -> Self {
         FaultSpec { dropout: p, ..FaultSpec::default() }
     }
+
+    /// Checks every probability lies in `[0, 1]`, as a typed error — the
+    /// fallible face of the assertions [`FaultPlan::generate`] enforces, so
+    /// a service layer can reject a bad job instead of dying.
+    pub fn validate(&self) -> Result<()> {
+        for (name, p) in [
+            ("crash", self.crash),
+            ("dropout", self.dropout),
+            ("straggler", self.straggler),
+            ("corrupt", self.corrupt),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(CoreError::InvalidParameter {
+                    name: "fault spec",
+                    message: format!("{name} probability {p} outside [0, 1]"),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A deterministic schedule of fault events over `rounds × n_clients`.
@@ -138,15 +159,23 @@ impl FaultPlan {
     /// Clients are visited in id order, rounds in order, so the plan is a
     /// pure function of `(n_clients, rounds, spec, seed)`. Once a client
     /// crashes, no further events are generated for it.
+    ///
+    /// Panics on probabilities outside `[0, 1]` — a programming error in
+    /// test/experiment code. Untrusted inputs (wire jobs) go through
+    /// [`FaultPlan::try_generate`].
     pub fn generate(n_clients: usize, rounds: usize, spec: &FaultSpec, seed: u64) -> Self {
-        for (name, p) in [
-            ("crash", spec.crash),
-            ("dropout", spec.dropout),
-            ("straggler", spec.straggler),
-            ("corrupt", spec.corrupt),
-        ] {
-            assert!((0.0..=1.0).contains(&p), "{name} probability {p} outside [0, 1]");
-        }
+        Self::try_generate(n_clients, rounds, spec, seed).expect("valid fault spec")
+    }
+
+    /// [`FaultPlan::generate`] with typed-error validation instead of
+    /// assertions, for plans built from untrusted (wire) input.
+    pub fn try_generate(
+        n_clients: usize,
+        rounds: usize,
+        spec: &FaultSpec,
+        seed: u64,
+    ) -> Result<Self> {
+        spec.validate()?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut events = Vec::new();
         for client in 0..n_clients {
@@ -168,30 +197,78 @@ impl FaultPlan {
             }
         }
         events.sort_by_key(|e| (e.round, e.client));
-        FaultPlan { n_clients, rounds, events }
+        Ok(FaultPlan { n_clients, rounds, events })
     }
 
     /// Adds (or replaces) a single scheduled event.
-    pub fn with_event(mut self, round: usize, client: usize, kind: FaultKind) -> Self {
-        assert!(client < self.n_clients, "client {client} outside federation");
-        assert!(round < self.rounds, "round {round} outside plan horizon");
+    ///
+    /// Panics outside the plan's grid; untrusted inputs go through
+    /// [`FaultPlan::try_with_event`].
+    pub fn with_event(self, round: usize, client: usize, kind: FaultKind) -> Self {
+        self.try_with_event(round, client, kind).expect("event inside the plan grid")
+    }
+
+    /// [`FaultPlan::with_event`] with typed-error validation instead of
+    /// assertions.
+    pub fn try_with_event(
+        mut self,
+        round: usize,
+        client: usize,
+        kind: FaultKind,
+    ) -> Result<Self> {
+        if client >= self.n_clients {
+            return Err(CoreError::InvalidParameter {
+                name: "fault event",
+                message: format!(
+                    "client {client} outside federation of {}",
+                    self.n_clients
+                ),
+            });
+        }
+        if round >= self.rounds {
+            return Err(CoreError::InvalidParameter {
+                name: "fault event",
+                message: format!("round {round} outside plan horizon of {}", self.rounds),
+            });
+        }
         self.events.retain(|e| !(e.round == round && e.client == client));
         self.events.push(FaultEvent { round, client, kind });
         self.events.sort_by_key(|e| (e.round, e.client));
-        self
+        Ok(self)
     }
 
     /// Makes `client` corrupt its upload in **every** round (replacing any
     /// other event scheduled for it) — the persistent-byzantine scenario of
     /// the chaos gate.
-    pub fn with_persistent_corruption(mut self, client: usize, kind: CorruptionKind) -> Self {
-        assert!(client < self.n_clients, "client {client} outside federation");
+    ///
+    /// Panics on a client outside the federation; untrusted inputs go
+    /// through [`FaultPlan::try_with_persistent_corruption`].
+    pub fn with_persistent_corruption(self, client: usize, kind: CorruptionKind) -> Self {
+        self.try_with_persistent_corruption(client, kind).expect("client inside federation")
+    }
+
+    /// [`FaultPlan::with_persistent_corruption`] with typed-error validation
+    /// instead of an assertion.
+    pub fn try_with_persistent_corruption(
+        mut self,
+        client: usize,
+        kind: CorruptionKind,
+    ) -> Result<Self> {
+        if client >= self.n_clients {
+            return Err(CoreError::InvalidParameter {
+                name: "fault event",
+                message: format!(
+                    "client {client} outside federation of {}",
+                    self.n_clients
+                ),
+            });
+        }
         self.events.retain(|e| e.client != client);
         for round in 0..self.rounds {
             self.events.push(FaultEvent { round, client, kind: FaultKind::Corrupt(kind) });
         }
         self.events.sort_by_key(|e| (e.round, e.client));
-        self
+        Ok(self)
     }
 
     /// Number of clients the plan covers.

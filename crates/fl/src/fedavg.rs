@@ -6,6 +6,13 @@
 //! size. Clients run concurrently with scoped threads — they are
 //! independent within a round.
 //!
+//! Every entry point here is a thin wrapper over one runtime,
+//! [`crate::engine::FederationEngine`] — they build a session and drive it
+//! to completion. Callers who want to pause, inspect round reports, or
+//! multiplex federations use the engine directly (or through the service
+//! layer in [`crate::server`]); callers who just want a trained model use
+//! these.
+//!
 //! [`train_federated_byzantine`] is the full runtime: a [`FaultPlan`]
 //! injects system-level faults (dropout, crash, straggling, corrupted
 //! uploads, panics), an [`AdversaryPlan`] rewrites strategic clients'
@@ -19,21 +26,15 @@
 //! zero-fault back-compat wrapper: no injected faults, strict guard (any
 //! panic or non-finite upload is a typed error).
 
-use ctfl_core::data::{Dataset, DatasetView, FeatureSchema};
-use ctfl_core::error::{CoreError, Result};
-use ctfl_nn::encoding::EncodedData;
+use ctfl_core::data::{Dataset, DatasetView};
+use ctfl_core::error::Result;
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
-use std::panic::AssertUnwindSafe;
-use std::sync::Arc;
 
-use crate::adversary::{AdversaryInjector, AdversaryPlan};
+use crate::adversary::AdversaryPlan;
 use crate::aggregate::{Aggregator, WeightedFedAvg};
-use crate::client::Client;
-use crate::faults::{Fate, FaultInjector, FaultPlan};
-use crate::guard::{
-    judge_round, sign_updates, FederationLog, GuardConfig, PanicPolicy, Participation,
-    ParticipationEntry, RoundReport, UpdateCandidate,
-};
+use crate::engine::FederationEngine;
+use crate::faults::FaultPlan;
+use crate::guard::{FederationLog, GuardConfig};
 
 /// Federated-training configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,25 +64,24 @@ pub struct FederationRun {
     pub log: FederationLog,
 }
 
-/// A client's local computation outcome: `Err(())` means its thread
-/// panicked (the panic was contained).
-type LocalOutcome = std::result::Result<Result<Vec<f32>>, ()>;
-
-fn needs_compute(fate: Fate) -> bool {
-    matches!(fate, Fate::Healthy | Fate::Straggler | Fate::Corrupt(_) | Fate::Panic)
-}
-
-/// Runs one client's local work with panic containment. The injected
-/// [`Fate::Panic`] fires inside this closure, so it exercises exactly the
-/// containment path a genuine client panic would take.
-fn run_local(client: &mut Client, fate: Fate, global: &[f32], epochs: usize) -> LocalOutcome {
-    std::panic::catch_unwind(AssertUnwindSafe(|| {
-        if fate == Fate::Panic {
-            panic!("injected fault: client {} panicked", client.id);
-        }
-        client.local_update(global, epochs)
-    }))
-    .map_err(|_| ())
+/// The full server-side policy of a Byzantine federation run: which system
+/// faults fire, which clients rewrite their updates, how the guard judges
+/// candidates, and which rule fuses the survivors.
+///
+/// `faults: FaultPlan::none + adversary: AdversaryPlan::none + aggregator:
+/// WeightedFedAvg` reproduces the plain fault-tolerant runtime bit for bit —
+/// [`train_federated_with`] is exactly that delegation.
+#[derive(Debug, Clone, Copy)]
+pub struct ByzantineSetup<'a> {
+    /// System-level fault schedule (dropout, crash, straggle, corrupt,
+    /// panic).
+    pub faults: &'a FaultPlan,
+    /// Update-level attack roles (sign-flip, collusion, free-riding, …).
+    pub adversary: &'a AdversaryPlan,
+    /// Server-side validation, quorum, and degradation policy.
+    pub guard: &'a GuardConfig,
+    /// The rule fusing accepted updates into the next global model.
+    pub aggregator: &'a dyn Aggregator,
 }
 
 /// Trains a global model with FedAvg over per-client datasets, under an
@@ -106,26 +106,6 @@ pub fn train_federated_with(
 ) -> Result<FederationRun> {
     let views: Vec<DatasetView<'_>> = client_data.iter().map(Dataset::view).collect();
     train_federated_with_views(&views, n_classes, net_config, fl_config, plan, guard)
-}
-
-/// The full server-side policy of a Byzantine federation run: which system
-/// faults fire, which clients rewrite their updates, how the guard judges
-/// candidates, and which rule fuses the survivors.
-///
-/// `faults: FaultPlan::none + adversary: AdversaryPlan::none + aggregator:
-/// WeightedFedAvg` reproduces the plain fault-tolerant runtime bit for bit —
-/// [`train_federated_with`] is exactly that delegation.
-#[derive(Debug, Clone, Copy)]
-pub struct ByzantineSetup<'a> {
-    /// System-level fault schedule (dropout, crash, straggle, corrupt,
-    /// panic).
-    pub faults: &'a FaultPlan,
-    /// Update-level attack roles (sign-flip, collusion, free-riding, …).
-    pub adversary: &'a AdversaryPlan,
-    /// Server-side validation, quorum, and degradation policy.
-    pub guard: &'a GuardConfig,
-    /// The rule fusing accepted updates into the next global model.
-    pub aggregator: &'a dyn Aggregator,
 }
 
 /// Trains a global model with FedAvg over zero-copy per-client views, under
@@ -173,9 +153,10 @@ pub fn train_federated_byzantine(
 /// (stale straggler arrivals pass unmodified — a late update was computed
 /// against an older global and is already handled by the staleness path).
 /// The server then fingerprints every finite fresh submission
-/// ([`sign_updates`] — recorded per round in the [`FederationLog`] for the
-/// collusion/free-riding detectors), judges candidates with the guard, and
-/// fuses the accepted survivors with `setup.aggregator`.
+/// ([`crate::guard::sign_updates`] — recorded per round in the
+/// [`FederationLog`] for the collusion/free-riding detectors), judges
+/// candidates with the guard, and fuses the accepted survivors with
+/// `setup.aggregator`.
 ///
 /// Determinism contract unchanged: same inputs → bit-identical parameters
 /// and a byte-identical log, parallel and serial paths agreeing exactly.
@@ -186,319 +167,10 @@ pub fn train_federated_byzantine_views(
     fl_config: &FlConfig,
     setup: &ByzantineSetup<'_>,
 ) -> Result<FederationRun> {
-    let plan = setup.faults;
-    if client_data.is_empty() {
-        return Err(CoreError::Empty { what: "client data" });
-    }
-    if plan.n_clients() != client_data.len() {
-        return Err(CoreError::LengthMismatch {
-            what: "fault plan clients",
-            expected: client_data.len(),
-            actual: plan.n_clients(),
-        });
-    }
-    if setup.adversary.n_clients() != client_data.len() {
-        return Err(CoreError::LengthMismatch {
-            what: "adversary plan clients",
-            expected: client_data.len(),
-            actual: setup.adversary.n_clients(),
-        });
-    }
-    let schema = Arc::clone(client_data[0].schema());
-    for (i, d) in client_data.iter().enumerate() {
-        if d.is_empty() {
-            return Err(CoreError::InvalidParameter {
-                name: "client_data",
-                message: format!("client {i} has no data"),
-            });
-        }
-        if d.schema() != &schema {
-            return Err(CoreError::InvalidParameter {
-                name: "client_data",
-                message: format!("client {i} has a different schema"),
-            });
-        }
-    }
-
-    // Each client gets a replica with a distinct RNG stream (for minibatch
-    // shuffling) but the same encoder seed via set_params + same config —
-    // LogicalNet::new derives the encoder from config.seed, so replicas use
-    // the SAME seed to keep literal layouts identical.
-    let clients: Vec<Client> = client_data
-        .iter()
-        .enumerate()
-        .map(|(id, d)| {
-            let net = LogicalNet::new(Arc::clone(&schema), n_classes, net_config.clone())?;
-            let encoded = net.encode_view(d)?;
-            Ok(Client::new(id, encoded, net))
-        })
-        .collect::<Result<_>>()?;
-    run_federation(&schema, clients, n_classes, net_config, fl_config, setup)
-}
-
-/// Trains over shards that are **already encoded** (each shared by `Arc`) —
-/// the valuation engine's path: a coalition sweep re-federates the same
-/// client shards hundreds of times, and re-encoding them per coalition was
-/// pure waste. Encode each shard once with [`LogicalNet::encoder_for`]
-/// (same seed → same encoder → bit-identical encoding) and hand out `Arc`
-/// clones.
-///
-/// Bit-identical to [`train_federated_byzantine_views`] over views of the
-/// same rows: encoding is a pure per-row function of the (seed-fixed)
-/// encoder, so pre-encoding commutes with federation.
-pub fn train_federated_preencoded(
-    schema: &Arc<FeatureSchema>,
-    shards: &[Arc<EncodedData>],
-    n_classes: usize,
-    net_config: &LogicalNetConfig,
-    fl_config: &FlConfig,
-    setup: &ByzantineSetup<'_>,
-) -> Result<FederationRun> {
-    if shards.is_empty() {
-        return Err(CoreError::Empty { what: "client data" });
-    }
-    if setup.faults.n_clients() != shards.len() {
-        return Err(CoreError::LengthMismatch {
-            what: "fault plan clients",
-            expected: shards.len(),
-            actual: setup.faults.n_clients(),
-        });
-    }
-    if setup.adversary.n_clients() != shards.len() {
-        return Err(CoreError::LengthMismatch {
-            what: "adversary plan clients",
-            expected: shards.len(),
-            actual: setup.adversary.n_clients(),
-        });
-    }
-    let width = LogicalNet::encoder_for(schema, net_config)?.width();
-    for (i, s) in shards.iter().enumerate() {
-        if s.is_empty() {
-            return Err(CoreError::InvalidParameter {
-                name: "shards",
-                message: format!("client {i} has no data"),
-            });
-        }
-        if s.x.cols() != width {
-            return Err(CoreError::LengthMismatch {
-                what: "encoded width",
-                expected: width,
-                actual: s.x.cols(),
-            });
-        }
-        if s.labels.iter().any(|&l| (l as usize) >= n_classes) {
-            return Err(CoreError::InvalidParameter {
-                name: "shards",
-                message: format!("client {i} has a label out of range"),
-            });
-        }
-    }
-    let clients: Vec<Client> = shards
-        .iter()
-        .enumerate()
-        .map(|(id, s)| {
-            let net = LogicalNet::new(Arc::clone(schema), n_classes, net_config.clone())?;
-            Ok(Client::shared(id, Arc::clone(s), net))
-        })
-        .collect::<Result<_>>()?;
-    run_federation(schema, clients, n_classes, net_config, fl_config, setup)
-}
-
-/// The round loop shared by the view-encoding and pre-encoded entry points.
-/// Inputs are validated; `clients` are built and ordered by id.
-fn run_federation(
-    schema: &Arc<FeatureSchema>,
-    mut clients: Vec<Client>,
-    n_classes: usize,
-    net_config: &LogicalNetConfig,
-    fl_config: &FlConfig,
-    setup: &ByzantineSetup<'_>,
-) -> Result<FederationRun> {
-    let (plan, guard) = (setup.faults, setup.guard);
-    let mut global = LogicalNet::new(Arc::clone(schema), n_classes, net_config.clone())?;
-    let n = clients.len();
-    let weights: Vec<usize> = clients.iter().map(Client::n_rows).collect();
-    let mut injector = FaultInjector::new(plan.clone());
-    let adversary = AdversaryInjector::new(setup.adversary.clone());
-    let mut log = FederationLog::new(n);
-    // Stragglers' late updates, delivered at the start of the next round.
-    let mut stale_buffer: Vec<UpdateCandidate> = Vec::new();
-    // The previous round's global parameters — the stale-echo reference for
-    // update signatures (round 0: the initial global itself). `global_params`
-    // and `aggregated` are refilled in place each round instead of
-    // reallocated; at round end the buffers swap roles.
-    let mut prev_global = global.params();
-    let mut global_params: Vec<f32> = Vec::new();
-    let mut aggregated: Vec<f32> = Vec::new();
-
-    for round in 0..fl_config.rounds {
-        global.params_into(&mut global_params);
-        let stale_arrivals = std::mem::take(&mut stale_buffer);
-        let mut attempt = 0usize;
-        loop {
-            let fates: Vec<Fate> = (0..n).map(|c| injector.fate(round, attempt, c)).collect();
-
-            // Local work for every client whose fate requires compute.
-            let n_computing = fates.iter().filter(|f| needs_compute(**f)).count();
-            let outcomes: Vec<Option<LocalOutcome>> =
-                if fl_config.parallel && n_computing > 1 {
-                    std::thread::scope(|s| {
-                        let handles: Vec<_> = clients
-                            .iter_mut()
-                            .zip(&fates)
-                            .map(|(c, &fate)| {
-                                if !needs_compute(fate) {
-                                    return None;
-                                }
-                                let gp = &global_params;
-                                Some(s.spawn(move || {
-                                    run_local(c, fate, gp, fl_config.local_epochs)
-                                }))
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.map(|h| h.join().unwrap_or(Err(()))))
-                            .collect()
-                    })
-                } else {
-                    clients
-                        .iter_mut()
-                        .zip(&fates)
-                        .map(|(c, &fate)| {
-                            needs_compute(fate)
-                                .then(|| run_local(c, fate, &global_params, fl_config.local_epochs))
-                        })
-                        .collect()
-                };
-
-            // Interpret outcomes: build fresh candidates, deferred straggler
-            // updates, and the non-reporting entries.
-            let mut entries: Vec<ParticipationEntry> = Vec::new();
-            let mut fresh: Vec<UpdateCandidate> = Vec::new();
-            let mut deferred: Vec<UpdateCandidate> = Vec::new();
-            for (c, (fate, outcome)) in fates.iter().zip(outcomes).enumerate() {
-                match (fate, outcome) {
-                    (Fate::Crashed, _) => entries.push(ParticipationEntry {
-                        client: c,
-                        stale: false,
-                        outcome: Participation::Crashed,
-                    }),
-                    (Fate::Dropout, _) => entries.push(ParticipationEntry {
-                        client: c,
-                        stale: false,
-                        outcome: Participation::Dropout,
-                    }),
-                    (_, Some(Err(()))) => {
-                        if guard.panic_policy == PanicPolicy::Error {
-                            return Err(CoreError::ClientPanicked { client: c });
-                        }
-                        entries.push(ParticipationEntry {
-                            client: c,
-                            stale: false,
-                            outcome: Participation::Panicked,
-                        });
-                    }
-                    // A genuine error from local training (not a fault) is a
-                    // programming error and always propagates.
-                    (_, Some(Ok(Err(e)))) => return Err(e),
-                    (Fate::Straggler, Some(Ok(Ok(params)))) => {
-                        deferred.push(UpdateCandidate {
-                            client: c,
-                            stale: true,
-                            params,
-                            weight: weights[c],
-                        });
-                        entries.push(ParticipationEntry {
-                            client: c,
-                            stale: false,
-                            outcome: Participation::Straggling,
-                        });
-                    }
-                    (&fate, Some(Ok(Ok(mut params)))) => {
-                        if let Fate::Corrupt(kind) = fate {
-                            FaultInjector::corrupt(kind, &mut params, &global_params);
-                        }
-                        fresh.push(UpdateCandidate {
-                            client: c,
-                            stale: false,
-                            params,
-                            weight: weights[c],
-                        });
-                    }
-                    (_, None) => unreachable!("computing fate without an outcome"),
-                }
-            }
-
-            // Update-level adversaries rewrite their fresh submissions
-            // in-flight, between client computation and the server guard.
-            adversary.rewrite_round(&mut fresh, &global_params, &prev_global, n_classes);
-
-            // Server-side validation over stale arrivals + fresh updates, in
-            // a fixed order so aggregation arithmetic is deterministic.
-            let mut candidates = stale_arrivals.clone();
-            candidates.extend(fresh);
-            candidates.sort_by_key(|c| (c.client, c.stale));
-            // Fingerprint the submissions as-submitted (pre-clipping); the
-            // computation is read-only and RNG-free.
-            let signatures = sign_updates(&candidates, &global_params, &prev_global);
-            let judged = judge_round(&global_params, candidates, guard)?;
-            for j in &judged {
-                entries.push(ParticipationEntry {
-                    client: j.candidate.client,
-                    stale: j.candidate.stale,
-                    outcome: j.outcome,
-                });
-            }
-            entries.sort_by_key(|e| (e.client, e.stale));
-
-            let n_accepted =
-                judged.iter().filter(|j| matches!(j.outcome, Participation::Accepted { .. })).count();
-            let n_active = fates.iter().filter(|f| **f != Fate::Crashed).count();
-            let needed = ((guard.quorum_frac * n_active as f64).ceil() as usize).max(1);
-            let quorum_met = n_accepted >= needed;
-
-            if !quorum_met && attempt < guard.max_round_retries && n_active > 0 {
-                // Re-run the round against the remaining clients; the
-                // aborted attempt's straggler packets are lost with it.
-                attempt += 1;
-                continue;
-            }
-
-            if quorum_met {
-                let (updates, agg_weights): (Vec<Vec<f32>>, Vec<usize>) = judged
-                    .into_iter()
-                    .filter(|j| matches!(j.outcome, Participation::Accepted { .. }))
-                    .map(|j| (j.candidate.params, j.candidate.weight))
-                    .unzip();
-                setup.aggregator.aggregate_into(&updates, &agg_weights, &mut aggregated)?;
-                global.set_params(&aggregated)?;
-            } else if guard.fail_fast {
-                return Err(CoreError::InvalidParameter {
-                    name: "quorum",
-                    message: format!(
-                        "round {round}: {n_accepted}/{needed} required updates accepted"
-                    ),
-                });
-            }
-            // else: graceful degradation — carry the global params forward.
-
-            stale_buffer = deferred;
-            log.rounds.push(RoundReport {
-                round,
-                attempts: attempt + 1,
-                degraded: !quorum_met,
-                entries,
-                signatures,
-            });
-            break;
-        }
-        // This round's starting params become the stale-echo reference; the
-        // old `prev_global` allocation is recycled as next round's
-        // `global_params` buffer.
-        std::mem::swap(&mut prev_global, &mut global_params);
-    }
-    Ok(FederationRun { net: global, log })
+    let mut engine =
+        FederationEngine::from_views(client_data, n_classes, net_config, fl_config, setup)?;
+    engine.run_to_completion()?;
+    Ok(engine.finish())
 }
 
 /// Trains a global model with FedAvg over per-client datasets — the
@@ -507,8 +179,8 @@ fn run_federation(
 /// Equivalent to [`train_federated_with`] under [`FaultPlan::none`] and
 /// [`GuardConfig::strict`]: no faults are injected, every client must
 /// report every round, a client panic surfaces as
-/// [`CoreError::ClientPanicked`] (never a process abort), and a non-finite
-/// upload as [`CoreError::NonFinite`].
+/// [`ctfl_core::error::CoreError::ClientPanicked`] (never a process abort),
+/// and a non-finite upload as [`ctfl_core::error::CoreError::NonFinite`].
 ///
 /// Returns the trained global network.
 pub fn train_federated(
@@ -526,8 +198,10 @@ pub fn train_federated(
 mod tests {
     use super::*;
     use crate::faults::{CorruptionKind, FaultKind, FaultSpec};
-    use crate::guard::RejectReason;
+    use crate::guard::{PanicPolicy, Participation, RejectReason};
     use ctfl_core::data::{FeatureKind, FeatureSchema};
+    use ctfl_core::error::CoreError;
+    use std::sync::Arc;
 
     fn shards() -> Vec<Dataset> {
         // label = x > 0.5; client 0 is negative-heavy, client 1 positive-heavy
@@ -754,70 +428,6 @@ mod tests {
         assert_eq!(a.log, b.log);
         assert_eq!(a.log.render(), b.log.render());
         assert_eq!(a.net.params(), b.net.params());
-    }
-
-    #[test]
-    fn preencoded_matches_view_encoding_bitwise() {
-        let shards = many_shards(3);
-        let fl = FlConfig { rounds: 3, local_epochs: 1, parallel: false };
-        let plan = FaultPlan::none(3, 3).with_event(1, 0, FaultKind::Straggler);
-        let adversary = AdversaryPlan::none(3);
-        let guard = GuardConfig::default();
-        let setup = ByzantineSetup {
-            faults: &plan,
-            adversary: &adversary,
-            guard: &guard,
-            aggregator: &WeightedFedAvg,
-        };
-        let net_cfg = cfg(12);
-        let views: Vec<DatasetView<'_>> = shards.iter().map(Dataset::view).collect();
-        let a = train_federated_byzantine_views(&views, 2, &net_cfg, &fl, &setup).unwrap();
-
-        let encoder = LogicalNet::encoder_for(shards[0].schema(), &net_cfg).unwrap();
-        let encoded: Vec<Arc<ctfl_nn::EncodedData>> =
-            shards.iter().map(|d| Arc::new(encoder.encode(d).unwrap())).collect();
-        let b =
-            train_federated_preencoded(shards[0].schema(), &encoded, 2, &net_cfg, &fl, &setup)
-                .unwrap();
-        assert_eq!(a.net.params(), b.net.params(), "preencoded path diverges");
-        assert_eq!(a.log, b.log);
-    }
-
-    #[test]
-    fn preencoded_validation_errors() {
-        let shards = many_shards(2);
-        let net_cfg = cfg(13);
-        let fl = FlConfig { rounds: 1, local_epochs: 1, parallel: false };
-        let plan = FaultPlan::none(2, 1);
-        let adversary = AdversaryPlan::none(2);
-        let guard = GuardConfig::default();
-        let setup = ByzantineSetup {
-            faults: &plan,
-            adversary: &adversary,
-            guard: &guard,
-            aggregator: &WeightedFedAvg,
-        };
-        let schema = Arc::clone(shards[0].schema());
-        // Empty shard list.
-        assert!(
-            train_federated_preencoded(&schema, &[], 2, &net_cfg, &fl, &setup).is_err()
-        );
-        // Wrong encoded width (encoder from a different tau_d).
-        let other_cfg = LogicalNetConfig { tau_d: 3, ..net_cfg.clone() };
-        let wrong = LogicalNet::encoder_for(&schema, &other_cfg).unwrap();
-        let bad: Vec<Arc<ctfl_nn::EncodedData>> =
-            shards.iter().map(|d| Arc::new(wrong.encode(d).unwrap())).collect();
-        assert!(
-            train_federated_preencoded(&schema, &bad, 2, &net_cfg, &fl, &setup).is_err()
-        );
-        // Label out of range for n_classes.
-        let encoder = LogicalNet::encoder_for(&schema, &net_cfg).unwrap();
-        let mut enc = encoder.encode(&shards[0]).unwrap();
-        enc.labels[0] = 9;
-        let bad = vec![Arc::new(enc.clone()), Arc::new(enc)];
-        assert!(
-            train_federated_preencoded(&schema, &bad, 2, &net_cfg, &fl, &setup).is_err()
-        );
     }
 
     #[test]

@@ -6,8 +6,15 @@
 //!   CTFL's micro allocation mirrors): clients run local gradient-grafting
 //!   epochs on their private shard; the server averages parameters weighted
 //!   by shard size.
+//! * [`engine`] — the composable round-loop runtime behind every entry
+//!   point: a [`engine::FederationEngine`] session driven by an explicit
+//!   `step_round()` state machine, so callers can pause, inspect round
+//!   reports, and resume mid-federation.
+//! * [`wire`] — the length-prefixed binary protocol for submitting
+//!   federation jobs and client updates to a running service.
 //! * [`client`] / [`server`] — the two roles, separable so tests can drive
-//!   each in isolation.
+//!   each in isolation; [`server`] also hosts the service layer (seeded
+//!   FIFO job queue, scoped-thread worker pool, wire-protocol dispatch).
 //! * [`faults`] — seeded, deterministic system-level fault injection
 //!   (dropout, crash, straggling, corrupted uploads, panics).
 //! * [`adversary`] — seeded, deterministic *update-level* adversaries
@@ -34,20 +41,25 @@
 pub mod adversary;
 pub mod aggregate;
 pub mod client;
+pub mod engine;
 pub mod faults;
 pub mod fedavg;
 pub mod guard;
 pub mod metrics;
 pub mod privacy;
 pub mod server;
+pub mod wire;
 
 pub use adversary::{AdversaryInjector, AdversaryPlan, AttackKind};
 pub use aggregate::{Aggregator, CoordinateMedian, MultiKrum, TrimmedMean, WeightedFedAvg};
+pub use engine::{EngineState, FederationEngine};
 pub use faults::{CorruptionKind, FaultKind, FaultPlan, FaultSpec};
 pub use fedavg::{
-    train_federated, train_federated_byzantine, train_federated_preencoded,
-    train_federated_with, ByzantineSetup, FederationRun, FlConfig,
+    train_federated, train_federated_byzantine, train_federated_with, ByzantineSetup,
+    FederationRun, FlConfig,
 };
 pub use guard::{FederationLog, GuardConfig, PanicPolicy};
 pub use metrics::{accuracy_of, f1_binary};
 pub use privacy::{assemble_trace_inputs, ActivationUpload, PrivacyConfig};
+pub use server::{FederationService, JobQueue, JobResult};
+pub use wire::{Message, WireError};

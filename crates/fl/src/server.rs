@@ -1,6 +1,41 @@
-//! The federation server: weighted parameter aggregation.
+//! The federation server: weighted parameter aggregation, plus the service
+//! runtime that multiplexes whole federations.
+//!
+//! The bottom half of this module is the original server primitive —
+//! [`aggregate`] / [`aggregate_into`], FedAvg's data-size-weighted mean.
+//! On top of it sits the service layer:
+//!
+//! * [`JobQueue`] — a FIFO of self-contained seeded [`JobSpec`]s. Every job
+//!   carries its own seed, so queue position never influences results.
+//! * [`FederationService`] — executes jobs through
+//!   [`crate::engine::FederationEngine`] sessions, either serially
+//!   ([`FederationService::execute_job`]) or multiplexed over a
+//!   scoped-thread worker pool ([`FederationService::run_queue`]), with
+//!   bit-identical results either way: engines share no mutable state, and
+//!   each result lands in its job's own slot regardless of which worker ran
+//!   it or in what order they finished.
+//! * Wire dispatch — [`FederationService::handle_message`] maps each
+//!   decoded [`Message`] to its reply (jobs, aggregation sessions for raw
+//!   client-update uploads, typed rejections), and
+//!   [`FederationService::serve`] pumps frames over any
+//!   `Read`/`Write` transport (a TCP stream in `ctfl-server`, in-memory
+//!   buffers in tests).
 
+use ctfl_core::data::{Dataset, FeatureKind, FeatureSchema};
 use ctfl_core::error::{CoreError, Result};
+use ctfl_nn::net::LogicalNetConfig;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::adversary::{AdversaryPlan, AttackKind};
+use crate::aggregate::{Aggregator, CoordinateMedian, MultiKrum, TrimmedMean, WeightedFedAvg};
+use crate::engine::FederationEngine;
+use crate::faults::{CorruptionKind, FaultPlan, FaultSpec};
+use crate::fedavg::{ByzantineSetup, FlConfig};
+use crate::guard::GuardConfig;
+use crate::wire::{self, JobSpec, Message, WireError, WireResult};
 
 /// Aggregates client parameter vectors by FedAvg's data-size-weighted mean:
 /// `θ = Σ_i (n_i / Σ_j n_j) · θ_i`.
@@ -43,6 +78,427 @@ pub fn aggregate_into(
     out.clear();
     out.extend(acc.into_iter().map(|v| v as f32));
     Ok(())
+}
+
+// ---- service fingerprints ----------------------------------------------
+
+/// FNV-1a over raw bytes — the service's result fingerprint.
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// FNV-1a over the little-endian bit patterns of a parameter vector.
+pub fn fnv1a_bits(values: &[f32]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+// ---- job queue ---------------------------------------------------------
+
+/// A FIFO queue of federation jobs. Ids are assigned in submission order;
+/// results carry the id so callers can match them back however the worker
+/// pool interleaved execution.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    jobs: std::collections::VecDeque<(u32, JobSpec)>,
+    next_id: u32,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a job, returning its id.
+    pub fn push(&mut self, spec: JobSpec) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.push_back((id, spec));
+        id
+    }
+
+    /// Dequeues the oldest job.
+    pub fn pop(&mut self) -> Option<(u32, JobSpec)> {
+        self.jobs.pop_front()
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Drains every queued job in FIFO order.
+    pub fn drain(&mut self) -> Vec<(u32, JobSpec)> {
+        self.jobs.drain(..).collect()
+    }
+}
+
+/// A finished job's deterministic fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Queue id of the job.
+    pub job: u32,
+    /// FNV-1a over the trained global parameter bits.
+    pub params_hash: u64,
+    /// FNV-1a over the rendered federation log.
+    pub log_hash: u64,
+    /// Rounds the federation committed.
+    pub rounds: u32,
+    /// Training accuracy of the final global model on the job's pooled
+    /// workload.
+    pub accuracy: f64,
+}
+
+// ---- aggregation sessions (wire client updates) ------------------------
+
+/// One open wire-level aggregation round: raw parameter uploads collected
+/// per client until every expected participant has reported.
+#[derive(Debug)]
+struct AggregationSession {
+    dim: usize,
+    /// One slot per client; a second upload from the same client is
+    /// rejected rather than silently replaced.
+    updates: Vec<Option<(Vec<f32>, u32)>>,
+}
+
+/// Session-level acknowledgements ([`Message::OpenSession`] replies) use
+/// this in [`Message::Ack`]'s `client` field — no real client id can
+/// collide with it because sessions are capped far below `u32::MAX`.
+pub const SESSION_ACK: u32 = u32::MAX;
+
+// ---- the service -------------------------------------------------------
+
+/// The federation service: a worker pool for queued jobs plus the wire
+/// dispatcher for aggregation sessions.
+#[derive(Debug)]
+pub struct FederationService {
+    workers: usize,
+    sessions: HashMap<u32, AggregationSession>,
+    next_job: u32,
+}
+
+impl FederationService {
+    /// A service running at most `workers` federations concurrently
+    /// (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        FederationService { workers: workers.max(1), sessions: HashMap::new(), next_job: 0 }
+    }
+
+    /// Builds the deterministic synthetic workload of a job: `n_clients`
+    /// shards over one continuous feature, a pure function of
+    /// `(seed, n_clients, rows_per_client)`.
+    pub fn workload(spec: &JobSpec) -> Vec<Dataset> {
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let n = spec.n_clients as usize;
+        let offset = (spec.seed % 101) as usize;
+        (0..n)
+            .map(|c| {
+                let mut d = Dataset::empty(Arc::clone(&schema), 2);
+                for i in 0..spec.rows_per_client as usize {
+                    let v = ((i * n + c + offset) % 120) as f32 / 120.0;
+                    d.push_row(&[v.into()], (v > 0.5) as u32).expect("row matches schema");
+                }
+                d
+            })
+            .collect()
+    }
+
+    /// Resolves a job's attack code into a plan, or a typed error for
+    /// unknown codes. Code `0` is the honest federation.
+    fn adversary_plan(spec: &JobSpec) -> Result<AdversaryPlan> {
+        let n = spec.n_clients as usize;
+        let kind = match spec.attack {
+            0 => return Ok(AdversaryPlan::none(n)),
+            1 => AttackKind::SignFlip { scale: 1.0 },
+            2 => AttackKind::ScaleGradient { factor: 4.0 },
+            3 => AttackKind::Collude { leader: 0 },
+            4 => AttackKind::FreeRideZero,
+            5 => AttackKind::FreeRideStale,
+            6 => AttackKind::ClassBias { class: 0, boost: 2.0 },
+            code => {
+                return Err(CoreError::InvalidParameter {
+                    name: "attack",
+                    message: format!("unknown attack code {code}"),
+                })
+            }
+        };
+        AdversaryPlan::try_generate(n, spec.adversary_frac, kind, spec.seed ^ 0xAD5E)
+    }
+
+    /// Resolves a job's aggregation-rule code, or a typed error for unknown
+    /// codes.
+    fn rule(spec: &JobSpec) -> Result<Box<dyn Aggregator>> {
+        Ok(match spec.rule {
+            0 => Box::new(WeightedFedAvg),
+            1 => Box::new(CoordinateMedian),
+            2 => Box::new(TrimmedMean::new(0.25)),
+            3 => Box::new(MultiKrum::krum(0)),
+            code => {
+                return Err(CoreError::InvalidParameter {
+                    name: "rule",
+                    message: format!("unknown aggregation-rule code {code}"),
+                })
+            }
+        })
+    }
+
+    /// Runs one job to completion through a [`FederationEngine`] session.
+    ///
+    /// Every invalid spec is a typed [`CoreError`] (bad probabilities, bad
+    /// fractions, unknown codes, empty federations) — the wire path renders
+    /// it into a [`Message::Reject`] instead of dying.
+    pub fn execute_job(job: u32, spec: &JobSpec) -> Result<JobResult> {
+        if spec.n_clients == 0 {
+            return Err(CoreError::Empty { what: "job federation" });
+        }
+        if spec.rows_per_client == 0 {
+            return Err(CoreError::Empty { what: "job client shard" });
+        }
+        let fault_spec = FaultSpec {
+            dropout: spec.dropout,
+            straggler: spec.straggler,
+            corrupt: spec.corrupt,
+            corruption: CorruptionKind::NaN,
+            ..FaultSpec::default()
+        };
+        let n = spec.n_clients as usize;
+        let rounds = spec.rounds as usize;
+        let plan = FaultPlan::try_generate(n, rounds, &fault_spec, spec.seed ^ 0xFA17)?;
+        let adversary = Self::adversary_plan(spec)?;
+        let rule = Self::rule(spec)?;
+        let guard = GuardConfig::default();
+        let setup = ByzantineSetup {
+            faults: &plan,
+            adversary: &adversary,
+            guard: &guard,
+            aggregator: &*rule,
+        };
+        let fl = FlConfig {
+            rounds,
+            local_epochs: spec.local_epochs as usize,
+            parallel: spec.parallel,
+        };
+        let net_config = LogicalNetConfig {
+            tau_d: 6,
+            layer_sizes: vec![8],
+            epochs: 5,
+            batch_size: 16,
+            seed: spec.seed,
+            ..LogicalNetConfig::default()
+        };
+        let shards = Self::workload(spec);
+        let mut engine = FederationEngine::from_datasets(&shards, 2, &net_config, &fl, &setup)?;
+        engine.run_to_completion()?;
+        let run = engine.finish();
+        let pooled = Dataset::concat(shards.iter())?;
+        let encoded = run.net.encode(&pooled)?;
+        let accuracy = run.net.accuracy_encoded(&encoded);
+        Ok(JobResult {
+            job,
+            params_hash: fnv1a_bits(&run.net.params()),
+            log_hash: fnv1a_bytes(run.log.render().as_bytes()),
+            rounds: run.log.rounds.len() as u32,
+            accuracy,
+        })
+    }
+
+    /// Runs a batch of jobs over the worker pool. Results come back in job
+    /// order — position `i` of the output is job `i` of the input — and are
+    /// bit-identical to running [`FederationService::execute_job`] over the
+    /// slice serially: each engine session is self-contained, each worker
+    /// claims the next unclaimed index, and each result is written to its
+    /// own pre-allocated slot.
+    pub fn run_jobs(&self, jobs: &[(u32, JobSpec)]) -> Vec<Result<JobResult>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let n_workers = self.workers.min(jobs.len());
+        if n_workers <= 1 {
+            return jobs.iter().map(|(id, spec)| Self::execute_job(*id, spec)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<JobResult>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..n_workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((id, spec)) = jobs.get(i) else { break };
+                    let result = Self::execute_job(*id, spec);
+                    *slots[i].lock().expect("job slot lock") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("job slot lock").expect("every job slot is filled")
+            })
+            .collect()
+    }
+
+    /// Drains the queue through the worker pool (FIFO submission order in,
+    /// job-ordered results out).
+    pub fn run_queue(&self, queue: &mut JobQueue) -> Vec<Result<JobResult>> {
+        self.run_jobs(&queue.drain())
+    }
+
+    /// Maps one request to its reply — the transport-free core of the
+    /// dispatcher. Invalid requests come back as [`Message::Reject`]
+    /// rendering the typed error; the connection survives.
+    pub fn handle_message(&mut self, msg: Message) -> Message {
+        match msg {
+            Message::SubmitJob(spec) => {
+                let id = self.next_job;
+                self.next_job += 1;
+                match Self::execute_job(id, &spec) {
+                    Ok(r) => Message::JobDone {
+                        job: r.job,
+                        params_hash: r.params_hash,
+                        log_hash: r.log_hash,
+                        rounds: r.rounds,
+                        accuracy: r.accuracy,
+                    },
+                    Err(e) => Message::Reject { detail: e.to_string() },
+                }
+            }
+            Message::OpenSession { session, n_clients, dim } => {
+                if n_clients == 0 || dim == 0 {
+                    return Message::Reject {
+                        detail: format!(
+                            "session {session}: need at least one client and one parameter"
+                        ),
+                    };
+                }
+                if self.sessions.contains_key(&session) {
+                    return Message::Reject { detail: format!("session {session} already open") };
+                }
+                self.sessions.insert(
+                    session,
+                    AggregationSession {
+                        dim: dim as usize,
+                        updates: vec![None; n_clients as usize],
+                    },
+                );
+                Message::Ack { session, client: SESSION_ACK }
+            }
+            Message::SubmitUpdate { session, client, weight, params } => {
+                let Some(open) = self.sessions.get_mut(&session) else {
+                    return Message::Reject { detail: format!("session {session} is not open") };
+                };
+                let c = client as usize;
+                if c >= open.updates.len() {
+                    return Message::Reject {
+                        detail: format!(
+                            "client {client} outside session of {}",
+                            open.updates.len()
+                        ),
+                    };
+                }
+                if params.len() != open.dim {
+                    return Message::Reject {
+                        detail: CoreError::LengthMismatch {
+                            what: "update parameters",
+                            expected: open.dim,
+                            actual: params.len(),
+                        }
+                        .to_string(),
+                    };
+                }
+                if params.iter().any(|p| !p.is_finite()) {
+                    return Message::Reject {
+                        detail: CoreError::NonFinite {
+                            what: "client parameter vector",
+                            index: c,
+                        }
+                        .to_string(),
+                    };
+                }
+                if open.updates[c].is_some() {
+                    return Message::Reject {
+                        detail: format!("client {client} already reported in session {session}"),
+                    };
+                }
+                open.updates[c] = Some((params, weight));
+                if open.updates.iter().all(Option::is_some) {
+                    let open = self.sessions.remove(&session).expect("session just updated");
+                    let mut vectors = Vec::with_capacity(open.updates.len());
+                    let mut weights = Vec::with_capacity(open.updates.len());
+                    for slot in open.updates {
+                        let (p, w) = slot.expect("all slots filled");
+                        vectors.push(p);
+                        weights.push(w as usize);
+                    }
+                    match aggregate(&vectors, &weights) {
+                        Ok(params) => Message::RoundComplete { session, params },
+                        Err(e) => Message::Reject { detail: e.to_string() },
+                    }
+                } else {
+                    Message::Ack { session, client }
+                }
+            }
+            Message::Shutdown => Message::Shutdown,
+            // Server-to-client messages arriving as requests are protocol
+            // violations, not crashes.
+            other @ (Message::JobDone { .. }
+            | Message::Ack { .. }
+            | Message::RoundComplete { .. }
+            | Message::Reject { .. }) => Message::Reject {
+                detail: format!("unexpected server-to-client message: {other:?}"),
+            },
+        }
+    }
+
+    /// Pumps frames on a transport until [`Message::Shutdown`] or a clean
+    /// EOF at a frame boundary. Malformed frames that leave the stream
+    /// decodable get a [`Message::Reject`] reply; transport failures and
+    /// mid-frame truncation end the connection with the typed error.
+    ///
+    /// Returns the number of requests served.
+    pub fn serve(&mut self, r: &mut impl Read, w: &mut impl Write) -> WireResult<usize> {
+        let mut served = 0usize;
+        loop {
+            let msg = match wire::read_frame(r) {
+                Ok(msg) => msg,
+                // EOF before the next frame's first byte is a clean close.
+                Err(WireError::Io { kind: std::io::ErrorKind::UnexpectedEof }) => return Ok(served),
+                // Payload-level decode errors leave the frame boundary
+                // intact: reject and keep serving.
+                Err(e @ (WireError::UnknownTag { .. }
+                | WireError::BadValue { .. }
+                | WireError::Trailing { .. })) => {
+                    wire::write_frame(w, &Message::Reject { detail: e.to_string() })?;
+                    served += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let reply = self.handle_message(msg);
+            let done = reply == Message::Shutdown;
+            wire::write_frame(w, &reply)?;
+            served += 1;
+            if done {
+                return Ok(served);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +567,182 @@ mod tests {
                 "{bad} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn queue_is_fifo_with_stable_ids() {
+        let mut q = JobQueue::new();
+        let a = q.push(JobSpec::clean(1, 2, 1));
+        let b = q.push(JobSpec::clean(2, 2, 1));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().0, 0);
+        assert_eq!(q.pop().unwrap().0, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pooled_jobs_match_serial_execution() {
+        let service = FederationService::new(4);
+        let jobs: Vec<(u32, JobSpec)> = (0..6)
+            .map(|i| {
+                let mut spec = JobSpec::clean(100 + i as u64, 3, 2);
+                if i % 2 == 0 {
+                    spec.dropout = 0.3;
+                }
+                (i, spec)
+            })
+            .collect();
+        let pooled = service.run_jobs(&jobs);
+        let serial: Vec<_> =
+            jobs.iter().map(|(id, spec)| FederationService::execute_job(*id, spec)).collect();
+        assert_eq!(pooled, serial, "worker pool must not change results");
+    }
+
+    #[test]
+    fn bad_jobs_are_typed_errors_not_panics() {
+        let bad_prob = JobSpec { dropout: 1.5, ..JobSpec::clean(1, 3, 2) };
+        assert!(matches!(
+            FederationService::execute_job(0, &bad_prob).unwrap_err(),
+            CoreError::InvalidParameter { name: "fault spec", .. }
+        ));
+        let bad_frac = JobSpec { adversary_frac: -0.1, attack: 1, ..JobSpec::clean(1, 3, 2) };
+        assert!(matches!(
+            FederationService::execute_job(0, &bad_frac).unwrap_err(),
+            CoreError::InvalidParameter { name: "adversary plan", .. }
+        ));
+        let bad_attack = JobSpec { attack: 200, ..JobSpec::clean(1, 3, 2) };
+        assert!(matches!(
+            FederationService::execute_job(0, &bad_attack).unwrap_err(),
+            CoreError::InvalidParameter { name: "attack", .. }
+        ));
+        let bad_rule = JobSpec { rule: 9, ..JobSpec::clean(1, 3, 2) };
+        assert!(matches!(
+            FederationService::execute_job(0, &bad_rule).unwrap_err(),
+            CoreError::InvalidParameter { name: "rule", .. }
+        ));
+        let empty = JobSpec { n_clients: 0, ..JobSpec::clean(1, 3, 2) };
+        assert_eq!(
+            FederationService::execute_job(0, &empty).unwrap_err(),
+            CoreError::Empty { what: "job federation" }
+        );
+    }
+
+    #[test]
+    fn aggregation_session_over_the_dispatcher() {
+        let mut service = FederationService::new(1);
+        let open = service.handle_message(Message::OpenSession { session: 7, n_clients: 2, dim: 2 });
+        assert_eq!(open, Message::Ack { session: 7, client: SESSION_ACK });
+        // Reopening is a protocol error.
+        assert!(matches!(
+            service.handle_message(Message::OpenSession { session: 7, n_clients: 2, dim: 2 }),
+            Message::Reject { .. }
+        ));
+        let first = service.handle_message(Message::SubmitUpdate {
+            session: 7,
+            client: 0,
+            weight: 3,
+            params: vec![1.0, 0.0],
+        });
+        assert_eq!(first, Message::Ack { session: 7, client: 0 });
+        // Duplicate uploads are rejected, not silently replaced.
+        assert!(matches!(
+            service.handle_message(Message::SubmitUpdate {
+                session: 7,
+                client: 0,
+                weight: 3,
+                params: vec![9.0, 9.0],
+            }),
+            Message::Reject { .. }
+        ));
+        // NaNs never reach aggregation.
+        assert!(matches!(
+            service.handle_message(Message::SubmitUpdate {
+                session: 7,
+                client: 1,
+                weight: 1,
+                params: vec![f32::NAN, 0.0],
+            }),
+            Message::Reject { .. }
+        ));
+        let done = service.handle_message(Message::SubmitUpdate {
+            session: 7,
+            client: 1,
+            weight: 1,
+            params: vec![0.0, 1.0],
+        });
+        let Message::RoundComplete { session, params } = done else {
+            panic!("expected RoundComplete, got {done:?}");
+        };
+        assert_eq!(session, 7);
+        assert!((params[0] - 0.75).abs() < 1e-6);
+        assert!((params[1] - 0.25).abs() < 1e-6);
+        // The session closed with the round.
+        assert!(matches!(
+            service.handle_message(Message::SubmitUpdate {
+                session: 7,
+                client: 0,
+                weight: 1,
+                params: vec![0.0, 0.0],
+            }),
+            Message::Reject { .. }
+        ));
+    }
+
+    #[test]
+    fn serve_pumps_a_full_conversation_in_memory() {
+        let mut requests = Vec::new();
+        wire::write_frame(&mut requests, &Message::OpenSession { session: 1, n_clients: 1, dim: 1 })
+            .unwrap();
+        wire::write_frame(
+            &mut requests,
+            &Message::SubmitUpdate { session: 1, client: 0, weight: 1, params: vec![0.5] },
+        )
+        .unwrap();
+        // A malformed frame mid-stream gets a Reject, not a dropped
+        // connection.
+        let mut bogus = wire::encode(&Message::Shutdown);
+        bogus[0] = 0xEE;
+        requests.extend_from_slice(&(bogus.len() as u32).to_le_bytes());
+        requests.extend_from_slice(&bogus);
+        wire::write_frame(&mut requests, &Message::Shutdown).unwrap();
+
+        let mut service = FederationService::new(1);
+        let mut replies = Vec::new();
+        let served = service.serve(&mut requests.as_slice(), &mut replies).unwrap();
+        assert_eq!(served, 4);
+        let mut r = replies.as_slice();
+        assert_eq!(
+            wire::read_frame(&mut r).unwrap(),
+            Message::Ack { session: 1, client: SESSION_ACK }
+        );
+        assert_eq!(
+            wire::read_frame(&mut r).unwrap(),
+            Message::RoundComplete { session: 1, params: vec![0.5] }
+        );
+        assert!(matches!(wire::read_frame(&mut r).unwrap(), Message::Reject { .. }));
+        assert_eq!(wire::read_frame(&mut r).unwrap(), Message::Shutdown);
+    }
+
+    #[test]
+    fn submit_job_over_the_wire_matches_direct_execution() {
+        let spec = JobSpec { dropout: 0.3, ..JobSpec::clean(42, 3, 2) };
+        let direct = FederationService::execute_job(0, &spec).unwrap();
+        let mut service = FederationService::new(1);
+        let reply = service.handle_message(Message::SubmitJob(spec));
+        assert_eq!(
+            reply,
+            Message::JobDone {
+                job: direct.job,
+                params_hash: direct.params_hash,
+                log_hash: direct.log_hash,
+                rounds: direct.rounds,
+                accuracy: direct.accuracy,
+            }
+        );
+        // And a bad spec is a Reject, not a dead service.
+        let reply = service
+            .handle_message(Message::SubmitJob(JobSpec { rule: 77, ..JobSpec::clean(1, 2, 1) }));
+        assert!(matches!(reply, Message::Reject { .. }));
     }
 }

@@ -1,0 +1,592 @@
+//! The length-prefixed binary wire protocol of the federation service.
+//!
+//! A frame is `[u32 LE payload length][payload]`; a payload is
+//! `[u8 tag][fields…]` with every field in little-endian fixed-width
+//! encoding (floats as their IEEE-754 bit patterns, so values — including
+//! NaNs a guard must judge — survive the wire bit-for-bit). Variable-length
+//! fields (strings, parameter vectors) carry their own `u32 LE` element
+//! count. There is no padding and no alignment: the layout is a pure
+//! function of the message, which is what lets the golden byte-layout test
+//! pin the format.
+//!
+//! Decoding is total and typed: every malformed input maps to a
+//! [`WireError`] — truncated or oversized frames, unknown tags, invalid
+//! bools/UTF-8, trailing bytes — never a panic, so the service can reject a
+//! bad frame and keep serving.
+//!
+//! The message set covers the two service entry paths:
+//!
+//! * **Valuation jobs** — [`Message::SubmitJob`] carries a self-contained
+//!   seeded [`JobSpec`]; the service replies [`Message::JobDone`] (result
+//!   hashes + accuracy) or [`Message::Reject`] with the typed validation
+//!   error's rendering.
+//! * **Client updates** — [`Message::OpenSession`] announces a round's
+//!   aggregation session, each participant streams a
+//!   [`Message::SubmitUpdate`], and the closing update is answered with
+//!   [`Message::RoundComplete`] carrying the fused parameters.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Hard ceiling on a frame's payload length. Anything larger is rejected
+/// with [`WireError::Oversized`] *before* allocation — a corrupt or hostile
+/// length prefix must not OOM the server.
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// Errors produced while encoding, decoding, or transporting frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a field was complete.
+    Truncated {
+        /// The field being decoded.
+        what: &'static str,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A frame's declared payload length exceeds [`MAX_FRAME`].
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The ceiling it violated.
+        max: usize,
+    },
+    /// The payload's leading tag byte names no known message.
+    UnknownTag {
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A field decoded to an invalid value (non-boolean byte, bad UTF-8).
+    BadValue {
+        /// The field being decoded.
+        what: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The payload held bytes beyond the end of the message.
+    Trailing {
+        /// Number of undecoded bytes left over.
+        extra: usize,
+    },
+    /// The underlying transport failed.
+    Io {
+        /// The I/O error kind (the portable, comparable part).
+        kind: std::io::ErrorKind,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what, needed, available } => {
+                write!(f, "truncated frame: {what} needs {needed} bytes, {available} available")
+            }
+            WireError::Oversized { len, max } => {
+                write!(f, "oversized frame: declared payload of {len} bytes exceeds {max}")
+            }
+            WireError::UnknownTag { tag } => write!(f, "unknown message tag {tag:#04X}"),
+            WireError::BadValue { what, detail } => write!(f, "bad {what}: {detail}"),
+            WireError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+            WireError::Io { kind } => write!(f, "transport error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io { kind: e.kind() }
+    }
+}
+
+/// Convenience result alias for wire operations.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+/// A self-contained federation job: everything the service needs to rebuild
+/// and run one seeded federation, with no out-of-band state. Field codes
+/// (`attack`, `rule`) are validated by the *service* against its catalogue —
+/// the wire layer transports any byte and the executor rejects unknown ones
+/// with a typed error, so the protocol doesn't have to change when a rule is
+/// added.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Seed deriving the workload, fault plan, and adversary plan.
+    pub seed: u64,
+    /// Federation size.
+    pub n_clients: u32,
+    /// Rows in each client's synthetic shard.
+    pub rows_per_client: u32,
+    /// Communication rounds.
+    pub rounds: u32,
+    /// Local epochs per round.
+    pub local_epochs: u32,
+    /// Run clients on scoped threads within each round.
+    pub parallel: bool,
+    /// Per-round dropout probability.
+    pub dropout: f64,
+    /// Per-round straggler probability.
+    pub straggler: f64,
+    /// Per-round corrupted-upload probability.
+    pub corrupt: f64,
+    /// Fraction of clients rewriting their updates adversarially.
+    pub adversary_frac: f64,
+    /// Attack code (see [`crate::server`]'s catalogue; `0` = none).
+    pub attack: u8,
+    /// Aggregation-rule code (`0` = weighted FedAvg).
+    pub rule: u8,
+}
+
+impl JobSpec {
+    /// A healthy, attack-free job — the baseline the soak test perturbs.
+    pub fn clean(seed: u64, n_clients: u32, rounds: u32) -> Self {
+        JobSpec {
+            seed,
+            n_clients,
+            rows_per_client: 40,
+            rounds,
+            local_epochs: 1,
+            parallel: false,
+            dropout: 0.0,
+            straggler: 0.0,
+            corrupt: 0.0,
+            adversary_frac: 0.0,
+            attack: 0,
+            rule: 0,
+        }
+    }
+}
+
+/// One protocol message. See the module docs for the request/response
+/// pairing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Submit a seeded federation job (tag `0x01`).
+    SubmitJob(JobSpec),
+    /// A job finished: deterministic result fingerprints (tag `0x02`).
+    JobDone {
+        /// Queue id of the finished job.
+        job: u32,
+        /// FNV-1a over the trained parameter bits.
+        params_hash: u64,
+        /// FNV-1a over the rendered federation log.
+        log_hash: u64,
+        /// Rounds the federation committed.
+        rounds: u32,
+        /// Training accuracy of the final global model on the job workload.
+        accuracy: f64,
+    },
+    /// Announce an aggregation session expecting `n_clients` updates of
+    /// `dim` parameters each (tag `0x03`).
+    OpenSession {
+        /// Caller-chosen session id.
+        session: u32,
+        /// Updates the round will wait for.
+        n_clients: u32,
+        /// Parameter dimensionality of every update.
+        dim: u32,
+    },
+    /// One client's parameter upload into an open session (tag `0x04`).
+    SubmitUpdate {
+        /// Session the update belongs to.
+        session: u32,
+        /// Submitting client id.
+        client: u32,
+        /// FedAvg weight (the client's row count).
+        weight: u32,
+        /// The parameter vector, bit-exact.
+        params: Vec<f32>,
+    },
+    /// The update was recorded; the session still waits for more (tag
+    /// `0x05`).
+    Ack {
+        /// Session acknowledging.
+        session: u32,
+        /// Client whose update was recorded.
+        client: u32,
+    },
+    /// The session's final update arrived; here are the aggregated
+    /// parameters (tag `0x06`).
+    RoundComplete {
+        /// The completed session.
+        session: u32,
+        /// The fused parameter vector.
+        params: Vec<f32>,
+    },
+    /// The request was invalid; `detail` renders the typed error (tag
+    /// `0x07`).
+    Reject {
+        /// Human-readable rendering of the rejection cause.
+        detail: String,
+    },
+    /// Close the connection after draining in-flight replies (tag `0x08`).
+    Shutdown,
+}
+
+const TAG_SUBMIT_JOB: u8 = 0x01;
+const TAG_JOB_DONE: u8 = 0x02;
+const TAG_OPEN_SESSION: u8 = 0x03;
+const TAG_SUBMIT_UPDATE: u8 = 0x04;
+const TAG_ACK: u8 = 0x05;
+const TAG_ROUND_COMPLETE: u8 = 0x06;
+const TAG_REJECT: u8 = 0x07;
+const TAG_SHUTDOWN: u8 = 0x08;
+
+// ---- encoding ----------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn put_params(out: &mut Vec<u8>, params: &[f32]) {
+    put_u32(out, params.len() as u32);
+    for p in params {
+        out.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes a message into its payload bytes (no length prefix).
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        Message::SubmitJob(spec) => {
+            out.push(TAG_SUBMIT_JOB);
+            put_u64(&mut out, spec.seed);
+            put_u32(&mut out, spec.n_clients);
+            put_u32(&mut out, spec.rows_per_client);
+            put_u32(&mut out, spec.rounds);
+            put_u32(&mut out, spec.local_epochs);
+            put_bool(&mut out, spec.parallel);
+            put_f64(&mut out, spec.dropout);
+            put_f64(&mut out, spec.straggler);
+            put_f64(&mut out, spec.corrupt);
+            put_f64(&mut out, spec.adversary_frac);
+            out.push(spec.attack);
+            out.push(spec.rule);
+        }
+        Message::JobDone { job, params_hash, log_hash, rounds, accuracy } => {
+            out.push(TAG_JOB_DONE);
+            put_u32(&mut out, *job);
+            put_u64(&mut out, *params_hash);
+            put_u64(&mut out, *log_hash);
+            put_u32(&mut out, *rounds);
+            put_f64(&mut out, *accuracy);
+        }
+        Message::OpenSession { session, n_clients, dim } => {
+            out.push(TAG_OPEN_SESSION);
+            put_u32(&mut out, *session);
+            put_u32(&mut out, *n_clients);
+            put_u32(&mut out, *dim);
+        }
+        Message::SubmitUpdate { session, client, weight, params } => {
+            out.push(TAG_SUBMIT_UPDATE);
+            put_u32(&mut out, *session);
+            put_u32(&mut out, *client);
+            put_u32(&mut out, *weight);
+            put_params(&mut out, params);
+        }
+        Message::Ack { session, client } => {
+            out.push(TAG_ACK);
+            put_u32(&mut out, *session);
+            put_u32(&mut out, *client);
+        }
+        Message::RoundComplete { session, params } => {
+            out.push(TAG_ROUND_COMPLETE);
+            put_u32(&mut out, *session);
+            put_params(&mut out, params);
+        }
+        Message::Reject { detail } => {
+            out.push(TAG_REJECT);
+            put_str(&mut out, detail);
+        }
+        Message::Shutdown => out.push(TAG_SHUTDOWN),
+    }
+    out
+}
+
+// ---- decoding ----------------------------------------------------------
+
+/// Cursor over a payload; every read names its field so truncation errors
+/// say what was being decoded.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, what: &'static str, n: usize) -> WireResult<&'a [u8]> {
+        let available = self.buf.len() - self.pos;
+        if available < n {
+            return Err(WireError::Truncated { what, needed: n, available });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &'static str) -> WireResult<u8> {
+        Ok(self.take(what, 1)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(what, 4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(what, 8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self, what: &'static str) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn bool(&mut self, what: &'static str) -> WireResult<bool> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadValue {
+                what,
+                detail: format!("boolean byte must be 0 or 1, got {b}"),
+            }),
+        }
+    }
+
+    fn params(&mut self, what: &'static str) -> WireResult<Vec<f32>> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(what, len.saturating_mul(4))?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+            .collect())
+    }
+
+    fn string(&mut self, what: &'static str) -> WireResult<String> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(what, len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::BadValue { what, detail: e.to_string() })
+    }
+
+    fn finish(self) -> WireResult<()> {
+        let extra = self.buf.len() - self.pos;
+        if extra > 0 {
+            return Err(WireError::Trailing { extra });
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one payload (the bytes after the length prefix) into a message.
+/// The payload must be consumed exactly; leftover bytes are a typed error.
+pub fn decode(payload: &[u8]) -> WireResult<Message> {
+    let mut c = Cursor::new(payload);
+    let msg = match c.u8("message tag")? {
+        TAG_SUBMIT_JOB => Message::SubmitJob(JobSpec {
+            seed: c.u64("job seed")?,
+            n_clients: c.u32("job n_clients")?,
+            rows_per_client: c.u32("job rows_per_client")?,
+            rounds: c.u32("job rounds")?,
+            local_epochs: c.u32("job local_epochs")?,
+            parallel: c.bool("job parallel")?,
+            dropout: c.f64("job dropout")?,
+            straggler: c.f64("job straggler")?,
+            corrupt: c.f64("job corrupt")?,
+            adversary_frac: c.f64("job adversary_frac")?,
+            attack: c.u8("job attack code")?,
+            rule: c.u8("job rule code")?,
+        }),
+        TAG_JOB_DONE => Message::JobDone {
+            job: c.u32("job id")?,
+            params_hash: c.u64("params hash")?,
+            log_hash: c.u64("log hash")?,
+            rounds: c.u32("rounds")?,
+            accuracy: c.f64("accuracy")?,
+        },
+        TAG_OPEN_SESSION => Message::OpenSession {
+            session: c.u32("session id")?,
+            n_clients: c.u32("session n_clients")?,
+            dim: c.u32("session dim")?,
+        },
+        TAG_SUBMIT_UPDATE => Message::SubmitUpdate {
+            session: c.u32("session id")?,
+            client: c.u32("client id")?,
+            weight: c.u32("update weight")?,
+            params: c.params("update params")?,
+        },
+        TAG_ACK => Message::Ack { session: c.u32("session id")?, client: c.u32("client id")? },
+        TAG_ROUND_COMPLETE => Message::RoundComplete {
+            session: c.u32("session id")?,
+            params: c.params("round params")?,
+        },
+        TAG_REJECT => Message::Reject { detail: c.string("reject detail")? },
+        TAG_SHUTDOWN => Message::Shutdown,
+        tag => return Err(WireError::UnknownTag { tag }),
+    };
+    c.finish()?;
+    Ok(msg)
+}
+
+/// Encodes a message as a complete frame: `[u32 LE payload len][payload]`.
+pub fn frame(msg: &Message) -> WireResult<Vec<u8>> {
+    let payload = encode(msg);
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Oversized { len: payload.len(), max: MAX_FRAME });
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Decodes one frame from the front of `bytes`, returning the message and
+/// the number of bytes consumed. Pure — the in-memory face of
+/// [`read_frame`], and what the property tests drive.
+pub fn decode_frame(bytes: &[u8]) -> WireResult<(Message, usize)> {
+    if bytes.len() < 4 {
+        return Err(WireError::Truncated {
+            what: "frame length prefix",
+            needed: 4,
+            available: bytes.len(),
+        });
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized { len, max: MAX_FRAME });
+    }
+    let available = bytes.len() - 4;
+    if available < len {
+        return Err(WireError::Truncated { what: "frame payload", needed: len, available });
+    }
+    let msg = decode(&bytes[4..4 + len])?;
+    Ok((msg, 4 + len))
+}
+
+/// Reads one frame from a transport. The length prefix is validated against
+/// [`MAX_FRAME`] *before* the payload buffer is allocated.
+pub fn read_frame(r: &mut impl Read) -> WireResult<Message> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized { len, max: MAX_FRAME });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    decode(&payload)
+}
+
+/// Writes one message as a frame to a transport.
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> WireResult<()> {
+    let bytes = frame(msg)?;
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        let messages = [
+            Message::SubmitJob(JobSpec::clean(7, 4, 3)),
+            Message::JobDone {
+                job: 9,
+                params_hash: 0xDEAD_BEEF_0123_4567,
+                log_hash: 0x89AB_CDEF_0000_FFFF,
+                rounds: 3,
+                accuracy: 0.9375,
+            },
+            Message::OpenSession { session: 1, n_clients: 4, dim: 2 },
+            Message::SubmitUpdate {
+                session: 1,
+                client: 2,
+                weight: 40,
+                params: vec![1.0, -2.5, f32::NAN, f32::INFINITY],
+            },
+            Message::Ack { session: 1, client: 2 },
+            Message::RoundComplete { session: 1, params: vec![0.25, 0.75] },
+            Message::Reject { detail: "invalid parameter quorum: …".into() },
+            Message::Shutdown,
+        ];
+        for msg in &messages {
+            let bytes = frame(msg).unwrap();
+            let (decoded, consumed) = decode_frame(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len());
+            // NaN != NaN under PartialEq; compare through bit patterns.
+            assert_eq!(encode(&decoded), encode(msg), "round trip changed {msg:?}");
+        }
+    }
+
+    #[test]
+    fn streams_carry_frames() {
+        let msg = Message::OpenSession { session: 3, n_clients: 2, dim: 8 };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        write_frame(&mut buf, &Message::Shutdown).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), msg);
+        assert_eq!(read_frame(&mut r).unwrap(), Message::Shutdown);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err(),
+            WireError::Io { kind: std::io::ErrorKind::UnexpectedEof }
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, (MAX_FRAME + 1) as u32);
+        assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            WireError::Oversized { len: MAX_FRAME + 1, max: MAX_FRAME }
+        );
+        let mut r = &bytes[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err(),
+            WireError::Oversized { len: MAX_FRAME + 1, max: MAX_FRAME }
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_a_typed_error() {
+        let mut payload = encode(&Message::Shutdown);
+        payload.push(0xAA);
+        assert_eq!(decode(&payload).unwrap_err(), WireError::Trailing { extra: 1 });
+    }
+
+    #[test]
+    fn non_boolean_byte_is_a_typed_error() {
+        let mut payload = encode(&Message::SubmitJob(JobSpec::clean(1, 2, 1)));
+        // The `parallel` bool sits after tag(1) + seed(8) + 4 u32s(16).
+        payload[25] = 7;
+        assert!(matches!(
+            decode(&payload).unwrap_err(),
+            WireError::BadValue { what: "job parallel", .. }
+        ));
+    }
+}

@@ -146,9 +146,6 @@ pub struct ModelUtility {
     /// of this instead of re-encoding the coalition view (encoding is a
     /// pure per-row function, so the gather is bit-identical).
     encoded_pooled: EncodedData,
-    /// Each client's shard encoded once, shared with every federated
-    /// coalition evaluation touching that client.
-    encoded_clients: Vec<Arc<EncodedData>>,
 }
 
 impl ModelUtility {
@@ -179,13 +176,6 @@ impl ModelUtility {
         let encoder = LogicalNet::encoder_for(pooled.schema(), &net_config)
             .expect("valid net config");
         let encoded_pooled = encoder.encode(&pooled).expect("pooled data encodes");
-        let encoded_clients = ranges
-            .iter()
-            .map(|r| {
-                let view = pooled.view_of_rows(r.clone().collect());
-                Arc::new(encoder.encode_view(&view).expect("client shard encodes"))
-            })
-            .collect();
         ModelUtility {
             pooled,
             ranges,
@@ -195,7 +185,6 @@ impl ModelUtility {
             empty_value,
             encoder,
             encoded_pooled,
-            encoded_clients,
         }
     }
 
@@ -224,11 +213,6 @@ impl ModelUtility {
     /// The seed-fixed encoder shared by every coalition's model.
     pub fn encoder(&self) -> &Encoder {
         &self.encoder
-    }
-
-    /// Client `m`'s shard, encoded once at construction.
-    pub fn encoded_client(&self, m: usize) -> &Arc<EncodedData> {
-        &self.encoded_clients[m]
     }
 }
 
@@ -269,33 +253,24 @@ impl UtilityFn for ModelUtility {
                 net
             }
             UtilityMode::Federated(fl) => {
-                // Shards were encoded once at construction; the coalition
-                // just clones their handles.
-                let shards: Vec<Arc<EncodedData>> = coalition
-                    .members()
-                    .into_iter()
-                    .map(|m| Arc::clone(&self.encoded_clients[m]))
-                    .collect();
+                // Each member's shard is a zero-copy view of the pooled
+                // columns; the engine's seed-fixed encoder reproduces the
+                // same bytes for them every evaluation.
+                let views: Vec<DatasetView<'_>> =
+                    coalition.members().into_iter().map(|m| self.client_view(m)).collect();
                 let n_classes = self.pooled.n_classes();
                 // Coalition evaluations already run concurrently; avoid
                 // nested thread fan-out inside each FedAvg round.
                 let fl = ctfl_fl::fedavg::FlConfig { parallel: false, ..*fl };
-                let plan = ctfl_fl::faults::FaultPlan::none(shards.len(), fl.rounds);
-                let adversary = ctfl_fl::adversary::AdversaryPlan::none(shards.len());
+                let plan = ctfl_fl::faults::FaultPlan::none(views.len(), fl.rounds);
                 let guard = ctfl_fl::guard::GuardConfig::strict();
-                let setup = ctfl_fl::fedavg::ByzantineSetup {
-                    faults: &plan,
-                    adversary: &adversary,
-                    guard: &guard,
-                    aggregator: &ctfl_fl::aggregate::WeightedFedAvg,
-                };
-                ctfl_fl::fedavg::train_federated_preencoded(
-                    self.pooled.schema(),
-                    &shards,
+                ctfl_fl::fedavg::train_federated_with_views(
+                    &views,
                     n_classes,
                     &self.net_config,
                     &fl,
-                    &setup,
+                    &plan,
+                    &guard,
                 )
                 .expect("coalition shards are valid")
                 .net

@@ -86,6 +86,21 @@ check() {
     fi
     grep -q TRAIN_SPEED_OK "$a" || { echo "train speed gates failed" >&2; tail -20 "$a" >&2; exit 1; }
     echo "train speed ok ($(wc -c < "$a") bytes, byte-identical)"
+    echo "== engine soak: multiplexed federation sessions, double-run byte diff =="
+    # A seeded batch of healthy/faulty/adversarial jobs runs serially, over
+    # the worker pool (twice), and through the wire dispatcher; the binary
+    # asserts all paths produce identical result fingerprints and prints
+    # ENGINE_OK only if they did. The double run byte-diffs the whole batch.
+    cargo build --release -p ctfl-bench --bin engine_soak
+    $BIN/engine_soak --seed 7 > "$a" 2>&1
+    $BIN/engine_soak --seed 7 > "$b" 2>&1
+    if ! diff -q "$a" "$b"; then
+        echo "ENGINE DETERMINISM VIOLATION: two identical-seed soak runs differ" >&2
+        diff "$a" "$b" | head -20 >&2
+        exit 1
+    fi
+    grep -q ENGINE_OK "$a" || { echo "engine soak gates failed" >&2; tail -20 "$a" >&2; exit 1; }
+    echo "engine soak ok ($(wc -c < "$a") bytes, byte-identical)"
     echo ALL_CHECKS_PASSED
 }
 
@@ -105,5 +120,6 @@ $BIN/table1_comparison --seed 7 > results/table1.txt 2>&1; echo "table1 rc=$?"
 $BIN/ablation --seed 7 > results/ablation.txt 2>&1; echo "ablation rc=$?"
 $BIN/chaos --seed 7 > results/chaos.txt 2>&1; echo "chaos rc=$?"
 $BIN/attack_sweep --seed 7 > results/attack_sweep.txt 2>&1; echo "attack_sweep rc=$?"
+$BIN/engine_soak --seed 7 > results/engine_soak.txt 2>&1; echo "engine_soak rc=$?"
 $BIN/train_speed --seed 7 > /dev/null 2>&1; echo "train_speed rc=$?"  # writes results/BENCH_train.json
 echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,145 @@
+//! `ctfl-server` — the federation service over TCP.
+//!
+//! Speaks the length-prefixed binary protocol of `ctfl::fl::wire`: clients
+//! submit self-contained seeded federation jobs (answered with result
+//! fingerprints) or stream raw parameter updates into aggregation sessions
+//! (answered with the fused vector). Every run of the same job produces the
+//! same bytes, whichever transport or interleaving delivered it.
+//!
+//! ```text
+//! ctfl-server --demo [--seed <n>]        in-process conversation, no socket
+//! ctfl-server --listen 127.0.0.1:4714    serve connections until killed
+//! ctfl-server --listen 127.0.0.1:0 --once   one connection, print the port
+//! ```
+
+use ctfl::fl::server::FederationService;
+use ctfl::fl::wire::{self, JobSpec, Message};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ctfl-server — contribution-estimation federation service over TCP
+
+USAGE:
+  ctfl-server --demo [--seed <n=7>]
+  ctfl-server --listen <addr:port> [--once]
+
+--demo runs a scripted conversation (jobs + an aggregation session) through
+the dispatcher in-process and prints both sides; --listen binds a socket and
+serves connections one at a time (--once exits after the first, printing the
+bound address first — handy with port 0).
+";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--demo") {
+        let seed: u64 = flag(&args, "--seed").map_or(7, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --seed: {v}");
+                std::process::exit(2);
+            })
+        });
+        return demo(seed);
+    }
+    if let Some(addr) = flag(&args, "--listen") {
+        return listen(&addr, args.iter().any(|a| a == "--once"));
+    }
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Frames a scripted request stream through the dispatcher and prints the
+/// conversation — the quickstart without a socket.
+fn demo(seed: u64) -> ExitCode {
+    let requests = [
+        Message::SubmitJob(JobSpec::clean(seed, 4, 3)),
+        Message::SubmitJob(JobSpec { dropout: 0.3, ..JobSpec::clean(seed + 1, 4, 3) }),
+        Message::SubmitJob(JobSpec {
+            adversary_frac: 0.25,
+            attack: 1, // sign flip…
+            rule: 1,   // …under the coordinate median
+            ..JobSpec::clean(seed + 2, 4, 3)
+        }),
+        Message::OpenSession { session: 1, n_clients: 2, dim: 3 },
+        Message::SubmitUpdate { session: 1, client: 0, weight: 30, params: vec![1.0, 0.0, 0.5] },
+        Message::SubmitUpdate { session: 1, client: 1, weight: 10, params: vec![0.0, 1.0, 0.5] },
+        Message::Shutdown,
+    ];
+    let mut stream = Vec::new();
+    for msg in &requests {
+        if let Err(e) = wire::write_frame(&mut stream, msg) {
+            eprintln!("encoding failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut service = FederationService::new(1);
+    let mut replies = Vec::new();
+    if let Err(e) = service.serve(&mut stream.as_slice(), &mut replies) {
+        eprintln!("demo conversation failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut r = replies.as_slice();
+    for msg in &requests {
+        println!("-> {msg:?}");
+        match wire::read_frame(&mut r) {
+            Ok(reply) => println!("<- {reply:?}"),
+            Err(e) => {
+                eprintln!("missing reply: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Binds `addr` and serves connections sequentially — each connection gets
+/// its own dispatcher (sessions are per-connection state). Determinism makes
+/// concurrency across connections pointless here: any interleaving would
+/// produce the same bytes, so the simple loop is the honest one.
+fn listen(addr: &str, once: bool) -> ExitCode {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(bound) => println!("listening on {bound}"),
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                continue;
+            }
+        };
+        let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+        let mut reader = stream;
+        let mut writer = match reader.try_clone() {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("{peer}: cannot clone stream: {e}");
+                continue;
+            }
+        };
+        let mut service = FederationService::new(1);
+        match service.serve(&mut reader, &mut writer) {
+            Ok(served) => println!("{peer}: served {served} requests"),
+            Err(e) => eprintln!("{peer}: connection failed: {e}"),
+        }
+        if once {
+            break;
+        }
+    }
+    ExitCode::SUCCESS
+}

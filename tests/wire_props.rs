@@ -1,0 +1,251 @@
+//! Property tests for the federation service's wire protocol: random
+//! messages round-trip bit-exactly through a frame, every strict prefix of
+//! a valid frame is rejected with a typed truncation error, hostile length
+//! prefixes are rejected before allocation, and a golden byte-layout test
+//! pins the format so it can't drift silently.
+
+use ctfl::fl::wire::{
+    decode, decode_frame, encode, frame, read_frame, JobSpec, Message, WireError, MAX_FRAME,
+};
+use ctfl_rng::Rng;
+use ctfl_testkit::prop::check;
+use ctfl_testkit::{prop_assert, prop_assert_eq};
+
+/// A random message exercising every variant, including non-finite floats
+/// (the protocol must carry the NaNs a guard later judges).
+fn arbitrary_message(g: &mut ctfl_testkit::prop::Gen) -> Message {
+    fn float(g: &mut ctfl_testkit::prop::Gen) -> f32 {
+        match g.usize_in(0, 9) {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            2 => f32::NEG_INFINITY,
+            _ => g.f64_in(-1e6, 1e6) as f32,
+        }
+    }
+    fn params(g: &mut ctfl_testkit::prop::Gen) -> Vec<f32> {
+        let len = g.len_in(0, 64);
+        g.vec(len, float)
+    }
+    match g.usize_in(0, 7) {
+        0 => Message::SubmitJob(JobSpec {
+            seed: g.rng().gen::<u64>(),
+            n_clients: g.u32_in(0, 1000),
+            rows_per_client: g.u32_in(0, 1000),
+            rounds: g.u32_in(0, 100),
+            local_epochs: g.u32_in(0, 16),
+            parallel: g.bool(),
+            dropout: g.f64_in(0.0, 1.0),
+            straggler: g.f64_in(0.0, 1.0),
+            corrupt: g.f64_in(0.0, 1.0),
+            adversary_frac: g.f64_in(0.0, 1.0),
+            attack: g.u32_in(0, 255) as u8,
+            rule: g.u32_in(0, 255) as u8,
+        }),
+        1 => Message::JobDone {
+            job: g.u32_in(0, u32::MAX),
+            params_hash: g.rng().gen::<u64>(),
+            log_hash: g.rng().gen::<u64>(),
+            rounds: g.u32_in(0, 100),
+            accuracy: g.f64_in(0.0, 1.0),
+        },
+        2 => Message::OpenSession {
+            session: g.u32_in(0, u32::MAX),
+            n_clients: g.u32_in(0, 1000),
+            dim: g.u32_in(0, 1000),
+        },
+        3 => Message::SubmitUpdate {
+            session: g.u32_in(0, u32::MAX),
+            client: g.u32_in(0, 1000),
+            weight: g.u32_in(0, 10_000),
+            params: params(g),
+        },
+        4 => Message::Ack { session: g.u32_in(0, u32::MAX), client: g.u32_in(0, u32::MAX) },
+        5 => Message::RoundComplete { session: g.u32_in(0, u32::MAX), params: params(g) },
+        6 => {
+            // Strings with multi-byte UTF-8 so the byte/char length split is
+            // exercised.
+            let len = g.len_in(0, 40);
+            let detail: String = (0..len)
+                .map(|_| match g.usize_in(0, 5) {
+                    0 => 'é',
+                    1 => '∅',
+                    2 => '本',
+                    _ => char::from(g.u32_in(0x20, 0x7E) as u8),
+                })
+                .collect();
+            Message::Reject { detail }
+        }
+        _ => Message::Shutdown,
+    }
+}
+
+/// Every random message survives frame → decode_frame bit-exactly, and the
+/// frame is consumed in full. Equality goes through `encode` because NaN
+/// payloads defeat `PartialEq`.
+#[test]
+fn random_messages_round_trip_through_frames() {
+    check(
+        "wire-round-trip",
+        256,
+        arbitrary_message,
+        |msg| {
+            let bytes = frame(msg).map_err(|e| e.to_string())?;
+            let (decoded, consumed) = decode_frame(&bytes).map_err(|e| e.to_string())?;
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(encode(&decoded), encode(msg));
+            // The streaming face agrees with the pure one.
+            let streamed = read_frame(&mut bytes.as_slice()).map_err(|e| e.to_string())?;
+            prop_assert_eq!(encode(&streamed), encode(msg));
+            Ok(())
+        },
+    );
+}
+
+/// Every strict prefix of a valid frame fails with a *typed* error — never a
+/// panic, never a bogus success. Prefixes shorter than the payload length
+/// must specifically be truncation errors (a short buffer can't be
+/// misreported as a bad value).
+#[test]
+fn every_strict_prefix_is_rejected() {
+    check(
+        "wire-prefix-rejection",
+        64,
+        |g| {
+            let msg = arbitrary_message(g);
+            let bytes = frame(&msg).expect("messages under MAX_FRAME");
+            // One representative cut per case keeps the runtime bounded but
+            // the seeds cover all regions across cases.
+            let cut = g.usize_in(0, bytes.len().saturating_sub(1));
+            (bytes, cut)
+        },
+        |(bytes, cut)| {
+            let err = match decode_frame(&bytes[..*cut]) {
+                Err(e) => e,
+                Ok((msg, consumed)) => {
+                    return Err(format!(
+                        "prefix of {cut}/{} bytes decoded to {msg:?} ({consumed} consumed)",
+                        bytes.len()
+                    ))
+                }
+            };
+            prop_assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "prefix of {cut}/{} bytes gave {err:?}, expected Truncated",
+                bytes.len()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// A hostile length prefix is rejected with `Oversized` no matter what
+/// follows it — before any payload allocation can happen.
+#[test]
+fn oversized_declared_lengths_are_rejected() {
+    check(
+        "wire-oversized-rejection",
+        64,
+        |g| {
+            let len = (MAX_FRAME as u32).saturating_add(g.u32_in(1, u32::MAX - MAX_FRAME as u32));
+            let junk = g.len_in(0, 16);
+            let mut bytes = len.to_le_bytes().to_vec();
+            bytes.extend(g.vec(junk, |g| g.u32_in(0, 255) as u8));
+            (bytes, len)
+        },
+        |(bytes, len)| {
+            prop_assert_eq!(
+                decode_frame(bytes).unwrap_err(),
+                WireError::Oversized { len: *len as usize, max: MAX_FRAME }
+            );
+            prop_assert_eq!(
+                read_frame(&mut bytes.as_slice()).unwrap_err(),
+                WireError::Oversized { len: *len as usize, max: MAX_FRAME }
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Unknown tags and trailing garbage are typed errors on otherwise
+/// well-formed frames.
+#[test]
+fn unknown_tags_and_trailing_bytes_are_typed_errors() {
+    check(
+        "wire-tag-and-trailing",
+        64,
+        |g| (g.u32_in(0x09, 0xFF) as u8, arbitrary_message(g)),
+        |(tag, msg)| {
+            prop_assert_eq!(decode(&[*tag]).unwrap_err(), WireError::UnknownTag { tag: *tag });
+            let mut payload = encode(msg);
+            payload.push(0xAA);
+            match decode(&payload).unwrap_err() {
+                // Variants ending in a variable-length field may swallow the
+                // byte into the count/content and fail as truncated instead;
+                // both are typed rejections.
+                WireError::Trailing { .. } | WireError::Truncated { .. } | WireError::BadValue { .. } => Ok(()),
+                other => Err(format!("appended byte gave {other:?}")),
+            }
+        },
+    );
+}
+
+/// Golden byte layout: the exact frame bytes of representative messages.
+/// If this test fails, the wire format changed — that is a protocol break,
+/// not a refactor.
+#[test]
+fn golden_byte_layout() {
+    let ack = frame(&Message::Ack { session: 0x0102_0304, client: 0x0A0B_0C0D }).unwrap();
+    assert_eq!(
+        ack,
+        [
+            9, 0, 0, 0, // payload length 9
+            0x05, // Ack tag
+            0x04, 0x03, 0x02, 0x01, // session LE
+            0x0D, 0x0C, 0x0B, 0x0A, // client LE
+        ]
+    );
+
+    let round = frame(&Message::RoundComplete { session: 7, params: vec![1.0, -2.0] }).unwrap();
+    assert_eq!(
+        round,
+        [
+            17, 0, 0, 0, // payload length 17
+            0x06, // RoundComplete tag
+            7, 0, 0, 0, // session LE
+            2, 0, 0, 0, // params count LE
+            0x00, 0x00, 0x80, 0x3F, // 1.0f32 bits LE
+            0x00, 0x00, 0x00, 0xC0, // -2.0f32 bits LE
+        ]
+    );
+
+    let reject = frame(&Message::Reject { detail: "no".into() }).unwrap();
+    assert_eq!(
+        reject,
+        [
+            7, 0, 0, 0, // payload length 7
+            0x07, // Reject tag
+            2, 0, 0, 0, // byte count LE
+            b'n', b'o',
+        ]
+    );
+
+    assert_eq!(frame(&Message::Shutdown).unwrap(), [1, 0, 0, 0, 0x08]);
+
+    let job = frame(&Message::SubmitJob(JobSpec::clean(0x0102_0304_0506_0708, 4, 3))).unwrap();
+    assert_eq!(
+        &job[..13],
+        [
+            60, 0, 0, 0, // payload length: tag 1 + seed 8 + 4*u32 + bool 1 + 4*f64 + 2*u8
+            0x01, // SubmitJob tag
+            0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // seed LE
+        ]
+    );
+    assert_eq!(&job[13..17], [4, 0, 0, 0]); // n_clients
+    assert_eq!(&job[17..21], [40, 0, 0, 0]); // rows_per_client
+    assert_eq!(&job[21..25], [3, 0, 0, 0]); // rounds
+    assert_eq!(&job[25..29], [1, 0, 0, 0]); // local_epochs
+    assert_eq!(job[29], 0); // parallel = false
+    assert_eq!(&job[30..62], [0u8; 32]); // four all-zero f64 probabilities
+    assert_eq!(&job[62..64], [0, 0]); // attack, rule codes
+    assert_eq!(job.len(), 4 + 60);
+}
