@@ -96,8 +96,8 @@ fn main() {
     // The wire dispatcher must add nothing: frame every job in, decode
     // every JobDone out, compare fingerprints.
     let mut requests = Vec::new();
-    for (_, spec) in &jobs {
-        wire::write_frame(&mut requests, &Message::SubmitJob(spec.clone()))
+    for (id, spec) in &jobs {
+        wire::write_frame(&mut requests, &Message::SubmitJob { job: *id, spec: spec.clone() })
             .expect("job frames encode");
     }
     wire::write_frame(&mut requests, &Message::Shutdown).expect("shutdown encodes");

@@ -17,6 +17,13 @@
 //!   FIFO job queue, scoped-thread worker pool, wire-protocol dispatch).
 //! * [`faults`] — seeded, deterministic system-level fault injection
 //!   (dropout, crash, straggling, corrupted uploads, panics).
+//! * [`chaos_net`] — the same philosophy at the transport layer: a seeded
+//!   [`chaos_net::ChaosTransport`] wrapper injecting plan-driven network
+//!   faults (split/short I/O, bit flips, stalls, truncation, mid-frame
+//!   disconnects) over any `Read + Write`, plus an in-memory duplex pipe.
+//! * [`netclient`] — the resilient client: per-request deadlines, seeded
+//!   exponential backoff with bounded jitter, bounded retries, and
+//!   idempotent re-submission keyed by client-chosen job ids.
 //! * [`adversary`] — seeded, deterministic *update-level* adversaries
 //!   (sign-flip poisoning, scaled gradients, colluding replication,
 //!   free-riding, targeted class poisoning), rewriting client submissions
@@ -40,12 +47,14 @@
 
 pub mod adversary;
 pub mod aggregate;
+pub mod chaos_net;
 pub mod client;
 pub mod engine;
 pub mod faults;
 pub mod fedavg;
 pub mod guard;
 pub mod metrics;
+pub mod netclient;
 pub mod privacy;
 pub mod server;
 pub mod wire;
@@ -61,5 +70,15 @@ pub use fedavg::{
 pub use guard::{FederationLog, GuardConfig, PanicPolicy};
 pub use metrics::{accuracy_of, f1_binary};
 pub use privacy::{assemble_trace_inputs, ActivationUpload, PrivacyConfig};
-pub use server::{FederationService, JobQueue, JobResult};
-pub use wire::{Message, WireError};
+pub use chaos_net::{
+    duplex, ChaosStats, ChaosTransport, NetFaultPlan, NetFaultSpec, PipeEnd, ReadFault, WriteFault,
+};
+pub use netclient::{
+    BackoffPolicy, BackoffSchedule, ClientError, ClientStats, Connect, NetClient, RetryPolicy,
+    SessionResume, TcpConnector, Transport, UpdateReply,
+};
+pub use server::{
+    FederationService, JobQueue, JobResult, JobState, QueueReject, ServeEnd, ServeSummary,
+    SessionStore, StoreConfig, Submission,
+};
+pub use wire::{Message, RejectCode, WireError};

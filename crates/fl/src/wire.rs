@@ -1,29 +1,47 @@
-//! The length-prefixed binary wire protocol of the federation service.
+//! The length-prefixed, checksummed binary wire protocol of the federation
+//! service.
 //!
-//! A frame is `[u32 LE payload length][payload]`; a payload is
-//! `[u8 tag][fields…]` with every field in little-endian fixed-width
+//! A frame is `[u32 LE payload length][u32 LE checksum][payload]`; a payload
+//! is `[u8 tag][fields…]` with every field in little-endian fixed-width
 //! encoding (floats as their IEEE-754 bit patterns, so values — including
 //! NaNs a guard must judge — survive the wire bit-for-bit). Variable-length
-//! fields (strings, parameter vectors) carry their own `u32 LE` element
-//! count. There is no padding and no alignment: the layout is a pure
+//! fields (strings, parameter vectors, id lists) carry their own `u32 LE`
+//! element count. There is no padding and no alignment: the layout is a pure
 //! function of the message, which is what lets the golden byte-layout test
 //! pin the format.
 //!
+//! The checksum is FNV-1a (32-bit) over the length prefix followed by the
+//! payload, verified before the payload is decoded. FNV-1a's per-byte step
+//! is invertible, so any single corrupted byte in the length prefix or
+//! payload is guaranteed to change the digest: a bit flip in transit decodes
+//! to a typed [`WireError::ChecksumMismatch`], never to a valid message
+//! (see `tests/wire_props.rs` for the exhaustive single-bit-flip property).
+//!
 //! Decoding is total and typed: every malformed input maps to a
-//! [`WireError`] — truncated or oversized frames, unknown tags, invalid
-//! bools/UTF-8, trailing bytes — never a panic, so the service can reject a
-//! bad frame and keep serving.
+//! [`WireError`] — truncated or oversized frames, checksum mismatches,
+//! unknown tags, invalid bools/UTF-8, trailing bytes — never a panic, so the
+//! service can reject a bad frame and keep serving.
 //!
-//! The message set covers the two service entry paths:
+//! The message set covers the service's entry paths plus the resilience
+//! layer introduced with the protocol's second revision:
 //!
-//! * **Valuation jobs** — [`Message::SubmitJob`] carries a self-contained
-//!   seeded [`JobSpec`]; the service replies [`Message::JobDone`] (result
-//!   hashes + accuracy) or [`Message::Reject`] with the typed validation
-//!   error's rendering.
+//! * **Valuation jobs** — [`Message::SubmitJob`] carries a *client-chosen*
+//!   job id and a self-contained seeded [`JobSpec`]; the service replies
+//!   [`Message::JobDone`] (result hashes + accuracy) or [`Message::Reject`]
+//!   with a typed [`RejectCode`]. Re-submitting the same id with the same
+//!   spec replays the recorded result instead of re-running the federation,
+//!   so a retry after a lost reply is safe; [`Message::PollJob`] retrieves a
+//!   recorded result by id from any later connection.
 //! * **Client updates** — [`Message::OpenSession`] announces a round's
 //!   aggregation session, each participant streams a
 //!   [`Message::SubmitUpdate`], and the closing update is answered with
 //!   [`Message::RoundComplete`] carrying the fused parameters.
+//!   [`Message::ResumeSession`] lets a reconnecting client learn which
+//!   updates a session already holds ([`Message::SessionStatus`]) or
+//!   recover the fused result of a completed round.
+//! * **Liveness** — [`Message::Ping`]/[`Message::Pong`] heartbeats carry a
+//!   caller-chosen nonce so a client can distinguish a live server from a
+//!   half-open connection.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -32,6 +50,29 @@ use std::io::{Read, Write};
 /// with [`WireError::Oversized`] *before* allocation — a corrupt or hostile
 /// length prefix must not OOM the server.
 pub const MAX_FRAME: usize = 1 << 24;
+
+/// Bytes of frame header preceding the payload: `u32` payload length plus
+/// `u32` checksum.
+pub const FRAME_HEADER: usize = 8;
+
+/// FNV-1a (32-bit) over the length prefix (as `u32` LE bytes) followed by
+/// the payload — the frame checksum. Each step of FNV-1a is invertible, so
+/// any single-byte corruption of the hashed bytes is guaranteed to change
+/// the digest.
+pub fn frame_checksum(payload: &[u8]) -> u32 {
+    let mut h = 0x811C_9DC5u32;
+    let mut step = |b: u8| {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    };
+    for b in (payload.len() as u32).to_le_bytes() {
+        step(b);
+    }
+    for &b in payload {
+        step(b);
+    }
+    h
+}
 
 /// Errors produced while encoding, decoding, or transporting frames.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,12 +93,21 @@ pub enum WireError {
         /// The ceiling it violated.
         max: usize,
     },
+    /// The frame checksum did not match its length prefix + payload — bit
+    /// corruption in transit.
+    ChecksumMismatch {
+        /// Checksum declared by the frame header.
+        expected: u32,
+        /// Checksum recomputed over the received bytes.
+        actual: u32,
+    },
     /// The payload's leading tag byte names no known message.
     UnknownTag {
         /// The offending tag.
         tag: u8,
     },
-    /// A field decoded to an invalid value (non-boolean byte, bad UTF-8).
+    /// A field decoded to an invalid value (non-boolean byte, bad UTF-8,
+    /// unknown reject code).
     BadValue {
         /// The field being decoded.
         what: &'static str,
@@ -84,6 +134,9 @@ impl fmt::Display for WireError {
             }
             WireError::Oversized { len, max } => {
                 write!(f, "oversized frame: declared payload of {len} bytes exceeds {max}")
+            }
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(f, "frame checksum mismatch: header says {expected:#010X}, bytes hash to {actual:#010X}")
             }
             WireError::UnknownTag { tag } => write!(f, "unknown message tag {tag:#04X}"),
             WireError::BadValue { what, detail } => write!(f, "bad {what}: {detail}"),
@@ -158,17 +211,110 @@ impl JobSpec {
             rule: 0,
         }
     }
+
+    /// The spec's canonical wire encoding — what the service compares to
+    /// decide whether a re-submitted job id is an idempotent replay (same
+    /// bytes) or a conflicting duplicate (different bytes). Byte comparison
+    /// is deliberate: it is bit-exact even for NaN probabilities that defeat
+    /// `PartialEq`.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_spec(&mut out, self);
+        out
+    }
+}
+
+/// Why the service refused a request. Carried by [`Message::Reject`] so the
+/// refusal is *observable on the wire* — a retrying client can tell a
+/// transient condition ([`RejectCode::Busy`], [`RejectCode::BadFrame`]) from
+/// a terminal one ([`RejectCode::DuplicateJob`], [`RejectCode::Invalid`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectCode {
+    /// The request failed validation (the detail renders the typed error).
+    Invalid = 0,
+    /// The request frame failed to decode (checksum mismatch, unknown tag,
+    /// trailing bytes). Retryable: re-send the frame.
+    BadFrame = 1,
+    /// A job id was re-submitted with a *different* spec. The original
+    /// submission stands; pick a fresh id.
+    DuplicateJob = 2,
+    /// A polled job id was never submitted.
+    UnknownJob = 3,
+    /// The service cannot take the request right now (job still pending,
+    /// backlog or session table full). Retryable: back off and re-send.
+    Busy = 4,
+    /// The job or session aged out of the server's bounded store.
+    Expired = 5,
+    /// A client re-submitted a session update with different bytes than the
+    /// recorded one. The recorded update stands.
+    DuplicateUpdate = 6,
+    /// The session id names no open or completed session.
+    UnknownSession = 7,
+    /// A server-to-client message arrived as a request.
+    Protocol = 8,
+}
+
+impl RejectCode {
+    /// Display name (used in deterministic log renderings).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RejectCode::Invalid => "invalid",
+            RejectCode::BadFrame => "bad-frame",
+            RejectCode::DuplicateJob => "duplicate-job",
+            RejectCode::UnknownJob => "unknown-job",
+            RejectCode::Busy => "busy",
+            RejectCode::Expired => "expired",
+            RejectCode::DuplicateUpdate => "duplicate-update",
+            RejectCode::UnknownSession => "unknown-session",
+            RejectCode::Protocol => "protocol",
+        }
+    }
+
+    /// Whether a client should retry the same request after this rejection.
+    /// `Busy` clears when the server drains; `BadFrame` means the request
+    /// was corrupted in transit, so a clean re-send can succeed.
+    pub fn retryable(&self) -> bool {
+        matches!(self, RejectCode::Busy | RejectCode::BadFrame)
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => RejectCode::Invalid,
+            1 => RejectCode::BadFrame,
+            2 => RejectCode::DuplicateJob,
+            3 => RejectCode::UnknownJob,
+            4 => RejectCode::Busy,
+            5 => RejectCode::Expired,
+            6 => RejectCode::DuplicateUpdate,
+            7 => RejectCode::UnknownSession,
+            8 => RejectCode::Protocol,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// One protocol message. See the module docs for the request/response
 /// pairing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
-    /// Submit a seeded federation job (tag `0x01`).
-    SubmitJob(JobSpec),
+    /// Submit a seeded federation job under a client-chosen id (tag `0x01`).
+    /// Re-submitting the same id with the same spec is an idempotent replay.
+    SubmitJob {
+        /// Client-chosen job id — the idempotency key.
+        job: u32,
+        /// The job itself.
+        spec: JobSpec,
+    },
     /// A job finished: deterministic result fingerprints (tag `0x02`).
     JobDone {
-        /// Queue id of the finished job.
+        /// Id of the finished job.
         job: u32,
         /// FNV-1a over the trained parameter bits.
         params_hash: u64,
@@ -180,7 +326,8 @@ pub enum Message {
         accuracy: f64,
     },
     /// Announce an aggregation session expecting `n_clients` updates of
-    /// `dim` parameters each (tag `0x03`).
+    /// `dim` parameters each (tag `0x03`). Re-opening an existing session
+    /// with the same shape is an idempotent replay of the acknowledgement.
     OpenSession {
         /// Caller-chosen session id.
         session: u32,
@@ -190,6 +337,7 @@ pub enum Message {
         dim: u32,
     },
     /// One client's parameter upload into an open session (tag `0x04`).
+    /// Re-submitting byte-identical parameters replays the original reply.
     SubmitUpdate {
         /// Session the update belongs to.
         session: u32,
@@ -216,14 +364,53 @@ pub enum Message {
         /// The fused parameter vector.
         params: Vec<f32>,
     },
-    /// The request was invalid; `detail` renders the typed error (tag
-    /// `0x07`).
+    /// The request was refused; `code` types the refusal and `detail`
+    /// renders it (tag `0x07`).
     Reject {
-        /// Human-readable rendering of the rejection cause.
+        /// Machine-readable refusal category.
+        code: RejectCode,
+        /// Human-readable rendering of the cause.
         detail: String,
     },
     /// Close the connection after draining in-flight replies (tag `0x08`).
     Shutdown,
+    /// Liveness probe carrying a caller-chosen nonce (tag `0x09`).
+    Ping {
+        /// Echoed back verbatim by [`Message::Pong`].
+        nonce: u64,
+    },
+    /// Heartbeat reply echoing the probe's nonce (tag `0x0A`).
+    Pong {
+        /// The nonce of the [`Message::Ping`] being answered.
+        nonce: u64,
+    },
+    /// Ask for the recorded result of a previously submitted job (tag
+    /// `0x0B`). Answered with [`Message::JobDone`], or [`Message::Reject`]
+    /// typed `UnknownJob`/`Busy`/`Expired`.
+    PollJob {
+        /// The job id to look up.
+        job: u32,
+    },
+    /// Ask what an aggregation session already holds, after a reconnect
+    /// (tag `0x0C`). Answered with [`Message::SessionStatus`] for an open
+    /// session, [`Message::RoundComplete`] for a completed one, or a typed
+    /// [`Message::Reject`].
+    ResumeSession {
+        /// The session id to resume.
+        session: u32,
+    },
+    /// An open session's progress: which clients have reported (tag
+    /// `0x0D`).
+    SessionStatus {
+        /// The session being described.
+        session: u32,
+        /// Updates the round waits for in total.
+        n_clients: u32,
+        /// Parameter dimensionality of every update.
+        dim: u32,
+        /// Ids of clients whose updates are recorded, ascending.
+        received: Vec<u32>,
+    },
 }
 
 const TAG_SUBMIT_JOB: u8 = 0x01;
@@ -234,6 +421,11 @@ const TAG_ACK: u8 = 0x05;
 const TAG_ROUND_COMPLETE: u8 = 0x06;
 const TAG_REJECT: u8 = 0x07;
 const TAG_SHUTDOWN: u8 = 0x08;
+const TAG_PING: u8 = 0x09;
+const TAG_PONG: u8 = 0x0A;
+const TAG_POLL_JOB: u8 = 0x0B;
+const TAG_RESUME_SESSION: u8 = 0x0C;
+const TAG_SESSION_STATUS: u8 = 0x0D;
 
 // ---- encoding ----------------------------------------------------------
 
@@ -260,29 +452,41 @@ fn put_params(out: &mut Vec<u8>, params: &[f32]) {
     }
 }
 
+fn put_ids(out: &mut Vec<u8>, ids: &[u32]) {
+    put_u32(out, ids.len() as u32);
+    for &id in ids {
+        put_u32(out, id);
+    }
+}
+
 fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-/// Encodes a message into its payload bytes (no length prefix).
+fn put_spec(out: &mut Vec<u8>, spec: &JobSpec) {
+    put_u64(out, spec.seed);
+    put_u32(out, spec.n_clients);
+    put_u32(out, spec.rows_per_client);
+    put_u32(out, spec.rounds);
+    put_u32(out, spec.local_epochs);
+    put_bool(out, spec.parallel);
+    put_f64(out, spec.dropout);
+    put_f64(out, spec.straggler);
+    put_f64(out, spec.corrupt);
+    put_f64(out, spec.adversary_frac);
+    out.push(spec.attack);
+    out.push(spec.rule);
+}
+
+/// Encodes a message into its payload bytes (no frame header).
 pub fn encode(msg: &Message) -> Vec<u8> {
     let mut out = Vec::new();
     match msg {
-        Message::SubmitJob(spec) => {
+        Message::SubmitJob { job, spec } => {
             out.push(TAG_SUBMIT_JOB);
-            put_u64(&mut out, spec.seed);
-            put_u32(&mut out, spec.n_clients);
-            put_u32(&mut out, spec.rows_per_client);
-            put_u32(&mut out, spec.rounds);
-            put_u32(&mut out, spec.local_epochs);
-            put_bool(&mut out, spec.parallel);
-            put_f64(&mut out, spec.dropout);
-            put_f64(&mut out, spec.straggler);
-            put_f64(&mut out, spec.corrupt);
-            put_f64(&mut out, spec.adversary_frac);
-            out.push(spec.attack);
-            out.push(spec.rule);
+            put_u32(&mut out, *job);
+            put_spec(&mut out, spec);
         }
         Message::JobDone { job, params_hash, log_hash, rounds, accuracy } => {
             out.push(TAG_JOB_DONE);
@@ -315,11 +519,35 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             put_u32(&mut out, *session);
             put_params(&mut out, params);
         }
-        Message::Reject { detail } => {
+        Message::Reject { code, detail } => {
             out.push(TAG_REJECT);
+            out.push(*code as u8);
             put_str(&mut out, detail);
         }
         Message::Shutdown => out.push(TAG_SHUTDOWN),
+        Message::Ping { nonce } => {
+            out.push(TAG_PING);
+            put_u64(&mut out, *nonce);
+        }
+        Message::Pong { nonce } => {
+            out.push(TAG_PONG);
+            put_u64(&mut out, *nonce);
+        }
+        Message::PollJob { job } => {
+            out.push(TAG_POLL_JOB);
+            put_u32(&mut out, *job);
+        }
+        Message::ResumeSession { session } => {
+            out.push(TAG_RESUME_SESSION);
+            put_u32(&mut out, *session);
+        }
+        Message::SessionStatus { session, n_clients, dim, received } => {
+            out.push(TAG_SESSION_STATUS);
+            put_u32(&mut out, *session);
+            put_u32(&mut out, *n_clients);
+            put_u32(&mut out, *dim);
+            put_ids(&mut out, received);
+        }
     }
     out
 }
@@ -384,11 +612,45 @@ impl<'a> Cursor<'a> {
             .collect())
     }
 
+    fn ids(&mut self, what: &'static str) -> WireResult<Vec<u32>> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(what, len.saturating_mul(4))?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
     fn string(&mut self, what: &'static str) -> WireResult<String> {
         let len = self.u32(what)? as usize;
         let bytes = self.take(what, len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| WireError::BadValue { what, detail: e.to_string() })
+    }
+
+    fn reject_code(&mut self, what: &'static str) -> WireResult<RejectCode> {
+        let b = self.u8(what)?;
+        RejectCode::from_u8(b).ok_or_else(|| WireError::BadValue {
+            what,
+            detail: format!("unknown reject code {b}"),
+        })
+    }
+
+    fn spec(&mut self) -> WireResult<JobSpec> {
+        Ok(JobSpec {
+            seed: self.u64("job seed")?,
+            n_clients: self.u32("job n_clients")?,
+            rows_per_client: self.u32("job rows_per_client")?,
+            rounds: self.u32("job rounds")?,
+            local_epochs: self.u32("job local_epochs")?,
+            parallel: self.bool("job parallel")?,
+            dropout: self.f64("job dropout")?,
+            straggler: self.f64("job straggler")?,
+            corrupt: self.f64("job corrupt")?,
+            adversary_frac: self.f64("job adversary_frac")?,
+            attack: self.u8("job attack code")?,
+            rule: self.u8("job rule code")?,
+        })
     }
 
     fn finish(self) -> WireResult<()> {
@@ -400,25 +662,12 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decodes one payload (the bytes after the length prefix) into a message.
+/// Decodes one payload (the bytes after the frame header) into a message.
 /// The payload must be consumed exactly; leftover bytes are a typed error.
 pub fn decode(payload: &[u8]) -> WireResult<Message> {
     let mut c = Cursor::new(payload);
     let msg = match c.u8("message tag")? {
-        TAG_SUBMIT_JOB => Message::SubmitJob(JobSpec {
-            seed: c.u64("job seed")?,
-            n_clients: c.u32("job n_clients")?,
-            rows_per_client: c.u32("job rows_per_client")?,
-            rounds: c.u32("job rounds")?,
-            local_epochs: c.u32("job local_epochs")?,
-            parallel: c.bool("job parallel")?,
-            dropout: c.f64("job dropout")?,
-            straggler: c.f64("job straggler")?,
-            corrupt: c.f64("job corrupt")?,
-            adversary_frac: c.f64("job adversary_frac")?,
-            attack: c.u8("job attack code")?,
-            rule: c.u8("job rule code")?,
-        }),
+        TAG_SUBMIT_JOB => Message::SubmitJob { job: c.u32("job id")?, spec: c.spec()? },
         TAG_JOB_DONE => Message::JobDone {
             job: c.u32("job id")?,
             params_hash: c.u64("params hash")?,
@@ -442,29 +691,55 @@ pub fn decode(payload: &[u8]) -> WireResult<Message> {
             session: c.u32("session id")?,
             params: c.params("round params")?,
         },
-        TAG_REJECT => Message::Reject { detail: c.string("reject detail")? },
+        TAG_REJECT => Message::Reject {
+            code: c.reject_code("reject code")?,
+            detail: c.string("reject detail")?,
+        },
         TAG_SHUTDOWN => Message::Shutdown,
+        TAG_PING => Message::Ping { nonce: c.u64("ping nonce")? },
+        TAG_PONG => Message::Pong { nonce: c.u64("pong nonce")? },
+        TAG_POLL_JOB => Message::PollJob { job: c.u32("job id")? },
+        TAG_RESUME_SESSION => Message::ResumeSession { session: c.u32("session id")? },
+        TAG_SESSION_STATUS => Message::SessionStatus {
+            session: c.u32("session id")?,
+            n_clients: c.u32("session n_clients")?,
+            dim: c.u32("session dim")?,
+            received: c.ids("received client ids")?,
+        },
         tag => return Err(WireError::UnknownTag { tag }),
     };
     c.finish()?;
     Ok(msg)
 }
 
-/// Encodes a message as a complete frame: `[u32 LE payload len][payload]`.
-pub fn frame(msg: &Message) -> WireResult<Vec<u8>> {
-    let payload = encode(msg);
+/// Frames raw payload bytes: `[u32 LE len][u32 LE checksum][payload]`.
+/// Exposed so tests and fault injectors can build frames around arbitrary
+/// (even deliberately malformed) payloads with a *valid* header.
+pub fn frame_payload(payload: &[u8]) -> WireResult<Vec<u8>> {
     if payload.len() > MAX_FRAME {
         return Err(WireError::Oversized { len: payload.len(), max: MAX_FRAME });
     }
-    let mut out = Vec::with_capacity(4 + payload.len());
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
     put_u32(&mut out, payload.len() as u32);
-    out.extend_from_slice(&payload);
+    put_u32(&mut out, frame_checksum(payload));
+    out.extend_from_slice(payload);
     Ok(out)
+}
+
+/// Encodes a message as a complete frame:
+/// `[u32 LE payload len][u32 LE checksum][payload]`.
+pub fn frame(msg: &Message) -> WireResult<Vec<u8>> {
+    frame_payload(&encode(msg))
 }
 
 /// Decodes one frame from the front of `bytes`, returning the message and
 /// the number of bytes consumed. Pure — the in-memory face of
 /// [`read_frame`], and what the property tests drive.
+///
+/// Validation order matters: declared length first (oversized, then
+/// truncation against the buffer), checksum second, payload decode last —
+/// so a short buffer is always a [`WireError::Truncated`], never
+/// misreported as corruption.
 pub fn decode_frame(bytes: &[u8]) -> WireResult<(Message, usize)> {
     if bytes.len() < 4 {
         return Err(WireError::Truncated {
@@ -477,26 +752,65 @@ pub fn decode_frame(bytes: &[u8]) -> WireResult<(Message, usize)> {
     if len > MAX_FRAME {
         return Err(WireError::Oversized { len, max: MAX_FRAME });
     }
-    let available = bytes.len() - 4;
+    if bytes.len() < FRAME_HEADER {
+        return Err(WireError::Truncated {
+            what: "frame checksum",
+            needed: 4,
+            available: bytes.len() - 4,
+        });
+    }
+    let declared = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let available = bytes.len() - FRAME_HEADER;
     if available < len {
         return Err(WireError::Truncated { what: "frame payload", needed: len, available });
     }
-    let msg = decode(&bytes[4..4 + len])?;
-    Ok((msg, 4 + len))
+    let payload = &bytes[FRAME_HEADER..FRAME_HEADER + len];
+    let actual = frame_checksum(payload);
+    if actual != declared {
+        return Err(WireError::ChecksumMismatch { expected: declared, actual });
+    }
+    let msg = decode(payload)?;
+    Ok((msg, FRAME_HEADER + len))
 }
 
-/// Reads one frame from a transport. The length prefix is validated against
-/// [`MAX_FRAME`] *before* the payload buffer is allocated.
-pub fn read_frame(r: &mut impl Read) -> WireResult<Message> {
-    let mut prefix = [0u8; 4];
-    r.read_exact(&mut prefix)?;
-    let len = u32::from_le_bytes(prefix) as usize;
+/// Reads one frame from a transport, or `None` on a clean EOF *before the
+/// frame's first byte* — the boundary a server uses to tell a politely
+/// closed connection from one that died mid-frame (which surfaces as
+/// [`WireError::Io`] with `UnexpectedEof`).
+pub fn read_frame_opt(r: &mut impl Read) -> WireResult<Option<Message>> {
+    let mut header = [0u8; FRAME_HEADER];
+    let mut got = 0usize;
+    while got < FRAME_HEADER {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Io { kind: std::io::ErrorKind::UnexpectedEof }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
     if len > MAX_FRAME {
         return Err(WireError::Oversized { len, max: MAX_FRAME });
     }
+    let declared = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    decode(&payload)
+    let actual = frame_checksum(&payload);
+    if actual != declared {
+        return Err(WireError::ChecksumMismatch { expected: declared, actual });
+    }
+    decode(&payload).map(Some)
+}
+
+/// Reads one frame from a transport. The length prefix is validated against
+/// [`MAX_FRAME`] *before* the payload buffer is allocated, and the checksum
+/// before the payload is decoded.
+pub fn read_frame(r: &mut impl Read) -> WireResult<Message> {
+    match read_frame_opt(r)? {
+        Some(msg) => Ok(msg),
+        None => Err(WireError::Io { kind: std::io::ErrorKind::UnexpectedEof }),
+    }
 }
 
 /// Writes one message as a frame to a transport.
@@ -513,7 +827,7 @@ mod tests {
     #[test]
     fn every_variant_round_trips() {
         let messages = [
-            Message::SubmitJob(JobSpec::clean(7, 4, 3)),
+            Message::SubmitJob { job: 3, spec: JobSpec::clean(7, 4, 3) },
             Message::JobDone {
                 job: 9,
                 params_hash: 0xDEAD_BEEF_0123_4567,
@@ -530,8 +844,16 @@ mod tests {
             },
             Message::Ack { session: 1, client: 2 },
             Message::RoundComplete { session: 1, params: vec![0.25, 0.75] },
-            Message::Reject { detail: "invalid parameter quorum: …".into() },
+            Message::Reject {
+                code: RejectCode::Invalid,
+                detail: "invalid parameter quorum: …".into(),
+            },
             Message::Shutdown,
+            Message::Ping { nonce: 0x1234_5678_9ABC_DEF0 },
+            Message::Pong { nonce: u64::MAX },
+            Message::PollJob { job: 42 },
+            Message::ResumeSession { session: 7 },
+            Message::SessionStatus { session: 7, n_clients: 4, dim: 9, received: vec![0, 2, 3] },
         ];
         for msg in &messages {
             let bytes = frame(msg).unwrap();
@@ -555,6 +877,26 @@ mod tests {
             read_frame(&mut r).unwrap_err(),
             WireError::Io { kind: std::io::ErrorKind::UnexpectedEof }
         );
+        // The optional face reports the clean boundary as None.
+        let mut r = &buf[buf.len()..];
+        assert_eq!(read_frame_opt(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn mid_frame_eof_is_not_a_clean_close() {
+        let bytes = frame(&Message::Ack { session: 1, client: 2 }).unwrap();
+        // Cut inside the header: the reader must report the death, not None.
+        let mut r = &bytes[..5];
+        assert_eq!(
+            read_frame_opt(&mut r).unwrap_err(),
+            WireError::Io { kind: std::io::ErrorKind::UnexpectedEof }
+        );
+        // Cut inside the payload: same.
+        let mut r = &bytes[..bytes.len() - 1];
+        assert_eq!(
+            read_frame_opt(&mut r).unwrap_err(),
+            WireError::Io { kind: std::io::ErrorKind::UnexpectedEof }
+        );
     }
 
     #[test]
@@ -565,11 +907,29 @@ mod tests {
             decode_frame(&bytes).unwrap_err(),
             WireError::Oversized { len: MAX_FRAME + 1, max: MAX_FRAME }
         );
+        // The streaming face needs the full header before it can judge.
+        bytes.extend_from_slice(&[0u8; 4]);
         let mut r = &bytes[..];
         assert_eq!(
             read_frame(&mut r).unwrap_err(),
             WireError::Oversized { len: MAX_FRAME + 1, max: MAX_FRAME }
         );
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_checksum_mismatch() {
+        let mut bytes = frame(&Message::Ping { nonce: 7 }).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(
+            decode_frame(&bytes).unwrap_err(),
+            WireError::ChecksumMismatch { .. }
+        ));
+        let mut r = &bytes[..];
+        assert!(matches!(
+            read_frame(&mut r).unwrap_err(),
+            WireError::ChecksumMismatch { .. }
+        ));
     }
 
     #[test]
@@ -581,12 +941,31 @@ mod tests {
 
     #[test]
     fn non_boolean_byte_is_a_typed_error() {
-        let mut payload = encode(&Message::SubmitJob(JobSpec::clean(1, 2, 1)));
-        // The `parallel` bool sits after tag(1) + seed(8) + 4 u32s(16).
-        payload[25] = 7;
+        let mut payload = encode(&Message::SubmitJob { job: 0, spec: JobSpec::clean(1, 2, 1) });
+        // The `parallel` bool sits after tag(1) + job(4) + seed(8) + 4 u32s(16).
+        payload[29] = 7;
         assert!(matches!(
             decode(&payload).unwrap_err(),
             WireError::BadValue { what: "job parallel", .. }
         ));
+    }
+
+    #[test]
+    fn unknown_reject_codes_are_typed_errors() {
+        let mut payload = encode(&Message::Reject { code: RejectCode::Busy, detail: "x".into() });
+        payload[1] = 0xEE;
+        assert!(matches!(
+            decode(&payload).unwrap_err(),
+            WireError::BadValue { what: "reject code", .. }
+        ));
+    }
+
+    #[test]
+    fn canonical_spec_bytes_track_every_field() {
+        let spec = JobSpec::clean(9, 4, 3);
+        let same = JobSpec::clean(9, 4, 3);
+        assert_eq!(spec.canonical_bytes(), same.canonical_bytes());
+        let other = JobSpec { dropout: 0.5, ..JobSpec::clean(9, 4, 3) };
+        assert_ne!(spec.canonical_bytes(), other.canonical_bytes());
     }
 }

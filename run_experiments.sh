@@ -101,6 +101,24 @@ check() {
     fi
     grep -q ENGINE_OK "$a" || { echo "engine soak gates failed" >&2; tail -20 "$a" >&2; exit 1; }
     echo "engine soak ok ($(wc -c < "$a") bytes, byte-identical)"
+    echo "== net soak: chaos transport + resilient client, double-run byte diff =="
+    # The engine-soak batch again, but through a NetClient whose every
+    # connection crosses a seeded ChaosTransport (split writes, bit flips,
+    # truncations, virtual stalls, breaks, half-close EOFs) into a server
+    # sharing one SessionStore across reconnects. The binary asserts the
+    # fingerprints match direct execution byte for byte, a session resumes
+    # across a deliberate disconnect, and every result replays by job id;
+    # NET_OK prints only if every comparison held.
+    cargo build --release -p ctfl-bench --bin net_soak
+    $BIN/net_soak --seed 7 > "$a" 2>&1
+    $BIN/net_soak --seed 7 > "$b" 2>&1
+    if ! diff -q "$a" "$b"; then
+        echo "NET DETERMINISM VIOLATION: two identical-seed network soaks differ" >&2
+        diff "$a" "$b" | head -20 >&2
+        exit 1
+    fi
+    grep -q NET_OK "$a" || { echo "net soak gates failed" >&2; tail -20 "$a" >&2; exit 1; }
+    echo "net soak ok ($(wc -c < "$a") bytes, byte-identical)"
     echo ALL_CHECKS_PASSED
 }
 
@@ -121,5 +139,6 @@ $BIN/ablation --seed 7 > results/ablation.txt 2>&1; echo "ablation rc=$?"
 $BIN/chaos --seed 7 > results/chaos.txt 2>&1; echo "chaos rc=$?"
 $BIN/attack_sweep --seed 7 > results/attack_sweep.txt 2>&1; echo "attack_sweep rc=$?"
 $BIN/engine_soak --seed 7 > results/engine_soak.txt 2>&1; echo "engine_soak rc=$?"
+$BIN/net_soak --seed 7 > results/net_soak.txt 2>&1; echo "net_soak rc=$?"
 $BIN/train_speed --seed 7 > /dev/null 2>&1; echo "train_speed rc=$?"  # writes results/BENCH_train.json
 echo ALL_EXPERIMENTS_DONE

@@ -1,10 +1,15 @@
 //! `ctfl-server` — the federation service over TCP.
 //!
-//! Speaks the length-prefixed binary protocol of `ctfl::fl::wire`: clients
-//! submit self-contained seeded federation jobs (answered with result
-//! fingerprints) or stream raw parameter updates into aggregation sessions
-//! (answered with the fused vector). Every run of the same job produces the
-//! same bytes, whichever transport or interleaving delivered it.
+//! Speaks the checksummed length-prefixed binary protocol of
+//! `ctfl::fl::wire`: clients submit self-contained seeded federation jobs
+//! under client-chosen job ids (answered with result fingerprints,
+//! idempotently replayed on re-submission) or stream raw parameter updates
+//! into aggregation sessions (answered with the fused vector). All
+//! connections share one `SessionStore`, so a client that disconnects
+//! mid-round can reconnect and resume its session or poll a finished job by
+//! id. Connections that go silent past the idle deadline are reaped, not
+//! leaked. Every run of the same job produces the same bytes, whichever
+//! transport or interleaving delivered it.
 //!
 //! ```text
 //! ctfl-server --demo [--seed <n>]        in-process conversation, no socket
@@ -12,60 +17,87 @@
 //! ctfl-server --listen 127.0.0.1:0 --once   one connection, print the port
 //! ```
 
-use ctfl::fl::server::FederationService;
+use ctfl::fl::server::{FederationService, ServeEnd, SessionStore, StoreConfig};
 use ctfl::fl::wire::{self, JobSpec, Message};
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 ctfl-server — contribution-estimation federation service over TCP
 
 USAGE:
   ctfl-server --demo [--seed <n=7>]
-  ctfl-server --listen <addr:port> [--once]
+  ctfl-server --listen <addr:port> [--once] [--idle-timeout <secs=30>]
 
---demo runs a scripted conversation (jobs + an aggregation session) through
-the dispatcher in-process and prints both sides; --listen binds a socket and
-serves connections one at a time (--once exits after the first, printing the
-bound address first — handy with port 0).
+--demo runs a scripted conversation (idempotent job submission, polling,
+heartbeats, a resumable aggregation session) through the dispatcher
+in-process and prints both sides; --listen binds a socket and serves
+connections one at a time against a single shared session store (--once
+exits after the first connection, printing the bound address first — handy
+with port 0). Connections silent for longer than --idle-timeout seconds are
+reaped (0 disables the deadline).
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }
 
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag(args, name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {name}: {v}");
+            std::process::exit(2);
+        })
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--demo") {
-        let seed: u64 = flag(&args, "--seed").map_or(7, |v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("invalid value for --seed: {v}");
-                std::process::exit(2);
-            })
-        });
-        return demo(seed);
+        return demo(parsed_flag(&args, "--seed", 7));
     }
     if let Some(addr) = flag(&args, "--listen") {
-        return listen(&addr, args.iter().any(|a| a == "--once"));
+        let idle_secs: u64 = parsed_flag(&args, "--idle-timeout", 30);
+        return listen(&addr, args.iter().any(|a| a == "--once"), idle_secs);
     }
     eprint!("{USAGE}");
     ExitCode::from(2)
 }
 
 /// Frames a scripted request stream through the dispatcher and prints the
-/// conversation — the quickstart without a socket.
+/// conversation — the quickstart without a socket. The script exercises the
+/// resilience surface: heartbeats, idempotent re-submission, duplicate and
+/// unknown ids as typed rejections, and a session resumed mid-round.
 fn demo(seed: u64) -> ExitCode {
+    let clean = JobSpec::clean(seed, 4, 3);
     let requests = [
-        Message::SubmitJob(JobSpec::clean(seed, 4, 3)),
-        Message::SubmitJob(JobSpec { dropout: 0.3, ..JobSpec::clean(seed + 1, 4, 3) }),
-        Message::SubmitJob(JobSpec {
-            adversary_frac: 0.25,
-            attack: 1, // sign flip…
-            rule: 1,   // …under the coordinate median
-            ..JobSpec::clean(seed + 2, 4, 3)
-        }),
+        Message::Ping { nonce: seed ^ 0x7169 },
+        Message::SubmitJob { job: 0, spec: clean.clone() },
+        // Bit-identical re-submission: the recorded result is replayed,
+        // never re-run — what makes blind client retries safe.
+        Message::SubmitJob { job: 0, spec: clean.clone() },
+        // Same id, different spec: a typed DuplicateJob rejection.
+        Message::SubmitJob { job: 0, spec: JobSpec::clean(seed + 99, 4, 3) },
+        Message::PollJob { job: 0 },
+        Message::PollJob { job: 99 },
+        Message::SubmitJob { job: 1, spec: JobSpec { dropout: 0.3, ..clean.clone() } },
+        Message::SubmitJob {
+            job: 2,
+            spec: JobSpec {
+                adversary_frac: 0.25,
+                attack: 1, // sign flip…
+                rule: 1,   // …under the coordinate median
+                ..JobSpec::clean(seed + 2, 4, 3)
+            },
+        },
         Message::OpenSession { session: 1, n_clients: 2, dim: 3 },
         Message::SubmitUpdate { session: 1, client: 0, weight: 30, params: vec![1.0, 0.0, 0.5] },
+        // What a reconnecting participant sees mid-round.
+        Message::ResumeSession { session: 1 },
+        Message::SubmitUpdate { session: 1, client: 1, weight: 10, params: vec![0.0, 1.0, 0.5] },
+        // Bit-identical re-upload after the round closed: replayed.
         Message::SubmitUpdate { session: 1, client: 1, weight: 10, params: vec![0.0, 1.0, 0.5] },
         Message::Shutdown,
     ];
@@ -96,11 +128,13 @@ fn demo(seed: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Binds `addr` and serves connections sequentially — each connection gets
-/// its own dispatcher (sessions are per-connection state). Determinism makes
-/// concurrency across connections pointless here: any interleaving would
-/// produce the same bytes, so the simple loop is the honest one.
-fn listen(addr: &str, once: bool) -> ExitCode {
+/// Binds `addr` and serves connections sequentially against one shared
+/// `SessionStore`, so sessions and finished jobs survive reconnects.
+/// Determinism makes concurrency across connections pointless here: any
+/// interleaving would produce the same bytes, so the simple loop is the
+/// honest one. Each connection carries a read deadline; a peer silent past
+/// it is reaped and logged, never leaked.
+fn listen(addr: &str, once: bool, idle_secs: u64) -> ExitCode {
     let listener = match TcpListener::bind(addr) {
         Ok(l) => l,
         Err(e) => {
@@ -115,6 +149,8 @@ fn listen(addr: &str, once: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let store = SessionStore::shared(StoreConfig::default());
+    let idle = (idle_secs > 0).then(|| Duration::from_secs(idle_secs));
     for conn in listener.incoming() {
         let stream = match conn {
             Ok(s) => s,
@@ -124,6 +160,10 @@ fn listen(addr: &str, once: bool) -> ExitCode {
             }
         };
         let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+        if let Err(e) = stream.set_read_timeout(idle) {
+            eprintln!("{peer}: cannot arm idle deadline: {e}");
+            continue;
+        }
         let mut reader = stream;
         let mut writer = match reader.try_clone() {
             Ok(w) => w,
@@ -132,9 +172,12 @@ fn listen(addr: &str, once: bool) -> ExitCode {
                 continue;
             }
         };
-        let mut service = FederationService::new(1);
-        match service.serve(&mut reader, &mut writer) {
-            Ok(served) => println!("{peer}: served {served} requests"),
+        let mut service = FederationService::with_store(1, Arc::clone(&store));
+        match service.serve_summary(&mut reader, &mut writer) {
+            Ok(summary) if summary.end == ServeEnd::IdleReaped => {
+                eprintln!("{peer}: idle past deadline, reaped after {} requests", summary.served);
+            }
+            Ok(summary) => println!("{peer}: served {} requests ({})", summary.served, summary.end),
             Err(e) => eprintln!("{peer}: connection failed: {e}"),
         }
         if once {

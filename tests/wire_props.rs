@@ -1,15 +1,31 @@
 //! Property tests for the federation service's wire protocol: random
-//! messages round-trip bit-exactly through a frame, every strict prefix of
-//! a valid frame is rejected with a typed truncation error, hostile length
-//! prefixes are rejected before allocation, and a golden byte-layout test
-//! pins the format so it can't drift silently.
+//! messages round-trip bit-exactly through a checksummed frame, every
+//! strict prefix of a valid frame is rejected with a typed truncation
+//! error, hostile length prefixes are rejected before allocation, **every
+//! single-bit corruption of a valid frame is caught** (a typed checksum /
+//! length error — never a valid message, never a panic), and a golden
+//! byte-layout test with an independent checksum reference pins the format
+//! so it can't drift silently.
 
 use ctfl::fl::wire::{
-    decode, decode_frame, encode, frame, read_frame, JobSpec, Message, WireError, MAX_FRAME,
+    decode, decode_frame, encode, frame, frame_checksum, read_frame, JobSpec, Message, RejectCode,
+    WireError, FRAME_HEADER, MAX_FRAME,
 };
 use ctfl_rng::Rng;
 use ctfl_testkit::prop::check;
 use ctfl_testkit::{prop_assert, prop_assert_eq};
+
+const REJECT_CODES: [RejectCode; 9] = [
+    RejectCode::Invalid,
+    RejectCode::BadFrame,
+    RejectCode::DuplicateJob,
+    RejectCode::UnknownJob,
+    RejectCode::Busy,
+    RejectCode::Expired,
+    RejectCode::DuplicateUpdate,
+    RejectCode::UnknownSession,
+    RejectCode::Protocol,
+];
 
 /// A random message exercising every variant, including non-finite floats
 /// (the protocol must carry the NaNs a guard later judges).
@@ -26,21 +42,24 @@ fn arbitrary_message(g: &mut ctfl_testkit::prop::Gen) -> Message {
         let len = g.len_in(0, 64);
         g.vec(len, float)
     }
-    match g.usize_in(0, 7) {
-        0 => Message::SubmitJob(JobSpec {
-            seed: g.rng().gen::<u64>(),
-            n_clients: g.u32_in(0, 1000),
-            rows_per_client: g.u32_in(0, 1000),
-            rounds: g.u32_in(0, 100),
-            local_epochs: g.u32_in(0, 16),
-            parallel: g.bool(),
-            dropout: g.f64_in(0.0, 1.0),
-            straggler: g.f64_in(0.0, 1.0),
-            corrupt: g.f64_in(0.0, 1.0),
-            adversary_frac: g.f64_in(0.0, 1.0),
-            attack: g.u32_in(0, 255) as u8,
-            rule: g.u32_in(0, 255) as u8,
-        }),
+    match g.usize_in(0, 12) {
+        0 => Message::SubmitJob {
+            job: g.u32_in(0, u32::MAX),
+            spec: JobSpec {
+                seed: g.rng().gen::<u64>(),
+                n_clients: g.u32_in(0, 1000),
+                rows_per_client: g.u32_in(0, 1000),
+                rounds: g.u32_in(0, 100),
+                local_epochs: g.u32_in(0, 16),
+                parallel: g.bool(),
+                dropout: g.f64_in(0.0, 1.0),
+                straggler: g.f64_in(0.0, 1.0),
+                corrupt: g.f64_in(0.0, 1.0),
+                adversary_frac: g.f64_in(0.0, 1.0),
+                attack: g.u32_in(0, 255) as u8,
+                rule: g.u32_in(0, 255) as u8,
+            },
+        },
         1 => Message::JobDone {
             job: g.u32_in(0, u32::MAX),
             params_hash: g.rng().gen::<u64>(),
@@ -73,8 +92,21 @@ fn arbitrary_message(g: &mut ctfl_testkit::prop::Gen) -> Message {
                     _ => char::from(g.u32_in(0x20, 0x7E) as u8),
                 })
                 .collect();
-            Message::Reject { detail }
+            Message::Reject { code: REJECT_CODES[g.usize_in(0, REJECT_CODES.len() - 1)], detail }
         }
+        7 => Message::Ping { nonce: g.rng().gen::<u64>() },
+        8 => Message::Pong { nonce: g.rng().gen::<u64>() },
+        9 => Message::PollJob { job: g.u32_in(0, u32::MAX) },
+        10 => Message::ResumeSession { session: g.u32_in(0, u32::MAX) },
+        11 => Message::SessionStatus {
+            session: g.u32_in(0, u32::MAX),
+            n_clients: g.u32_in(0, 1000),
+            dim: g.u32_in(0, 1000),
+            received: {
+                let len = g.len_in(0, 32);
+                g.vec(len, |g| g.u32_in(0, 1000))
+            },
+        },
         _ => Message::Shutdown,
     }
 }
@@ -102,9 +134,9 @@ fn random_messages_round_trip_through_frames() {
 }
 
 /// Every strict prefix of a valid frame fails with a *typed* error — never a
-/// panic, never a bogus success. Prefixes shorter than the payload length
-/// must specifically be truncation errors (a short buffer can't be
-/// misreported as a bad value).
+/// panic, never a bogus success. Availability is checked before the
+/// checksum, so a short buffer is specifically a truncation error, not a
+/// misreported corruption.
 #[test]
 fn every_strict_prefix_is_rejected() {
     check(
@@ -138,6 +170,46 @@ fn every_strict_prefix_is_rejected() {
     );
 }
 
+/// **Every** single-bit flip anywhere in a valid frame — length prefix,
+/// checksum field, payload — is caught as a typed error, never decoded into
+/// a valid message and never a panic. This is the property that makes the
+/// chaos transport's bit-flip faults safe: corruption cannot silently
+/// change a federation job.
+#[test]
+fn every_single_bit_flip_is_caught() {
+    check(
+        "wire-bit-flip-detection",
+        48,
+        |g| frame(&arbitrary_message(g)).expect("messages under MAX_FRAME"),
+        |bytes| {
+            let mut corrupt = bytes.clone();
+            for bit in 0..bytes.len() * 8 {
+                corrupt[bit / 8] ^= 1 << (bit % 8);
+                match decode_frame(&corrupt) {
+                    Ok((msg, _)) => {
+                        return Err(format!("flipping bit {bit} yielded a valid {msg:?}"))
+                    }
+                    // A length-prefix flip can inflate past MAX_FRAME
+                    // (Oversized) or past the buffer (Truncated); everything
+                    // else must be caught by the checksum.
+                    Err(
+                        WireError::ChecksumMismatch { .. }
+                        | WireError::Oversized { .. }
+                        | WireError::Truncated { .. },
+                    ) => {}
+                    Err(other) => {
+                        return Err(format!("flipping bit {bit} gave {other:?}, not a \
+                                            corruption error"))
+                    }
+                }
+                corrupt[bit / 8] ^= 1 << (bit % 8);
+            }
+            prop_assert_eq!(&corrupt, bytes); // flips were all undone
+            Ok(())
+        },
+    );
+}
+
 /// A hostile length prefix is rejected with `Oversized` no matter what
 /// follows it — before any payload allocation can happen.
 #[test]
@@ -147,7 +219,9 @@ fn oversized_declared_lengths_are_rejected() {
         64,
         |g| {
             let len = (MAX_FRAME as u32).saturating_add(g.u32_in(1, u32::MAX - MAX_FRAME as u32));
-            let junk = g.len_in(0, 16);
+            // At least 4 junk bytes so the streaming reader can complete the
+            // 8-byte header — it judges the length only after reading it.
+            let junk = g.len_in(4, 16);
             let mut bytes = len.to_le_bytes().to_vec();
             bytes.extend(g.vec(junk, |g| g.u32_in(0, 255) as u8));
             (bytes, len)
@@ -173,7 +247,7 @@ fn unknown_tags_and_trailing_bytes_are_typed_errors() {
     check(
         "wire-tag-and-trailing",
         64,
-        |g| (g.u32_in(0x09, 0xFF) as u8, arbitrary_message(g)),
+        |g| (g.u32_in(0x0E, 0xFF) as u8, arbitrary_message(g)),
         |(tag, msg)| {
             prop_assert_eq!(decode(&[*tag]).unwrap_err(), WireError::UnknownTag { tag: *tag });
             let mut payload = encode(msg);
@@ -189,63 +263,117 @@ fn unknown_tags_and_trailing_bytes_are_typed_errors() {
     );
 }
 
-/// Golden byte layout: the exact frame bytes of representative messages.
-/// If this test fails, the wire format changed — that is a protocol break,
-/// not a refactor.
+/// Independent FNV-1a-32 reference: digest of `len(payload) as u32 LE`
+/// followed by the payload bytes. Deliberately *not* the production
+/// function — if `frame_checksum` drifts, this catches it.
+fn reference_checksum(payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    let bytes: Vec<u8> =
+        (payload.len() as u32).to_le_bytes().iter().chain(payload).copied().collect();
+    for b in bytes {
+        h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Golden byte layout: the exact frame bytes of representative messages,
+/// with the checksum computed by an independent in-test reference. If this
+/// test fails, the wire format changed — that is a protocol break, not a
+/// refactor.
 #[test]
 fn golden_byte_layout() {
+    // Header shape: 4 length bytes, then 4 checksum bytes over
+    // (length LE ++ payload), then the payload.
+    assert_eq!(FRAME_HEADER, 8);
+
+    let ack_payload = [
+        0x05u8, // Ack tag
+        0x04, 0x03, 0x02, 0x01, // session LE
+        0x0D, 0x0C, 0x0B, 0x0A, // client LE
+    ];
     let ack = frame(&Message::Ack { session: 0x0102_0304, client: 0x0A0B_0C0D }).unwrap();
-    assert_eq!(
-        ack,
-        [
-            9, 0, 0, 0, // payload length 9
-            0x05, // Ack tag
-            0x04, 0x03, 0x02, 0x01, // session LE
-            0x0D, 0x0C, 0x0B, 0x0A, // client LE
-        ]
-    );
+    let mut expected = vec![9, 0, 0, 0]; // payload length 9
+    expected.extend(reference_checksum(&ack_payload).to_le_bytes());
+    expected.extend(ack_payload);
+    assert_eq!(ack, expected);
+    assert_eq!(frame_checksum(&ack_payload), reference_checksum(&ack_payload));
 
+    let round_payload = [
+        0x06u8, // RoundComplete tag
+        7, 0, 0, 0, // session LE
+        2, 0, 0, 0, // params count LE
+        0x00, 0x00, 0x80, 0x3F, // 1.0f32 bits LE
+        0x00, 0x00, 0x00, 0xC0, // -2.0f32 bits LE
+    ];
     let round = frame(&Message::RoundComplete { session: 7, params: vec![1.0, -2.0] }).unwrap();
-    assert_eq!(
-        round,
-        [
-            17, 0, 0, 0, // payload length 17
-            0x06, // RoundComplete tag
-            7, 0, 0, 0, // session LE
-            2, 0, 0, 0, // params count LE
-            0x00, 0x00, 0x80, 0x3F, // 1.0f32 bits LE
-            0x00, 0x00, 0x00, 0xC0, // -2.0f32 bits LE
-        ]
-    );
+    let mut expected = vec![17, 0, 0, 0];
+    expected.extend(reference_checksum(&round_payload).to_le_bytes());
+    expected.extend(round_payload);
+    assert_eq!(round, expected);
 
-    let reject = frame(&Message::Reject { detail: "no".into() }).unwrap();
-    assert_eq!(
-        reject,
-        [
-            7, 0, 0, 0, // payload length 7
-            0x07, // Reject tag
-            2, 0, 0, 0, // byte count LE
-            b'n', b'o',
-        ]
-    );
+    let reject_payload = [
+        0x07u8, // Reject tag
+        4, // Busy code
+        2, 0, 0, 0, // detail byte count LE
+        b'n', b'o',
+    ];
+    let reject =
+        frame(&Message::Reject { code: RejectCode::Busy, detail: "no".into() }).unwrap();
+    let mut expected = vec![8, 0, 0, 0];
+    expected.extend(reference_checksum(&reject_payload).to_le_bytes());
+    expected.extend(reject_payload);
+    assert_eq!(reject, expected);
 
-    assert_eq!(frame(&Message::Shutdown).unwrap(), [1, 0, 0, 0, 0x08]);
+    let mut expected = vec![1, 0, 0, 0];
+    expected.extend(reference_checksum(&[0x08]).to_le_bytes());
+    expected.push(0x08);
+    assert_eq!(frame(&Message::Shutdown).unwrap(), expected);
 
-    let job = frame(&Message::SubmitJob(JobSpec::clean(0x0102_0304_0506_0708, 4, 3))).unwrap();
-    assert_eq!(
-        &job[..13],
-        [
-            60, 0, 0, 0, // payload length: tag 1 + seed 8 + 4*u32 + bool 1 + 4*f64 + 2*u8
-            0x01, // SubmitJob tag
-            0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // seed LE
-        ]
-    );
-    assert_eq!(&job[13..17], [4, 0, 0, 0]); // n_clients
-    assert_eq!(&job[17..21], [40, 0, 0, 0]); // rows_per_client
-    assert_eq!(&job[21..25], [3, 0, 0, 0]); // rounds
-    assert_eq!(&job[25..29], [1, 0, 0, 0]); // local_epochs
-    assert_eq!(job[29], 0); // parallel = false
-    assert_eq!(&job[30..62], [0u8; 32]); // four all-zero f64 probabilities
-    assert_eq!(&job[62..64], [0, 0]); // attack, rule codes
-    assert_eq!(job.len(), 4 + 60);
+    let ping_payload = [
+        0x09u8, // Ping tag
+        0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01, // nonce LE
+    ];
+    let ping = frame(&Message::Ping { nonce: 0x0123_4567_89AB_CDEF }).unwrap();
+    let mut expected = vec![9, 0, 0, 0];
+    expected.extend(reference_checksum(&ping_payload).to_le_bytes());
+    expected.extend(ping_payload);
+    assert_eq!(ping, expected);
+
+    let status_payload = [
+        0x0Du8, // SessionStatus tag
+        3, 0, 0, 0, // session LE
+        2, 0, 0, 0, // n_clients LE
+        5, 0, 0, 0, // dim LE
+        1, 0, 0, 0, // received count LE
+        1, 0, 0, 0, // received[0] LE
+    ];
+    let status = frame(&Message::SessionStatus {
+        session: 3,
+        n_clients: 2,
+        dim: 5,
+        received: vec![1],
+    })
+    .unwrap();
+    let mut expected = vec![21, 0, 0, 0];
+    expected.extend(reference_checksum(&status_payload).to_le_bytes());
+    expected.extend(status_payload);
+    assert_eq!(status, expected);
+
+    let job =
+        frame(&Message::SubmitJob { job: 0x0B0C_0D0E, spec: JobSpec::clean(0x0102_0304_0506_0708, 4, 3) })
+            .unwrap();
+    assert_eq!(&job[..4], [64, 0, 0, 0]); // tag 1 + job 4 + seed 8 + 4*u32 + bool 1 + 4*f64 + 2*u8
+    assert_eq!(job[4..8], frame_checksum(&job[8..]).to_le_bytes());
+    assert_eq!(job[4..8], reference_checksum(&job[8..]).to_le_bytes());
+    assert_eq!(job[8], 0x01); // SubmitJob tag
+    assert_eq!(&job[9..13], [0x0E, 0x0D, 0x0C, 0x0B]); // job id LE
+    assert_eq!(&job[13..21], [0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]); // seed LE
+    assert_eq!(&job[21..25], [4, 0, 0, 0]); // n_clients
+    assert_eq!(&job[25..29], [40, 0, 0, 0]); // rows_per_client
+    assert_eq!(&job[29..33], [3, 0, 0, 0]); // rounds
+    assert_eq!(&job[33..37], [1, 0, 0, 0]); // local_epochs
+    assert_eq!(job[37], 0); // parallel = false
+    assert_eq!(&job[38..70], [0u8; 32]); // four all-zero f64 probabilities
+    assert_eq!(&job[70..72], [0, 0]); // attack, rule codes
+    assert_eq!(job.len(), FRAME_HEADER + 64);
 }
