@@ -6,9 +6,12 @@ use ctfl_data::partition::{skew_label, skew_sample, Partition};
 use ctfl_data::split::train_test_split;
 use ctfl_fl::faults::FaultPlan;
 use ctfl_fl::fedavg::{
-    train_federated, train_federated_byzantine, train_federated_with, ByzantineSetup, FlConfig,
+    train_federated, train_federated_byzantine, train_federated_scheduled, train_federated_with,
+    ByzantineSetup, FlConfig,
 };
 use ctfl_fl::guard::{FederationLog, GuardConfig};
+use ctfl_fl::schedule::Schedule;
+use ctfl_fl::topology::Topology;
 use ctfl_nn::extract::{extract_rules, ExtractOptions};
 use ctfl_nn::net::{LogicalNet, LogicalNetConfig};
 use ctfl_valuation::utility::ModelUtility;
@@ -183,6 +186,31 @@ impl Federation {
         let run =
             train_federated_byzantine(&shards, self.train.n_classes(), &self.net_config, fl, setup)
                 .expect("federation shards are valid");
+        let model = extract_rules(&run.net, ExtractOptions::default()).expect("extraction succeeds");
+        (run.net, model, run.log)
+    }
+
+    /// Like [`Federation::train_global_byzantine`], but under an explicit
+    /// round schedule and aggregation topology (sampled / asynchronous /
+    /// gossip federations).
+    pub fn train_global_scheduled(
+        &self,
+        fl: &FlConfig,
+        setup: &ByzantineSetup<'_>,
+        schedule: Schedule,
+        topology: Topology,
+    ) -> (LogicalNet, RuleModel, FederationLog) {
+        let shards = self.client_datasets();
+        let run = train_federated_scheduled(
+            &shards,
+            self.train.n_classes(),
+            &self.net_config,
+            fl,
+            setup,
+            schedule,
+            topology,
+        )
+        .expect("federation shards are valid");
         let model = extract_rules(&run.net, ExtractOptions::default()).expect("extraction succeeds");
         (run.net, model, run.log)
     }

@@ -356,7 +356,7 @@ mod tests {
         // tests — but its effective contribution must be exactly zero.
         let part = vec![
             ClientParticipation::full(10),
-            ClientParticipation { accepted: 0, rejected: 10, missed: 0, rounds: 10 },
+            ClientParticipation { accepted: 0, rejected: 10, missed: 0, scheduled_out: 0, rounds: 10 },
         ];
         let report = est.estimate_with_participation(&train, &client_of, &test, &part).unwrap();
         assert!(report.micro[1] > 0.0, "raw data-level score survives");

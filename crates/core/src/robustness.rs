@@ -32,6 +32,12 @@ pub struct ClientParticipation {
     pub rejected: usize,
     /// Rounds missed entirely (dropout, crash, straggling, degraded round).
     pub missed: usize,
+    /// Rounds in which the scheduler never asked the client to train.
+    /// Being scheduled out is the *server's* choice, not the client's
+    /// fault, so these rounds are excluded from the participation
+    /// denominator — a client sampled in half the rounds that delivered
+    /// every time it was asked still rates 1.0.
+    pub scheduled_out: usize,
     /// Total rounds of the run.
     pub rounds: usize,
 }
@@ -39,16 +45,24 @@ pub struct ClientParticipation {
 impl ClientParticipation {
     /// A full-participation record over `rounds` rounds.
     pub fn full(rounds: usize) -> Self {
-        ClientParticipation { accepted: rounds, rejected: 0, missed: 0, rounds }
+        ClientParticipation { accepted: rounds, rejected: 0, missed: 0, scheduled_out: 0, rounds }
     }
 
-    /// Fraction of rounds with an accepted update (1.0 for a zero-round
-    /// run, where nobody could have participated).
+    /// Rounds in which the client was actually asked to train (total minus
+    /// scheduled-out rounds).
+    pub fn rounds_scheduled(&self) -> usize {
+        self.rounds.saturating_sub(self.scheduled_out)
+    }
+
+    /// Fraction of *scheduled* rounds with an accepted update (1.0 when the
+    /// client was never scheduled — including the zero-round run — since
+    /// nobody could have participated).
     pub fn rate(&self) -> f64 {
-        if self.rounds == 0 {
+        let scheduled = self.rounds_scheduled();
+        if scheduled == 0 {
             1.0
         } else {
-            self.accepted as f64 / self.rounds as f64
+            self.accepted as f64 / scheduled as f64
         }
     }
 }
@@ -528,8 +542,8 @@ mod tests {
         // Client 1: rejected every round; client 2: mostly absent.
         let part = vec![
             ClientParticipation::full(10),
-            ClientParticipation { accepted: 0, rejected: 10, missed: 0, rounds: 10 },
-            ClientParticipation { accepted: 3, rejected: 0, missed: 7, rounds: 10 },
+            ClientParticipation { accepted: 0, rejected: 10, missed: 0, scheduled_out: 0, rounds: 10 },
+            ClientParticipation { accepted: 3, rejected: 0, missed: 7, scheduled_out: 0, rounds: 10 },
         ];
         let report = analyze_with_participation(
             &outcome,
@@ -555,6 +569,35 @@ mod tests {
         let plain = analyze(&outcome, &[0, 1, 2], &RobustnessConfig::default()).unwrap();
         assert!(plain.suspected_unreliable.is_empty());
         assert!(plain.clients.iter().all(|c| c.participation_rate == 1.0));
+    }
+
+    #[test]
+    fn scheduled_out_rounds_do_not_count_against_the_rate() {
+        let outcome = trace(vec![(1, 1, vec![3, 3, 3]), (0, 0, vec![2, 2, 2])], 3);
+        let part = vec![
+            // Sampled out half the time, accepted whenever scheduled: rate 1.
+            ClientParticipation { accepted: 5, rejected: 0, missed: 0, scheduled_out: 5, rounds: 10 },
+            // Never scheduled at all: rate guards to 1, never flagged.
+            ClientParticipation { accepted: 0, rejected: 0, missed: 0, scheduled_out: 10, rounds: 10 },
+            // Scheduled 5 times but only showed up twice: genuinely flaky.
+            ClientParticipation { accepted: 2, rejected: 0, missed: 3, scheduled_out: 5, rounds: 10 },
+        ];
+        assert_eq!(part[0].rounds_scheduled(), 5);
+        assert_eq!(part[0].rate(), 1.0);
+        assert_eq!(part[1].rate(), 1.0);
+        assert!((part[2].rate() - 0.4).abs() < 1e-12);
+        let report = analyze_with_participation(
+            &outcome,
+            &[0, 1, 2],
+            Some(&part),
+            &RobustnessConfig::default(),
+        )
+        .unwrap();
+        // Only the flaky client is suspect; scheduler decisions are not held
+        // against the other two.
+        assert_eq!(report.suspected_unreliable, vec![2]);
+        assert_eq!(report.clients[0].participation_rate, 1.0);
+        assert_eq!(report.clients[1].participation_rate, 1.0);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 use crate::adversary::AdversaryInjector;
-use crate::aggregate::Aggregator;
+use crate::aggregate::{Aggregator, WeightedFedAvg};
 use crate::client::Client;
 use crate::faults::{Fate, FaultInjector};
 use crate::fedavg::{ByzantineSetup, FederationRun, FlConfig};
@@ -45,6 +45,8 @@ use crate::guard::{
     judge_round, sign_updates, FederationLog, GuardConfig, PanicPolicy, Participation,
     ParticipationEntry, RoundReport, UpdateCandidate,
 };
+use crate::schedule::Schedule;
+use crate::topology::Topology;
 
 /// A client's local computation outcome: `Err(())` means its thread
 /// panicked (the panic was contained).
@@ -52,6 +54,28 @@ type LocalOutcome = std::result::Result<Result<Vec<f32>>, ()>;
 
 fn needs_compute(fate: Fate) -> bool {
     matches!(fate, Fate::Healthy | Fate::Straggler | Fate::Corrupt(_) | Fate::Panic)
+}
+
+/// An update in flight: a candidate parked until `deliver_round`, when the
+/// server (or no round at all, if the federation ends first) finally sees
+/// it. Generalizes the old one-round straggler buffer to arbitrary bounded
+/// staleness.
+#[derive(Debug, Clone)]
+struct DelayedUpdate {
+    /// First round that may aggregate this candidate.
+    deliver_round: usize,
+    /// The candidate, staleness-weighted at deferral time.
+    candidate: UpdateCandidate,
+}
+
+/// Aggregation weight of an update arriving `age` rounds late under a
+/// per-round decay: floored at 1 so stale updates are down-weighted, never
+/// silently dropped. `decay >= 1` short-circuits to the exact legacy weight.
+fn staleness_weight(weight: usize, age: usize, decay: f64) -> usize {
+    if decay >= 1.0 {
+        return weight;
+    }
+    ((weight as f64) * decay.powi(age as i32)).round().max(1.0) as usize
 }
 
 /// Runs one client's local work with panic containment. The injected
@@ -115,9 +139,15 @@ pub struct FederationEngine<'a> {
     adversary: AdversaryInjector,
     guard: GuardConfig,
     aggregator: Box<dyn Aggregator + 'a>,
+    schedule: Schedule,
+    topology: Topology,
     log: FederationLog,
-    /// Stragglers' late updates, delivered at the start of the next round.
-    stale_buffer: Vec<UpdateCandidate>,
+    /// In-flight updates (straggler faults and asynchronous-schedule lags),
+    /// each parked until its delivery round.
+    delayed: Vec<DelayedUpdate>,
+    /// Per-node model state under [`Topology::Gossip`] (empty until the
+    /// first gossip round splits the global into replicas).
+    node_params: Vec<Vec<f32>>,
     /// The previous round's global parameters — the stale-echo reference for
     /// update signatures (round 0: the initial global itself). `prev_global`
     /// and `global_params` are refilled in place each round instead of
@@ -243,8 +273,11 @@ impl<'a> FederationEngine<'a> {
             adversary: AdversaryInjector::new(setup.adversary.clone()),
             guard: *setup.guard,
             aggregator: Box::new(AggRef(setup.aggregator)),
+            schedule: Schedule::Full,
+            topology: Topology::Star,
             log: FederationLog::new(n),
-            stale_buffer: Vec::new(),
+            delayed: Vec::new(),
+            node_params: Vec::new(),
             prev_global,
             global_params: Vec::new(),
             aggregated: Vec::new(),
@@ -261,6 +294,39 @@ impl<'a> FederationEngine<'a> {
     pub fn with_owned_aggregator(mut self, aggregator: Box<dyn Aggregator + 'a>) -> Self {
         self.aggregator = aggregator;
         self
+    }
+
+    /// Installs a round-scheduling policy ([`Schedule::Full`] is the
+    /// default and reproduces the legacy engine bit-for-bit). Validates the
+    /// policy; call before the first [`step_round`] — switching schedules
+    /// mid-run would break the determinism contract.
+    ///
+    /// [`step_round`]: FederationEngine::step_round
+    pub fn with_schedule(mut self, schedule: Schedule) -> Result<Self> {
+        schedule.validate()?;
+        self.schedule = schedule;
+        Ok(self)
+    }
+
+    /// Installs an aggregation topology ([`Topology::Star`] is the default
+    /// and reproduces the legacy engine bit-for-bit). Validates it against
+    /// the federation size; call before the first [`step_round`].
+    ///
+    /// [`step_round`]: FederationEngine::step_round
+    pub fn with_topology(mut self, topology: Topology) -> Result<Self> {
+        topology.validate(self.clients.len())?;
+        self.topology = topology;
+        Ok(self)
+    }
+
+    /// The active round-scheduling policy.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// The active aggregation topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// Federation size.
@@ -307,10 +373,18 @@ impl<'a> FederationEngine<'a> {
         self.log.rounds.last()
     }
 
-    /// Runs exactly one communication round — local computation, fault
-    /// injection, adversarial rewriting, guarding, quorum retries,
-    /// aggregation — and returns the committed report. Returns `Ok(None)`
-    /// when the session is already finished.
+    /// Per-node model parameters under [`Topology::Gossip`] — one vector
+    /// per client, in client order. Empty before the first gossip round and
+    /// always empty under [`Topology::Star`], where only the global exists.
+    pub fn node_models(&self) -> &[Vec<f32>] {
+        &self.node_params
+    }
+
+    /// Runs exactly one communication round — scheduling, local
+    /// computation, fault injection, adversarial rewriting, guarding,
+    /// quorum retries, aggregation (star or per-node gossip) — and returns
+    /// the committed report. Returns `Ok(None)` when the session is
+    /// already finished.
     ///
     /// Errors propagate exactly as in the legacy drivers: a genuine local
     /// training failure, a panic under [`PanicPolicy::Error`], a fail-fast
@@ -320,17 +394,65 @@ impl<'a> FederationEngine<'a> {
         if self.is_finished() {
             return Ok(None);
         }
+        if self.topology.is_star() {
+            self.step_round_star()?;
+        } else {
+            self.step_round_gossip()?;
+        }
+        // This round's starting params become the stale-echo reference; the
+        // old `prev_global` allocation is recycled as next round's
+        // `global_params` buffer.
+        std::mem::swap(&mut self.prev_global, &mut self.global_params);
+        self.next_round += 1;
+        Ok(self.log.rounds.last())
+    }
+
+    /// Pulls every in-flight update whose delivery round has come, in
+    /// deferral order. Delivery ignores whether the sender is scheduled
+    /// *this* round: the schedule governs who trains, not whose buffered
+    /// packet the server drains (see DESIGN.md §13).
+    fn drain_due(&mut self, round: usize) -> Vec<UpdateCandidate> {
+        let mut due = Vec::new();
+        self.delayed.retain_mut(|d| {
+            if d.deliver_round <= round {
+                due.push(UpdateCandidate {
+                    client: d.candidate.client,
+                    stale: true,
+                    params: std::mem::take(&mut d.candidate.params),
+                    weight: d.candidate.weight,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+
+    /// One round under [`Topology::Star`]: a single logical server judges
+    /// and aggregates every surviving update into the one global model.
+    /// With [`Schedule::Full`] this is bit-identical to the pre-scheduler
+    /// engine (pinned by `tests/engine_equivalence.rs`).
+    fn step_round_star(&mut self) -> Result<()> {
         let round = self.next_round;
         let n = self.clients.len();
         self.global.params_into(&mut self.global_params);
-        let stale_arrivals = std::mem::take(&mut self.stale_buffer);
+        let plan = self.schedule.plan_round(round, &self.weights);
+        let decay = self.schedule.staleness_decay();
+        let stale_arrivals = self.drain_due(round);
         let mut attempt = 0usize;
         loop {
             let fates: Vec<Fate> =
                 (0..n).map(|c| self.injector.fate(round, attempt, c)).collect();
 
-            // Local work for every client whose fate requires compute.
-            let n_computing = fates.iter().filter(|f| needs_compute(**f)).count();
+            // Local work for every *scheduled* client whose fate requires
+            // compute. Unscheduled clients never train; their fates are
+            // still drawn so persistent crashes register on time.
+            let n_computing = fates
+                .iter()
+                .zip(&plan.scheduled)
+                .filter(|(f, s)| **s && needs_compute(**f))
+                .count();
             let global_params = &self.global_params;
             let local_epochs = self.fl.local_epochs;
             let outcomes: Vec<Option<LocalOutcome>> = if self.fl.parallel && n_computing > 1 {
@@ -339,8 +461,9 @@ impl<'a> FederationEngine<'a> {
                         .clients
                         .iter_mut()
                         .zip(&fates)
-                        .map(|(c, &fate)| {
-                            if !needs_compute(fate) {
+                        .zip(&plan.scheduled)
+                        .map(|((c, &fate), &sch)| {
+                            if !sch || !needs_compute(fate) {
                                 return None;
                             }
                             Some(s.spawn(move || run_local(c, fate, global_params, local_epochs)))
@@ -355,19 +478,30 @@ impl<'a> FederationEngine<'a> {
                 self.clients
                     .iter_mut()
                     .zip(&fates)
-                    .map(|(c, &fate)| {
-                        needs_compute(fate)
+                    .zip(&plan.scheduled)
+                    .map(|((c, &fate), &sch)| {
+                        (sch && needs_compute(fate))
                             .then(|| run_local(c, fate, global_params, local_epochs))
                     })
                     .collect()
             };
 
-            // Interpret outcomes: build fresh candidates, deferred straggler
+            // Interpret outcomes: build fresh candidates, deferred delayed
             // updates, and the non-reporting entries.
             let mut entries: Vec<ParticipationEntry> = Vec::new();
             let mut fresh: Vec<UpdateCandidate> = Vec::new();
-            let mut deferred: Vec<UpdateCandidate> = Vec::new();
-            for (c, (fate, outcome)) in fates.iter().zip(outcomes).enumerate() {
+            let mut deferred: Vec<DelayedUpdate> = Vec::new();
+            for (c, ((fate, outcome), &sch)) in
+                fates.iter().zip(outcomes).zip(&plan.scheduled).enumerate()
+            {
+                if !sch {
+                    entries.push(ParticipationEntry {
+                        client: c,
+                        stale: false,
+                        outcome: Participation::Unscheduled,
+                    });
+                    continue;
+                }
                 match (fate, outcome) {
                     (Fate::Crashed, _) => entries.push(ParticipationEntry {
                         client: c,
@@ -392,29 +526,36 @@ impl<'a> FederationEngine<'a> {
                     // A genuine error from local training (not a fault) is a
                     // programming error and always propagates.
                     (_, Some(Ok(Err(e)))) => return Err(e),
-                    (Fate::Straggler, Some(Ok(Ok(params)))) => {
-                        deferred.push(UpdateCandidate {
-                            client: c,
-                            stale: true,
-                            params,
-                            weight: self.weights[c],
-                        });
-                        entries.push(ParticipationEntry {
-                            client: c,
-                            stale: false,
-                            outcome: Participation::Straggling,
-                        });
-                    }
                     (&fate, Some(Ok(Ok(mut params)))) => {
                         if let Fate::Corrupt(kind) = fate {
                             FaultInjector::corrupt(kind, &mut params, &self.global_params);
                         }
-                        fresh.push(UpdateCandidate {
-                            client: c,
-                            stale: false,
-                            params,
-                            weight: self.weights[c],
-                        });
+                        // Arrival lag: the schedule's asynchronous delay,
+                        // plus one round when the straggler fault fired.
+                        let lag = plan.delay[c] + usize::from(fate == Fate::Straggler);
+                        if lag > 0 {
+                            deferred.push(DelayedUpdate {
+                                deliver_round: round + lag,
+                                candidate: UpdateCandidate {
+                                    client: c,
+                                    stale: true,
+                                    params,
+                                    weight: staleness_weight(self.weights[c], lag, decay),
+                                },
+                            });
+                            entries.push(ParticipationEntry {
+                                client: c,
+                                stale: false,
+                                outcome: Participation::Straggling,
+                            });
+                        } else {
+                            fresh.push(UpdateCandidate {
+                                client: c,
+                                stale: false,
+                                params,
+                                weight: self.weights[c],
+                            });
+                        }
                     }
                     (_, None) => unreachable!("computing fate without an outcome"),
                 }
@@ -451,13 +592,19 @@ impl<'a> FederationEngine<'a> {
                 .iter()
                 .filter(|j| matches!(j.outcome, Participation::Accepted { .. }))
                 .count();
-            let n_active = fates.iter().filter(|f| **f != Fate::Crashed).count();
+            // Quorum is measured against the clients actually asked to
+            // train: scheduled and not crashed.
+            let n_active = fates
+                .iter()
+                .zip(&plan.scheduled)
+                .filter(|(f, s)| **s && **f != Fate::Crashed)
+                .count();
             let needed = ((self.guard.quorum_frac * n_active as f64).ceil() as usize).max(1);
             let quorum_met = n_accepted >= needed;
 
             if !quorum_met && attempt < self.guard.max_round_retries && n_active > 0 {
                 // Re-run the round against the remaining clients; the
-                // aborted attempt's straggler packets are lost with it.
+                // aborted attempt's in-flight packets are lost with it.
                 attempt += 1;
                 continue;
             }
@@ -480,7 +627,7 @@ impl<'a> FederationEngine<'a> {
             }
             // else: graceful degradation — carry the global params forward.
 
-            self.stale_buffer = deferred;
+            self.delayed.extend(deferred);
             self.log.rounds.push(RoundReport {
                 round,
                 attempts: attempt + 1,
@@ -490,12 +637,235 @@ impl<'a> FederationEngine<'a> {
             });
             break;
         }
-        // This round's starting params become the stale-echo reference; the
-        // old `prev_global` allocation is recycled as next round's
-        // `global_params` buffer.
-        std::mem::swap(&mut self.prev_global, &mut self.global_params);
-        self.next_round += 1;
-        Ok(self.log.rounds.last())
+        Ok(())
+    }
+
+    /// One round under [`Topology::Gossip`]: every node keeps its own model
+    /// and aggregates only the accepted updates of its seeded neighborhood
+    /// (itself plus its pulled peers); no server ever sees the full update
+    /// set. The engine's `global` tracks the row-weighted *consensus mean*
+    /// of the node models — a diagnostic snapshot no real node computes —
+    /// and that consensus is also the reference the guard, the adversaries,
+    /// and the update signatures measure against (the simulator is
+    /// omniscient even though the topology is not).
+    ///
+    /// Differences from the star path, by construction of the regime:
+    /// there is no server-side delay buffer, so straggler faults and
+    /// asynchronous lags *lose* the update (logged as
+    /// [`Participation::Straggling`]); crashed nodes freeze — they neither
+    /// train nor pull, but their last model stays in the consensus mean.
+    fn step_round_gossip(&mut self) -> Result<()> {
+        let round = self.next_round;
+        let n = self.clients.len();
+        // First gossip round: split the global into per-node replicas.
+        if self.node_params.is_empty() {
+            let p = self.global.params();
+            self.node_params = vec![p; n];
+        }
+        // Consensus snapshot of the node models at round start.
+        WeightedFedAvg.aggregate_into(&self.node_params, &self.weights, &mut self.global_params)?;
+        let plan = self.schedule.plan_round(round, &self.weights);
+        let mut attempt = 0usize;
+        loop {
+            let fates: Vec<Fate> =
+                (0..n).map(|c| self.injector.fate(round, attempt, c)).collect();
+
+            let n_computing = fates
+                .iter()
+                .zip(&plan.scheduled)
+                .filter(|(f, s)| **s && needs_compute(**f))
+                .count();
+            let local_epochs = self.fl.local_epochs;
+            let node_params = &self.node_params;
+            // Each node trains from its OWN model, not the consensus.
+            let outcomes: Vec<Option<LocalOutcome>> = if self.fl.parallel && n_computing > 1 {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = self
+                        .clients
+                        .iter_mut()
+                        .zip(&fates)
+                        .zip(&plan.scheduled)
+                        .enumerate()
+                        .map(|(c, ((cl, &fate), &sch))| {
+                            if !sch || !needs_compute(fate) {
+                                return None;
+                            }
+                            let own = &node_params[c];
+                            Some(s.spawn(move || run_local(cl, fate, own, local_epochs)))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.map(|h| h.join().unwrap_or(Err(()))))
+                        .collect()
+                })
+            } else {
+                self.clients
+                    .iter_mut()
+                    .zip(&fates)
+                    .zip(&plan.scheduled)
+                    .enumerate()
+                    .map(|(c, ((cl, &fate), &sch))| {
+                        (sch && needs_compute(fate))
+                            .then(|| run_local(cl, fate, &node_params[c], local_epochs))
+                    })
+                    .collect()
+            };
+
+            let mut entries: Vec<ParticipationEntry> = Vec::new();
+            let mut fresh: Vec<UpdateCandidate> = Vec::new();
+            for (c, ((fate, outcome), &sch)) in
+                fates.iter().zip(outcomes).zip(&plan.scheduled).enumerate()
+            {
+                if !sch {
+                    entries.push(ParticipationEntry {
+                        client: c,
+                        stale: false,
+                        outcome: Participation::Unscheduled,
+                    });
+                    continue;
+                }
+                match (fate, outcome) {
+                    (Fate::Crashed, _) => entries.push(ParticipationEntry {
+                        client: c,
+                        stale: false,
+                        outcome: Participation::Crashed,
+                    }),
+                    (Fate::Dropout, _) => entries.push(ParticipationEntry {
+                        client: c,
+                        stale: false,
+                        outcome: Participation::Dropout,
+                    }),
+                    (_, Some(Err(()))) => {
+                        if self.guard.panic_policy == PanicPolicy::Error {
+                            return Err(CoreError::ClientPanicked { client: c });
+                        }
+                        entries.push(ParticipationEntry {
+                            client: c,
+                            stale: false,
+                            outcome: Participation::Panicked,
+                        });
+                    }
+                    (_, Some(Ok(Err(e)))) => return Err(e),
+                    (&fate, Some(Ok(Ok(mut params)))) => {
+                        let lag = plan.delay[c] + usize::from(fate == Fate::Straggler);
+                        if lag > 0 {
+                            // No server buffer exists in a decentralized
+                            // round: a late packet has no one to wait for it.
+                            entries.push(ParticipationEntry {
+                                client: c,
+                                stale: false,
+                                outcome: Participation::Straggling,
+                            });
+                        } else {
+                            if let Fate::Corrupt(kind) = fate {
+                                FaultInjector::corrupt(kind, &mut params, &self.node_params[c]);
+                            }
+                            fresh.push(UpdateCandidate {
+                                client: c,
+                                stale: false,
+                                params,
+                                weight: self.weights[c],
+                            });
+                        }
+                    }
+                    (_, None) => unreachable!("computing fate without an outcome"),
+                }
+            }
+
+            self.adversary.rewrite_round(
+                &mut fresh,
+                &self.global_params,
+                &self.prev_global,
+                self.global.n_classes(),
+            );
+
+            fresh.sort_by_key(|c| (c.client, c.stale));
+            let signatures = sign_updates(&fresh, &self.global_params, &self.prev_global);
+            // One guard pass against the consensus reference decides the
+            // round's accepted set; every node then pulls from it.
+            let judged = judge_round(&self.global_params, fresh, &self.guard)?;
+            for j in &judged {
+                entries.push(ParticipationEntry {
+                    client: j.candidate.client,
+                    stale: j.candidate.stale,
+                    outcome: j.outcome,
+                });
+            }
+            entries.sort_by_key(|e| (e.client, e.stale));
+
+            let accepted: Vec<(usize, Vec<f32>, usize)> = judged
+                .into_iter()
+                .filter(|j| matches!(j.outcome, Participation::Accepted { .. }))
+                .map(|j| (j.candidate.client, j.candidate.params, j.candidate.weight))
+                .collect();
+            let n_accepted = accepted.len();
+            let n_active = fates
+                .iter()
+                .zip(&plan.scheduled)
+                .filter(|(f, s)| **s && **f != Fate::Crashed)
+                .count();
+            let needed = ((self.guard.quorum_frac * n_active as f64).ceil() as usize).max(1);
+            let quorum_met = n_accepted >= needed;
+
+            if !quorum_met && attempt < self.guard.max_round_retries && n_active > 0 {
+                attempt += 1;
+                continue;
+            }
+
+            if quorum_met {
+                // Every live node pulls the accepted updates of its
+                // neighborhood into its own model; nodes whose neighborhood
+                // produced nothing keep their current model.
+                let mut next: Vec<Option<Vec<f32>>> = vec![None; n];
+                for (i, next_i) in next.iter_mut().enumerate() {
+                    if fates[i] == Fate::Crashed {
+                        continue;
+                    }
+                    let nbrs = self.topology.neighbors(round, i, n);
+                    let (updates, agg_weights): (Vec<Vec<f32>>, Vec<usize>) = accepted
+                        .iter()
+                        .filter(|(c, _, _)| *c == i || nbrs.contains(c))
+                        .map(|(_, p, w)| (p.clone(), *w))
+                        .unzip();
+                    if !updates.is_empty() {
+                        let mut out = Vec::new();
+                        self.aggregator.aggregate_into(&updates, &agg_weights, &mut out)?;
+                        *next_i = Some(out);
+                    }
+                }
+                for (slot, fresh_params) in self.node_params.iter_mut().zip(next) {
+                    if let Some(p) = fresh_params {
+                        *slot = p;
+                    }
+                }
+                // Refresh the diagnostic global to the new consensus mean.
+                WeightedFedAvg.aggregate_into(
+                    &self.node_params,
+                    &self.weights,
+                    &mut self.aggregated,
+                )?;
+                self.global.set_params(&self.aggregated)?;
+            } else if self.guard.fail_fast {
+                return Err(CoreError::InvalidParameter {
+                    name: "quorum",
+                    message: format!(
+                        "round {round}: {n_accepted}/{needed} required updates accepted"
+                    ),
+                });
+            }
+            // else: graceful degradation — every node keeps its model.
+
+            self.log.rounds.push(RoundReport {
+                round,
+                attempts: attempt + 1,
+                degraded: !quorum_met,
+                entries,
+                signatures,
+            });
+            break;
+        }
+        Ok(())
     }
 
     /// Drives every remaining round. A no-op on a finished session.

@@ -35,6 +35,8 @@ use crate::aggregate::{Aggregator, WeightedFedAvg};
 use crate::engine::FederationEngine;
 use crate::faults::FaultPlan;
 use crate::guard::{FederationLog, GuardConfig};
+use crate::schedule::Schedule;
+use crate::topology::Topology;
 
 /// Federated-training configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -169,6 +171,30 @@ pub fn train_federated_byzantine_views(
 ) -> Result<FederationRun> {
     let mut engine =
         FederationEngine::from_views(client_data, n_classes, net_config, fl_config, setup)?;
+    engine.run_to_completion()?;
+    Ok(engine.finish())
+}
+
+/// [`train_federated_byzantine`] under an explicit round
+/// [`Schedule`] and aggregation [`Topology`] — the one-shot driver for
+/// sampled, asynchronous, and gossip federations (DESIGN.md §13).
+///
+/// `Schedule::Full` + `Topology::Star` reproduces
+/// [`train_federated_byzantine`] bit-for-bit; every other combination is a
+/// new regime with the same determinism contract (same inputs →
+/// bit-identical parameters and a byte-identical log).
+pub fn train_federated_scheduled(
+    client_data: &[Dataset],
+    n_classes: usize,
+    net_config: &LogicalNetConfig,
+    fl_config: &FlConfig,
+    setup: &ByzantineSetup<'_>,
+    schedule: Schedule,
+    topology: Topology,
+) -> Result<FederationRun> {
+    let mut engine = FederationEngine::from_datasets(client_data, n_classes, net_config, fl_config, setup)?
+        .with_schedule(schedule)?
+        .with_topology(topology)?;
     engine.run_to_completion()?;
     Ok(engine.finish())
 }

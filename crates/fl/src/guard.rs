@@ -124,10 +124,15 @@ pub enum Participation {
     Dropout,
     /// Permanently out of the federation.
     Crashed,
-    /// Missed the deadline; its update will arrive next round as stale.
+    /// Missed the deadline; its update will arrive in a later round as
+    /// stale (straggler fault or asynchronous-schedule delay).
     Straggling,
     /// Its thread panicked; the panic was contained.
     Panicked,
+    /// The round's schedule never asked this client to train (per-round
+    /// sampling). Not the client's fault — excluded from the participation
+    /// rate's denominator.
+    Unscheduled,
 }
 
 impl Participation {
@@ -145,6 +150,7 @@ impl Participation {
             Participation::Crashed => "crashed".into(),
             Participation::Straggling => "straggling".into(),
             Participation::Panicked => "panicked".into(),
+            Participation::Unscheduled => "unscheduled".into(),
         }
     }
 }
@@ -209,13 +215,18 @@ impl FederationLog {
     /// client when any of its entries was accepted **and** the round
     /// committed (degraded rounds aggregate nothing, so everything in them
     /// counts as missed); *rejected* when the guard turned at least one of
-    /// its updates away; otherwise *missed*.
+    /// its updates away; *scheduled-out* when the round's scheduler never
+    /// asked it to train (and nothing stale of its landed either);
+    /// otherwise *missed*. A stale arrival accepted in a round where the
+    /// client was unscheduled counts as accepted — the update shaped that
+    /// round's aggregate.
     pub fn participation(&self) -> Vec<ClientParticipation> {
         let mut out = vec![
             ClientParticipation {
                 accepted: 0,
                 rejected: 0,
                 missed: 0,
+                scheduled_out: 0,
                 rounds: self.rounds.len(),
             };
             self.n_clients
@@ -223,6 +234,7 @@ impl FederationLog {
         for round in &self.rounds {
             let mut accepted = vec![false; self.n_clients];
             let mut rejected = vec![false; self.n_clients];
+            let mut unscheduled = vec![false; self.n_clients];
             let mut seen = vec![false; self.n_clients];
             for e in &round.entries {
                 seen[e.client] = true;
@@ -231,6 +243,7 @@ impl FederationLog {
                         accepted[e.client] = true;
                     }
                     Participation::Rejected(_) => rejected[e.client] = true,
+                    Participation::Unscheduled => unscheduled[e.client] = true,
                     _ => {}
                 }
             }
@@ -239,6 +252,8 @@ impl FederationLog {
                     out[c].accepted += 1;
                 } else if rejected[c] {
                     out[c].rejected += 1;
+                } else if unscheduled[c] {
+                    out[c].scheduled_out += 1;
                 } else if seen[c] {
                     out[c].missed += 1;
                 }
@@ -308,15 +323,17 @@ impl FederationLog {
         }
         let part = self.participation();
         for (c, p) in part.iter().enumerate() {
-            let _ = writeln!(
+            let _ = write!(
                 s,
-                "client {c}: accepted {}/{} rejected {} missed {} (rate {:.3})",
-                p.accepted,
-                p.rounds,
-                p.rejected,
-                p.missed,
-                p.rate()
+                "client {c}: accepted {}/{} rejected {} missed {}",
+                p.accepted, p.rounds, p.rejected, p.missed,
             );
+            // Only non-full-participation schedules produce this clause, so
+            // legacy logs stay byte-identical.
+            if p.scheduled_out > 0 {
+                let _ = write!(s, " unscheduled {}", p.scheduled_out);
+            }
+            let _ = writeln!(s, " (rate {:.3})", p.rate());
         }
         s
     }

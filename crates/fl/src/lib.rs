@@ -35,6 +35,12 @@
 //!   against the median survivor norm), update-similarity signatures for
 //!   the collusion/free-riding detectors, the quorum/degradation policy,
 //!   and the per-round [`guard::FederationLog`].
+//! * [`schedule`] — pluggable round scheduling: full participation (the
+//!   bit-identical default), per-round uniform/weighted client sampling,
+//!   and asynchronous arrival with bounded staleness.
+//! * [`topology`] — pluggable aggregation topology: star (one server sees
+//!   everything, the bit-identical default) or decentralized gossip where
+//!   each node aggregates only its seeded neighborhood.
 //! * [`metrics`] — test accuracy and F1 for trained models.
 //! * [`privacy`] — the activation-vector upload pipeline of paper Section V:
 //!   each participant computes its rule activation bitsets *locally* and
@@ -56,7 +62,9 @@ pub mod guard;
 pub mod metrics;
 pub mod netclient;
 pub mod privacy;
+pub mod schedule;
 pub mod server;
+pub mod topology;
 pub mod wire;
 
 pub use adversary::{AdversaryInjector, AdversaryPlan, AttackKind};
@@ -64,11 +72,13 @@ pub use aggregate::{Aggregator, CoordinateMedian, MultiKrum, TrimmedMean, Weight
 pub use engine::{EngineState, FederationEngine};
 pub use faults::{CorruptionKind, FaultKind, FaultPlan, FaultSpec};
 pub use fedavg::{
-    train_federated, train_federated_byzantine, train_federated_with, ByzantineSetup,
-    FederationRun, FlConfig,
+    train_federated, train_federated_byzantine, train_federated_scheduled, train_federated_with,
+    ByzantineSetup, FederationRun, FlConfig,
 };
 pub use guard::{FederationLog, GuardConfig, PanicPolicy};
-pub use metrics::{accuracy_of, f1_binary};
+pub use metrics::{accuracy_of, f1_binary, f1_macro};
+pub use schedule::{RoundPlan, Schedule};
+pub use topology::Topology;
 pub use privacy::{assemble_trace_inputs, ActivationUpload, PrivacyConfig};
 pub use chaos_net::{
     duplex, ChaosStats, ChaosTransport, NetFaultPlan, NetFaultSpec, PipeEnd, ReadFault, WriteFault,

@@ -49,6 +49,8 @@ use crate::engine::FederationEngine;
 use crate::faults::{CorruptionKind, FaultPlan, FaultSpec};
 use crate::fedavg::{ByzantineSetup, FlConfig};
 use crate::guard::GuardConfig;
+use crate::schedule::Schedule;
+use crate::topology::Topology;
 use crate::wire::{self, JobSpec, Message, RejectCode, WireError, WireResult};
 
 /// Aggregates client parameter vectors by FedAvg's data-size-weighted mean:
@@ -879,6 +881,48 @@ impl FederationService {
         })
     }
 
+    /// Resolves a job's schedule code into a policy, or a typed error for
+    /// unknown codes or out-of-range parameters. Code `0` is the legacy
+    /// full-participation federation.
+    fn schedule(spec: &JobSpec) -> Result<Schedule> {
+        let schedule = match spec.schedule {
+            0 => Schedule::Full,
+            1 => Schedule::UniformSample { frac: spec.sample_frac, seed: spec.seed ^ 0x5C8D },
+            2 => Schedule::WeightedSample { frac: spec.sample_frac, seed: spec.seed ^ 0x5C8D },
+            3 => Schedule::Async {
+                max_staleness: spec.max_staleness as usize,
+                staleness_decay: spec.stale_decay,
+                seed: spec.seed ^ 0xA5F2,
+            },
+            code => {
+                return Err(CoreError::InvalidParameter {
+                    name: "schedule",
+                    message: format!("unknown schedule code {code}"),
+                })
+            }
+        };
+        schedule.validate()?;
+        Ok(schedule)
+    }
+
+    /// Resolves a job's topology code, or a typed error for unknown codes.
+    /// Code `0` is the legacy star topology.
+    fn topology(spec: &JobSpec) -> Result<Topology> {
+        Ok(match spec.topology {
+            0 => Topology::Star,
+            1 => Topology::Gossip {
+                degree: spec.gossip_degree as usize,
+                seed: spec.seed ^ 0x70B0,
+            },
+            code => {
+                return Err(CoreError::InvalidParameter {
+                    name: "topology",
+                    message: format!("unknown topology code {code}"),
+                })
+            }
+        })
+    }
+
     /// Runs one job to completion through a [`FederationEngine`] session.
     ///
     /// Every invalid spec is a typed [`CoreError`] (bad probabilities, bad
@@ -924,7 +968,9 @@ impl FederationService {
             ..LogicalNetConfig::default()
         };
         let shards = Self::workload(spec);
-        let mut engine = FederationEngine::from_datasets(&shards, 2, &net_config, &fl, &setup)?;
+        let mut engine = FederationEngine::from_datasets(&shards, 2, &net_config, &fl, &setup)?
+            .with_schedule(Self::schedule(spec)?)?
+            .with_topology(Self::topology(spec)?)?;
         engine.run_to_completion()?;
         let run = engine.finish();
         let pooled = Dataset::concat(shards.iter())?;

@@ -1,0 +1,137 @@
+//! Aggregation topology: *who aggregates whose updates* (DESIGN.md §13).
+//!
+//! [`Topology::Star`] is the engine's historical shape — one logical server
+//! sees every surviving update and commits one global model per round — and
+//! stays the bit-identical default. [`Topology::Gossip`] decentralizes it:
+//! every node keeps its *own* model and, each round, pulls the guarded
+//! updates of a small seeded neighborhood (itself plus `degree` peers,
+//! resampled per round). No node ever aggregates the full update set, which
+//! is exactly the regime where contribution schemes that assume a global
+//! vantage point start to wobble (Anada et al., PAPERS.md).
+//!
+//! Neighborhoods are pure functions of `(seed, round, node)` — the same
+//! replay contract as [`crate::schedule::Schedule`] — and directed: `i`
+//! pulling from `j` does not imply `j` pulls from `i`.
+
+use ctfl_core::error::{CoreError, Result};
+use ctfl_rng::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::schedule::round_seed;
+
+/// A deterministic aggregation topology. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// One logical server aggregates every accepted update into one global
+    /// model — the bit-identical legacy default.
+    #[default]
+    Star,
+    /// Decentralized neighbor exchange: node `i` aggregates the accepted
+    /// updates of `{i} ∪ neighbors(round, i)` into its own per-node model;
+    /// the engine's reported "global" is the row-weighted mean of the node
+    /// models (a consensus snapshot no real node computes).
+    Gossip {
+        /// Peers each node pulls from per round (clamped to `n - 1`).
+        degree: usize,
+        /// Seed for the topology's private RNG stream.
+        seed: u64,
+    },
+}
+
+impl Topology {
+    /// Validates the topology for an `n`-client federation.
+    pub fn validate(&self, n: usize) -> Result<()> {
+        match *self {
+            Topology::Star => Ok(()),
+            Topology::Gossip { degree, .. } => {
+                if degree == 0 {
+                    return Err(CoreError::InvalidParameter {
+                        name: "gossip_degree",
+                        message: "gossip needs at least one neighbor per node".into(),
+                    });
+                }
+                if n < 2 {
+                    return Err(CoreError::InvalidParameter {
+                        name: "gossip_degree",
+                        message: format!("gossip needs at least 2 nodes, got {n}"),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// True for the topology that reproduces the legacy engine bit-for-bit.
+    pub fn is_star(&self) -> bool {
+        matches!(self, Topology::Star)
+    }
+
+    /// The peers node `node` pulls from in round `round` of an `n`-node
+    /// federation: a uniform `min(degree, n-1)`-subset of the other nodes,
+    /// in ascending order. Pure in `(self, round, node, n)`; empty under
+    /// [`Topology::Star`].
+    pub fn neighbors(&self, round: usize, node: usize, n: usize) -> Vec<usize> {
+        match *self {
+            Topology::Star => Vec::new(),
+            Topology::Gossip { degree, seed } => {
+                let k = degree.min(n.saturating_sub(1));
+                let mut rng = StdRng::seed_from_u64(
+                    round_seed(seed, round, 0x70B0).wrapping_add((node as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)),
+                );
+                // Partial Fisher–Yates over the other n-1 nodes.
+                let mut peers: Vec<usize> = (0..n).filter(|&p| p != node).collect();
+                let m = peers.len();
+                for i in 0..k {
+                    let j = rng.gen_range(i..m);
+                    peers.swap(i, j);
+                }
+                let mut out = peers[..k].to_vec();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_has_no_neighborhoods() {
+        assert!(Topology::Star.neighbors(0, 0, 5).is_empty());
+        assert!(Topology::Star.validate(1).is_ok());
+    }
+
+    #[test]
+    fn gossip_neighborhoods_are_deterministic_peers() {
+        let t = Topology::Gossip { degree: 2, seed: 8 };
+        for round in 0..10 {
+            for node in 0..6 {
+                let a = t.neighbors(round, node, 6);
+                assert_eq!(a, t.neighbors(round, node, 6));
+                assert_eq!(a.len(), 2);
+                assert!(!a.contains(&node), "a node never pulls from itself");
+                assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+                assert!(a.iter().all(|&p| p < 6));
+            }
+        }
+        // Rounds actually reshuffle the neighborhoods.
+        let per_round: std::collections::BTreeSet<Vec<usize>> =
+            (0..10).map(|r| t.neighbors(r, 0, 6)).collect();
+        assert!(per_round.len() > 1, "10 rounds must not freeze one neighborhood");
+    }
+
+    #[test]
+    fn degree_clamps_to_federation_size() {
+        let t = Topology::Gossip { degree: 100, seed: 1 };
+        let nbrs = t.neighbors(0, 2, 4);
+        assert_eq!(nbrs, vec![0, 1, 3], "degree >= n-1 means everyone else");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_gossip() {
+        assert!(Topology::Gossip { degree: 0, seed: 0 }.validate(5).is_err());
+        assert!(Topology::Gossip { degree: 1, seed: 0 }.validate(1).is_err());
+        assert!(Topology::Gossip { degree: 1, seed: 0 }.validate(2).is_ok());
+    }
+}

@@ -191,6 +191,19 @@ pub struct JobSpec {
     pub attack: u8,
     /// Aggregation-rule code (`0` = weighted FedAvg).
     pub rule: u8,
+    /// Round-schedule code (`0` = full participation, `1` = uniform
+    /// sampling, `2` = weighted sampling, `3` = asynchronous arrival).
+    pub schedule: u8,
+    /// Fraction of clients sampled per round (schedule codes 1-2).
+    pub sample_frac: f64,
+    /// Largest asynchronous arrival delay in rounds (schedule code 3).
+    pub max_staleness: u32,
+    /// Per-round-of-age staleness weight decay (schedule code 3).
+    pub stale_decay: f64,
+    /// Topology code (`0` = star, `1` = gossip neighbor-exchange).
+    pub topology: u8,
+    /// Peers each node pulls from per round (topology code 1).
+    pub gossip_degree: u32,
 }
 
 impl JobSpec {
@@ -209,6 +222,12 @@ impl JobSpec {
             adversary_frac: 0.0,
             attack: 0,
             rule: 0,
+            schedule: 0,
+            sample_frac: 0.5,
+            max_staleness: 2,
+            stale_decay: 0.5,
+            topology: 0,
+            gossip_degree: 2,
         }
     }
 
@@ -477,6 +496,12 @@ fn put_spec(out: &mut Vec<u8>, spec: &JobSpec) {
     put_f64(out, spec.adversary_frac);
     out.push(spec.attack);
     out.push(spec.rule);
+    out.push(spec.schedule);
+    put_f64(out, spec.sample_frac);
+    put_u32(out, spec.max_staleness);
+    put_f64(out, spec.stale_decay);
+    out.push(spec.topology);
+    put_u32(out, spec.gossip_degree);
 }
 
 /// Encodes a message into its payload bytes (no frame header).
@@ -650,6 +675,12 @@ impl<'a> Cursor<'a> {
             adversary_frac: self.f64("job adversary_frac")?,
             attack: self.u8("job attack code")?,
             rule: self.u8("job rule code")?,
+            schedule: self.u8("job schedule code")?,
+            sample_frac: self.f64("job sample_frac")?,
+            max_staleness: self.u32("job max_staleness")?,
+            stale_decay: self.f64("job stale_decay")?,
+            topology: self.u8("job topology code")?,
+            gossip_degree: self.u32("job gossip_degree")?,
         })
     }
 
@@ -967,5 +998,40 @@ mod tests {
         assert_eq!(spec.canonical_bytes(), same.canonical_bytes());
         let other = JobSpec { dropout: 0.5, ..JobSpec::clean(9, 4, 3) };
         assert_ne!(spec.canonical_bytes(), other.canonical_bytes());
+        // The scheduling/topology extension fields are tracked too.
+        for other in [
+            JobSpec { schedule: 1, ..JobSpec::clean(9, 4, 3) },
+            JobSpec { sample_frac: 0.25, ..JobSpec::clean(9, 4, 3) },
+            JobSpec { max_staleness: 5, ..JobSpec::clean(9, 4, 3) },
+            JobSpec { stale_decay: 0.9, ..JobSpec::clean(9, 4, 3) },
+            JobSpec { topology: 1, ..JobSpec::clean(9, 4, 3) },
+            JobSpec { gossip_degree: 3, ..JobSpec::clean(9, 4, 3) },
+        ] {
+            assert_ne!(spec.canonical_bytes(), other.canonical_bytes());
+        }
+    }
+
+    #[test]
+    fn scheduled_job_specs_round_trip() {
+        // A sampled-gossip job and an async job survive encode -> decode.
+        for spec in [
+            JobSpec {
+                schedule: 1,
+                sample_frac: 0.5,
+                topology: 1,
+                gossip_degree: 2,
+                ..JobSpec::clean(11, 6, 4)
+            },
+            JobSpec {
+                schedule: 3,
+                max_staleness: 3,
+                stale_decay: 0.75,
+                ..JobSpec::clean(12, 5, 6)
+            },
+        ] {
+            let msg = Message::SubmitJob { job: 7, spec };
+            let decoded = decode(&encode(&msg)).unwrap();
+            assert_eq!(decoded, msg);
+        }
     }
 }

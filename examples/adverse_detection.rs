@@ -22,6 +22,15 @@
 //! merely wobble with model quality and never isolate the gaming trio.
 //! Only the server-side update signatures name the ring and the free-rider
 //! precisely — and they name nobody on the control.
+//!
+//! A fourth act thins the federation: the same gaming trio, but the
+//! scheduler now samples only 50% of the clients each round. The copier can
+//! only copy in rounds where the ring's source is also scheduled, so the
+//! collusion evidence dilutes by exactly the co-scheduling probability —
+//! scale the detector's round-fraction threshold by that factor and the
+//! signatures still name the ring (and the free-rider, whose every signed
+//! round is a free-ride regardless of sampling) with nobody flagged on the
+//! sampled honest control.
 
 use ctfl::core::estimator::{CtflConfig, CtflEstimator};
 use ctfl::core::robustness::{analyze_signatures, SignatureConfig};
@@ -33,9 +42,12 @@ use ctfl::fl::adversary::{AdversaryPlan, AttackKind};
 use ctfl::fl::aggregate::CoordinateMedian;
 use ctfl::fl::faults::{CorruptionKind, FaultPlan, FaultSpec};
 use ctfl::fl::fedavg::{
-    train_federated, train_federated_byzantine, train_federated_with, ByzantineSetup, FlConfig,
+    train_federated, train_federated_byzantine, train_federated_scheduled, train_federated_with,
+    ByzantineSetup, FlConfig,
 };
 use ctfl::fl::guard::GuardConfig;
+use ctfl::fl::schedule::Schedule;
+use ctfl::fl::topology::Topology;
 use ctfl::nn::extract::{extract_rules, ExtractOptions};
 use ctfl::nn::net::LogicalNetConfig;
 use ctfl_rng::rngs::StdRng;
@@ -235,5 +247,89 @@ fn main() {
         "the ring's copies sit at relative distance 0 on the wire and the\n\
          free-rider's delta norm is 0 against the round median — update-level\n\
          signatures catch exactly the gaming that data-level tracing cannot."
+    );
+
+    // --- Act 4: the same gaming ring under 50% client sampling -----------
+    // The scheduler now picks ceil(0.5 * 6) = 3 of the 6 clients each
+    // round. The copier only *can* copy when the ring's source is also
+    // scheduled — conditioned on the copier signing, the source occupies 2
+    // of the other 5 slots — so the expected copy fraction of its signed
+    // rounds dilutes from ~1 to (k-1)/(n-1) = 0.4. Scale the collusion
+    // threshold by that co-scheduling probability and the evidence that
+    // remains is still unambiguous.
+    println!("\n== the same gaming, but only 50% of clients scheduled per round ==\n");
+    let sampled = Schedule::UniformSample { frac: 0.5, seed: 77 };
+    let sampled_run = train_federated_scheduled(
+        &shards,
+        2,
+        &net_config,
+        &fl,
+        &setup,
+        sampled,
+        Topology::Star,
+    )
+    .expect("sampled byzantine training still succeeds");
+    let sampled_control = train_federated_scheduled(
+        &shards,
+        2,
+        &net_config,
+        &fl,
+        &control_setup,
+        sampled,
+        Topology::Star,
+    )
+    .expect("sampled honest training succeeds");
+
+    let k = 3.0; // scheduled per round
+    let co_scheduling = (k - 1.0) / (n_clients as f64 - 1.0);
+    let sampled_sig_config = SignatureConfig {
+        colluder_round_frac: sig_config.colluder_round_frac * co_scheduling,
+        ..sig_config
+    };
+    println!(
+        "collusion threshold scaled by the co-scheduling probability: {:.2} -> {:.2}",
+        sig_config.colluder_round_frac, sampled_sig_config.colluder_round_frac
+    );
+    let sampled_ctrl_sig = analyze_signatures(
+        &sampled_control.log.update_signatures(),
+        n_clients,
+        &sampled_sig_config,
+    )
+    .expect("signatures are well-formed");
+    assert!(
+        sampled_ctrl_sig.suspected_colluders.is_empty()
+            && sampled_ctrl_sig.suspected_free_riders.is_empty(),
+        "the scaled threshold must not flag the sampled honest control"
+    );
+    let sampled_sig =
+        analyze_signatures(&sampled_run.log.update_signatures(), n_clients, &sampled_sig_config)
+            .expect("signatures are well-formed");
+    println!("\nupdate signatures under sampling (copier signs ~half the rounds):");
+    println!("client  signed  copy-rounds  free-ride-rounds");
+    for (c, stats) in sampled_sig.clients.iter().enumerate() {
+        println!(
+            "{c:>6}  {:>6}  {:>11}  {:>16}",
+            stats.signed_rounds, stats.copy_rounds, stats.free_ride_rounds
+        );
+    }
+    println!();
+    println!("suspected colluders:       {:?}", sampled_sig.suspected_colluders);
+    println!("suspected free-riders:     {:?}", sampled_sig.suspected_free_riders);
+    assert_eq!(
+        sampled_sig.suspected_colluders,
+        vec![1, 4],
+        "the ring survives 50% sampling once the threshold accounts for co-scheduling"
+    );
+    assert_eq!(
+        sampled_sig.suspected_free_riders,
+        vec![2],
+        "free-riding is per signed round, so sampling does not dilute it at all"
+    );
+    println!();
+    println!(
+        "sampling halves how often the ring is co-scheduled, so collusion\n\
+         evidence accrues at the co-scheduling rate — detection holds once the\n\
+         round-fraction threshold is scaled by it, while free-riding (a\n\
+         per-signed-round signal) needs no adjustment at all."
     );
 }

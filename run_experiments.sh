@@ -119,6 +119,26 @@ check() {
     fi
     grep -q NET_OK "$a" || { echo "net soak gates failed" >&2; tail -20 "$a" >&2; exit 1; }
     echo "net soak ok ($(wc -c < "$a") bytes, byte-identical)"
+    echo "== scenario sweep: federation regimes x contribution schemes, double-run byte diff =="
+    # 5 clients under four regimes (full, 50% uniform sampling, async with
+    # bounded staleness, degree-2 gossip) x three schemes (CTFL effective
+    # micro, leave-one-out, sampled Shapley — the baselines' coalition
+    # retrainings run under the same regime). The binary asserts the
+    # full-vs-full column is the identity ranking, every Spearman cell is a
+    # well-formed correlation, sampling actually benched clients, and the
+    # async regime actually landed stale updates; SCENARIO_OK prints only
+    # if every gate held. The double run byte-diffs the scheduler, the
+    # delayed-update queue, and the gossip neighborhood sampler.
+    cargo build --release -p ctfl-bench --bin scenario_sweep
+    $BIN/scenario_sweep --seed 7 > "$a" 2>&1
+    $BIN/scenario_sweep --seed 7 > "$b" 2>&1
+    if ! diff -q "$a" "$b"; then
+        echo "SCENARIO DETERMINISM VIOLATION: two identical-seed scheduled runs differ" >&2
+        diff "$a" "$b" | head -20 >&2
+        exit 1
+    fi
+    grep -q SCENARIO_OK "$a" || { echo "scenario sweep gates failed" >&2; tail -20 "$a" >&2; exit 1; }
+    echo "scenario sweep ok ($(wc -c < "$a") bytes, byte-identical)"
     echo ALL_CHECKS_PASSED
 }
 
@@ -140,5 +160,6 @@ $BIN/chaos --seed 7 > results/chaos.txt 2>&1; echo "chaos rc=$?"
 $BIN/attack_sweep --seed 7 > results/attack_sweep.txt 2>&1; echo "attack_sweep rc=$?"
 $BIN/engine_soak --seed 7 > results/engine_soak.txt 2>&1; echo "engine_soak rc=$?"
 $BIN/net_soak --seed 7 > results/net_soak.txt 2>&1; echo "net_soak rc=$?"
+$BIN/scenario_sweep --seed 7 > results/scenario_sweep.txt 2>&1; echo "scenario_sweep rc=$?"
 $BIN/train_speed --seed 7 > /dev/null 2>&1; echo "train_speed rc=$?"  # writes results/BENCH_train.json
 echo ALL_EXPERIMENTS_DONE

@@ -58,6 +58,12 @@ fn arbitrary_message(g: &mut ctfl_testkit::prop::Gen) -> Message {
                 adversary_frac: g.f64_in(0.0, 1.0),
                 attack: g.u32_in(0, 255) as u8,
                 rule: g.u32_in(0, 255) as u8,
+                schedule: g.u32_in(0, 255) as u8,
+                sample_frac: g.f64_in(0.0, 1.0),
+                max_staleness: g.u32_in(0, 16),
+                stale_decay: g.f64_in(0.0, 1.0),
+                topology: g.u32_in(0, 255) as u8,
+                gossip_degree: g.u32_in(0, 16),
             },
         },
         1 => Message::JobDone {
@@ -362,7 +368,11 @@ fn golden_byte_layout() {
     let job =
         frame(&Message::SubmitJob { job: 0x0B0C_0D0E, spec: JobSpec::clean(0x0102_0304_0506_0708, 4, 3) })
             .unwrap();
-    assert_eq!(&job[..4], [64, 0, 0, 0]); // tag 1 + job 4 + seed 8 + 4*u32 + bool 1 + 4*f64 + 2*u8
+    // tag 1 + job 4 + seed 8 + 4*u32 + bool 1 + 4*f64 + 2*u8 (legacy 64
+    // bytes), then the scheduling/topology extension: schedule u8 +
+    // sample_frac f64 + max_staleness u32 + stale_decay f64 + topology u8 +
+    // gossip_degree u32 (26 bytes).
+    assert_eq!(&job[..4], [90, 0, 0, 0]);
     assert_eq!(job[4..8], frame_checksum(&job[8..]).to_le_bytes());
     assert_eq!(job[4..8], reference_checksum(&job[8..]).to_le_bytes());
     assert_eq!(job[8], 0x01); // SubmitJob tag
@@ -375,5 +385,11 @@ fn golden_byte_layout() {
     assert_eq!(job[37], 0); // parallel = false
     assert_eq!(&job[38..70], [0u8; 32]); // four all-zero f64 probabilities
     assert_eq!(&job[70..72], [0, 0]); // attack, rule codes
-    assert_eq!(job.len(), FRAME_HEADER + 64);
+    assert_eq!(job[72], 0); // schedule code (full)
+    assert_eq!(&job[73..81], 0.5f64.to_le_bytes()); // sample_frac
+    assert_eq!(&job[81..85], [2, 0, 0, 0]); // max_staleness
+    assert_eq!(&job[85..93], 0.5f64.to_le_bytes()); // stale_decay
+    assert_eq!(job[93], 0); // topology code (star)
+    assert_eq!(&job[94..98], [2, 0, 0, 0]); // gossip_degree
+    assert_eq!(job.len(), FRAME_HEADER + 90);
 }
