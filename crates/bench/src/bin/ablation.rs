@@ -14,7 +14,7 @@ use ctfl_bench::datasets::DatasetSpec;
 use ctfl_bench::federation::{default_fl, Federation, FederationConfig, SkewMode};
 use ctfl_bench::report::Table;
 use ctfl_core::allocation::{macro_scores_multi, micro_scores, CreditDirection};
-use ctfl_core::tracing::{inputs_from_model, trace, GroupingStrategy, TraceConfig};
+use ctfl_core::tracing::{inputs_from_model, trace, GroupingStrategy, TraceConfig, TraceParts};
 
 fn main() {
     let args = ctfl_bench::args::CommonArgs::parse();
@@ -37,13 +37,15 @@ fn main() {
         .collect();
     let inputs = inputs_from_model(
         &model,
-        &train_acts,
-        fed.train.labels(),
-        &fed.partition.client_of,
-        fed.partition.n_clients,
-        &test_acts,
-        fed.test.labels(),
-        &predictions,
+        TraceParts {
+            train_acts: &train_acts,
+            train_labels: fed.train.labels(),
+            client_of: &fed.partition.client_of,
+            n_clients: fed.partition.n_clients,
+            test_acts: &test_acts,
+            test_labels: fed.test.labels(),
+            predictions: &predictions,
+        },
     );
 
     // --- tau_w sweep (micro scores + matched-credit mass) ---

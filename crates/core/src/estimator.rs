@@ -13,9 +13,10 @@ use crate::error::{CoreError, Result};
 use crate::interpret::{client_profiles, coverage_gaps, ClientProfile, CoverageGap};
 use crate::model::RuleModel;
 use crate::robustness::{
-    analyze_with_participation, ClientParticipation, RobustnessConfig, RobustnessReport,
+    analyze_with_participation, slash_scores, ClientParticipation, RobustnessConfig,
+    RobustnessReport, SlashPolicy,
 };
-use crate::tracing::{inputs_from_model, trace, GroupingStrategy, TraceConfig, TraceOutcome};
+use crate::tracing::{inputs_from_model, trace, GroupingStrategy, TraceConfig, TraceOutcome, TraceParts};
 
 /// Configuration for a full CTFL estimation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +90,34 @@ impl ContributionReport {
         let mut order: Vec<usize> = (0..self.micro.len()).collect();
         order.sort_by(|&a, &b| self.micro[b].total_cmp(&self.micro[a]));
         order
+    }
+
+    /// The clients this report's own robustness analysis flagged (union of
+    /// every detector's suspect list), ascending — the default slashing
+    /// target set.
+    pub fn flagged_clients(&self) -> Vec<usize> {
+        let r = &self.robustness;
+        let mut out: Vec<usize> = r
+            .suspected_label_flippers
+            .iter()
+            .chain(&r.suspected_replicators)
+            .chain(&r.suspected_low_quality)
+            .chain(&r.suspected_unreliable)
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Effective scores after slashing `flagged` clients under `policy`:
+    /// flagged clients forfeit (part of) their `micro_effective` score,
+    /// optionally redistributed pro rata to the unflagged — the settlement
+    /// vector a marketplace pays from. Pass [`Self::flagged_clients`] to
+    /// slash what this report itself detected, or an external flag set
+    /// (e.g. an upload audit's) for cross-layer penalties.
+    pub fn slashed_scores(&self, flagged: &[usize], policy: &SlashPolicy) -> Result<Vec<f64>> {
+        slash_scores(&self.micro_effective, flagged, policy)
     }
 }
 
@@ -182,13 +211,15 @@ impl CtflEstimator {
 
         let inputs = inputs_from_model(
             &self.model,
-            &train_acts,
-            train.labels(),
-            client_of,
-            n_clients,
-            &test_acts,
-            test.labels(),
-            &predictions,
+            TraceParts {
+                train_acts: &train_acts,
+                train_labels: train.labels(),
+                client_of,
+                n_clients,
+                test_acts: &test_acts,
+                test_labels: test.labels(),
+                predictions: &predictions,
+            },
         );
         let trace_cfg = TraceConfig {
             tau_w: self.config.tau_w,
@@ -368,6 +399,27 @@ mod tests {
         let plain = est.estimate(&train, &client_of, &test).unwrap();
         assert_eq!(plain.micro_effective, plain.micro);
         assert!(plain.robustness.suspected_unreliable.is_empty());
+    }
+
+    #[test]
+    fn slashing_threads_through_the_report() {
+        use crate::robustness::SlashPolicy;
+        let (est, mut train, client_of, test) = separable_setup();
+        // Client 0 flips its labels; the report flags it as low-quality.
+        for i in 0..10 {
+            train.set_label(i, 1).unwrap();
+        }
+        let report = est.estimate(&train, &client_of, &test).unwrap();
+        assert_eq!(report.flagged_clients(), vec![0]);
+        let settled =
+            report.slashed_scores(&report.flagged_clients(), &SlashPolicy::default()).unwrap();
+        assert_eq!(settled[0], 0.0, "flagged client forfeits everything");
+        let total: f64 = report.micro_effective.iter().sum();
+        let settled_total: f64 = settled.iter().sum();
+        assert!((total - settled_total).abs() < 1e-12, "redistribution preserves the total");
+        assert!(settled[1] >= report.micro_effective[1]);
+        // Out-of-range flag set is a typed error.
+        assert!(report.slashed_scores(&[9], &SlashPolicy::default()).is_err());
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //!   contradictory labels; the loss-tracing allocation concentrates blame on
 //!   the flipping client far above the background rate of honest mistakes.
 
+use crate::activation::ActivationMatrix;
 use crate::allocation::{macro_scores, micro_scores, CreditDirection};
 use crate::error::{CoreError, Result};
 use crate::tracing::TraceOutcome;
+use std::collections::HashMap;
 
 /// A client's run-level participation record, produced by the federation
 /// runtime's round log (`ctfl-fl`'s `FederationLog::participation`) and
@@ -458,6 +460,659 @@ pub fn analyze_signatures(
     Ok(SignatureReport { clients, suspected_colluders, suspected_free_riders })
 }
 
+// ---------------------------------------------------------------------------
+// Upload-level audit (score-gaming layer)
+// ---------------------------------------------------------------------------
+
+/// One client's activation upload as the auditor sees it: the claimed
+/// bitsets and labels, plus the privacy level the client *claims* it
+/// applied. Borrowed, because the auditor runs over uploads the federation
+/// already holds (`ctfl-fl`'s `ActivationUpload`).
+#[derive(Debug, Clone, Copy)]
+pub struct UploadAuditInput<'a> {
+    /// Uploading client.
+    pub client: usize,
+    /// Claimed activation bitsets (one row per claimed training instance).
+    pub activations: &'a ActivationMatrix,
+    /// Claimed labels, one per row.
+    pub labels: &'a [u32],
+    /// The randomized-response flip probability the client claims it
+    /// applied (`0` = no perturbation claimed). Feeds the feasibility cap:
+    /// under honest randomized response at `p`, observed self-support
+    /// cannot exceed `1 − p` in expectation.
+    pub claimed_flip_probability: f64,
+}
+
+/// Per-client audit signals derived from an upload alone (no raw data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UploadProfile {
+    /// Client id.
+    pub client: usize,
+    /// Claimed rows in the upload.
+    pub rows: usize,
+    /// Shard size the client declared at enrollment (`None` when the
+    /// federation keeps no declaration).
+    pub declared_rows: Option<usize>,
+    /// Mean fraction of activation bits set per row. Inflation pushes it up.
+    pub mean_density: f64,
+    /// Mean weighted fraction of own-label class-mask bits set per row —
+    /// exactly the quantity Eq. 4 pays for, so it is what a rational gamer
+    /// inflates.
+    pub self_support: f64,
+    /// Fraction of supported rows whose claimed label is *not* the class
+    /// their activations support best. Label-side gaming (relabeling toward
+    /// the majority class) decouples activations from labels and drives
+    /// this up.
+    pub label_incoherence: f64,
+    /// [`UploadProfile::label_incoherence`] minus the incoherence *expected*
+    /// for this client's claimed label mix, where the expectation applies
+    /// the cohort's leave-one-out per-class incoherence rates to the
+    /// client's own label histogram. Raw incoherence conflates shard label
+    /// composition with cheating (on a label-skewed cohort, honest
+    /// minority-class holders score high on an imperfect model); the excess
+    /// asks the fair question — is this client incoherent *beyond what its
+    /// claimed labels predict*?
+    pub incoherence_excess: f64,
+    /// Largest fraction of this client's rows whose `(signature, label)`
+    /// key also appears in some single peer's upload.
+    pub peer_match_frac: f64,
+    /// The peer achieving `peer_match_frac` (`None` with no peers or no
+    /// matches).
+    pub matched_peer: Option<usize>,
+    /// Rows duplicated beyond the matched peer's own multiplicities — a
+    /// squatter that cyclically refills from a smaller victim shows excess;
+    /// the victim never does.
+    pub duplicate_excess: usize,
+}
+
+/// Thresholds for [`audit_uploads`].
+///
+/// The outlier tests are *two-gated*: a client is flagged only when its
+/// signal sits `z` robust standard deviations above the cohort median
+/// (modified z-score, `0.6745 · dev / MAD`) **and** at least `margin`
+/// above it in absolute terms. The margin keeps a tight honest cohort
+/// (MAD ≈ 0) from flagging harmless jitter; the z-score keeps a wide
+/// honest cohort from flagging its own tail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UploadAuditConfig {
+    /// Modified z-score threshold shared by the outlier tests.
+    pub z: f64,
+    /// Absolute margin for the mean-density test.
+    pub density_margin: f64,
+    /// Absolute margin for the self-support test.
+    pub support_margin: f64,
+    /// Absolute margin for the label-incoherence-excess test. The default
+    /// is wider than the other margins because honest excess jitter on
+    /// real label-skewed federations (imperfect rules, small shards)
+    /// reaches ~0.17 while relabeling attacks land well above 0.25.
+    pub incoherence_margin: f64,
+    /// Widening of the incoherence-excess margin per unit of the cohort's
+    /// mean *claimed* flip probability. Randomized response flips label-
+    /// correlated activation bits, so honest excess jitter grows with `p`;
+    /// the effective margin is
+    /// `incoherence_margin + incoherence_rr_slack · mean(claimed_p)`.
+    /// This is exactly the privacy/auditability trade-off: the wider the
+    /// claimed privacy noise, the less label-side audit power remains.
+    pub incoherence_rr_slack: f64,
+    /// Slack over the randomized-response feasibility cap `1 − p`:
+    /// observed self-support above `1 − p + cap_slack` is infeasible under
+    /// the claimed privacy level regardless of the cohort.
+    pub cap_slack: f64,
+    /// A client whose row keys are contained in a single peer's upload at
+    /// this fraction or higher is a squat suspect.
+    pub squat_match_frac: f64,
+}
+
+impl Default for UploadAuditConfig {
+    fn default() -> Self {
+        UploadAuditConfig {
+            z: 3.5,
+            density_margin: 0.08,
+            support_margin: 0.08,
+            incoherence_margin: 0.20,
+            incoherence_rr_slack: 1.0,
+            cap_slack: 0.05,
+            squat_match_frac: 0.9,
+        }
+    }
+}
+
+/// Output of [`audit_uploads`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UploadAuditReport {
+    /// Per-upload signals, in upload order.
+    pub profiles: Vec<UploadProfile>,
+    /// Clients whose density or self-support is an upper outlier, or whose
+    /// self-support exceeds the randomized-response feasibility cap for
+    /// their claimed `p` (activation inflation, ε-abuse).
+    pub suspected_inflators: Vec<usize>,
+    /// Clients whose upload is contained in a single peer's upload
+    /// (trace-squatting). When two near-equal uploads mimic each other
+    /// perfectly, duplicate excess breaks the tie; a dead-even mimicry
+    /// pair is flagged whole — the auditor cannot know which end is honest,
+    /// so it quarantines both.
+    pub suspected_squatters: Vec<usize>,
+    /// Clients whose label-mix-adjusted incoherence excess is an upper
+    /// outlier (label-side gaming).
+    pub suspected_label_gamers: Vec<usize>,
+    /// Clients claiming more rows than their declared shard size
+    /// (row-budget accounting; empty when no declarations were supplied).
+    pub suspected_budget_violators: Vec<usize>,
+    /// Union of all suspect lists, ascending.
+    pub flagged: Vec<usize>,
+}
+
+fn median_of(mut v: Vec<f64>) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    if v.len() % 2 == 1 {
+        v[v.len() / 2]
+    } else {
+        0.5 * (v[v.len() / 2 - 1] + v[v.len() / 2])
+    }
+}
+
+/// Indices whose value is an *upper* robust outlier: `margin` above the
+/// median in absolute terms and `z` modified z-scores above it (the z test
+/// auto-passes when the cohort is so tight that MAD vanishes). Cohorts of
+/// fewer than 3 carry no outlier information.
+fn upper_outliers(values: &[f64], z: f64, margin: f64) -> Vec<usize> {
+    if values.len() < 3 {
+        return Vec::new();
+    }
+    let med = median_of(values.to_vec());
+    let mad = median_of(values.iter().map(|x| (x - med).abs()).collect());
+    values
+        .iter()
+        .enumerate()
+        .filter(|&(_, &x)| {
+            let dev = x - med;
+            dev > margin && (mad <= 1e-12 || 0.6745 * dev / mad >= z)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Audits a cohort of activation uploads for score-gaming *before* they are
+/// assembled into tracing inputs.
+///
+/// Four independent detectors, each aimed at one attack family:
+///
+/// * **density / self-support outliers + RR feasibility cap** — activation
+///   inflation and ε-abuse (claiming bits the client never held pushes the
+///   Eq. 4 payoff quantity above the cohort, and above what honest
+///   randomized response at the claimed `p` could produce);
+/// * **peer containment** — trace-squatting (an upload whose rows are a
+///   near-subset of one peer's is a copy, not a coincidence — under
+///   randomized response honest cross-client signature collisions are
+///   vanishingly rare);
+/// * **label-incoherence excess** — label-side gaming (relabeled rows keep
+///   activations that support their true class; the signal is measured as
+///   excess over what the client's claimed label mix predicts, so honest
+///   minority-class holders on a label-skewed cohort are not confounded);
+/// * **row budget** — claimed activation mass beyond the declared shard
+///   size (`declared_rows[client]`, typically from enrollment or the
+///   FedAvg example-count weights).
+///
+/// `weights` / `class_masks` are the public model artifacts every client
+/// already has. Flags carry *client ids* (not upload positions).
+pub fn audit_uploads(
+    uploads: &[UploadAuditInput<'_>],
+    weights: &[f64],
+    class_masks: &[Vec<u64>],
+    declared_rows: Option<&[usize]>,
+    config: &UploadAuditConfig,
+) -> Result<UploadAuditReport> {
+    let n_classes = class_masks.len();
+    let mut seen = std::collections::HashSet::new();
+    for up in uploads {
+        if up.activations.n_bits() != weights.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "upload activation width",
+                expected: weights.len(),
+                actual: up.activations.n_bits(),
+            });
+        }
+        if up.labels.len() != up.activations.n_rows() {
+            return Err(CoreError::LengthMismatch {
+                what: "upload labels",
+                expected: up.activations.n_rows(),
+                actual: up.labels.len(),
+            });
+        }
+        for &l in up.labels {
+            if l as usize >= n_classes {
+                return Err(CoreError::InvalidParameter {
+                    name: "uploads",
+                    message: format!("label {l} >= n_classes {n_classes}"),
+                });
+            }
+        }
+        if !seen.insert(up.client) {
+            return Err(CoreError::InvalidParameter {
+                name: "uploads",
+                message: format!("client {} uploaded twice", up.client),
+            });
+        }
+        if let Some(d) = declared_rows {
+            if up.client >= d.len() {
+                return Err(CoreError::InvalidParameter {
+                    name: "declared_rows",
+                    message: format!("no declaration for client {}", up.client),
+                });
+            }
+        }
+    }
+
+    // Total weight behind each class mask (the self-support denominator).
+    let mask_totals: Vec<f64> = class_masks
+        .iter()
+        .map(|mask| {
+            weights
+                .iter()
+                .enumerate()
+                .filter(|&(b, _)| mask[b / 64] >> (b % 64) & 1 == 1)
+                .map(|(_, &w)| w)
+                .sum::<f64>()
+        })
+        .collect();
+
+    // Per-upload signals + (signature, label) multisets for containment.
+    let mut keys: Vec<HashMap<(u64, u32), u32>> = Vec::with_capacity(uploads.len());
+    let mut profiles: Vec<UploadProfile> = Vec::with_capacity(uploads.len());
+    // Per-upload, per-class coherence tallies (rows judged / rows
+    // incoherent) for the leave-one-out incoherence expectation.
+    let mut coh_rows_by_class: Vec<Vec<usize>> = Vec::with_capacity(uploads.len());
+    let mut incoh_by_class: Vec<Vec<usize>> = Vec::with_capacity(uploads.len());
+    for up in uploads {
+        let rows = up.activations.n_rows();
+        let n_bits = up.activations.n_bits().max(1);
+        let mut density_sum = 0.0;
+        let mut support_sum = 0.0;
+        let mut supported_rows = 0usize;
+        let mut incoherent = 0usize;
+        let mut coherence_rows = 0usize;
+        let mut class_rows = vec![0usize; n_classes];
+        let mut class_incoh = vec![0usize; n_classes];
+        let mut map: HashMap<(u64, u32), u32> = HashMap::new();
+        for r in 0..rows {
+            density_sum += up.activations.row_count(r) as f64 / n_bits as f64;
+            let label = up.labels[r] as usize;
+            if mask_totals[label] > 0.0 {
+                support_sum +=
+                    up.activations.masked_weight_sum(r, &class_masks[label], weights)
+                        / mask_totals[label];
+                supported_rows += 1;
+            }
+            let supports: Vec<f64> = (0..n_classes)
+                .map(|c| up.activations.masked_weight_sum(r, &class_masks[c], weights))
+                .collect();
+            let best = supports.iter().copied().fold(0.0, f64::max);
+            if best > 0.0 {
+                coherence_rows += 1;
+                class_rows[label] += 1;
+                if supports[label] + 1e-12 < best {
+                    incoherent += 1;
+                    class_incoh[label] += 1;
+                }
+            }
+            *map.entry((up.activations.row_signature(r), up.labels[r])).or_insert(0) += 1;
+        }
+        keys.push(map);
+        coh_rows_by_class.push(class_rows);
+        incoh_by_class.push(class_incoh);
+        profiles.push(UploadProfile {
+            client: up.client,
+            rows,
+            declared_rows: declared_rows.map(|d| d[up.client]),
+            mean_density: if rows == 0 { 0.0 } else { density_sum / rows as f64 },
+            self_support: if supported_rows == 0 { 0.0 } else { support_sum / supported_rows as f64 },
+            label_incoherence: if coherence_rows == 0 {
+                0.0
+            } else {
+                incoherent as f64 / coherence_rows as f64
+            },
+            incoherence_excess: 0.0,
+            peer_match_frac: 0.0,
+            matched_peer: None,
+            duplicate_excess: 0,
+        });
+    }
+
+    // Peer containment: fraction of i's rows whose key exists in j, and the
+    // rows i holds beyond j's multiplicities for the best-matching peer.
+    let n = uploads.len();
+    for i in 0..n {
+        if profiles[i].rows == 0 {
+            continue;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let matched: u32 = keys[i]
+                .iter()
+                .filter(|(k, _)| keys[j].contains_key(k))
+                .map(|(_, &cnt)| cnt)
+                .sum();
+            let frac = matched as f64 / profiles[i].rows as f64;
+            if best.is_none_or(|(bf, _)| frac > bf) {
+                best = Some((frac, j));
+            }
+        }
+        if let Some((frac, j)) = best {
+            let excess: u32 = keys[i]
+                .iter()
+                .filter(|(k, _)| keys[j].contains_key(k))
+                .map(|(k, &cnt)| cnt.saturating_sub(*keys[j].get(k).unwrap_or(&0)))
+                .sum();
+            profiles[i].peer_match_frac = frac;
+            profiles[i].matched_peer = Some(uploads[j].client);
+            profiles[i].duplicate_excess = excess as usize;
+        }
+    }
+
+    // Detector 1: inflation / ε-abuse.
+    let densities: Vec<f64> = profiles.iter().map(|p| p.mean_density).collect();
+    let supports: Vec<f64> = profiles.iter().map(|p| p.self_support).collect();
+    let mut inflators: Vec<usize> = upper_outliers(&densities, config.z, config.density_margin)
+        .into_iter()
+        .chain(upper_outliers(&supports, config.z, config.support_margin))
+        .map(|i| profiles[i].client)
+        .collect();
+    for (up, p) in uploads.iter().zip(&profiles) {
+        let cap = 1.0 - up.claimed_flip_probability + config.cap_slack;
+        if up.claimed_flip_probability > 0.0 && p.self_support > cap {
+            inflators.push(p.client);
+        }
+    }
+    inflators.sort_unstable();
+    inflators.dedup();
+
+    // Detector 2: trace-squatting via pairwise containment.
+    let mut squatters: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if profiles[i].rows == 0 || profiles[i].peer_match_frac < config.squat_match_frac {
+            continue;
+        }
+        let j = (0..n)
+            .find(|&j| Some(uploads[j].client) == profiles[i].matched_peer)
+            .expect("matched peer is in the cohort");
+        // Mutual mimicry: excess copies break the tie (the cyclic refiller
+        // shows them, the victim cannot); a dead-even pair is flagged whole.
+        if profiles[j].peer_match_frac >= config.squat_match_frac
+            && profiles[j].matched_peer == Some(uploads[i].client)
+            && profiles[j].duplicate_excess > profiles[i].duplicate_excess
+        {
+            continue; // j is the squatter of this pair, not i
+        }
+        squatters.push(profiles[i].client);
+    }
+    squatters.sort_unstable();
+    squatters.dedup();
+
+    // Detector 4 runs before detector 3 so its flags can clean detector
+    // 3's baseline (see below).
+    let mut budget_violators: Vec<usize> = profiles
+        .iter()
+        .filter(|p| p.declared_rows.is_some_and(|d| p.rows > d))
+        .map(|p| p.client)
+        .collect();
+    budget_violators.sort_unstable();
+
+    // Incoherence excess: observed minus the rate the client's own label
+    // mix predicts under the cohort's leave-one-out per-class incoherence
+    // rates. The baseline excludes clients the *other* detectors already
+    // flagged — an inflator's fabricated hyper-coherent rows would
+    // otherwise depress the expected rates and push honest clients into
+    // apparent excess (one corrupted baseline sheltering another attack).
+    let prior_suspects: std::collections::HashSet<usize> = inflators
+        .iter()
+        .chain(&squatters)
+        .chain(&budget_violators)
+        .copied()
+        .collect();
+    let baseline: Vec<usize> = (0..n)
+        .filter(|&i| !prior_suspects.contains(&uploads[i].client))
+        .collect();
+    let tot_rows_by_class: Vec<usize> = (0..n_classes)
+        .map(|c| baseline.iter().map(|&i| coh_rows_by_class[i][c]).sum())
+        .collect();
+    let tot_incoh_by_class: Vec<usize> = (0..n_classes)
+        .map(|c| baseline.iter().map(|&i| incoh_by_class[i][c]).sum())
+        .collect();
+    for (i, p) in profiles.iter_mut().enumerate() {
+        let judged: usize = coh_rows_by_class[i].iter().sum();
+        if judged == 0 {
+            continue;
+        }
+        let in_baseline = !prior_suspects.contains(&uploads[i].client);
+        let mut expected = 0.0;
+        for c in 0..n_classes {
+            let (mut peer_rows, mut peer_incoh) = (tot_rows_by_class[c], tot_incoh_by_class[c]);
+            if in_baseline {
+                peer_rows -= coh_rows_by_class[i][c];
+                peer_incoh -= incoh_by_class[i][c];
+            }
+            if peer_rows == 0 {
+                continue; // no peer evidence for this class: expect 0
+            }
+            expected += coh_rows_by_class[i][c] as f64 * peer_incoh as f64 / peer_rows as f64;
+        }
+        p.incoherence_excess = p.label_incoherence - expected / judged as f64;
+    }
+
+    // Detector 3: label-side gaming, on the skew-adjusted excess. Negative
+    // excess ("more coherent than the cohort predicts") is clamped to zero
+    // before the outlier stats: it is never suspicious in itself, and when
+    // a gamer corrupts the leave-one-out baseline its victims' mirrored
+    // negative excess would otherwise inflate the MAD and shelter it.
+    // The margin widens with the cohort's mean claimed flip probability:
+    // randomized response perturbs label-correlated bits, so honest excess
+    // jitter grows with p and a fixed margin would false-positive honest
+    // clients on noisy draws.
+    let mean_claimed_p =
+        uploads.iter().map(|u| u.claimed_flip_probability).sum::<f64>() / uploads.len() as f64;
+    let margin = config.incoherence_margin + config.incoherence_rr_slack * mean_claimed_p;
+    let excesses: Vec<f64> =
+        profiles.iter().map(|p| p.incoherence_excess.max(0.0)).collect();
+    let mut label_gamers: Vec<usize> =
+        upper_outliers(&excesses, config.z, margin)
+            .into_iter()
+            .map(|i| profiles[i].client)
+            .collect();
+    label_gamers.sort_unstable();
+
+    let mut flagged: Vec<usize> = inflators
+        .iter()
+        .chain(&squatters)
+        .chain(&label_gamers)
+        .chain(&budget_violators)
+        .copied()
+        .collect();
+    flagged.sort_unstable();
+    flagged.dedup();
+
+    Ok(UploadAuditReport {
+        profiles,
+        suspected_inflators: inflators,
+        suspected_squatters: squatters,
+        suspected_label_gamers: label_gamers,
+        suspected_budget_violators: budget_violators,
+        flagged,
+    })
+}
+
+/// Thresholds for [`cross_check_uploads`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossCheckConfig {
+    /// Minimum claimed rows for a free-rider's upload to count as an
+    /// inconsistency (an empty upload claims nothing).
+    pub min_claimed_rows: usize,
+}
+
+impl Default for CrossCheckConfig {
+    fn default() -> Self {
+        CrossCheckConfig { min_claimed_rows: 1 }
+    }
+}
+
+/// Cross-checks claimed uploads against submitted model updates: a client
+/// the update-signature detectors identify as a free-rider (zero-delta or
+/// stale-echo submissions — no local training happened) that nonetheless
+/// claims a non-trivial activation upload is lying on at least one side.
+/// Data that never trained the model cannot earn credit through it.
+///
+/// Returns the inconsistent clients, ascending.
+pub fn cross_check_uploads(
+    audit: &UploadAuditReport,
+    signatures: &SignatureReport,
+    config: &CrossCheckConfig,
+) -> Vec<usize> {
+    let mut out: Vec<usize> = audit
+        .profiles
+        .iter()
+        .filter(|p| {
+            p.rows >= config.min_claimed_rows
+                && signatures.suspected_free_riders.contains(&p.client)
+        })
+        .map(|p| p.client)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Thresholds for [`score_consistency`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsistencyConfig {
+    /// Modified z-score threshold on normalized dispersion.
+    pub z: f64,
+    /// Absolute margin above the median dispersion.
+    pub margin: f64,
+}
+
+impl Default for ConsistencyConfig {
+    fn default() -> Self {
+        ConsistencyConfig { z: 3.5, margin: 0.5 }
+    }
+}
+
+/// Output of [`score_consistency`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsistencyReport {
+    /// Per-client mean score across runs.
+    pub mean: Vec<f64>,
+    /// Per-client score dispersion across runs: standard deviation divided
+    /// by the cohort's mean absolute score, so dispersions are comparable
+    /// across clients and cohorts.
+    pub dispersion: Vec<f64>,
+    /// Clients whose dispersion is an upper robust outlier.
+    pub suspected_inconsistent: Vec<usize>,
+}
+
+/// Cross-run consistency scoring (FedRandom, PAPERS.md): a client whose
+/// contribution score swings wildly across re-scoring runs (different test
+/// subsamples, different seeds) earns its score through brittle,
+/// coincidental matches — gamed uploads behave exactly so, honest data
+/// scores stay stable.
+///
+/// `runs` holds one score vector per re-scoring pass (≥ 2, equal lengths).
+pub fn score_consistency(runs: &[Vec<f64>], config: &ConsistencyConfig) -> Result<ConsistencyReport> {
+    let first = runs.first().ok_or(CoreError::Empty { what: "consistency runs" })?;
+    let n = first.len();
+    if runs.len() < 2 {
+        return Err(CoreError::InvalidParameter {
+            name: "runs",
+            message: format!("need >= 2 re-scoring runs, got {}", runs.len()),
+        });
+    }
+    for r in runs {
+        if r.len() != n {
+            return Err(CoreError::LengthMismatch {
+                what: "consistency run",
+                expected: n,
+                actual: r.len(),
+            });
+        }
+    }
+    let k = runs.len() as f64;
+    let mean: Vec<f64> = (0..n).map(|i| runs.iter().map(|r| r[i]).sum::<f64>() / k).collect();
+    let scale = (mean.iter().map(|m| m.abs()).sum::<f64>() / n.max(1) as f64).max(1e-12);
+    let dispersion: Vec<f64> = (0..n)
+        .map(|i| {
+            let var = runs.iter().map(|r| (r[i] - mean[i]).powi(2)).sum::<f64>() / k;
+            var.sqrt() / scale
+        })
+        .collect();
+    let suspected_inconsistent = upper_outliers(&dispersion, config.z, config.margin);
+    Ok(ConsistencyReport { mean, dispersion, suspected_inconsistent })
+}
+
+/// Slashing policy for flagged clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlashPolicy {
+    /// Fraction of a flagged client's (positive) score to confiscate,
+    /// in `[0, 1]`.
+    pub factor: f64,
+    /// Redistribute the confiscated mass to unflagged clients
+    /// proportionally to their remaining positive scores — preserving the
+    /// score total (group rationality) instead of burning it.
+    pub redistribute: bool,
+}
+
+impl Default for SlashPolicy {
+    fn default() -> Self {
+        SlashPolicy { factor: 1.0, redistribute: true }
+    }
+}
+
+/// Applies a [`SlashPolicy`] to a score vector: flagged clients forfeit
+/// `factor` of their positive score; the pot is optionally redistributed to
+/// the unflagged pro rata. Negative scores are never slashed further (there
+/// is nothing to confiscate).
+pub fn slash_scores(scores: &[f64], flagged: &[usize], policy: &SlashPolicy) -> Result<Vec<f64>> {
+    if !(0.0..=1.0).contains(&policy.factor) {
+        return Err(CoreError::InvalidParameter {
+            name: "slash factor",
+            message: format!("must be in [0, 1], got {}", policy.factor),
+        });
+    }
+    let mut is_flagged = vec![false; scores.len()];
+    for &f in flagged {
+        if f >= scores.len() {
+            return Err(CoreError::InvalidParameter {
+                name: "flagged",
+                message: format!("client {f} outside score vector of {}", scores.len()),
+            });
+        }
+        is_flagged[f] = true;
+    }
+    let mut out = scores.to_vec();
+    let mut pot = 0.0;
+    for (i, s) in out.iter_mut().enumerate() {
+        if is_flagged[i] && *s > 0.0 {
+            let cut = policy.factor * *s;
+            *s -= cut;
+            pot += cut;
+        }
+    }
+    if policy.redistribute && pot > 0.0 {
+        let base: f64 =
+            out.iter().enumerate().filter(|&(i, &s)| !is_flagged[i] && s > 0.0).map(|(_, &s)| s).sum();
+        if base > 1e-12 {
+            for (i, s) in out.iter_mut().enumerate() {
+                if !is_flagged[i] && *s > 0.0 {
+                    *s += pot * (*s / base);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -704,5 +1359,310 @@ mod tests {
         let rounds =
             vec![RoundSignatures { round: 0, entries: vec![sig(7, 1.0, 1.0, None)] }];
         assert!(analyze_signatures(&rounds, 3, &SignatureConfig::default()).is_err());
+    }
+
+    // --- upload audit ---
+
+    /// 8 rules: bits 0..4 support class 0, bits 4..8 class 1, unit weights.
+    fn masks_and_weights() -> (Vec<Vec<u64>>, Vec<f64>) {
+        let masks = vec![
+            ActivationMatrix::build_mask(8, 0..4),
+            ActivationMatrix::build_mask(8, 4..8),
+        ];
+        (masks, vec![1.0; 8])
+    }
+
+    /// An upload of `rows` class-`label` rows, each activating `bits`.
+    fn upload(rows: usize, label: u32, bits: &[usize]) -> (ActivationMatrix, Vec<u32>) {
+        let mut acts = ActivationMatrix::zeros(0, 8);
+        for _ in 0..rows {
+            let row: Vec<bool> = (0..8).map(|b| bits.contains(&b)).collect();
+            acts.push_row(&row).unwrap();
+        }
+        (acts, vec![label; rows])
+    }
+
+    fn inputs<'a>(
+        ups: &'a [(ActivationMatrix, Vec<u32>)],
+        claimed_p: f64,
+    ) -> Vec<UploadAuditInput<'a>> {
+        ups.iter()
+            .enumerate()
+            .map(|(c, (acts, labels))| UploadAuditInput {
+                client: c,
+                activations: acts,
+                labels,
+                claimed_flip_probability: claimed_p,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn audit_flags_inflated_self_support() {
+        let (masks, weights) = masks_and_weights();
+        // Five honest clients activate 2 of their 4 class bits; client 5
+        // claims all 8 bits on every row.
+        let mut ups: Vec<_> = (0..5)
+            .map(|i| {
+                let label = (i % 2) as u32;
+                let base = if label == 0 { 0 } else { 4 };
+                upload(6, label, &[base, base + 1 + i % 3])
+            })
+            .collect();
+        ups.push(upload(6, 0, &[0, 1, 2, 3, 4, 5, 6, 7]));
+        let report =
+            audit_uploads(&inputs(&ups, 0.0), &weights, &masks, None, &UploadAuditConfig::default())
+                .unwrap();
+        assert_eq!(report.suspected_inflators, vec![5]);
+        assert!(report.flagged.contains(&5));
+        assert!(report.profiles[5].self_support > report.profiles[0].self_support);
+    }
+
+    #[test]
+    fn audit_feasibility_cap_catches_epsilon_abuse() {
+        let (masks, weights) = masks_and_weights();
+        // Claimed flip probability 0.2 caps honest observed self-support at
+        // 0.8 (+ slack); a client at support 1.0 is infeasible even if the
+        // whole (tiny) cohort can't form a z-score.
+        let ups =
+            vec![upload(5, 0, &[0, 1]), upload(5, 1, &[4, 5]), upload(5, 0, &[0, 1, 2, 3])];
+        let report =
+            audit_uploads(&inputs(&ups, 0.2), &weights, &masks, None, &UploadAuditConfig::default())
+                .unwrap();
+        assert_eq!(report.suspected_inflators, vec![2]);
+        // Same uploads with no claimed privacy: cohort outlier logic only.
+        let report0 =
+            audit_uploads(&inputs(&ups, 0.0), &weights, &masks, None, &UploadAuditConfig::default())
+                .unwrap();
+        assert_eq!(report0.suspected_inflators, vec![2], "still a cohort outlier at p=0");
+    }
+
+    #[test]
+    fn audit_flags_squatter_not_victim() {
+        let (masks, weights) = masks_and_weights();
+        // Victim 0 has 10 distinct rows (all supporting class 0); squatter 2
+        // copies the first 6 of them; client 1 is honest and distinct.
+        let victim_rows: [&[usize]; 10] = [
+            &[0, 1],
+            &[0, 2],
+            &[0, 3],
+            &[1, 2],
+            &[1, 3],
+            &[2, 3],
+            &[0, 1, 2],
+            &[0, 1, 3],
+            &[0, 2, 3],
+            &[1, 2, 3],
+        ];
+        let mut victim = ActivationMatrix::zeros(0, 8);
+        let mut vlabels = Vec::new();
+        for bits in victim_rows {
+            let row: Vec<bool> = (0..8).map(|b| bits.contains(&b)).collect();
+            victim.push_row(&row).unwrap();
+            vlabels.push(0u32);
+        }
+        let mut squat = ActivationMatrix::zeros(0, 8);
+        let mut slabels = Vec::new();
+        for bits in &victim_rows[..6] {
+            let row: Vec<bool> = (0..8).map(|b| bits.contains(&b)).collect();
+            squat.push_row(&row).unwrap();
+            slabels.push(0u32);
+        }
+        let honest = upload(8, 1, &[4, 6]);
+        let ups = vec![(victim, vlabels), honest, (squat, slabels)];
+        let report =
+            audit_uploads(&inputs(&ups, 0.0), &weights, &masks, None, &UploadAuditConfig::default())
+                .unwrap();
+        assert_eq!(report.suspected_squatters, vec![2]);
+        assert!(report.profiles[2].peer_match_frac >= 0.9);
+        assert_eq!(report.profiles[2].matched_peer, Some(0));
+        // The victim's own containment in the squatter is only 6/10.
+        assert!(report.profiles[0].peer_match_frac < 0.9);
+    }
+
+    #[test]
+    fn audit_mutual_mimicry_tie_broken_by_duplicate_excess() {
+        let (masks, weights) = masks_and_weights();
+        // Victim 0 has 4 distinct rows; squatter 1 cyclically refills those
+        // 4 rows to 8 (every key duplicated beyond the victim's counts).
+        let mut victim = ActivationMatrix::zeros(0, 8);
+        let mut vlabels = Vec::new();
+        for r in 0..4 {
+            let row: Vec<bool> = (0..8).map(|b| b == r).collect();
+            victim.push_row(&row).unwrap();
+            vlabels.push(0u32);
+        }
+        let mut squat = ActivationMatrix::zeros(0, 8);
+        let mut slabels = Vec::new();
+        for r in 0..8 {
+            let row: Vec<bool> = (0..8).map(|b| b == r % 4).collect();
+            squat.push_row(&row).unwrap();
+            slabels.push(0u32);
+        }
+        let honest = upload(8, 1, &[5, 7]);
+        let ups = vec![(victim, vlabels), (squat, slabels), honest];
+        let report =
+            audit_uploads(&inputs(&ups, 0.0), &weights, &masks, None, &UploadAuditConfig::default())
+                .unwrap();
+        // Both ends match fully, but only the squatter shows excess copies.
+        assert_eq!(report.profiles[0].peer_match_frac, 1.0);
+        assert_eq!(report.profiles[1].peer_match_frac, 1.0);
+        assert_eq!(report.suspected_squatters, vec![1]);
+    }
+
+    #[test]
+    fn audit_flags_label_gamer() {
+        let (masks, weights) = masks_and_weights();
+        // Client 3 relabels class-0-supported rows as class 1.
+        let ups = vec![
+            upload(6, 0, &[0, 1]),
+            upload(6, 1, &[4, 5]),
+            upload(6, 0, &[1, 2]),
+            upload(6, 1, &[0, 1]), // activations support class 0, labeled 1
+        ];
+        let report =
+            audit_uploads(&inputs(&ups, 0.0), &weights, &masks, None, &UploadAuditConfig::default())
+                .unwrap();
+        assert_eq!(report.suspected_label_gamers, vec![3]);
+        assert_eq!(report.profiles[3].label_incoherence, 1.0);
+        assert_eq!(report.profiles[0].label_incoherence, 0.0);
+    }
+
+    #[test]
+    fn audit_row_budget_accounting() {
+        let (masks, weights) = masks_and_weights();
+        let ups = vec![upload(5, 0, &[0, 1]), upload(9, 1, &[4, 5]), upload(5, 0, &[1, 2])];
+        let declared = vec![5usize, 5, 5];
+        let report = audit_uploads(
+            &inputs(&ups, 0.0),
+            &weights,
+            &masks,
+            Some(&declared),
+            &UploadAuditConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.suspected_budget_violators, vec![1]);
+        assert_eq!(report.profiles[1].declared_rows, Some(5));
+        // Without declarations nothing is checked.
+        let none =
+            audit_uploads(&inputs(&ups, 0.0), &weights, &masks, None, &UploadAuditConfig::default())
+                .unwrap();
+        assert!(none.suspected_budget_violators.is_empty());
+    }
+
+    #[test]
+    fn audit_honest_cohort_is_clean_and_validation_errors_are_typed() {
+        let (masks, weights) = masks_and_weights();
+        let ups = vec![
+            upload(6, 0, &[0, 1]),
+            upload(7, 1, &[4, 5]),
+            upload(5, 0, &[1, 2]),
+            upload(6, 1, &[5, 6]),
+        ];
+        let declared = vec![6usize, 7, 5, 6];
+        let report = audit_uploads(
+            &inputs(&ups, 0.0),
+            &weights,
+            &masks,
+            Some(&declared),
+            &UploadAuditConfig::default(),
+        )
+        .unwrap();
+        assert!(report.flagged.is_empty(), "honest cohort flagged: {:?}", report.flagged);
+        // Duplicate client ids rejected.
+        let mut dup = inputs(&ups, 0.0);
+        dup[1].client = 0;
+        assert!(audit_uploads(&dup, &weights, &masks, None, &UploadAuditConfig::default()).is_err());
+        // Label out of range rejected.
+        let bad = vec![upload(3, 7, &[0])];
+        assert!(audit_uploads(&inputs(&bad, 0.0), &weights, &masks, None, &UploadAuditConfig::default())
+            .is_err());
+        // Missing declaration rejected.
+        assert!(audit_uploads(
+            &inputs(&ups, 0.0),
+            &weights,
+            &masks,
+            Some(&declared[..2]),
+            &UploadAuditConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cross_check_names_free_riders_with_claimed_uploads() {
+        let (masks, weights) = masks_and_weights();
+        let ups = vec![upload(6, 0, &[0, 1]), upload(6, 1, &[4, 5]), upload(6, 0, &[1, 2])];
+        let audit =
+            audit_uploads(&inputs(&ups, 0.0), &weights, &masks, None, &UploadAuditConfig::default())
+                .unwrap();
+        let signatures = SignatureReport {
+            clients: vec![ClientSignatureStats::default(); 3],
+            suspected_colluders: vec![],
+            suspected_free_riders: vec![1],
+        };
+        assert_eq!(
+            cross_check_uploads(&audit, &signatures, &CrossCheckConfig::default()),
+            vec![1]
+        );
+        // A free-rider with an empty upload claims nothing.
+        let empty_sig = SignatureReport {
+            clients: vec![ClientSignatureStats::default(); 3],
+            suspected_colluders: vec![],
+            suspected_free_riders: vec![],
+        };
+        assert!(cross_check_uploads(&audit, &empty_sig, &CrossCheckConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn consistency_flags_high_dispersion_client() {
+        // Client 3's score swings across runs; the rest are stable.
+        let runs = vec![
+            vec![0.30, 0.25, 0.20, 0.60, 0.22],
+            vec![0.31, 0.24, 0.21, 0.05, 0.23],
+            vec![0.29, 0.26, 0.19, 0.70, 0.21],
+        ];
+        let report = score_consistency(&runs, &ConsistencyConfig::default()).unwrap();
+        assert_eq!(report.suspected_inconsistent, vec![3]);
+        assert!(report.dispersion[3] > report.dispersion[0]);
+        // Stable runs flag nobody.
+        let stable = vec![vec![0.3, 0.2, 0.1], vec![0.3, 0.2, 0.1]];
+        let clean = score_consistency(&stable, &ConsistencyConfig::default()).unwrap();
+        assert!(clean.suspected_inconsistent.is_empty());
+        assert_eq!(clean.mean, vec![0.3, 0.2, 0.1]);
+        // Validation: need >= 2 equal-length runs.
+        assert!(score_consistency(&[], &ConsistencyConfig::default()).is_err());
+        assert!(score_consistency(&[vec![1.0]], &ConsistencyConfig::default()).is_err());
+        assert!(score_consistency(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &ConsistencyConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn slashing_confiscates_and_redistributes() {
+        let scores = vec![0.4, 0.3, 0.2, 0.1];
+        let policy = SlashPolicy { factor: 1.0, redistribute: true };
+        let out = slash_scores(&scores, &[3], &policy).unwrap();
+        assert_eq!(out[3], 0.0);
+        let total_before: f64 = scores.iter().sum();
+        let total_after: f64 = out.iter().sum();
+        assert!((total_before - total_after).abs() < 1e-12, "redistribution preserves the total");
+        // Pro-rata: client 0 gains twice what client 2 gains.
+        assert!((out[0] - 0.4 - 2.0 * (out[2] - 0.2)).abs() < 1e-12);
+        // Burn mode: the pot vanishes.
+        let burn = slash_scores(&scores, &[3], &SlashPolicy { factor: 0.5, redistribute: false })
+            .unwrap();
+        assert_eq!(burn, vec![0.4, 0.3, 0.2, 0.05]);
+        // Negative scores are not slashed below themselves.
+        let neg = slash_scores(&[-0.1, 0.5], &[0], &SlashPolicy::default()).unwrap();
+        assert_eq!(neg, vec![-0.1, 0.5]);
+        // Everyone flagged: pot has nowhere to go, scores zero out.
+        let all = slash_scores(&scores, &[0, 1, 2, 3], &SlashPolicy::default()).unwrap();
+        assert_eq!(all, vec![0.0; 4]);
+        // Typed errors.
+        assert!(slash_scores(&scores, &[9], &SlashPolicy::default()).is_err());
+        assert!(slash_scores(&scores, &[], &SlashPolicy { factor: 1.5, redistribute: false })
+            .is_err());
     }
 }

@@ -197,27 +197,42 @@ impl<'a> TraceInputs<'a> {
     }
 }
 
-/// Builds [`TraceInputs`] from a model and in-memory datasets (the
-/// non-private convenience path used by the estimator).
-#[allow(clippy::too_many_arguments)] // mirrors the TraceInputs fields 1:1
-pub fn inputs_from_model<'a>(
-    model: &'a RuleModel,
-    train_acts: &'a ActivationMatrix,
-    train_labels: &'a [u32],
-    client_of: &'a [u32],
-    n_clients: usize,
-    test_acts: &'a ActivationMatrix,
-    test_labels: &'a [u32],
-    predictions: &'a [usize],
-) -> TraceInputs<'a> {
+/// The model-independent half of [`TraceInputs`]: activation matrices,
+/// labels, ownership and predictions. Everything except the rule weights
+/// and class masks, which [`inputs_from_model`] borrows from the model.
+///
+/// Borrowed (not owned) so the same parts can be re-traced against several
+/// models — e.g. the privacy pipeline re-scoring with quarantined uploads —
+/// and `Copy` so call sites can reuse one value freely.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceParts<'a> {
+    /// Training activation matrix (`|D_N| × m` bits).
+    pub train_acts: &'a ActivationMatrix,
+    /// Training labels.
+    pub train_labels: &'a [u32],
+    /// Owning client of each training row.
+    pub client_of: &'a [u32],
+    /// Number of clients `n`.
+    pub n_clients: usize,
+    /// Test activation matrix (`|D_te| × m` bits).
+    pub test_acts: &'a ActivationMatrix,
+    /// Test labels.
+    pub test_labels: &'a [u32],
+    /// Model predictions on the test set.
+    pub predictions: &'a [usize],
+}
+
+/// Builds [`TraceInputs`] from a model and pre-assembled [`TraceParts`]
+/// (the non-private convenience path used by the estimator).
+pub fn inputs_from_model<'a>(model: &'a RuleModel, parts: TraceParts<'a>) -> TraceInputs<'a> {
     TraceInputs {
-        train_acts,
-        train_labels,
-        client_of,
-        n_clients,
-        test_acts,
-        test_labels,
-        predictions,
+        train_acts: parts.train_acts,
+        train_labels: parts.train_labels,
+        client_of: parts.client_of,
+        n_clients: parts.n_clients,
+        test_acts: parts.test_acts,
+        test_labels: parts.test_labels,
+        predictions: parts.predictions,
         weights: model.weights(),
         class_masks: model.class_masks_all(),
     }

@@ -46,7 +46,13 @@
 //!   each participant computes its rule activation bitsets *locally* and
 //!   uploads only those (optionally perturbed by randomized response for
 //!   local differential privacy); the federation then runs contribution
-//!   tracing without ever seeing raw features.
+//!   tracing without ever seeing raw features. [`privacy::PrivateScoring`]
+//!   is the federation-side scorer, with an audited/hardened path.
+//! * [`score_attack`] — seeded, deterministic *upload-level* score-gaming
+//!   adversaries (activation inflation, row padding, trace-squatting,
+//!   majority relabeling, ε-abuse), rewriting activation uploads between
+//!   local computation and assembly; the arms-race counterpart to the
+//!   upload audit in `ctfl-core::robustness`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -63,6 +69,7 @@ pub mod metrics;
 pub mod netclient;
 pub mod privacy;
 pub mod schedule;
+pub mod score_attack;
 pub mod server;
 pub mod topology;
 pub mod wire;
@@ -79,7 +86,11 @@ pub use guard::{FederationLog, GuardConfig, PanicPolicy};
 pub use metrics::{accuracy_of, f1_binary, f1_macro};
 pub use schedule::{RoundPlan, Schedule};
 pub use topology::Topology;
-pub use privacy::{assemble_trace_inputs, ActivationUpload, PrivacyConfig};
+pub use privacy::{
+    assemble_trace_inputs, assemble_trace_inputs_excluding, ActivationUpload, HardenedScores,
+    PrivacyConfig, PrivateScoring,
+};
+pub use score_attack::{ScoreAttackInjector, ScoreAttackKind, ScoreAttackPlan};
 pub use chaos_net::{
     duplex, ChaosStats, ChaosTransport, NetFaultPlan, NetFaultSpec, PipeEnd, ReadFault, WriteFault,
 };

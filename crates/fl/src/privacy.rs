@@ -11,12 +11,20 @@
 //! activation bit flips independently with probability `p` — giving local
 //! differential privacy with `ε = ln((1 − p) / p)` per bit. Perturbation
 //! trades tracing precision for privacy; the tests quantify the effect.
+//!
+//! Because uploads are *claims* (the federation never sees the raw data
+//! behind them), a rational participant paid by contribution score will
+//! game them — see [`crate::score_attack`] for the attack layer. The
+//! defense lives in [`PrivateScoring`]: every scoring pass can first run
+//! the upload audit (`ctfl-core::robustness::audit_uploads`), quarantine
+//! flagged uploads, and score from the clean remainder.
 
 use ctfl_core::activation::ActivationMatrix;
 use ctfl_core::data::Dataset;
 use ctfl_core::error::{CoreError, Result};
 use ctfl_core::model::RuleModel;
-use ctfl_core::tracing::TraceInputs;
+use ctfl_core::robustness::{audit_uploads, UploadAuditConfig, UploadAuditInput, UploadAuditReport};
+use ctfl_core::tracing::{trace, TraceConfig, TraceInputs, TraceParts};
 use ctfl_rng::Rng;
 
 /// Local-DP configuration for activation uploads.
@@ -43,6 +51,19 @@ impl PrivacyConfig {
             ((1.0 - self.flip_probability) / self.flip_probability).ln()
         }
     }
+
+    /// Validates the flip probability: must be in `[0, 0.5)` (at `0.5`
+    /// every bit is a fair coin and `ε = 0` carries no signal; NaN and
+    /// negatives are rejected too).
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..0.5).contains(&self.flip_probability) {
+            return Err(CoreError::InvalidParameter {
+                name: "flip_probability",
+                message: format!("must be in [0, 0.5), got {}", self.flip_probability),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// A client's upload: activation bitsets + labels, no raw features.
@@ -54,6 +75,11 @@ pub struct ActivationUpload {
     pub activations: ActivationMatrix,
     /// The rows' labels.
     pub labels: Vec<u32>,
+    /// The randomized-response flip probability the client *claims* it
+    /// applied. Honest clients report their actual [`PrivacyConfig`]; the
+    /// auditor uses the claim for its feasibility checks (ε-abuse: noise
+    /// "at ε" that is really one-sided bias).
+    pub claimed_flip_probability: f64,
 }
 
 impl ActivationUpload {
@@ -68,12 +94,7 @@ impl ActivationUpload {
         config: &PrivacyConfig,
         rng: &mut R,
     ) -> Result<Self> {
-        if !(0.0..0.5).contains(&config.flip_probability) {
-            return Err(CoreError::InvalidParameter {
-                name: "flip_probability",
-                message: format!("must be in [0, 0.5), got {}", config.flip_probability),
-            });
-        }
+        config.validate()?;
         let mut activations = model.activation_matrix(private_data, false)?;
         if config.flip_probability > 0.0 {
             for row in 0..activations.n_rows() {
@@ -85,7 +106,22 @@ impl ActivationUpload {
                 }
             }
         }
-        Ok(ActivationUpload { client, activations, labels: private_data.labels().to_vec() })
+        Ok(ActivationUpload {
+            client,
+            activations,
+            labels: private_data.labels().to_vec(),
+            claimed_flip_probability: config.flip_probability,
+        })
+    }
+
+    /// The auditor's view of this upload.
+    pub fn audit_input(&self) -> UploadAuditInput<'_> {
+        UploadAuditInput {
+            client: self.client,
+            activations: &self.activations,
+            labels: &self.labels,
+            claimed_flip_probability: self.claimed_flip_probability,
+        }
     }
 }
 
@@ -97,6 +133,17 @@ impl ActivationUpload {
 /// `D_te`) to build a [`TraceInputs`].
 pub fn assemble_trace_inputs(
     uploads: &[ActivationUpload],
+) -> Result<(ActivationMatrix, Vec<u32>, Vec<u32>)> {
+    assemble_trace_inputs_excluding(uploads, &[])
+}
+
+/// [`assemble_trace_inputs`] with a quarantine list: uploads from
+/// `excluded` clients are skipped entirely, as if those clients had never
+/// uploaded. Their rows contribute nothing to tracing, so their scores are
+/// exactly zero — the hardened-scoring path after an audit.
+pub fn assemble_trace_inputs_excluding(
+    uploads: &[ActivationUpload],
+    excluded: &[usize],
 ) -> Result<(ActivationMatrix, Vec<u32>, Vec<u32>)> {
     let first = uploads.first().ok_or(CoreError::Empty { what: "uploads" })?;
     let n_bits = first.activations.n_bits();
@@ -118,6 +165,9 @@ pub fn assemble_trace_inputs(
                 actual: up.labels.len(),
             });
         }
+        if excluded.contains(&up.client) {
+            continue;
+        }
         for row in 0..up.activations.n_rows() {
             let bits: Vec<bool> =
                 (0..n_bits).map(|b| up.activations.get(row, b)).collect();
@@ -126,32 +176,133 @@ pub fn assemble_trace_inputs(
         labels.extend_from_slice(&up.labels);
         client_of.extend(std::iter::repeat_n(up.client as u32, up.activations.n_rows()));
     }
+    if acts.n_rows() == 0 {
+        return Err(CoreError::Empty { what: "unquarantined uploads" });
+    }
     Ok((acts, labels, client_of))
 }
 
-/// Builds complete [`TraceInputs`] borrowing from pre-assembled parts —
-/// convenience for callers that keep the parts alive.
-#[allow(clippy::too_many_arguments)]
+/// Builds complete [`TraceInputs`] borrowing from pre-assembled
+/// [`TraceParts`] — convenience for callers that keep the parts alive.
 pub fn trace_inputs_from_parts<'a>(
     model: &'a RuleModel,
-    train_acts: &'a ActivationMatrix,
-    train_labels: &'a [u32],
-    client_of: &'a [u32],
-    n_clients: usize,
+    parts: TraceParts<'a>,
+) -> TraceInputs<'a> {
+    ctfl_core::tracing::inputs_from_model(model, parts)
+}
+
+/// Hardened scoring output: the audit that drove the quarantine plus the
+/// resulting scores.
+#[derive(Debug, Clone)]
+pub struct HardenedScores {
+    /// Per-client micro scores with every flagged client's uploads
+    /// quarantined (flagged clients score exactly 0).
+    pub scores: Vec<f64>,
+    /// The upload audit that decided the quarantine.
+    pub audit: UploadAuditReport,
+}
+
+/// The federation-side private scoring service: holds the public model and
+/// the federation-owned test artifacts, scores activation uploads — naively
+/// or hardened behind the upload audit.
+///
+/// The key invariant (tested): on an honest cohort the audit flags nobody,
+/// so [`PrivateScoring::score_hardened`] is *bit-identical* to
+/// [`PrivateScoring::score`] — the defense costs honest federations
+/// nothing.
+pub struct PrivateScoring<'a> {
+    model: &'a RuleModel,
     test_acts: &'a ActivationMatrix,
     test_labels: &'a [u32],
     predictions: &'a [usize],
-) -> TraceInputs<'a> {
-    ctfl_core::tracing::inputs_from_model(
-        model,
-        train_acts,
-        train_labels,
-        client_of,
-        n_clients,
-        test_acts,
-        test_labels,
-        predictions,
-    )
+    n_clients: usize,
+    trace_config: TraceConfig,
+}
+
+impl<'a> PrivateScoring<'a> {
+    /// Wires the scoring service around the federation's artifacts: the
+    /// public rule model, the test activations/labels it owns, and the
+    /// model's test-set predictions.
+    pub fn new(
+        model: &'a RuleModel,
+        test_acts: &'a ActivationMatrix,
+        test_labels: &'a [u32],
+        predictions: &'a [usize],
+        n_clients: usize,
+        trace_config: TraceConfig,
+    ) -> Self {
+        PrivateScoring { model, test_acts, test_labels, predictions, n_clients, trace_config }
+    }
+
+    /// Micro contribution scores from the uploads as claimed (no audit).
+    pub fn score(&self, uploads: &[ActivationUpload]) -> Result<Vec<f64>> {
+        self.score_excluding(uploads, &[])
+    }
+
+    /// Micro scores with `excluded` clients' uploads quarantined (their
+    /// scores are exactly 0; everyone else is scored from the remaining
+    /// pool).
+    pub fn score_excluding(
+        &self,
+        uploads: &[ActivationUpload],
+        excluded: &[usize],
+    ) -> Result<Vec<f64>> {
+        let (acts, labels, client_of) = assemble_trace_inputs_excluding(uploads, excluded)?;
+        let inputs = trace_inputs_from_parts(
+            self.model,
+            TraceParts {
+                train_acts: &acts,
+                train_labels: &labels,
+                client_of: &client_of,
+                n_clients: self.n_clients,
+                test_acts: self.test_acts,
+                test_labels: self.test_labels,
+                predictions: self.predictions,
+            },
+        );
+        let outcome = trace(&inputs, &self.trace_config)?;
+        Ok(ctfl_core::allocation::micro_scores(
+            &outcome,
+            ctfl_core::allocation::CreditDirection::Gain,
+        ))
+    }
+
+    /// Runs the upload audit against the cohort (`declared_rows[client]` =
+    /// shard size declared at enrollment, e.g. the FedAvg example-count
+    /// weights; `None` disables row-budget accounting).
+    pub fn audit(
+        &self,
+        uploads: &[ActivationUpload],
+        declared_rows: Option<&[usize]>,
+        config: &UploadAuditConfig,
+    ) -> Result<UploadAuditReport> {
+        let inputs: Vec<UploadAuditInput<'_>> =
+            uploads.iter().map(ActivationUpload::audit_input).collect();
+        audit_uploads(
+            &inputs,
+            self.model.weights(),
+            self.model.class_masks_all(),
+            declared_rows,
+            config,
+        )
+    }
+
+    /// Audit, quarantine every flagged client, score the remainder.
+    pub fn score_hardened(
+        &self,
+        uploads: &[ActivationUpload],
+        declared_rows: Option<&[usize]>,
+        audit_config: &UploadAuditConfig,
+    ) -> Result<HardenedScores> {
+        let audit = self.audit(uploads, declared_rows, audit_config)?;
+        let scores = if audit.flagged.len() >= uploads.len() {
+            // Everyone quarantined: nothing left to trace, nobody earns.
+            vec![0.0; self.n_clients]
+        } else {
+            self.score_excluding(uploads, &audit.flagged)?
+        };
+        Ok(HardenedScores { scores, audit })
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +337,7 @@ mod tests {
         let cfg = PrivacyConfig::default();
         let up_a = ActivationUpload::compute(0, &model, &a, &cfg, &mut rng).unwrap();
         let up_b = ActivationUpload::compute(1, &model, &b, &cfg, &mut rng).unwrap();
+        assert_eq!(up_a.claimed_flip_probability, 0.0);
         let (acts, labels, client_of) = assemble_trace_inputs(&[up_a, up_b]).unwrap();
         assert_eq!(acts.n_rows(), 20);
         assert_eq!(labels.len(), 20);
@@ -195,6 +347,22 @@ mod tests {
         let pooled = ctfl_core::data::Dataset::concat([&a, &b]).unwrap();
         let direct = model.activation_matrix(&pooled, false).unwrap();
         assert_eq!(acts, direct);
+    }
+
+    #[test]
+    fn assembly_excluding_quarantines_whole_clients() {
+        let (model, a, b) = model_and_data();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = PrivacyConfig::default();
+        let ups = vec![
+            ActivationUpload::compute(0, &model, &a, &cfg, &mut rng).unwrap(),
+            ActivationUpload::compute(1, &model, &b, &cfg, &mut rng).unwrap(),
+        ];
+        let (acts, _, client_of) = assemble_trace_inputs_excluding(&ups, &[0]).unwrap();
+        assert_eq!(acts.n_rows(), 10);
+        assert!(client_of.iter().all(|&c| c == 1));
+        // Quarantining everyone is a typed error, not a zero-row trace.
+        assert!(assemble_trace_inputs_excluding(&ups, &[0, 1]).is_err());
     }
 
     #[test]
@@ -217,6 +385,7 @@ mod tests {
             &mut rng,
         )
         .unwrap();
+        assert_eq!(noisy.claimed_flip_probability, 0.25);
         let total = clean.activations.n_rows() * clean.activations.n_bits();
         let flipped: usize = (0..clean.activations.n_rows())
             .map(|r| {
@@ -238,11 +407,139 @@ mod tests {
     }
 
     #[test]
-    fn validation() {
+    fn p_zero_is_bit_identical_to_non_private() {
+        // With p = 0 (ε = ∞) the RNG is never consulted: the upload equals
+        // the locally computed activation matrix bit for bit, whatever the
+        // RNG state.
         let (model, a, _) = model_and_data();
-        let mut rng = StdRng::seed_from_u64(3);
-        let bad = PrivacyConfig { flip_probability: 0.7 };
-        assert!(ActivationUpload::compute(0, &model, &a, &bad, &mut rng).is_err());
+        let direct = model.activation_matrix(&a, false).unwrap();
+        for seed in [0u64, 7, 123_456] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let up = ActivationUpload::compute(
+                0,
+                &model,
+                &a,
+                &PrivacyConfig { flip_probability: 0.0 },
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(up.activations, direct, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn p_near_half_is_valid_but_epsilon_collapses_to_zero() {
+        // The open boundary: p → 0.5⁻ stays valid while ε → 0⁺ (no signal
+        // left); p = 0.5 itself is rejected.
+        let p = 0.5 - 1e-9;
+        let cfg = PrivacyConfig { flip_probability: p };
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.epsilon() > 0.0);
+        assert!(cfg.epsilon() < 1e-8, "eps {} should collapse toward 0", cfg.epsilon());
+        assert!(PrivacyConfig { flip_probability: 0.5 }.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_flip_probabilities_are_typed_errors_not_panics() {
+        let (model, a, _) = model_and_data();
+        for bad in [0.5, 0.7, 1.0, -0.1, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let cfg = PrivacyConfig { flip_probability: bad };
+            let err = cfg.validate().expect_err(&format!("p = {bad} must be rejected"));
+            assert!(
+                matches!(err, CoreError::InvalidParameter { name: "flip_probability", .. }),
+                "p = {bad} gave {err:?}"
+            );
+            let mut rng = StdRng::seed_from_u64(3);
+            assert!(ActivationUpload::compute(0, &model, &a, &cfg, &mut rng).is_err());
+        }
         assert!(assemble_trace_inputs(&[]).is_err());
+    }
+
+    /// A 4-rule model whose honest clients carry *distinct* activation
+    /// signature profiles (with only 2 rules every same-class row shares one
+    /// signature, and honest same-class shards are indistinguishable from
+    /// trace-squatting — the audit would rightly quarantine them).
+    fn rich_model_and_shards() -> (RuleModel, Vec<Dataset>) {
+        let schema = FeatureSchema::new(vec![("x", FeatureKind::continuous(0.0, 1.0))]);
+        let rules = vec![
+            conjunction(vec![Predicate::gt(0, 0.5)], 1, 1.0),
+            conjunction(vec![Predicate::le(0, 0.5)], 0, 1.0),
+            conjunction(vec![Predicate::le(0, 0.25)], 0, 1.0),
+            conjunction(vec![Predicate::gt(0, 0.75)], 1, 1.0),
+        ];
+        let model = RuleModel::new(Arc::clone(&schema), 2, rules).unwrap();
+        // Client 0: class 0 across both signature bands {le .5, le .25} and
+        // {le .5}. Client 1: class 1 across {gt .5} and {gt .5, gt .75}.
+        // Client 2: a weak mixed-class shard living only in the single-rule
+        // bands {le .5} / {gt .5} — related to few test rows, so it has
+        // something to gain by inflating.
+        let mut a = Dataset::empty(Arc::clone(&schema), 2);
+        let mut b = Dataset::empty(Arc::clone(&schema), 2);
+        let mut c = Dataset::empty(schema, 2);
+        for i in 0..10 {
+            a.push_row(&[(i as f32 * 0.04).into()], 0).unwrap();
+            b.push_row(&[(0.6 + i as f32 * 0.04).into()], 1).unwrap();
+        }
+        for i in 0..5 {
+            c.push_row(&[(0.3 + i as f32 * 0.03).into()], 0).unwrap();
+            c.push_row(&[(0.55 + i as f32 * 0.03).into()], 1).unwrap();
+        }
+        (model, vec![a, b, c])
+    }
+
+    #[test]
+    fn hardened_scoring_is_identical_on_honest_cohorts_and_zeroes_gamers() {
+        let (model, shards) = rich_model_and_shards();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = PrivacyConfig::default();
+        let honest: Vec<ActivationUpload> = shards
+            .iter()
+            .enumerate()
+            .map(|(c, s)| ActivationUpload::compute(c, &model, s, &cfg, &mut rng).unwrap())
+            .collect();
+        let mut test = Dataset::empty(Arc::clone(shards[0].schema()), 2);
+        for i in 0..4 {
+            test.push_row(&[(i as f32 * 0.1).into()], 0).unwrap();
+            test.push_row(&[(0.6 + i as f32 * 0.1).into()], 1).unwrap();
+        }
+        let test_acts = model.activation_matrix(&test, false).unwrap();
+        let predictions: Vec<usize> =
+            (0..test.len()).map(|i| model.classify_from_activations(&test_acts, i)).collect();
+        let scoring = PrivateScoring::new(
+            &model,
+            &test_acts,
+            test.labels(),
+            &predictions,
+            3,
+            TraceConfig { parallel: false, ..TraceConfig::default() },
+        );
+        let naive = scoring.score(&honest).unwrap();
+        let hardened =
+            scoring.score_hardened(&honest, None, &UploadAuditConfig::default()).unwrap();
+        assert!(hardened.audit.flagged.is_empty(), "honest cohort flagged");
+        assert_eq!(naive, hardened.scores, "defense must cost honest federations nothing");
+
+        // Client 2 inflates: every bit set on every row.
+        let mut gamed = honest.clone();
+        for r in 0..gamed[2].activations.n_rows() {
+            for bit in 0..gamed[2].activations.n_bits() {
+                gamed[2].activations.set(r, bit, true);
+            }
+        }
+        let naive_gamed = scoring.score(&gamed).unwrap();
+        assert!(
+            naive_gamed[2] > naive[2],
+            "inflation must profit against the naive scorer ({} vs {})",
+            naive_gamed[2],
+            naive[2]
+        );
+        let hardened_gamed =
+            scoring.score_hardened(&gamed, None, &UploadAuditConfig::default()).unwrap();
+        assert_eq!(hardened_gamed.audit.flagged, vec![2]);
+        assert_eq!(hardened_gamed.scores[2], 0.0, "quarantined gamer earns nothing");
+        // Quarantined scoring equals honest scoring with the same client
+        // excluded — the gamer can hurt only itself.
+        let reference = scoring.score_excluding(&honest, &[2]).unwrap();
+        assert_eq!(hardened_gamed.scores, reference);
     }
 }

@@ -138,6 +138,49 @@ mod tests {
     }
 
     #[test]
+    fn all_tied_vectors_are_degenerate_not_nan() {
+        // Both sides constant: rank variance is zero on both, so the
+        // correlation is defined as 0 — never NaN from a 0/0.
+        let a = [0.25, 0.25, 0.25, 0.25];
+        let b = [7.0, 7.0, 7.0, 7.0];
+        assert_eq!(spearman_rho(&a, &b), 0.0);
+        assert_eq!(kendall_tau(&a, &b), 0.0);
+        // One side constant, the other strictly increasing: still 0, and
+        // symmetric in argument order.
+        let c = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(spearman_rho(&a, &c), 0.0);
+        assert_eq!(spearman_rho(&c, &a), 0.0);
+        assert_eq!(kendall_tau(&a, &c), 0.0);
+        assert_eq!(kendall_tau(&c, &a), 0.0);
+        assert!(spearman_rho(&a, &c).is_finite() && kendall_tau(&a, &c).is_finite());
+    }
+
+    #[test]
+    fn length_one_and_empty_are_zero() {
+        // A single observation carries no ordering information; neither
+        // does an empty vector. Both short-circuit before any rank math.
+        assert_eq!(spearman_rho(&[3.5], &[9.1]), 0.0);
+        assert_eq!(kendall_tau(&[3.5], &[9.1]), 0.0);
+        assert_eq!(spearman_rho(&[], &[]), 0.0);
+        assert_eq!(kendall_tau(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn heavily_tied_but_not_constant_stays_in_range() {
+        // Mostly-tied vectors (the shape hardened gaming scores take when
+        // several quarantined clients share an exact 0) must produce a
+        // well-formed correlation in [-1, 1], tie-corrected.
+        let a = [0.0, 0.0, 0.0, 0.4, 0.6];
+        let b = [0.0, 0.0, 0.0, 0.5, 0.3];
+        let rho = spearman_rho(&a, &b);
+        let tau = kendall_tau(&a, &b);
+        assert!(rho.is_finite() && (-1.0..=1.0).contains(&rho), "rho {rho}");
+        assert!(tau.is_finite() && (-1.0..=1.0).contains(&tau), "tau {tau}");
+        // The tied block agrees; only the top two swap.
+        assert!(rho > 0.0, "rho {rho}");
+    }
+
+    #[test]
     #[should_panic(expected = "length mismatch")]
     fn checks_lengths() {
         spearman_rho(&[1.0], &[1.0, 2.0]);

@@ -31,9 +31,19 @@
 //! signatures still name the ring (and the free-rider, whose every signed
 //! round is a free-ride regardless of sampling) with nobody flagged on the
 //! sampled honest control.
+//!
+//! A fifth act moves the gaming from training to *scoring*: under the
+//! privacy pipeline, contribution is computed from activation uploads, and
+//! micro credit is proportional to claimed related-instance counts — so a
+//! client can train honestly, submit honest updates, and still cheat by
+//! inflating its claimed activations or padding its claimed rows. The
+//! upload audit names the gamers from the uploads alone, the hardened
+//! scorer quarantines them, and the honest control stays flag-free.
 
 use ctfl::core::estimator::{CtflConfig, CtflEstimator};
-use ctfl::core::robustness::{analyze_signatures, SignatureConfig};
+use ctfl::core::robustness::{analyze_signatures, SignatureConfig, UploadAuditConfig};
+use ctfl::fl::privacy::{ActivationUpload, PrivacyConfig, PrivateScoring};
+use ctfl::fl::score_attack::{ScoreAttackInjector, ScoreAttackKind, ScoreAttackPlan};
 use ctfl::data::adverse::{flip_labels, replicate};
 use ctfl::data::partition::skew_label;
 use ctfl::data::split::train_test_split;
@@ -331,5 +341,103 @@ fn main() {
          evidence accrues at the co-scheduling rate — detection holds once the\n\
          round-fraction threshold is scaled by it, while free-riding (a\n\
          per-signed-round signal) needs no adjustment at all."
+    );
+
+    // --- Act 5: score gaming on activation uploads -----------------------
+    // Honest data, honest updates — the cheating happens at scoring time.
+    // Client 1 inflates its claimed activations (every row claims relation
+    // to its whole class); client 4 pads its upload with duplicated rows.
+    // Micro credit is proportional to claimed related counts, so both pay
+    // off against a naive scorer; the upload audit sees it from the uploads
+    // alone.
+    println!("\n== score gaming: client 1 inflates activations, client 4 pads rows ==\n");
+    let model =
+        extract_rules(&control.net, ExtractOptions::default()).expect("extraction succeeds");
+    let test_acts = model.activation_matrix(&test, false).expect("schema matches");
+    let predictions: Vec<usize> =
+        (0..test.len()).map(|i| model.classify_from_activations(&test_acts, i)).collect();
+    let scoring = PrivateScoring::new(
+        &model,
+        &test_acts,
+        test.labels(),
+        &predictions,
+        n_clients,
+        ctfl::core::tracing::TraceConfig::default(),
+    );
+    let declared_rows: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+    let mut up_rng = StdRng::seed_from_u64(23);
+    let honest_uploads: Vec<ActivationUpload> = shards
+        .iter()
+        .enumerate()
+        .map(|(c, shard)| {
+            ActivationUpload::compute(c, &model, shard, &PrivacyConfig::default(), &mut up_rng)
+                .expect("upload succeeds")
+        })
+        .collect();
+    let audit_cfg = UploadAuditConfig::default();
+
+    // Honest control first: the audit must flag nobody and hardening must
+    // change nothing.
+    let naive_honest = scoring.score(&honest_uploads).expect("honest uploads are consistent");
+    let hardened_honest = scoring
+        .score_hardened(&honest_uploads, Some(&declared_rows), &audit_cfg)
+        .expect("honest uploads are consistent");
+    assert!(
+        hardened_honest.audit.flagged.is_empty(),
+        "upload audit must flag nobody on the honest control: {:?}",
+        hardened_honest.audit.flagged
+    );
+    assert_eq!(naive_honest, hardened_honest.scores, "hardening an honest cohort is free");
+    println!("honest control: audit flags nobody; hardened scores == naive scores exactly");
+
+    let plan = ScoreAttackPlan::none(n_clients)
+        .with_gamer(1, ScoreAttackKind::Inflate { all_classes: false })
+        .with_gamer(4, ScoreAttackKind::PadRows { factor: 1.0 });
+    let gamers = plan.gamers();
+    let injector = ScoreAttackInjector::new(plan, 24);
+    let mut gamed = honest_uploads.clone();
+    injector.rewrite_uploads(&mut gamed, model.class_masks_all());
+
+    let naive = scoring.score(&gamed).expect("gamed uploads are well-formed");
+    let hardened = scoring
+        .score_hardened(&gamed, Some(&declared_rows), &audit_cfg)
+        .expect("gamed uploads are well-formed");
+    println!("\nclient  honest   naive-gamed  hardened");
+    for c in 0..n_clients {
+        println!(
+            "{c:>6}  {:.4}  {:>11.4}  {:>8.4}{}",
+            naive_honest[c],
+            naive[c],
+            hardened.scores[c],
+            match c {
+                1 => "  <- inflated activations, quarantined",
+                4 => "  <- padded rows, quarantined",
+                _ => "",
+            }
+        );
+    }
+    let profit: f64 = gamers.iter().map(|&g| naive[g] - naive_honest[g]).sum();
+    assert!(profit > 0.0, "gaming must pay against the naive scorer (profit {profit:+.4})");
+    assert_eq!(
+        hardened.audit.flagged, gamers,
+        "the upload audit must name exactly the injected gamers"
+    );
+    assert!(gamers.iter().all(|&g| hardened.scores[g] == 0.0), "quarantined gamers earn zero");
+    let excluded = scoring
+        .score_excluding(&honest_uploads, &gamers)
+        .expect("partial cohort is valid");
+    assert_eq!(
+        hardened.scores, excluded,
+        "hardened scoring == honest scoring with the gamers excluded, bit for bit"
+    );
+    println!();
+    println!("suspected inflators:       {:?}", hardened.audit.suspected_inflators);
+    println!("suspected budget breaches: {:?}", hardened.audit.suspected_budget_violators);
+    println!();
+    println!(
+        "naive micro credit pays for *claimed* related instances, so inflated\n\
+         bits and padded rows collect {profit:+.4} of honest clients' credit; the\n\
+         upload audit reads the same uploads and takes it all back — hardened\n\
+         scoring is bit-identical to an honest federation with the gamers absent."
     );
 }

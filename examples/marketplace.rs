@@ -11,8 +11,18 @@
 //! replicator is paid from the replication-robust *macro* scores so
 //! duplication doesn't pay; honest clients split the pool by the value
 //! their data actually adds.
+//!
+//! A second act settles the same pool under the *privacy pipeline*: clients
+//! submit activation uploads instead of raw data, one of them inflates its
+//! claimed activations to capture credit, the upload audit names it, and
+//! `slashed_scores` confiscates its payout and redistributes the slash pro
+//! rata over the unflagged earners — the pot is conserved to the unit.
 
 use ctfl::core::estimator::{CtflConfig, CtflEstimator};
+use ctfl::core::robustness::{SlashPolicy, UploadAuditConfig};
+use ctfl::core::tracing::TraceConfig;
+use ctfl::fl::privacy::{ActivationUpload, PrivacyConfig, PrivateScoring};
+use ctfl::fl::score_attack::{ScoreAttackInjector, ScoreAttackKind, ScoreAttackPlan};
 use ctfl::data::adverse::{inject_low_quality, replicate};
 use ctfl::data::partition::skew_label;
 use ctfl::data::split::train_test_split;
@@ -94,5 +104,82 @@ fn main() {
         "\nmodel accuracy {:.3}; scores sum to {:.3} (group rationality)",
         report.test_accuracy,
         report.micro.iter().sum::<f64>()
+    );
+
+    // --- Act 2: private settlement with a score-gaming inflator ----------
+    // The same pool, but clients now submit activation uploads instead of
+    // raw data, and client 1 — whose *data* is perfectly honest — inflates
+    // its claimed activations to capture micro credit. The upload audit
+    // names it from the uploads alone; `slash_scores` confiscates its
+    // payout and redistributes pro rata over the unflagged earners.
+    println!("\n== private settlement: client 1 inflates its activation upload ==\n");
+    let model = estimator.model();
+    let shards: Vec<_> =
+        (0..n_clients).map(|c| train.subset(&partition.client_indices(c))).collect();
+    let declared_rows: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+    let test_acts = model.activation_matrix(&test, false).expect("schema matches");
+    let predictions: Vec<usize> =
+        (0..test.len()).map(|i| model.classify_from_activations(&test_acts, i)).collect();
+    let scoring = PrivateScoring::new(
+        model,
+        &test_acts,
+        test.labels(),
+        &predictions,
+        n_clients,
+        TraceConfig::default(),
+    );
+    let mut up_rng = StdRng::seed_from_u64(32);
+    let uploads: Vec<ActivationUpload> = shards
+        .iter()
+        .enumerate()
+        .map(|(c, shard)| {
+            ActivationUpload::compute(c, model, shard, &PrivacyConfig::default(), &mut up_rng)
+                .expect("upload succeeds")
+        })
+        .collect();
+    let plan = ScoreAttackPlan::none(n_clients)
+        .with_gamer(1, ScoreAttackKind::Inflate { all_classes: false });
+    let injector = ScoreAttackInjector::new(plan, 33);
+    let mut gamed = uploads.clone();
+    injector.rewrite_uploads(&mut gamed, model.class_masks_all());
+
+    let naive = scoring.score(&gamed).expect("gamed uploads are well-formed");
+    let audit = scoring
+        .audit(&gamed, Some(&declared_rows), &UploadAuditConfig::default())
+        .expect("gamed uploads are well-formed");
+    assert!(
+        audit.suspected_inflators.contains(&1),
+        "the upload audit must name the inflator: {audit:?}"
+    );
+    let settled = ctfl::core::robustness::slash_scores(
+        &naive,
+        &audit.flagged,
+        &SlashPolicy::default(),
+    )
+    .expect("flags are in range");
+    let naive_total: f64 = naive.iter().sum();
+    let settled_total: f64 = settled.iter().sum();
+    assert!((naive_total - settled_total).abs() < 1e-9, "slashing must conserve the pot");
+    assert_eq!(settled[1], 0.0, "the inflator's payout is confiscated");
+
+    println!("client  naive-score  settled   payout   notes");
+    for c in 0..n_clients {
+        let payout =
+            if settled_total > 0.0 { REVENUE_POOL * settled[c] / settled_total } else { 0.0 };
+        println!(
+            "{c:>6}  {:>11.4}  {:>7.4}  {payout:>7.0}  {}",
+            naive[c],
+            settled[c],
+            if audit.flagged.contains(&c) {
+                "flagged by upload audit (slashed, redistributed)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "\naudit flags {:?}; the slash is redistributed pro rata, so the pool still\n\
+         pays out {REVENUE_POOL:.0} units — to the clients whose uploads survived audit.",
+        audit.flagged
     );
 }

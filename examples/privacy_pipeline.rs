@@ -14,7 +14,7 @@
 
 use ctfl::core::allocation::{micro_scores, CreditDirection};
 use ctfl::core::estimator::{CtflConfig, CtflEstimator};
-use ctfl::core::tracing::{trace, TraceConfig};
+use ctfl::core::tracing::{trace, TraceConfig, TraceParts};
 use ctfl::data::partition::skew_label;
 use ctfl::data::split::train_test_split;
 use ctfl::data::tictactoe_endgame;
@@ -71,13 +71,15 @@ fn main() {
             assemble_trace_inputs(&uploads).expect("uploads are consistent");
         let inputs = trace_inputs_from_parts(
             &model,
-            &train_acts,
-            &train_labels,
-            &client_of,
-            n_clients,
-            &test_acts,
-            test.labels(),
-            &predictions,
+            TraceParts {
+                train_acts: &train_acts,
+                train_labels: &train_labels,
+                client_of: &client_of,
+                n_clients,
+                test_acts: &test_acts,
+                test_labels: test.labels(),
+                predictions: &predictions,
+            },
         );
         let outcome = trace(&inputs, &TraceConfig::default()).expect("valid inputs");
         let scores = micro_scores(&outcome, CreditDirection::Gain);

@@ -5,140 +5,152 @@
 #
 #   ./run_experiments.sh           regenerate all artifacts into results/
 #   ./run_experiments.sh --check   hermetic verification: release build,
-#                                  full test suite, and a determinism gate
-#                                  that runs one experiment twice and
-#                                  byte-diffs the outputs.
+#                                  full test suite, lints, and a battery of
+#                                  determinism gates that run each scenario
+#                                  binary twice and byte-diff the outputs.
+#                                  Fails fast naming the broken gate and
+#                                  prints a per-gate wall-time summary.
 set -u
 cd "$(dirname "$0")"
 BIN=./target/release
 S=${SCALE:-0.008}
 
+# --- check-mode gate plumbing ------------------------------------------------
+# Every gate runs through begin_gate/end_gate so the final summary can report
+# where the wall-clock went; any failure prints "GATE FAILED: <name>" and
+# stops immediately.
+GATE_NAMES=()
+GATE_SECS=()
+CURRENT_GATE=""
+GATE_T0=0
+
+begin_gate() {
+    CURRENT_GATE="$1"
+    GATE_T0=$(date +%s)
+    echo "== $1 =="
+}
+
+end_gate() {
+    GATE_NAMES+=("$CURRENT_GATE")
+    GATE_SECS+=("$(( $(date +%s) - GATE_T0 ))")
+}
+
+fail_gate() {
+    echo "GATE FAILED: $CURRENT_GATE ($1)" >&2
+    exit 1
+}
+
+# A gate that is just one command (build, tests, lints).
+cmd_gate() {
+    local name="$1"; shift
+    begin_gate "$name"
+    "$@" || fail_gate "command failed: $*"
+    end_gate
+}
+
+# A determinism gate: build one bench binary, run it twice with the same
+# seed, byte-diff the outputs, and (optionally) require an OK marker that
+# the binary prints only when its internal assertions all held.
+# $3 = marker ("" for none); $4 = "merge" to capture stderr with stdout,
+# "drop" to discard stderr (train_speed keeps timings out of the diff).
+diff_gate() {
+    local name="$1" bin="$2" marker="$3" stderr_mode="$4"
+    begin_gate "$name"
+    cargo build --release -p ctfl-bench --bin "$bin" || fail_gate "build failed"
+    local a b
+    a=$(mktemp) && b=$(mktemp)
+    if [ "$stderr_mode" = merge ]; then
+        "$BIN/$bin" --seed 7 > "$a" 2>&1
+        "$BIN/$bin" --seed 7 > "$b" 2>&1
+    else
+        "$BIN/$bin" --seed 7 2>/dev/null > "$a"
+        "$BIN/$bin" --seed 7 2>/dev/null > "$b"
+    fi
+    if ! diff -q "$a" "$b" > /dev/null; then
+        diff "$a" "$b" | head -20 >&2
+        rm -f "$a" "$b"
+        fail_gate "determinism violation: two identical-seed runs differ"
+    fi
+    if [ -n "$marker" ] && ! grep -q "$marker" "$a"; then
+        tail -20 "$a" >&2
+        rm -f "$a" "$b"
+        fail_gate "marker $marker missing"
+    fi
+    echo "$name ok ($(wc -c < "$a") bytes, byte-identical)"
+    rm -f "$a" "$b"
+    end_gate
+}
+
 check() {
-    set -e
-    echo "== build (release, all targets) =="
-    cargo build --workspace --release
-    echo "== tests (entire workspace) =="
-    cargo test -q --workspace
-    echo "== lints (clippy, warnings are errors) =="
-    cargo clippy --workspace --all-targets --offline -- -D warnings
-    echo "== determinism: double-run byte diff =="
-    # Same binary, same seed, twice: the outputs must be byte-identical.
+    cmd_gate "build (release, all targets)" cargo build --workspace --release
+    cmd_gate "tests (entire workspace)" cargo test -q --workspace
+    cmd_gate "lints (clippy, warnings are errors)" \
+        cargo clippy --workspace --all-targets --offline -- -D warnings
+
     # fig7 exercises the full pipeline (partition -> FedAvg -> extraction ->
     # tracing -> interpretation) including the parallel code paths, in
     # seconds; the slower Shapley-bearing binaries share the same RNG plumbing.
-    cargo build --release -p ctfl-bench --bin fig7_interpret_ttt
-    local a b
-    a=$(mktemp) && b=$(mktemp)
-    trap 'rm -f "$a" "$b"' RETURN
-    $BIN/fig7_interpret_ttt --seed 7 > "$a" 2>&1
-    $BIN/fig7_interpret_ttt --seed 7 > "$b" 2>&1
-    if ! diff -q "$a" "$b"; then
-        echo "DETERMINISM VIOLATION: two identical-seed runs differ" >&2
-        diff "$a" "$b" | head -20 >&2
-        exit 1
-    fi
-    echo "determinism ok ($(wc -c < "$a") bytes, byte-identical)"
-    echo "== chaos: seeded fault injection, double-run byte diff =="
+    diff_gate "determinism (fig7 pipeline)" fig7_interpret_ttt "" merge
+
     # 5 clients, 30% dropout + one persistently-NaN client: the guard must
     # reject the corrupted client every round, quorum retries must absorb
     # the dropouts, and the full federation log + participation-weighted
     # scores must be byte-identical across identical-seed runs.
-    cargo build --release -p ctfl-bench --bin chaos
-    $BIN/chaos --seed 7 > "$a" 2>&1
-    $BIN/chaos --seed 7 > "$b" 2>&1
-    if ! diff -q "$a" "$b"; then
-        echo "CHAOS DETERMINISM VIOLATION: two identical-seed faulty runs differ" >&2
-        diff "$a" "$b" | head -20 >&2
-        exit 1
-    fi
-    grep -q CHAOS_SCENARIO_OK "$a" || { echo "chaos scenario failed" >&2; exit 1; }
-    echo "chaos ok ($(wc -c < "$a") bytes, byte-identical)"
-    echo "== attack sweep: update-level attacks x aggregation rules, double-run byte diff =="
+    diff_gate "chaos (seeded fault injection)" chaos CHAOS_SCENARIO_OK merge
+
     # 10 clients, 30% adversarial per attack (sign-flip, scaled-gradient,
     # collusion, free-riding, class-bias) x 4 aggregation rules. The binary
     # asserts the honest clients' contribution ranking survives under at
-    # least one robust rule, that the update-signature detectors name the
+    # least one robust rule and that the update-signature detectors name the
     # injected ring/free-riders exactly with no honest-baseline false
-    # positives, and prints ATTACK_SWEEP_OK only if every gate held. The
-    # double run byte-diffs the adversary injector + signature pipeline.
-    cargo build --release -p ctfl-bench --bin attack_sweep
-    $BIN/attack_sweep --seed 7 > "$a" 2>&1
-    $BIN/attack_sweep --seed 7 > "$b" 2>&1
-    if ! diff -q "$a" "$b"; then
-        echo "ATTACK-SWEEP DETERMINISM VIOLATION: two identical-seed adversarial runs differ" >&2
-        diff "$a" "$b" | head -20 >&2
-        exit 1
-    fi
-    grep -q ATTACK_SWEEP_OK "$a" || { echo "attack sweep gates failed" >&2; tail -20 "$a" >&2; exit 1; }
-    echo "attack sweep ok ($(wc -c < "$a") bytes, byte-identical)"
-    echo "== train speed: workspace data plane vs pinned naive path =="
+    # positives; ATTACK_SWEEP_OK prints only if every gate held.
+    diff_gate "attack sweep (update-level attacks)" attack_sweep ATTACK_SWEEP_OK merge
+
+    # Upload-level score gaming x upload-audit defenses across the privacy
+    # grid {eps=inf, eps=2.20}. The binary asserts the audit names the
+    # injected gamers (exactly, except label-gaming under real randomized
+    # response, where it must still never flag an honest client), that both
+    # honest controls come back flag-free with hardened == naive
+    # bit-identical, that honest rankings survive hardening at Spearman
+    # >= 0.95, that the update/upload cross-check names free-riders claiming
+    # uploads, and that cross-run consistency flags nobody honest;
+    # GAMING_OK prints only if every gate held.
+    diff_gate "gaming sweep (upload-level score attacks)" gaming_sweep GAMING_OK merge
+
     # Three gates inside the binary: bit-identity of trained parameters,
     # >= 2x median wall-clock speedup, and pre-encoded coalition parity.
     # Stdout carries only deterministic content (hashes, verdicts) so the
     # double run can byte-diff it; timings go to stderr and the JSON report.
-    cargo build --release -p ctfl-bench --bin train_speed
-    $BIN/train_speed --seed 7 2>/dev/null > "$a"
-    $BIN/train_speed --seed 7 2>/dev/null > "$b"
-    if ! diff -q "$a" "$b"; then
-        echo "TRAIN-SPEED DETERMINISM VIOLATION: two identical-seed runs differ" >&2
-        diff "$a" "$b" | head -20 >&2
-        exit 1
-    fi
-    grep -q TRAIN_SPEED_OK "$a" || { echo "train speed gates failed" >&2; tail -20 "$a" >&2; exit 1; }
-    echo "train speed ok ($(wc -c < "$a") bytes, byte-identical)"
-    echo "== engine soak: multiplexed federation sessions, double-run byte diff =="
+    diff_gate "train speed (data plane vs naive)" train_speed TRAIN_SPEED_OK drop
+
     # A seeded batch of healthy/faulty/adversarial jobs runs serially, over
     # the worker pool (twice), and through the wire dispatcher; the binary
-    # asserts all paths produce identical result fingerprints and prints
-    # ENGINE_OK only if they did. The double run byte-diffs the whole batch.
-    cargo build --release -p ctfl-bench --bin engine_soak
-    $BIN/engine_soak --seed 7 > "$a" 2>&1
-    $BIN/engine_soak --seed 7 > "$b" 2>&1
-    if ! diff -q "$a" "$b"; then
-        echo "ENGINE DETERMINISM VIOLATION: two identical-seed soak runs differ" >&2
-        diff "$a" "$b" | head -20 >&2
-        exit 1
-    fi
-    grep -q ENGINE_OK "$a" || { echo "engine soak gates failed" >&2; tail -20 "$a" >&2; exit 1; }
-    echo "engine soak ok ($(wc -c < "$a") bytes, byte-identical)"
-    echo "== net soak: chaos transport + resilient client, double-run byte diff =="
+    # asserts all paths produce identical result fingerprints.
+    diff_gate "engine soak (multiplexed sessions)" engine_soak ENGINE_OK merge
+
     # The engine-soak batch again, but through a NetClient whose every
     # connection crosses a seeded ChaosTransport (split writes, bit flips,
     # truncations, virtual stalls, breaks, half-close EOFs) into a server
     # sharing one SessionStore across reconnects. The binary asserts the
     # fingerprints match direct execution byte for byte, a session resumes
-    # across a deliberate disconnect, and every result replays by job id;
-    # NET_OK prints only if every comparison held.
-    cargo build --release -p ctfl-bench --bin net_soak
-    $BIN/net_soak --seed 7 > "$a" 2>&1
-    $BIN/net_soak --seed 7 > "$b" 2>&1
-    if ! diff -q "$a" "$b"; then
-        echo "NET DETERMINISM VIOLATION: two identical-seed network soaks differ" >&2
-        diff "$a" "$b" | head -20 >&2
-        exit 1
-    fi
-    grep -q NET_OK "$a" || { echo "net soak gates failed" >&2; tail -20 "$a" >&2; exit 1; }
-    echo "net soak ok ($(wc -c < "$a") bytes, byte-identical)"
-    echo "== scenario sweep: federation regimes x contribution schemes, double-run byte diff =="
+    # across a deliberate disconnect, and every result replays by job id.
+    diff_gate "net soak (chaos transport)" net_soak NET_OK merge
+
     # 5 clients under four regimes (full, 50% uniform sampling, async with
     # bounded staleness, degree-2 gossip) x three schemes (CTFL effective
     # micro, leave-one-out, sampled Shapley — the baselines' coalition
     # retrainings run under the same regime). The binary asserts the
     # full-vs-full column is the identity ranking, every Spearman cell is a
     # well-formed correlation, sampling actually benched clients, and the
-    # async regime actually landed stale updates; SCENARIO_OK prints only
-    # if every gate held. The double run byte-diffs the scheduler, the
-    # delayed-update queue, and the gossip neighborhood sampler.
-    cargo build --release -p ctfl-bench --bin scenario_sweep
-    $BIN/scenario_sweep --seed 7 > "$a" 2>&1
-    $BIN/scenario_sweep --seed 7 > "$b" 2>&1
-    if ! diff -q "$a" "$b"; then
-        echo "SCENARIO DETERMINISM VIOLATION: two identical-seed scheduled runs differ" >&2
-        diff "$a" "$b" | head -20 >&2
-        exit 1
-    fi
-    grep -q SCENARIO_OK "$a" || { echo "scenario sweep gates failed" >&2; tail -20 "$a" >&2; exit 1; }
-    echo "scenario sweep ok ($(wc -c < "$a") bytes, byte-identical)"
+    # async regime actually landed stale updates.
+    diff_gate "scenario sweep (regimes x schemes)" scenario_sweep SCENARIO_OK merge
+
+    echo
+    echo "gate wall-time summary:"
+    local i
+    for i in "${!GATE_NAMES[@]}"; do
+        printf '  %-42s %5ss\n' "${GATE_NAMES[$i]}" "${GATE_SECS[$i]}"
+    done
     echo ALL_CHECKS_PASSED
 }
 
@@ -158,6 +170,7 @@ $BIN/table1_comparison --seed 7 > results/table1.txt 2>&1; echo "table1 rc=$?"
 $BIN/ablation --seed 7 > results/ablation.txt 2>&1; echo "ablation rc=$?"
 $BIN/chaos --seed 7 > results/chaos.txt 2>&1; echo "chaos rc=$?"
 $BIN/attack_sweep --seed 7 > results/attack_sweep.txt 2>&1; echo "attack_sweep rc=$?"
+$BIN/gaming_sweep --seed 7 > results/gaming_sweep.txt 2>&1; echo "gaming_sweep rc=$?"
 $BIN/engine_soak --seed 7 > results/engine_soak.txt 2>&1; echo "engine_soak rc=$?"
 $BIN/net_soak --seed 7 > results/net_soak.txt 2>&1; echo "net_soak rc=$?"
 $BIN/scenario_sweep --seed 7 > results/scenario_sweep.txt 2>&1; echo "scenario_sweep rc=$?"

@@ -4,7 +4,7 @@
 
 use ctfl::core::allocation::{macro_scores, micro_scores, CreditDirection};
 use ctfl::core::estimator::{CtflConfig, CtflEstimator};
-use ctfl::core::tracing::{trace, TraceConfig};
+use ctfl::core::tracing::{trace, TraceConfig, TraceParts};
 use ctfl::data::partition::skew_label;
 use ctfl::data::split::train_test_split;
 use ctfl::data::tictactoe_endgame;
@@ -65,13 +65,15 @@ fn upload_pipeline_reproduces_raw_estimation_exactly() {
         (0..test.len()).map(|i| model.classify_from_activations(&test_acts, i)).collect();
     let inputs = trace_inputs_from_parts(
         &model,
-        &train_acts,
-        &train_labels,
-        &upload_client_of,
-        n_clients,
-        &test_acts,
-        test.labels(),
-        &predictions,
+        TraceParts {
+            train_acts: &train_acts,
+            train_labels: &train_labels,
+            client_of: &upload_client_of,
+            n_clients,
+            test_acts: &test_acts,
+            test_labels: test.labels(),
+            predictions: &predictions,
+        },
     );
     let outcome = trace(&inputs, &TraceConfig::default()).unwrap();
 
