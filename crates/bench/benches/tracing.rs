@@ -87,7 +87,7 @@ fn bench_tracing() {
     ] {
         for parallel in [false, true] {
             let id = format!("{name}/{}", if parallel { "parallel" } else { "serial" });
-            let cfg = TraceConfig { tau_w: 0.9, parallel, grouping: strategy };
+            let cfg = TraceConfig { tau_w: 0.9, parallel, threads: 0, grouping: strategy };
             group.bench(&id, || trace(&inputs, &cfg).unwrap());
         }
     }

@@ -56,7 +56,7 @@ fn main() {
     for tau_w in [0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0] {
         let outcome = trace(
             &inputs,
-            &TraceConfig { tau_w, parallel: false, grouping: GroupingStrategy::SignatureDedup },
+            &TraceConfig { tau_w, parallel: false, threads: 0, grouping: GroupingStrategy::SignatureDedup },
         )
         .expect("valid inputs");
         let micro = micro_scores(&outcome, CreditDirection::Gain);
@@ -70,7 +70,7 @@ fn main() {
     // --- delta sweep (macro scores from one trace) ---
     let outcome = trace(
         &inputs,
-        &TraceConfig { tau_w: 0.9, parallel: false, grouping: GroupingStrategy::SignatureDedup },
+        &TraceConfig { tau_w: 0.9, parallel: false, threads: 0, grouping: GroupingStrategy::SignatureDedup },
     )
     .expect("valid inputs");
     let deltas = [1u32, 2, 4, 8, 16, 32];

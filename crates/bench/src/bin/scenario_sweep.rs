@@ -195,7 +195,8 @@ fn main() {
     cfg.skew = SkewMode::Label;
     let fed = Federation::build(cfg);
     let fl = FlConfig { rounds: 10, local_epochs: 2, parallel: true };
-    let shapley_cfg = ShapleySamplingConfig { n_permutations: 4, truncation_tolerance: -1.0 };
+    let shapley_cfg =
+        ShapleySamplingConfig { n_permutations: 4, truncation_tolerance: -1.0, parallel: true };
     let schemes = ["ctfl", "leave-one-out", "shapley-sampled"];
 
     println!(

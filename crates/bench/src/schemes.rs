@@ -118,6 +118,7 @@ pub fn run_baseline(scheme: Scheme, fed: &Federation, seed: u64) -> SchemeResult
             let cfg = ShapleySamplingConfig {
                 n_permutations: paper_sample_budget(n) / n.max(1),
                 truncation_tolerance: 0.005,
+                parallel: true,
             };
             // Warm the cache with the anchors both the estimator and the
             // truncation bound need.

@@ -8,6 +8,74 @@
 
 use crate::error::{CoreError, Result};
 
+/// Calls `f(bit)` for every set bit of a packed row, ascending.
+///
+/// The zero-allocation word-iterating visitor behind the matrix methods;
+/// free-standing so sharded stores can run it on borrowed word slices.
+#[inline]
+pub fn for_each_bit_in_words(words: &[u64], mut f: impl FnMut(usize)) {
+    for (wi, &w) in words.iter().enumerate() {
+        let mut bits = w;
+        while bits != 0 {
+            f(wi * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// `popcount(a AND b)` over two equally wide packed rows.
+#[inline]
+pub fn and_count_words(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+}
+
+/// Sum of `weights[bit]` over the set bits of `row AND mask` (word slices).
+#[inline]
+pub fn masked_weight_sum_words(row: &[u64], mask: &[u64], weights: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for (wi, (a, m)) in row.iter().zip(mask).enumerate() {
+        let mut bits = a & m;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            sum += weights[wi * 64 + b];
+            bits &= bits - 1;
+        }
+    }
+    sum
+}
+
+/// Sum of `weights[bit]` over bits set in all three packed rows — Eq. 4's
+/// numerator on borrowed word slices. Identical addition order to
+/// [`masked_weight_sum_words`] (word by word, bit ascending), so results are
+/// bit-for-bit reproducible across the monolithic and sharded stores.
+#[inline]
+pub fn triple_weight_sum_words(a: &[u64], b: &[u64], mask: &[u64], weights: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for (wi, ((x, y), m)) in a.iter().zip(b).zip(mask).enumerate() {
+        let mut bits = x & y & m;
+        while bits != 0 {
+            let bit = bits.trailing_zeros() as usize;
+            sum += weights[wi * 64 + bit];
+            bits &= bits - 1;
+        }
+    }
+    sum
+}
+
+/// FNV-1a signature over packed row words (see
+/// [`ActivationMatrix::row_signature`]).
+#[inline]
+pub fn row_signature_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// A dense `rows × n_bits` binary matrix, one bit per (instance, rule) pair.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActivationMatrix {
@@ -22,6 +90,58 @@ impl ActivationMatrix {
     pub fn zeros(n_rows: usize, n_bits: usize) -> Self {
         let words_per_row = n_bits.div_ceil(64);
         ActivationMatrix { n_rows, n_bits, words_per_row, words: vec![0; n_rows * words_per_row] }
+    }
+
+    /// Creates an empty matrix with word storage pre-reserved for
+    /// `row_capacity` rows, so million-row [`ActivationMatrix::push_row`]
+    /// builds don't reallocate `O(n)` times.
+    pub fn with_capacity(row_capacity: usize, n_bits: usize) -> Self {
+        let words_per_row = n_bits.div_ceil(64);
+        ActivationMatrix {
+            n_rows: 0,
+            n_bits,
+            words_per_row,
+            words: Vec::with_capacity(row_capacity * words_per_row),
+        }
+    }
+
+    /// Reserves word storage for at least `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.words.reserve(additional * self.words_per_row);
+    }
+
+    /// Builds a matrix directly from a packed word arena (row-major,
+    /// `n_rows × n_bits.div_ceil(64)` words).
+    pub fn from_words(n_rows: usize, n_bits: usize, words: Vec<u64>) -> Result<Self> {
+        let words_per_row = n_bits.div_ceil(64);
+        if words.len() != n_rows * words_per_row {
+            return Err(CoreError::LengthMismatch {
+                what: "activation words",
+                expected: n_rows * words_per_row,
+                actual: words.len(),
+            });
+        }
+        Ok(ActivationMatrix { n_rows, n_bits, words_per_row, words })
+    }
+
+    /// The full packed word arena, row-major.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Appends `n_rows` pre-packed rows (a word-level memcpy — the fast
+    /// path for assembling uploads and flattening sharded stores).
+    pub fn extend_from_words(&mut self, n_rows: usize, words: &[u64]) -> Result<()> {
+        if words.len() != n_rows * self.words_per_row {
+            return Err(CoreError::LengthMismatch {
+                what: "activation words",
+                expected: n_rows * self.words_per_row,
+                actual: words.len(),
+            });
+        }
+        self.n_rows += n_rows;
+        self.words.extend_from_slice(words);
+        Ok(())
     }
 
     /// Number of rows (instances).
@@ -78,6 +198,11 @@ impl ActivationMatrix {
     }
 
     /// Indices of the set bits in a row, ascending.
+    ///
+    /// Allocates a fresh `Vec` per call; kept as the readable reference.
+    /// Hot paths should use [`ActivationMatrix::for_each_bit`] (no buffer
+    /// at all) or [`ActivationMatrix::row_bits_into`] (caller-owned,
+    /// reusable buffer) instead.
     pub fn row_bits(&self, row: usize) -> Vec<usize> {
         let mut out = Vec::new();
         for (wi, &w) in self.row_words(row).iter().enumerate() {
@@ -89,6 +214,21 @@ impl ActivationMatrix {
             }
         }
         out
+    }
+
+    /// Calls `f(bit)` for every set bit in `row`, ascending — the
+    /// zero-allocation replacement for iterating [`ActivationMatrix::row_bits`].
+    #[inline]
+    pub fn for_each_bit(&self, row: usize, f: impl FnMut(usize)) {
+        for_each_bit_in_words(self.row_words(row), f);
+    }
+
+    /// Clears `out` and fills it with the set-bit indices of `row`,
+    /// ascending. Reusing one buffer across rows amortises the allocation
+    /// that [`ActivationMatrix::row_bits`] pays per call.
+    pub fn row_bits_into(&self, row: usize, out: &mut Vec<usize>) {
+        out.clear();
+        for_each_bit_in_words(self.row_words(row), |b| out.push(b));
     }
 
     /// Appends a row given as a boolean slice.
@@ -113,7 +253,7 @@ impl ActivationMatrix {
 
     /// Builds a matrix from per-row boolean slices.
     pub fn from_rows(n_bits: usize, rows: &[Vec<bool>]) -> Result<Self> {
-        let mut m = ActivationMatrix::zeros(0, n_bits);
+        let mut m = ActivationMatrix::with_capacity(rows.len(), n_bits);
         for row in rows {
             m.push_row(row)?;
         }
@@ -124,11 +264,7 @@ impl ActivationMatrix {
     /// matrices (typically train vs. test) but must have equal widths.
     pub fn and_count(&self, row: usize, other: &ActivationMatrix, other_row: usize) -> u32 {
         debug_assert_eq!(self.n_bits, other.n_bits, "mismatched activation widths");
-        self.row_words(row)
-            .iter()
-            .zip(other.row_words(other_row))
-            .map(|(a, b)| (a & b).count_ones())
-            .sum()
+        and_count_words(self.row_words(row), other.row_words(other_row))
     }
 
     /// `popcount(row AND mask)` against an externally supplied word mask
@@ -144,16 +280,7 @@ impl ActivationMatrix {
     /// to the class mask.
     pub fn masked_weight_sum(&self, row: usize, mask: &[u64], weights: &[f64]) -> f64 {
         debug_assert_eq!(mask.len(), self.words_per_row);
-        let mut sum = 0.0;
-        for (wi, (a, m)) in self.row_words(row).iter().zip(mask).enumerate() {
-            let mut bits = a & m;
-            while bits != 0 {
-                let b = bits.trailing_zeros() as usize;
-                sum += weights[wi * 64 + b];
-                bits &= bits - 1;
-            }
-        }
-        sum
+        masked_weight_sum_words(self.row_words(row), mask, weights)
     }
 
     /// Sum of `weights[bit]` over bits set in **all three** of: this row,
@@ -170,18 +297,7 @@ impl ActivationMatrix {
         weights: &[f64],
     ) -> f64 {
         debug_assert_eq!(self.n_bits, other.n_bits);
-        let mut sum = 0.0;
-        let a_words = self.row_words(row);
-        let b_words = other.row_words(other_row);
-        for (wi, ((a, b), m)) in a_words.iter().zip(b_words).zip(mask).enumerate() {
-            let mut bits = a & b & m;
-            while bits != 0 {
-                let bit = bits.trailing_zeros() as usize;
-                sum += weights[wi * 64 + bit];
-                bits &= bits - 1;
-            }
-        }
-        sum
+        triple_weight_sum_words(self.row_words(row), other.row_words(other_row), mask, weights)
     }
 
     /// Sets bit-column `bit` from a row-indexed bitmask (`rows[i / 64] >>
@@ -213,14 +329,7 @@ impl ActivationMatrix {
     /// A stable 64-bit signature of a row, used to group identical
     /// activation vectors (FNV-1a over the packed words).
     pub fn row_signature(&self, row: usize) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &w in self.row_words(row) {
-            for byte in w.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
-        h
+        row_signature_words(self.row_words(row))
     }
 
     /// Builds a word mask selecting the given bit indices.
@@ -326,5 +435,54 @@ mod tests {
     fn get_out_of_range_panics() {
         let m = ActivationMatrix::zeros(1, 4);
         m.get(0, 4);
+    }
+
+    #[test]
+    fn visitors_match_row_bits_reference() {
+        let mut m = ActivationMatrix::zeros(0, 130);
+        for r in 0..5 {
+            let row: Vec<bool> = (0..130).map(|i| (i * 7 + r * 13) % 5 == 0).collect();
+            m.push_row(&row).unwrap();
+        }
+        let mut buf = Vec::new();
+        for r in 0..m.n_rows() {
+            let reference = m.row_bits(r);
+            let mut visited = Vec::new();
+            m.for_each_bit(r, |b| visited.push(b));
+            assert_eq!(visited, reference);
+            m.row_bits_into(r, &mut buf);
+            assert_eq!(buf, reference);
+        }
+    }
+
+    #[test]
+    fn word_arena_roundtrip_and_extend() {
+        let rows = vec![
+            (0..70).map(|i| i % 3 == 0).collect::<Vec<bool>>(),
+            (0..70).map(|i| i % 4 == 1).collect::<Vec<bool>>(),
+        ];
+        let m = ActivationMatrix::from_rows(70, &rows).unwrap();
+        let rebuilt = ActivationMatrix::from_words(2, 70, m.as_words().to_vec()).unwrap();
+        assert_eq!(rebuilt, m);
+
+        let mut grown = ActivationMatrix::with_capacity(2, 70);
+        grown.extend_from_words(1, m.row_words(0)).unwrap();
+        grown.extend_from_words(1, m.row_words(1)).unwrap();
+        assert_eq!(grown, m);
+
+        assert!(ActivationMatrix::from_words(2, 70, vec![0; 3]).is_err());
+        assert!(grown.extend_from_words(2, m.row_words(0)).is_err());
+    }
+
+    #[test]
+    fn with_capacity_does_not_reallocate_during_pushes() {
+        let mut m = ActivationMatrix::with_capacity(100, 65);
+        let cap = m.words.capacity();
+        let row: Vec<bool> = (0..65).map(|i| i % 2 == 0).collect();
+        for _ in 0..100 {
+            m.push_row(&row).unwrap();
+        }
+        assert_eq!(m.words.capacity(), cap);
+        assert_eq!(m.n_rows(), 100);
     }
 }

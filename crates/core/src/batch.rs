@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use crate::activation::ActivationMatrix;
 use crate::data::{DatasetView, FeatureSchema};
 use crate::error::Result;
+use crate::parallel::{plan_threads, SPAWN_FLOOR_WORDS};
 use crate::rule::{Predicate, Rule, RuleExpr};
 
 /// A rule formula with its predicates rewritten to indices into the shared
@@ -94,10 +95,19 @@ impl CompiledRules {
 
     /// One row-indexed bitmask per unique predicate.
     fn predicate_masks(&self, view: &DatasetView<'_>, parallel: bool) -> Vec<Vec<u64>> {
-        if !parallel || view.len() < 1024 || self.preds.len() < 2 {
+        // Work per predicate is one packed mask of `len/64` words; plan the
+        // thread count from the total word volume so tiny datasets (where
+        // spawn overhead would dominate) stay serial instead of hitting a
+        // fixed row cutoff.
+        let mask_words = view.len().div_ceil(64);
+        let n_threads = if parallel {
+            plan_threads(mask_words * self.preds.len(), self.preds.len(), SPAWN_FLOOR_WORDS, 0)
+        } else {
+            1
+        };
+        if n_threads <= 1 {
             return self.preds.iter().map(|p| predicate_mask(p, view)).collect();
         }
-        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         let chunk = self.preds.len().div_ceil(n_threads).max(1);
         std::thread::scope(|s| {
             let handles: Vec<_> = self
@@ -331,6 +341,26 @@ mod tests {
     fn parallel_matches_serial() {
         let ds = dataset(3000);
         let compiled = CompiledRules::compile(&rules(), &schema()).unwrap();
+        let serial = compiled.activation_matrix(&ds.view(), false);
+        let parallel = compiled.activation_matrix(&ds.view(), true);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn spawn_floor_keeps_tiny_datasets_serial_and_identical() {
+        // 200 rows × 4 predicates is ~16 mask words — far below
+        // SPAWN_FLOOR_WORDS, so the parallel flag must plan a single thread
+        // (no spawn) yet still produce identical output.
+        let ds = dataset(200);
+        let compiled = CompiledRules::compile(&rules(), &schema()).unwrap();
+        let mask_words = ds.len().div_ceil(64);
+        let planned = crate::parallel::plan_threads(
+            mask_words * compiled.n_unique_predicates(),
+            compiled.n_unique_predicates(),
+            SPAWN_FLOOR_WORDS,
+            0,
+        );
+        assert_eq!(planned, 1);
         let serial = compiled.activation_matrix(&ds.view(), false);
         let parallel = compiled.activation_matrix(&ds.view(), true);
         assert_eq!(serial, parallel);

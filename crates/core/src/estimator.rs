@@ -224,6 +224,7 @@ impl CtflEstimator {
         let trace_cfg = TraceConfig {
             tau_w: self.config.tau_w,
             parallel: self.config.parallel,
+            threads: 0,
             grouping: self.config.grouping,
         };
         let outcome = trace(&inputs, &trace_cfg)?;

@@ -130,9 +130,8 @@ pub fn coverage_gaps(
             continue;
         }
         counts[tt.actual] += 1;
-        for bit in test_acts.row_bits(t) {
-            freq[tt.actual][bit] += rule_weights[bit];
-        }
+        let class_freq = &mut freq[tt.actual];
+        test_acts.for_each_bit(t, |bit| class_freq[bit] += rule_weights[bit]);
     }
     let mut gaps: Vec<CoverageGap> = (0..n_classes)
         .filter(|&c| counts[c] > 0)

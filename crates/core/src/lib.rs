@@ -74,9 +74,11 @@ pub mod error;
 pub mod estimator;
 pub mod interpret;
 pub mod model;
+pub mod parallel;
 pub mod properties;
 pub mod robustness;
 pub mod rule;
+pub mod shard;
 pub mod tracing;
 
 pub use activation::ActivationMatrix;
@@ -85,5 +87,7 @@ pub use data::{Column, Dataset, DatasetView, FeatureKind, FeatureSchema, Feature
 pub use error::{CoreError, Result};
 pub use estimator::{ContributionReport, CtflConfig, CtflEstimator};
 pub use model::RuleModel;
+pub use parallel::plan_threads;
 pub use rule::{Predicate, Rule, RuleExpr};
+pub use shard::{ActivationShard, ShardedActivations};
 pub use tracing::{TraceConfig, TraceOutcome};

@@ -1,0 +1,64 @@
+//! Deterministic work-splitting helpers for the scale plane.
+//!
+//! Every parallel kernel in this workspace follows the same discipline:
+//! split the work into contiguous chunks, run each chunk on a scoped
+//! thread with a private accumulator, and merge the accumulators in a
+//! fixed order that does not depend on thread timing. This module holds
+//! the one policy decision those kernels share — *how many* threads to
+//! plan — so the spawn/no-spawn cutoff is tested in one place instead of
+//! being a magic constant per call site.
+
+/// Minimum packed-word workload per spawned thread.
+///
+/// Below this, thread spawn + join overhead (~10µs each on this class of
+/// machine) dominates the popcount work a chunk would do; 4096 words is
+/// ~32KiB of bitmap per thread, a few microseconds of `AND`+`popcnt`.
+pub const SPAWN_FLOOR_WORDS: usize = 4096;
+
+/// Plans a worker-thread count for `total_units` of work split across at
+/// most `n_items` indivisible items.
+///
+/// * `requested > 0` pins the count (capped only by `n_items`), so tests
+///   can force multi-threaded merges on tiny inputs.
+/// * `requested == 0` ("auto") takes the hardware parallelism, then caps
+///   it so every thread gets at least `floor_units` of work — tiny
+///   workloads plan a single thread and skip spawning entirely.
+///
+/// The return value is always in `1..=max(n_items, 1)`.
+pub fn plan_threads(total_units: usize, n_items: usize, floor_units: usize, requested: usize) -> usize {
+    let items = n_items.max(1);
+    if requested > 0 {
+        return requested.min(items);
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let by_floor = total_units.checked_div(floor_units).map_or(items, |n| n.max(1));
+    hw.min(by_floor).min(items).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requested_pins_thread_count() {
+        assert_eq!(plan_threads(10, 100, SPAWN_FLOOR_WORDS, 4), 4);
+        // ...but never beyond the item count.
+        assert_eq!(plan_threads(10, 3, SPAWN_FLOOR_WORDS, 8), 3);
+    }
+
+    #[test]
+    fn tiny_workloads_stay_serial() {
+        // Work far below the floor: one thread regardless of hardware.
+        assert_eq!(plan_threads(SPAWN_FLOOR_WORDS - 1, 1000, SPAWN_FLOOR_WORDS, 0), 1);
+        assert_eq!(plan_threads(0, 0, SPAWN_FLOOR_WORDS, 0), 1);
+    }
+
+    #[test]
+    fn auto_never_exceeds_items_or_floor_budget() {
+        let planned = plan_threads(SPAWN_FLOOR_WORDS * 3, 2, SPAWN_FLOOR_WORDS, 0);
+        assert!((1..=2).contains(&planned));
+        // floor_units == 0 means "no floor": capped by items and hardware only.
+        let unfloored = plan_threads(1, 5, 0, 0);
+        assert!((1..=5).contains(&unfloored));
+    }
+}

@@ -29,9 +29,11 @@
 // Index-based loops below mirror the textbook formulations; iterator
 // rewrites obscure the row/column arithmetic.
 #![allow(clippy::needless_range_loop)]
-use crate::activation::ActivationMatrix;
+use crate::activation::{masked_weight_sum_words, triple_weight_sum_words, ActivationMatrix};
 use crate::error::{CoreError, Result};
 use crate::model::RuleModel;
+use crate::parallel::plan_threads;
+use crate::shard::ShardedActivations;
 use ctfl_rulemine::{assign_groups, max_miner, MaxMinerConfig, TransactionSet};
 
 /// Strategy for organising the `|D_te| × |D_N|` comparison.
@@ -65,13 +67,23 @@ pub struct TraceConfig {
     /// Parallelize over test instances with scoped threads (the paper's GPU
     /// map, realised on CPU).
     pub parallel: bool,
+    /// Worker-thread count when `parallel` is set. `0` plans automatically
+    /// from the workload (`crate::parallel::plan_threads` over the
+    /// `|D_te| × |D_N|` pair volume); a positive value pins the count, which
+    /// property tests use to force multi-threaded merges on tiny inputs.
+    pub threads: usize,
     /// Comparison organisation.
     pub grouping: GroupingStrategy,
 }
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { tau_w: 0.9, parallel: true, grouping: GroupingStrategy::SignatureDedup }
+        TraceConfig {
+            tau_w: 0.9,
+            parallel: true,
+            threads: 0,
+            grouping: GroupingStrategy::SignatureDedup,
+        }
     }
 }
 
@@ -267,7 +279,11 @@ impl TestTrace {
 
 /// Full output of the tracing pass: per-test relations plus the aggregate
 /// statistics that robustness and interpretation build on.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field bit-for-bit (f64 equality), which is
+/// exactly what the parallel-vs-serial and sharded-vs-monolithic
+/// equivalence tests need.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceOutcome {
     /// One entry per test instance.
     pub per_test: Vec<TestTrace>,
@@ -323,36 +339,360 @@ impl TraceOutcome {
     }
 }
 
-/// Runs the tracing pass.
+/// Borrowed row-level access to the training side of a trace.
+///
+/// Implemented by the monolithic [`TraceInputs`] triple and by
+/// [`ShardedActivations`]: the kernel is generic over this trait, so both
+/// stores run the *same* code and therefore produce identical output
+/// bytes (pinned by property tests).
+pub trait TrainAccess: Sync {
+    /// Number of training rows.
+    fn n_rows(&self) -> usize;
+    /// Packed activation words of a global row.
+    fn row_words(&self, row: usize) -> &[u64];
+    /// Label of a global row.
+    fn label(&self, row: usize) -> u32;
+    /// Owning client of a global row.
+    fn client(&self, row: usize) -> u32;
+}
+
+/// The monolithic training store: one matrix plus parallel label/client
+/// vectors.
+struct MonoTrain<'a> {
+    acts: &'a ActivationMatrix,
+    labels: &'a [u32],
+    client_of: &'a [u32],
+}
+
+impl TrainAccess for MonoTrain<'_> {
+    fn n_rows(&self) -> usize {
+        self.acts.n_rows()
+    }
+    #[inline]
+    fn row_words(&self, row: usize) -> &[u64] {
+        self.acts.row_words(row)
+    }
+    #[inline]
+    fn label(&self, row: usize) -> u32 {
+        self.labels[row]
+    }
+    #[inline]
+    fn client(&self, row: usize) -> u32 {
+        self.client_of[row]
+    }
+}
+
+impl TrainAccess for ShardedActivations {
+    fn n_rows(&self) -> usize {
+        ShardedActivations::n_rows(self)
+    }
+    #[inline]
+    fn row_words(&self, row: usize) -> &[u64] {
+        ShardedActivations::row_words(self, row)
+    }
+    #[inline]
+    fn label(&self, row: usize) -> u32 {
+        ShardedActivations::label(self, row)
+    }
+    #[inline]
+    fn client(&self, row: usize) -> u32 {
+        ShardedActivations::client(self, row)
+    }
+}
+
+/// The test side of a trace, bundled for the generic kernel.
+struct TestSide<'a> {
+    acts: &'a ActivationMatrix,
+    labels: &'a [u32],
+    predictions: &'a [usize],
+    weights: &'a [f64],
+    class_masks: &'a [Vec<u64>],
+}
+
+/// Minimum `|D_te| × |D_N|` pair volume before the kernel spawns worker
+/// threads in auto mode (below this, spawn overhead dominates).
+const PAIR_FLOOR: usize = 65_536;
+
+/// Runs the tracing pass over monolithic inputs.
 ///
 /// Complexity: `O(|D_te| · |D_N|)` pairwise worst case, reduced by the
-/// configured [`GroupingStrategy`] and parallelized over test groups when
-/// `config.parallel` is set.
+/// configured [`GroupingStrategy`] and chunked over scoped worker threads
+/// when `config.parallel` is set. Output is identical for every strategy,
+/// thread count, and for [`trace_sharded`] over the same rows — the
+/// aggregate tables are defined as `weight × exact integer match-count`,
+/// so merges are integer sums that no thread interleaving can perturb.
 pub fn trace(inputs: &TraceInputs<'_>, config: &TraceConfig) -> Result<TraceOutcome> {
+    config.validate()?;
+    inputs.validate()?;
+    let train = MonoTrain {
+        acts: inputs.train_acts,
+        labels: inputs.train_labels,
+        client_of: inputs.client_of,
+    };
+    let test = TestSide {
+        acts: inputs.test_acts,
+        labels: inputs.test_labels,
+        predictions: inputs.predictions,
+        weights: inputs.weights,
+        class_masks: inputs.class_masks,
+    };
+    Ok(trace_kernel(&train, inputs.n_clients, &test, config))
+}
+
+/// Inputs for tracing directly over a sharded per-client store: the
+/// training side lives in [`ShardedActivations`] (labels and ownership
+/// included), only the test side is monolithic.
+pub struct ShardedTraceInputs<'a> {
+    /// Sharded training activations (labels and client ownership included).
+    pub train: &'a ShardedActivations,
+    /// Number of clients `n` (may exceed the shard count if some clients
+    /// uploaded nothing).
+    pub n_clients: usize,
+    /// Test activation matrix (`|D_te| × m` bits).
+    pub test_acts: &'a ActivationMatrix,
+    /// Test labels.
+    pub test_labels: &'a [u32],
+    /// Model predictions on the test set.
+    pub predictions: &'a [usize],
+    /// Rule weights (`m` entries).
+    pub weights: &'a [f64],
+    /// Per-class rule masks.
+    pub class_masks: &'a [Vec<u64>],
+}
+
+impl ShardedTraceInputs<'_> {
+    fn validate(&self) -> Result<()> {
+        let m = self.train.n_bits();
+        if self.test_acts.n_bits() != m {
+            return Err(CoreError::LengthMismatch {
+                what: "test activation width",
+                expected: m,
+                actual: self.test_acts.n_bits(),
+            });
+        }
+        if self.test_labels.len() != self.test_acts.n_rows() {
+            return Err(CoreError::LengthMismatch {
+                what: "test labels",
+                expected: self.test_acts.n_rows(),
+                actual: self.test_labels.len(),
+            });
+        }
+        if self.predictions.len() != self.test_acts.n_rows() {
+            return Err(CoreError::LengthMismatch {
+                what: "predictions",
+                expected: self.test_acts.n_rows(),
+                actual: self.predictions.len(),
+            });
+        }
+        if self.weights.len() != m {
+            return Err(CoreError::LengthMismatch {
+                what: "rule weights",
+                expected: m,
+                actual: self.weights.len(),
+            });
+        }
+        let n_classes = self.class_masks.len();
+        for shard in self.train.shards() {
+            if shard.client as usize >= self.n_clients {
+                return Err(CoreError::InvalidParameter {
+                    name: "client_of",
+                    message: format!("client {} >= n_clients {}", shard.client, self.n_clients),
+                });
+            }
+            for &l in &shard.labels {
+                if l as usize >= n_classes {
+                    return Err(CoreError::InvalidParameter {
+                        name: "labels",
+                        message: format!("train label {l} >= n_classes {n_classes}"),
+                    });
+                }
+            }
+        }
+        for &l in self.test_labels {
+            if l as usize >= n_classes {
+                return Err(CoreError::InvalidParameter {
+                    name: "labels",
+                    message: format!("test label {l} >= n_classes {n_classes}"),
+                });
+            }
+        }
+        for &p in self.predictions {
+            if p >= n_classes {
+                return Err(CoreError::ClassOutOfRange { class: p, n_classes });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the tracing pass zero-copy over a sharded per-client store.
+///
+/// Bit-identical to flattening the store with
+/// [`ShardedActivations::to_matrix`] and calling [`trace`] — both paths
+/// run the same generic kernel and global row order is preserved by
+/// construction.
+pub fn trace_sharded(inputs: &ShardedTraceInputs<'_>, config: &TraceConfig) -> Result<TraceOutcome> {
+    config.validate()?;
+    inputs.validate()?;
+    let test = TestSide {
+        acts: inputs.test_acts,
+        labels: inputs.test_labels,
+        predictions: inputs.predictions,
+        weights: inputs.weights,
+        class_masks: inputs.class_masks,
+    };
+    Ok(trace_kernel(inputs.train, inputs.n_clients, &test, config))
+}
+
+/// Pinned naive oracle for [`trace`]: pair-by-pair, per-bit matrix reads,
+/// no grouping, no parallelism, no word tricks.
+///
+/// Sums `weights[bit]` in globally ascending bit order — the same f64
+/// addition sequence the word-parallel kernels use — so numerators,
+/// denominators and therefore related sets match the fast path *bitwise*,
+/// not just approximately. Property tests and the `scale_sweep` speedup
+/// gate both compare against this function.
+pub fn trace_reference(inputs: &TraceInputs<'_>, config: &TraceConfig) -> Result<TraceOutcome> {
     config.validate()?;
     inputs.validate()?;
 
     let n_test = inputs.test_acts.n_rows();
     let n_train = inputs.train_acts.n_rows();
     let n_rules = inputs.train_acts.n_bits();
+    let mask_bit = |mask: &[u64], bit: usize| mask[bit / 64] >> (bit % 64) & 1 == 1;
+
+    let mut per_test = Vec::with_capacity(n_test);
+    let mut train_benefit_counts = vec![0u32; n_train];
+    let mut train_harm_counts = vec![0u32; n_train];
+    let mut benefit_cells = vec![0u64; inputs.n_clients * n_rules];
+    let mut harm_cells = vec![0u64; inputs.n_clients * n_rules];
+
+    for t in 0..n_test {
+        let actual = inputs.test_labels[t] as usize;
+        let predicted = inputs.predictions[t];
+        let correct = predicted == actual;
+        let c = if correct { actual } else { predicted };
+        let mask = &inputs.class_masks[c];
+        let mut denom = 0.0;
+        for bit in 0..n_rules {
+            if mask_bit(mask, bit) && inputs.test_acts.get(t, bit) {
+                denom += inputs.weights[bit];
+            }
+        }
+        let mut related_per_client = vec![0u32; inputs.n_clients];
+        if denom > 0.0 {
+            let threshold = config.tau_w * denom - 1e-12;
+            for tr in 0..n_train {
+                if inputs.train_labels[tr] as usize != c {
+                    continue;
+                }
+                let mut num = 0.0;
+                for bit in 0..n_rules {
+                    if mask_bit(mask, bit)
+                        && inputs.test_acts.get(t, bit)
+                        && inputs.train_acts.get(tr, bit)
+                    {
+                        num += inputs.weights[bit];
+                    }
+                }
+                if num < threshold {
+                    continue;
+                }
+                related_per_client[inputs.client_of[tr] as usize] += 1;
+                let base = inputs.client_of[tr] as usize * n_rules;
+                let (row_counts, cells) = if correct {
+                    (&mut train_benefit_counts, &mut benefit_cells)
+                } else {
+                    (&mut train_harm_counts, &mut harm_cells)
+                };
+                row_counts[tr] += 1;
+                for bit in 0..n_rules {
+                    if mask_bit(mask, bit)
+                        && inputs.test_acts.get(t, bit)
+                        && inputs.train_acts.get(tr, bit)
+                    {
+                        cells[base + bit] += 1;
+                    }
+                }
+            }
+        }
+        per_test.push(TestTrace {
+            predicted,
+            actual,
+            traced_class: c,
+            denom,
+            related_per_client,
+        });
+    }
+
+    Ok(TraceOutcome {
+        per_test,
+        n_clients: inputs.n_clients,
+        n_rules,
+        train_benefit_counts,
+        train_harm_counts,
+        client_rule_benefit: cells_to_table(&benefit_cells, inputs.weights, n_rules),
+        client_rule_harm: cells_to_table(&harm_cells, inputs.weights, n_rules),
+    })
+}
+
+/// Materialises a weighted frequency table from exact integer match
+/// counts: `table[client, rule] = weights[rule] × count`.
+fn cells_to_table(cells: &[u64], weights: &[f64], n_rules: usize) -> Vec<f64> {
+    cells.iter().enumerate().map(|(i, &k)| weights[i % n_rules] * k as f64).collect()
+}
+
+/// Per-worker accumulator. Everything in here is an exact integer (or an
+/// index-addressed trace), so merging accumulators is order-independent
+/// and the parallel kernel's output cannot depend on thread timing.
+struct TraceAcc {
+    benefit_counts: Vec<u32>,
+    harm_counts: Vec<u32>,
+    benefit_cells: Vec<u64>,
+    harm_cells: Vec<u64>,
+    traces: Vec<(u32, TestTrace)>,
+}
+
+impl TraceAcc {
+    fn new(n_train: usize, n_clients: usize, n_rules: usize) -> Self {
+        TraceAcc {
+            benefit_counts: vec![0; n_train],
+            harm_counts: vec![0; n_train],
+            benefit_cells: vec![0; n_clients * n_rules],
+            harm_cells: vec![0; n_clients * n_rules],
+            traces: Vec::new(),
+        }
+    }
+}
+
+/// The word-parallel trace kernel, generic over the training store.
+fn trace_kernel<T: TrainAccess>(
+    train: &T,
+    n_clients: usize,
+    test: &TestSide<'_>,
+    config: &TraceConfig,
+) -> TraceOutcome {
+    let n_test = test.acts.n_rows();
+    let n_train = train.n_rows();
+    let n_rules = test.acts.n_bits();
 
     // Traced class and denominator per test row.
     let mut traced_class = vec![0usize; n_test];
     let mut denoms = vec![0f64; n_test];
     for t in 0..n_test {
-        let actual = inputs.test_labels[t] as usize;
-        let predicted = inputs.predictions[t];
+        let actual = test.labels[t] as usize;
+        let predicted = test.predictions[t];
         let c = if predicted == actual { actual } else { predicted };
         traced_class[t] = c;
-        denoms[t] = inputs.test_acts.masked_weight_sum(t, &inputs.class_masks[c], inputs.weights);
+        denoms[t] = test.acts.masked_weight_sum(t, &test.class_masks[c], test.weights);
     }
 
     // Pre-group training rows by label so each test row only scans rows of
     // its traced class.
-    let n_classes = inputs.class_masks.len();
+    let n_classes = test.class_masks.len();
     let mut train_by_class: Vec<Vec<u32>> = vec![Vec::new(); n_classes];
-    for (i, &l) in inputs.train_labels.iter().enumerate() {
-        train_by_class[l as usize].push(i as u32);
+    for i in 0..n_train {
+        train_by_class[train.label(i) as usize].push(i as u32);
     }
 
     // Organise test rows into work groups according to the strategy. Each
@@ -366,13 +706,14 @@ pub fn trace(inputs: &TraceInputs<'_>, config: &TraceConfig) -> Result<TraceOutc
             use std::collections::HashMap;
             let mut map: HashMap<(usize, u64), Vec<u32>> = HashMap::new();
             for t in 0..n_test {
-                let key = (traced_class[t], inputs.test_acts.row_signature(t));
+                let key = (traced_class[t], test.acts.row_signature(t));
                 map.entry(key).or_default().push(t as u32);
             }
             map.into_values().map(|members| WorkGroup { members, candidates: None }).collect()
         }
         GroupingStrategy::FrequentRuleSets { min_support } => build_frequent_groups(
-            inputs,
+            train,
+            test,
             &traced_class,
             &denoms,
             min_support,
@@ -381,85 +722,67 @@ pub fn trace(inputs: &TraceInputs<'_>, config: &TraceConfig) -> Result<TraceOutc
         ),
     };
 
-    // Trace each group; groups are independent, so parallelize across them.
-    let process_group = |g: &WorkGroup| -> GroupResult {
-        trace_group(inputs, config, g, &traced_class, &denoms, &train_by_class)
+    // Trace group chunks on scoped threads, each into a private
+    // accumulator; merge below is pure integer addition + index placement.
+    let n_threads = if config.parallel {
+        plan_threads(n_test.saturating_mul(n_train), groups.len(), PAIR_FLOOR, config.threads)
+    } else {
+        1
     };
-
-    let results: Vec<GroupResult> = if config.parallel && groups.len() > 1 && n_test * n_train > 65_536 {
-        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        let chunk = groups.len().div_ceil(n_threads);
+    let process_chunk = |gs: &[WorkGroup]| -> TraceAcc {
+        let mut acc = TraceAcc::new(n_train, n_clients, n_rules);
+        for g in gs {
+            trace_group_into(train, test, config, g, &traced_class, &denoms, &train_by_class, n_clients, &mut acc);
+        }
+        acc
+    };
+    let accs: Vec<TraceAcc> = if n_threads > 1 && groups.len() > 1 {
+        let chunk = groups.len().div_ceil(n_threads).max(1);
+        let pc = &process_chunk;
         std::thread::scope(|s| {
-            let handles: Vec<_> = groups
-                .chunks(chunk.max(1))
-                .map(|gs| s.spawn(move || gs.iter().map(process_group).collect::<Vec<_>>()))
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("trace worker panicked"))
-                .collect()
+            let handles: Vec<_> = groups.chunks(chunk).map(|gs| s.spawn(move || pc(gs))).collect();
+            handles.into_iter().map(|h| h.join().expect("trace worker panicked")).collect()
         })
     } else {
-        groups.iter().map(process_group).collect()
+        vec![process_chunk(&groups)]
     };
 
-    // Merge group results.
+    // Merge worker accumulators in chunk order.
     let mut per_test: Vec<Option<TestTrace>> = vec![None; n_test];
     let mut train_benefit_counts = vec![0u32; n_train];
     let mut train_harm_counts = vec![0u32; n_train];
-    let mut client_rule_benefit = vec![0f64; inputs.n_clients * n_rules];
-    let mut client_rule_harm = vec![0f64; inputs.n_clients * n_rules];
-
-    for (group, result) in groups.iter().zip(results) {
-        for &t in &group.members {
-            let t = t as usize;
-            let correct = inputs.predictions[t] == inputs.test_labels[t] as usize;
-            // Aggregate per-train and per-rule statistics once per member.
-            for &tr in &result.related_train {
-                let tr = tr as usize;
-                if correct {
-                    train_benefit_counts[tr] += 1;
-                } else {
-                    train_harm_counts[tr] += 1;
-                }
-                let client = inputs.client_of[tr] as usize;
-                let table = if correct { &mut client_rule_benefit } else { &mut client_rule_harm };
-                // Weighted activation frequency: rules activated by BOTH the
-                // training row and the test member within the traced mask.
-                let mask = &inputs.class_masks[traced_class[t]];
-                let a = inputs.train_acts.row_words(tr);
-                let b = inputs.test_acts.row_words(t);
-                for (wi, ((aw, bw), mw)) in a.iter().zip(b).zip(mask).enumerate() {
-                    let mut bits = aw & bw & mw;
-                    while bits != 0 {
-                        let bit = wi * 64 + bits.trailing_zeros() as usize;
-                        table[client * n_rules + bit] += inputs.weights[bit];
-                        bits &= bits - 1;
-                    }
-                }
-            }
-            per_test[t] = Some(TestTrace {
-                predicted: inputs.predictions[t],
-                actual: inputs.test_labels[t] as usize,
-                traced_class: traced_class[t],
-                denom: denoms[t],
-                related_per_client: result.related_per_client.clone(),
-            });
+    let mut benefit_cells = vec![0u64; n_clients * n_rules];
+    let mut harm_cells = vec![0u64; n_clients * n_rules];
+    for acc in accs {
+        for (dst, src) in train_benefit_counts.iter_mut().zip(&acc.benefit_counts) {
+            *dst += src;
+        }
+        for (dst, src) in train_harm_counts.iter_mut().zip(&acc.harm_counts) {
+            *dst += src;
+        }
+        for (dst, src) in benefit_cells.iter_mut().zip(&acc.benefit_cells) {
+            *dst += src;
+        }
+        for (dst, src) in harm_cells.iter_mut().zip(&acc.harm_cells) {
+            *dst += src;
+        }
+        for (t, tt) in acc.traces {
+            per_test[t as usize] = Some(tt);
         }
     }
 
     let per_test: Vec<TestTrace> =
         per_test.into_iter().map(|t| t.expect("every test row belongs to a group")).collect();
 
-    Ok(TraceOutcome {
+    TraceOutcome {
         per_test,
-        n_clients: inputs.n_clients,
+        n_clients,
         n_rules,
         train_benefit_counts,
         train_harm_counts,
-        client_rule_benefit,
-        client_rule_harm,
-    })
+        client_rule_benefit: cells_to_table(&benefit_cells, test.weights, n_rules),
+        client_rule_harm: cells_to_table(&harm_cells, test.weights, n_rules),
+    }
 }
 
 struct WorkGroup {
@@ -472,30 +795,34 @@ struct WorkGroup {
     candidates: Option<Vec<u32>>,
 }
 
-struct GroupResult {
-    related_train: Vec<u32>,
-    related_per_client: Vec<u32>,
-}
-
-fn trace_group(
-    inputs: &TraceInputs<'_>,
+/// Traces one work group into the worker's accumulator.
+///
+/// All members share the representative's traced class and activation
+/// signature (construction invariant), so the related set and the
+/// per-related-row rule-overlap profile are computed **once** and applied
+/// with integer multipliers — `n_correct` members feed the benefit
+/// tables, `n_wrong` the harm tables. Under `SignatureDedup` on a skewed
+/// test set this removes almost all duplicate pair work.
+#[allow(clippy::too_many_arguments)]
+fn trace_group_into<T: TrainAccess>(
+    train: &T,
+    test: &TestSide<'_>,
     config: &TraceConfig,
     group: &WorkGroup,
     traced_class: &[usize],
     denoms: &[f64],
     train_by_class: &[Vec<u32>],
-) -> GroupResult {
-    // All members share related sets only under SignatureDedup; under
-    // FrequentRuleSets each member must be refined individually, but then
-    // members are traced one at a time by the caller splitting groups.
-    // We therefore compute the related set of the group REPRESENTATIVE and
-    // rely on the construction invariant that members share it.
+    n_clients: usize,
+    acc: &mut TraceAcc,
+) {
     let rep = group.members[0] as usize;
     let c = traced_class[rep];
     let denom = denoms[rep];
-    let mask = &inputs.class_masks[c];
+    let mask = &test.class_masks[c];
+    let rep_words = test.acts.row_words(rep);
+    let n_rules = test.acts.n_bits();
     let mut related_train = Vec::new();
-    let mut related_per_client = vec![0u32; inputs.n_clients];
+    let mut related_per_client = vec![0u32; n_clients];
 
     if denom > 0.0 {
         let threshold = config.tau_w * denom - 1e-12; // tolerate FP rounding at equality
@@ -505,16 +832,57 @@ fn trace_group(
         };
         for &tr in scan {
             let tr = tr as usize;
-            debug_assert_eq!(inputs.train_labels[tr] as usize, c);
-            let num =
-                inputs.test_acts.triple_weight_sum(rep, inputs.train_acts, tr, mask, inputs.weights);
+            debug_assert_eq!(train.label(tr) as usize, c);
+            let num = triple_weight_sum_words(rep_words, train.row_words(tr), mask, test.weights);
             if num >= threshold {
                 related_train.push(tr as u32);
-                related_per_client[inputs.client_of[tr] as usize] += 1;
+                related_per_client[train.client(tr) as usize] += 1;
             }
         }
     }
-    GroupResult { related_train, related_per_client }
+
+    let mut n_correct = 0u32;
+    let mut n_wrong = 0u32;
+    for &t in &group.members {
+        if test.predictions[t as usize] == test.labels[t as usize] as usize {
+            n_correct += 1;
+        } else {
+            n_wrong += 1;
+        }
+    }
+
+    for &tr in &related_train {
+        let tr = tr as usize;
+        acc.benefit_counts[tr] += n_correct;
+        acc.harm_counts[tr] += n_wrong;
+        // Rules activated by BOTH the training row and the (shared) test
+        // signature within the traced mask, counted once per member via
+        // the integer multipliers.
+        let base = train.client(tr) as usize * n_rules;
+        for (wi, ((aw, bw), mw)) in train.row_words(tr).iter().zip(rep_words).zip(mask).enumerate() {
+            let mut bits = aw & bw & mw;
+            while bits != 0 {
+                let bit = wi * 64 + bits.trailing_zeros() as usize;
+                acc.benefit_cells[base + bit] += n_correct as u64;
+                acc.harm_cells[base + bit] += n_wrong as u64;
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    for &t in &group.members {
+        let t = t as usize;
+        acc.traces.push((
+            t as u32,
+            TestTrace {
+                predicted: test.predictions[t],
+                actual: test.labels[t] as usize,
+                traced_class: c,
+                denom: denoms[t],
+                related_per_client: related_per_client.clone(),
+            },
+        ));
+    }
 }
 
 /// Builds work groups for the FrequentRuleSets strategy.
@@ -526,8 +894,9 @@ fn trace_group(
 /// admissible candidate prefilter: a training row can relate to a member
 /// `t` only if its weighted overlap with `F` is at least
 /// `weight(F) - (1 - τ_w) · denom(t)`.
-fn build_frequent_groups(
-    inputs: &TraceInputs<'_>,
+fn build_frequent_groups<T: TrainAccess>(
+    train: &T,
+    test: &TestSide<'_>,
     traced_class: &[usize],
     denoms: &[f64],
     min_support: f64,
@@ -535,16 +904,16 @@ fn build_frequent_groups(
     train_by_class: &[Vec<u32>],
 ) -> Vec<WorkGroup> {
     use std::collections::HashMap;
-    let n_test = inputs.test_acts.n_rows();
-    let n_rules = inputs.test_acts.n_bits();
-    let n_classes = inputs.class_masks.len();
+    let n_test = test.acts.n_rows();
+    let n_rules = test.acts.n_bits();
+    let n_classes = test.class_masks.len();
 
     // First dedup by (class, signature) — members of a signature group have
     // identical related sets, so the frequent-set machinery only needs to
     // run per unique signature.
     let mut sig_groups: HashMap<(usize, u64), Vec<u32>> = HashMap::new();
     for t in 0..n_test {
-        let key = (traced_class[t], inputs.test_acts.row_signature(t));
+        let key = (traced_class[t], test.acts.row_signature(t));
         sig_groups.entry(key).or_default().push(t as u32);
     }
 
@@ -559,29 +928,24 @@ fn build_frequent_groups(
             continue;
         }
         // Transactions: masked activation words of each representative.
-        let mask = &inputs.class_masks[c];
+        let mask = &test.class_masks[c];
         let mut txs = TransactionSet::new(n_rules.max(1));
         for members in &reps {
             let rep = members[0] as usize;
-            let masked: Vec<u64> = inputs
-                .test_acts
-                .row_words(rep)
-                .iter()
-                .zip(mask)
-                .map(|(a, m)| a & m)
-                .collect();
+            let masked: Vec<u64> =
+                test.acts.row_words(rep).iter().zip(mask).map(|(a, m)| a & m).collect();
             txs.push_words(&masked);
         }
         let support = ((min_support * reps.len() as f64).ceil() as usize).max(1);
         let mined = max_miner(&txs, MaxMinerConfig { min_support: support, max_expansions: 4096 });
         let sets: Vec<_> = mined.iter().map(|(s, _)| s.clone()).collect();
-        let assignment = assign_groups(&txs, &sets, inputs.weights);
+        let assignment = assign_groups(&txs, &sets, test.weights);
 
         for (gi, members) in reps.into_iter().enumerate() {
             let rep = members[0] as usize;
             let candidates = assignment[gi].map(|set_idx| {
                 let f = &sets[set_idx];
-                let f_weight = f.weight(inputs.weights);
+                let f_weight = f.weight(test.weights);
                 // Admissible bound (see module docs): overlap(tr, F) >=
                 // weight(F) - (1 - τ_w) * denom(rep).
                 let bound = f_weight - (1.0 - tau_w) * denoms[rep] - 1e-9;
@@ -590,11 +954,8 @@ fn build_frequent_groups(
                     .iter()
                     .copied()
                     .filter(|&tr| {
-                        let overlap = inputs.train_acts.masked_weight_sum(
-                            tr as usize,
-                            &f_mask,
-                            inputs.weights,
-                        );
+                        let overlap =
+                            masked_weight_sum_words(train.row_words(tr as usize), &f_mask, test.weights);
                         overlap >= bound
                     })
                     .collect::<Vec<u32>>()
@@ -608,6 +969,7 @@ fn build_frequent_groups(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::ActivationShard;
 
     type Figure2 =
         (ActivationMatrix, Vec<u32>, Vec<u32>, ActivationMatrix, Vec<u32>, Vec<usize>, Vec<f64>, Vec<Vec<u64>>);
@@ -678,7 +1040,7 @@ mod tests {
             weights: &weights,
             class_masks: &masks,
         };
-        trace(&inputs, &TraceConfig { tau_w, parallel: false, grouping }).unwrap()
+        trace(&inputs, &TraceConfig { tau_w, parallel: false, threads: 0, grouping }).unwrap()
     }
 
     #[test]
@@ -840,6 +1202,134 @@ mod tests {
         // responsible.
         assert_eq!(out.per_test[3].traced_class, 2);
         assert_eq!(out.per_test[3].related_per_client, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn reference_oracle_matches_fast_path_exactly() {
+        let (train, labels, clients, test, test_labels, preds, weights, masks) = figure2();
+        let inputs = TraceInputs {
+            train_acts: &train,
+            train_labels: &labels,
+            client_of: &clients,
+            n_clients: 3,
+            test_acts: &test,
+            test_labels: &test_labels,
+            predictions: &preds,
+            weights: &weights,
+            class_masks: &masks,
+        };
+        for tau_w in [0.6, 0.8, 0.9, 1.0] {
+            let reference =
+                trace_reference(&inputs, &TraceConfig { tau_w, ..TraceConfig::default() }).unwrap();
+            for grouping in [
+                GroupingStrategy::BruteForce,
+                GroupingStrategy::SignatureDedup,
+                GroupingStrategy::FrequentRuleSets { min_support: 0.25 },
+            ] {
+                let fast =
+                    trace(&inputs, &TraceConfig { tau_w, parallel: false, threads: 0, grouping })
+                        .unwrap();
+                assert_eq!(fast, reference, "tau_w={tau_w} grouping={grouping:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_thread_counts_are_bit_identical() {
+        let (train, labels, clients, test, test_labels, preds, weights, masks) = figure2();
+        let inputs = TraceInputs {
+            train_acts: &train,
+            train_labels: &labels,
+            client_of: &clients,
+            n_clients: 3,
+            test_acts: &test,
+            test_labels: &test_labels,
+            predictions: &preds,
+            weights: &weights,
+            class_masks: &masks,
+        };
+        let serial = trace(
+            &inputs,
+            &TraceConfig { tau_w: 0.8, parallel: false, ..TraceConfig::default() },
+        )
+        .unwrap();
+        for threads in 1..=4 {
+            let parallel = trace(
+                &inputs,
+                &TraceConfig { tau_w: 0.8, parallel: true, threads, ..TraceConfig::default() },
+            )
+            .unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_trace_matches_monolithic() {
+        let (train, labels, clients, test, test_labels, preds, weights, masks) = figure2();
+        // Rebuild the training side as per-client shards in client order
+        // (figure2 rows already arrive grouped by client).
+        let mut shards: Vec<ActivationShard> = Vec::new();
+        for tr in 0..train.n_rows() {
+            let client = clients[tr];
+            if shards.last().map(|s: &ActivationShard| s.client) != Some(client) {
+                shards.push(ActivationShard {
+                    client,
+                    acts: ActivationMatrix::zeros(0, train.n_bits()),
+                    labels: Vec::new(),
+                });
+            }
+            let shard = shards.last_mut().unwrap();
+            shard.acts.extend_from_words(1, train.row_words(tr)).unwrap();
+            shard.labels.push(labels[tr]);
+        }
+        let store = ShardedActivations::from_shards(shards).unwrap();
+        let mono_inputs = TraceInputs {
+            train_acts: &train,
+            train_labels: &labels,
+            client_of: &clients,
+            n_clients: 3,
+            test_acts: &test,
+            test_labels: &test_labels,
+            predictions: &preds,
+            weights: &weights,
+            class_masks: &masks,
+        };
+        let sharded_inputs = ShardedTraceInputs {
+            train: &store,
+            n_clients: 3,
+            test_acts: &test,
+            test_labels: &test_labels,
+            predictions: &preds,
+            weights: &weights,
+            class_masks: &masks,
+        };
+        for tau_w in [0.6, 1.0] {
+            let cfg = TraceConfig { tau_w, parallel: false, ..TraceConfig::default() };
+            let mono = trace(&mono_inputs, &cfg).unwrap();
+            let sharded = trace_sharded(&sharded_inputs, &cfg).unwrap();
+            assert_eq!(sharded, mono, "tau_w={tau_w}");
+        }
+    }
+
+    #[test]
+    fn sharded_inputs_validated() {
+        let (train, labels, _clients, test, test_labels, preds, weights, masks) = figure2();
+        let store = ShardedActivations::from_shards(vec![ActivationShard {
+            client: 7, // >= n_clients
+            acts: train.clone(),
+            labels: labels.clone(),
+        }])
+        .unwrap();
+        let inputs = ShardedTraceInputs {
+            train: &store,
+            n_clients: 3,
+            test_acts: &test,
+            test_labels: &test_labels,
+            predictions: &preds,
+            weights: &weights,
+            class_masks: &masks,
+        };
+        assert!(trace_sharded(&inputs, &TraceConfig::default()).is_err());
     }
 
     #[test]

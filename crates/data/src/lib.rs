@@ -32,5 +32,8 @@ pub use adverse::{flip_labels, inject_low_quality, replicate, AdverseReport};
 pub use csv::{load_csv, CsvDataset};
 pub use partition::{skew_label, skew_sample, Partition};
 pub use split::train_test_split;
-pub use synthetic::{adult_like, bank_like, dota2_like, SyntheticConfig};
+pub use synthetic::{
+    adult_like, bank_like, dota2_like, federated_shards, generate, GroundTruth, SyntheticConfig,
+    SyntheticStream,
+};
 pub use tictactoe::tictactoe_endgame;

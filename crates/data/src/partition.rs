@@ -37,6 +37,28 @@ impl Partition {
         Partition { client_of, n_clients }
     }
 
+    /// Contiguous equal-block partition: client `c` owns one unbroken run
+    /// of rows, the first `n_rows mod n_clients` clients getting one extra
+    /// row. This is the row→client map of
+    /// [`crate::synthetic::federated_shards`], and the layout under which
+    /// sharded activation stores need no row gathering at all.
+    ///
+    /// # Panics
+    /// Panics if `n_rows == 0`, `n_clients == 0`, or there are more clients
+    /// than rows (an empty client would be degenerate).
+    pub fn contiguous(n_rows: usize, n_clients: usize) -> Self {
+        assert!(n_rows > 0 && n_clients > 0, "need rows and clients");
+        assert!(n_clients <= n_rows, "more clients than rows");
+        let base = n_rows / n_clients;
+        let extra = n_rows % n_clients;
+        let mut client_of = Vec::with_capacity(n_rows);
+        for c in 0..n_clients {
+            let take = base + usize::from(c < extra);
+            client_of.resize(client_of.len() + take, c as u32);
+        }
+        Partition { client_of, n_clients }
+    }
+
     /// Number of rows covered.
     pub fn len(&self) -> usize {
         self.client_of.len()
@@ -264,6 +286,27 @@ mod tests {
     #[should_panic(expected = "client index out of range")]
     fn partition_validates() {
         Partition::new(vec![0, 5], 2);
+    }
+
+    #[test]
+    fn contiguous_blocks_are_balanced_and_ordered() {
+        let p = Partition::contiguous(10, 3);
+        assert_eq!(p.client_of, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        assert_eq!(p.counts(), vec![4, 3, 3]);
+        // Runs are unbroken and ascending.
+        let p = Partition::contiguous(1_000, 7);
+        assert!(p.client_of.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(p.counts().iter().sum::<usize>(), 1_000);
+        assert!(p.counts().iter().all(|&c| c == 142 || c == 143));
+        // One client owns everything; clients == rows gives singletons.
+        assert_eq!(Partition::contiguous(5, 1).counts(), vec![5]);
+        assert_eq!(Partition::contiguous(5, 5).counts(), vec![1; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more clients than rows")]
+    fn contiguous_rejects_empty_clients() {
+        Partition::contiguous(2, 3);
     }
 
     #[test]

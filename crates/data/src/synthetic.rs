@@ -10,6 +10,7 @@
 //! real benchmark.
 
 use ctfl_core::data::{Column, Dataset, FeatureKind, FeatureSchema, FeatureValue};
+use ctfl_core::rule::{conjunction, Predicate, Rule, RuleExpr, SchemaRef};
 use ctfl_rng::rngs::StdRng;
 use ctfl_rng::Rng;
 use ctfl_rng::SeedableRng;
@@ -78,6 +79,32 @@ impl GroundTruth {
     pub fn clean_label(&self, row: &[FeatureValue]) -> u32 {
         self.terms.iter().any(|t| t.literals.iter().all(|l| l.holds(row))) as u32
     }
+
+    /// The planted DNF as a CTFL rule set: one class-1 conjunction per term
+    /// (weight 1.0) plus one class-0 rule firing exactly when no term does,
+    /// so every row activates at least one rule. Useful for exercising the
+    /// tracing/scale kernels with a *known-perfect* model — no training pass
+    /// needed to benchmark the data plane.
+    pub fn to_rules(&self) -> Vec<Rule> {
+        let literal_pred = |l: &PlantedLiteral| match *l {
+            PlantedLiteral::Above { feature, threshold } => Predicate::gt(feature, threshold),
+            PlantedLiteral::Below { feature, threshold } => Predicate::lt(feature, threshold),
+            PlantedLiteral::Is { feature, category } => Predicate::eq(feature, category),
+        };
+        let mut rules: Vec<Rule> = self
+            .terms
+            .iter()
+            .map(|t| conjunction(t.literals.iter().map(literal_pred).collect(), 1, 1.0))
+            .collect();
+        let negated = RuleExpr::not(RuleExpr::or(
+            self.terms
+                .iter()
+                .map(|t| RuleExpr::and(t.literals.iter().map(|l| RuleExpr::pred(literal_pred(l))).collect()))
+                .collect(),
+        ));
+        rules.push(Rule::new(negated, 0, 1.0));
+        rules
+    }
 }
 
 /// Generator configuration.
@@ -112,80 +139,183 @@ impl SyntheticConfig {
 }
 
 /// Generates a dataset and its ground truth.
+///
+/// Delegates to [`SyntheticStream`] and drains it in one block, so
+/// `generate` and block-wise streaming are bit-for-bit identical by
+/// construction (one RNG stream, one row loop).
 pub fn generate(config: &SyntheticConfig) -> (Dataset, GroundTruth) {
-    config.validate();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let n_features = config.n_continuous + config.n_discrete;
+    let mut stream = SyntheticStream::new(config.clone());
+    let ds = stream.next_block(config.n_instances).expect("n_instances > 0");
+    let truth = stream.ground_truth().clone();
+    (ds, truth)
+}
 
-    let mut specs: Vec<(String, FeatureKind)> = Vec::with_capacity(n_features);
-    for i in 0..config.n_continuous {
-        specs.push((format!("c{i}"), FeatureKind::continuous(0.0, 1.0)));
-    }
-    for i in 0..config.n_discrete {
-        specs.push((format!("d{i}"), FeatureKind::discrete(config.discrete_arity)));
-    }
-    let schema = FeatureSchema::new(specs);
+/// Block-wise streaming generator: the same planted-DNF federation as
+/// [`generate`], materialized a bounded block at a time.
+///
+/// At million-row scale the monolithic generator's single `Dataset` is
+/// fine, but *federated* construction wants per-client datasets without a
+/// pooled intermediate — a thousand-client split of a 1M-row federation
+/// would otherwise materialize every row twice. The stream yields rows in
+/// generation order with one shared RNG, so concatenating blocks (of any
+/// sizes) reproduces `generate`'s dataset exactly:
+///
+/// ```
+/// use ctfl_data::synthetic::{generate, SyntheticConfig, SyntheticStream};
+/// # let config = SyntheticConfig { n_instances: 100, n_continuous: 2, n_discrete: 1,
+/// #     discrete_arity: 3, n_terms: 2, term_len: 2, label_noise: 0.1, seed: 7 };
+/// let (whole, _) = generate(&config);
+/// let mut stream = SyntheticStream::new(config.clone());
+/// let mut blocks = Vec::new();
+/// while let Some(block) = stream.next_block(33) {
+///     blocks.push(block);
+/// }
+/// let streamed = ctfl_core::data::Dataset::concat(&blocks).unwrap();
+/// assert_eq!(streamed, whole);
+/// ```
+#[derive(Debug)]
+pub struct SyntheticStream {
+    config: SyntheticConfig,
+    schema: SchemaRef,
+    truth: GroundTruth,
+    rng: StdRng,
+    produced: usize,
+}
 
-    // Plant the DNF. Thresholds are kept in the central half of the domain
-    // so each continuous literal holds with probability in (0.25, 0.75),
-    // keeping class balance reasonable.
-    let terms: Vec<PlantedTerm> = (0..config.n_terms)
-        .map(|_| {
-            let literals = (0..config.term_len)
-                .map(|_| {
-                    let f = rng.gen_range(0..n_features);
-                    if f < config.n_continuous {
-                        let threshold = 0.25 + rng.gen::<f32>() * 0.5;
-                        if rng.gen_bool(0.5) {
-                            PlantedLiteral::Above { feature: f, threshold }
+impl SyntheticStream {
+    /// Seeds the stream and plants the ground-truth DNF (the same RNG
+    /// consumption order as the historical one-shot generator).
+    pub fn new(config: SyntheticConfig) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n_features = config.n_continuous + config.n_discrete;
+
+        let mut specs: Vec<(String, FeatureKind)> = Vec::with_capacity(n_features);
+        for i in 0..config.n_continuous {
+            specs.push((format!("c{i}"), FeatureKind::continuous(0.0, 1.0)));
+        }
+        for i in 0..config.n_discrete {
+            specs.push((format!("d{i}"), FeatureKind::discrete(config.discrete_arity)));
+        }
+        let schema = FeatureSchema::new(specs);
+
+        // Plant the DNF. Thresholds are kept in the central half of the
+        // domain so each continuous literal holds with probability in
+        // (0.25, 0.75), keeping class balance reasonable.
+        let terms: Vec<PlantedTerm> = (0..config.n_terms)
+            .map(|_| {
+                let literals = (0..config.term_len)
+                    .map(|_| {
+                        let f = rng.gen_range(0..n_features);
+                        if f < config.n_continuous {
+                            let threshold = 0.25 + rng.gen::<f32>() * 0.5;
+                            if rng.gen_bool(0.5) {
+                                PlantedLiteral::Above { feature: f, threshold }
+                            } else {
+                                PlantedLiteral::Below { feature: f, threshold }
+                            }
                         } else {
-                            PlantedLiteral::Below { feature: f, threshold }
+                            PlantedLiteral::Is {
+                                feature: f,
+                                category: rng.gen_range(0..config.discrete_arity),
+                            }
                         }
-                    } else {
-                        PlantedLiteral::Is {
-                            feature: f,
-                            category: rng.gen_range(0..config.discrete_arity),
-                        }
-                    }
-                })
-                .collect();
-            PlantedTerm { literals }
+                    })
+                    .collect();
+                PlantedTerm { literals }
+            })
+            .collect();
+        let truth = GroundTruth { terms, noise: config.label_noise };
+        SyntheticStream { config, schema, truth, rng, produced: 0 }
+    }
+
+    /// The shared feature schema every block is built against.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The planted ground truth (fixed at construction).
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+
+    /// Rows not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.config.n_instances - self.produced
+    }
+
+    /// Emits the next block of up to `max_rows` rows (capped by
+    /// [`Self::remaining`]); `None` once the configured instance count is
+    /// exhausted.
+    pub fn next_block(&mut self, max_rows: usize) -> Option<Dataset> {
+        let n = max_rows.min(self.remaining());
+        if n == 0 {
+            return None;
+        }
+        let config = &self.config;
+        let n_features = config.n_continuous + config.n_discrete;
+        // Columnar construction: values land straight in their typed columns
+        // (the row buffer only exists for the ground-truth check). The RNG
+        // call sequence is identical to the historical row-wise generator,
+        // so seeded datasets are bit-for-bit unchanged.
+        let mut columns: Vec<Column> =
+            self.schema.iter().map(|spec| Column::empty_for(spec.kind)).collect();
+        let mut labels: Vec<u32> = Vec::with_capacity(n);
+        let mut row = Vec::with_capacity(n_features);
+        for _ in 0..n {
+            row.clear();
+            for _ in 0..config.n_continuous {
+                row.push(FeatureValue::Continuous(self.rng.gen::<f32>()));
+            }
+            for _ in 0..config.n_discrete {
+                row.push(FeatureValue::Discrete(self.rng.gen_range(0..config.discrete_arity)));
+            }
+            let mut label = self.truth.clean_label(&row);
+            if config.label_noise > 0.0 && self.rng.gen_bool(config.label_noise) {
+                label = 1 - label;
+            }
+            for (col, &value) in columns.iter_mut().zip(&row) {
+                match (col, value) {
+                    (Column::F32(c), FeatureValue::Continuous(v)) => c.push(v),
+                    (Column::U32(c), FeatureValue::Discrete(v)) => c.push(v),
+                    _ => unreachable!("rows are generated in schema order"),
+                }
+            }
+            labels.push(label);
+        }
+        self.produced += n;
+        let ds = Dataset::from_columns(Arc::clone(&self.schema), 2, columns, labels)
+            .expect("generated columns are schema-valid");
+        Some(ds)
+    }
+}
+
+/// Stream-generates a federation as `n_clients` contiguous per-client
+/// datasets (block sizes `⌈n/k⌉` for the first `n mod k` clients, `⌊n/k⌋`
+/// after), without ever materializing the pooled dataset.
+///
+/// Concatenating the shards in order reproduces `generate(config)` exactly;
+/// the matching row→client map is [`crate::partition::Partition::contiguous`].
+///
+/// # Panics
+/// Panics if `n_clients == 0` or exceeds `config.n_instances` (an empty
+/// client would make FedAvg weights degenerate, matching the partitioners'
+/// guarantee).
+pub fn federated_shards(config: &SyntheticConfig, n_clients: usize) -> (Vec<Dataset>, GroundTruth) {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(n_clients <= config.n_instances, "more clients than rows");
+    let mut stream = SyntheticStream::new(config.clone());
+    let base = config.n_instances / n_clients;
+    let extra = config.n_instances % n_clients;
+    let shards: Vec<Dataset> = (0..n_clients)
+        .map(|c| {
+            let take = base + usize::from(c < extra);
+            stream.next_block(take).expect("sized to the configured instance count")
         })
         .collect();
-    let truth = GroundTruth { terms, noise: config.label_noise };
-
-    // Columnar construction: values land straight in their typed columns
-    // (the row buffer only exists for the ground-truth check). The RNG call
-    // sequence is identical to the historical row-wise generator, so seeded
-    // datasets are bit-for-bit unchanged.
-    let mut columns: Vec<Column> =
-        schema.iter().map(|spec| Column::empty_for(spec.kind)).collect();
-    let mut labels: Vec<u32> = Vec::with_capacity(config.n_instances);
-    let mut row = Vec::with_capacity(n_features);
-    for _ in 0..config.n_instances {
-        row.clear();
-        for _ in 0..config.n_continuous {
-            row.push(FeatureValue::Continuous(rng.gen::<f32>()));
-        }
-        for _ in 0..config.n_discrete {
-            row.push(FeatureValue::Discrete(rng.gen_range(0..config.discrete_arity)));
-        }
-        let mut label = truth.clean_label(&row);
-        if config.label_noise > 0.0 && rng.gen_bool(config.label_noise) {
-            label = 1 - label;
-        }
-        for (col, &value) in columns.iter_mut().zip(&row) {
-            match (col, value) {
-                (Column::F32(c), FeatureValue::Continuous(v)) => c.push(v),
-                (Column::U32(c), FeatureValue::Discrete(v)) => c.push(v),
-                _ => unreachable!("rows are generated in schema order"),
-            }
-        }
-        labels.push(label);
-    }
-    let ds = Dataset::from_columns(Arc::clone(&schema), 2, columns, labels)
-        .expect("generated columns are schema-valid");
-    (ds, truth)
+    debug_assert_eq!(stream.remaining(), 0);
+    let truth = stream.ground_truth().clone();
+    (shards, truth)
 }
 
 /// `adult`-like preset: 32 561 instances, 14 mixed features (6 continuous +
@@ -315,5 +445,66 @@ mod tests {
     #[should_panic(expected = "noise must be in [0, 0.5]")]
     fn rejects_bad_noise() {
         generate(&SyntheticConfig { label_noise: 0.7, ..tiny() });
+    }
+
+    #[test]
+    fn streaming_any_block_size_matches_one_shot() {
+        let cfg = SyntheticConfig { n_instances: 997, ..tiny() };
+        let (whole, truth) = generate(&cfg);
+        for block in [1usize, 7, 100, 996, 997, 5_000] {
+            let mut stream = SyntheticStream::new(cfg.clone());
+            assert_eq!(stream.remaining(), 997);
+            let mut blocks = Vec::new();
+            while let Some(b) = stream.next_block(block) {
+                blocks.push(b);
+            }
+            assert_eq!(stream.remaining(), 0);
+            assert!(stream.next_block(1).is_none());
+            let streamed = Dataset::concat(&blocks).unwrap();
+            assert_eq!(streamed, whole, "block size {block}");
+            assert_eq!(stream.ground_truth().terms.len(), truth.terms.len());
+        }
+    }
+
+    #[test]
+    fn federated_shards_concat_to_the_pooled_dataset() {
+        let cfg = SyntheticConfig { n_instances: 1_003, ..tiny() };
+        let (whole, _) = generate(&cfg);
+        let (shards, _) = federated_shards(&cfg, 7);
+        assert_eq!(shards.len(), 7);
+        // 1003 = 7*143 + 2: first two clients get 144 rows.
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![144, 144, 143, 143, 143, 143, 143]);
+        assert_eq!(Dataset::concat(&shards).unwrap(), whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "more clients than rows")]
+    fn federated_shards_rejects_empty_clients() {
+        federated_shards(&SyntheticConfig { n_instances: 3, ..tiny() }, 4);
+    }
+
+    #[test]
+    fn planted_rules_reproduce_clean_labels() {
+        let cfg = SyntheticConfig { label_noise: 0.0, ..tiny() };
+        let (ds, truth) = generate(&cfg);
+        let rules = truth.to_rules();
+        assert_eq!(rules.len(), truth.terms.len() + 1);
+        for rule in &rules {
+            rule.expr.validate(ds.schema()).unwrap();
+        }
+        for i in 0..ds.len() {
+            let row = ds.row(i);
+            // Exactly the class-matching rules fire; the class-0 catch-all
+            // fires iff no term does.
+            let fired: Vec<usize> =
+                rules.iter().enumerate().filter(|(_, r)| r.activated(&row)).map(|(j, _)| j).collect();
+            assert!(!fired.is_empty(), "row {i} activates no rule");
+            let label = ds.label(i) as usize;
+            assert!(
+                fired.iter().all(|&j| rules[j].class == label),
+                "row {i}: fired {fired:?}, label {label}"
+            );
+        }
     }
 }

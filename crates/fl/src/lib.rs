@@ -87,8 +87,9 @@ pub use metrics::{accuracy_of, f1_binary, f1_macro};
 pub use schedule::{RoundPlan, Schedule};
 pub use topology::Topology;
 pub use privacy::{
-    assemble_trace_inputs, assemble_trace_inputs_excluding, ActivationUpload, HardenedScores,
-    PrivacyConfig, PrivateScoring,
+    assemble_sharded, assemble_trace_inputs, assemble_trace_inputs_excluding,
+    assemble_trace_inputs_reference, ActivationUpload, HardenedScores, PrivacyConfig,
+    PrivateScoring,
 };
 pub use score_attack::{ScoreAttackInjector, ScoreAttackKind, ScoreAttackPlan};
 pub use chaos_net::{

@@ -24,7 +24,8 @@ use ctfl_core::data::Dataset;
 use ctfl_core::error::{CoreError, Result};
 use ctfl_core::model::RuleModel;
 use ctfl_core::robustness::{audit_uploads, UploadAuditConfig, UploadAuditInput, UploadAuditReport};
-use ctfl_core::tracing::{trace, TraceConfig, TraceInputs, TraceParts};
+use ctfl_core::shard::{ActivationShard, ShardedActivations};
+use ctfl_core::tracing::{trace_sharded, ShardedTraceInputs, TraceConfig, TraceInputs, TraceParts};
 use ctfl_rng::Rng;
 
 /// Local-DP configuration for activation uploads.
@@ -141,7 +142,69 @@ pub fn assemble_trace_inputs(
 /// `excluded` clients are skipped entirely, as if those clients had never
 /// uploaded. Their rows contribute nothing to tracing, so their scores are
 /// exactly zero — the hardened-scoring path after an audit.
+///
+/// Assembly goes through [`assemble_sharded`] and flattens word-for-word;
+/// a test pins it bit-identical to [`assemble_trace_inputs_reference`].
 pub fn assemble_trace_inputs_excluding(
+    uploads: &[ActivationUpload],
+    excluded: &[usize],
+) -> Result<(ActivationMatrix, Vec<u32>, Vec<u32>)> {
+    assemble_sharded(uploads, excluded)?.to_matrix()
+}
+
+/// Assembles uploads into a [`ShardedActivations`] store — each client's
+/// upload arena becomes one shard (a single word-level copy), no per-bit
+/// re-packing and no pooled re-layout. [`crate::privacy::PrivateScoring`]
+/// traces straight off this store; at 1000-client scale this is the only
+/// assembly path that doesn't dominate the scoring cost.
+///
+/// Every upload is validated (width, label count) in upload order *before*
+/// the quarantine filter is consulted — exclusion silences a client's
+/// rows, never its malformedness — matching the reference path's error
+/// behavior exactly.
+pub fn assemble_sharded(
+    uploads: &[ActivationUpload],
+    excluded: &[usize],
+) -> Result<ShardedActivations> {
+    let first = uploads.first().ok_or(CoreError::Empty { what: "uploads" })?;
+    let n_bits = first.activations.n_bits();
+    let mut shards = Vec::with_capacity(uploads.len());
+    for up in uploads {
+        if up.activations.n_bits() != n_bits {
+            return Err(CoreError::LengthMismatch {
+                what: "upload activation width",
+                expected: n_bits,
+                actual: up.activations.n_bits(),
+            });
+        }
+        if up.labels.len() != up.activations.n_rows() {
+            return Err(CoreError::LengthMismatch {
+                what: "upload labels",
+                expected: up.activations.n_rows(),
+                actual: up.labels.len(),
+            });
+        }
+        if excluded.contains(&up.client) {
+            continue;
+        }
+        shards.push(ActivationShard {
+            client: up.client as u32,
+            acts: up.activations.clone(),
+            labels: up.labels.clone(),
+        });
+    }
+    let store = ShardedActivations::from_shards(shards)?;
+    if store.n_rows() == 0 {
+        return Err(CoreError::Empty { what: "unquarantined uploads" });
+    }
+    Ok(store)
+}
+
+/// Pinned reference for upload assembly: the historical per-bit, per-row
+/// re-pack through `ActivationMatrix::push_row`. Kept (not called on any
+/// hot path) so property tests can assert the sharded/word-level assembly
+/// is bit-identical, per the serial-reference discipline.
+pub fn assemble_trace_inputs_reference(
     uploads: &[ActivationUpload],
     excluded: &[usize],
 ) -> Result<(ActivationMatrix, Vec<u32>, Vec<u32>)> {
@@ -242,25 +305,28 @@ impl<'a> PrivateScoring<'a> {
     /// Micro scores with `excluded` clients' uploads quarantined (their
     /// scores are exactly 0; everyone else is scored from the remaining
     /// pool).
+    ///
+    /// Traces straight off the sharded store ([`assemble_sharded`] +
+    /// [`trace_sharded`]) — no pooled re-layout of the uploads. The sharded
+    /// kernel is bit-identical to the monolithic one by construction (one
+    /// generic kernel over both row stores), so scores match the historical
+    /// assemble-then-trace path exactly.
     pub fn score_excluding(
         &self,
         uploads: &[ActivationUpload],
         excluded: &[usize],
     ) -> Result<Vec<f64>> {
-        let (acts, labels, client_of) = assemble_trace_inputs_excluding(uploads, excluded)?;
-        let inputs = trace_inputs_from_parts(
-            self.model,
-            TraceParts {
-                train_acts: &acts,
-                train_labels: &labels,
-                client_of: &client_of,
-                n_clients: self.n_clients,
-                test_acts: self.test_acts,
-                test_labels: self.test_labels,
-                predictions: self.predictions,
-            },
-        );
-        let outcome = trace(&inputs, &self.trace_config)?;
+        let store = assemble_sharded(uploads, excluded)?;
+        let inputs = ShardedTraceInputs {
+            train: &store,
+            n_clients: self.n_clients,
+            test_acts: self.test_acts,
+            test_labels: self.test_labels,
+            predictions: self.predictions,
+            weights: self.model.weights(),
+            class_masks: self.model.class_masks_all(),
+        };
+        let outcome = trace_sharded(&inputs, &self.trace_config)?;
         Ok(ctfl_core::allocation::micro_scores(
             &outcome,
             ctfl_core::allocation::CreditDirection::Gain,
@@ -363,6 +429,36 @@ mod tests {
         assert!(client_of.iter().all(|&c| c == 1));
         // Quarantining everyone is a typed error, not a zero-row trace.
         assert!(assemble_trace_inputs_excluding(&ups, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn sharded_assembly_is_bit_identical_to_reference() {
+        let (model, a, b) = model_and_data();
+        let mut rng = StdRng::seed_from_u64(21);
+        // Noisy uploads so activation patterns aren't trivially regular.
+        let cfg = PrivacyConfig { flip_probability: 0.2 };
+        let ups = vec![
+            ActivationUpload::compute(0, &model, &a, &cfg, &mut rng).unwrap(),
+            ActivationUpload::compute(1, &model, &b, &cfg, &mut rng).unwrap(),
+            ActivationUpload::compute(2, &model, &a, &cfg, &mut rng).unwrap(),
+        ];
+        for excluded in [vec![], vec![1usize], vec![0, 2]] {
+            let fast = assemble_trace_inputs_excluding(&ups, &excluded).unwrap();
+            let reference = assemble_trace_inputs_reference(&ups, &excluded).unwrap();
+            assert_eq!(fast, reference, "excluded {excluded:?}");
+            // The sharded store addresses the same rows without flattening.
+            let store = assemble_sharded(&ups, &excluded).unwrap();
+            for row in 0..store.n_rows() {
+                assert_eq!(store.row_words(row), reference.0.row_words(row));
+                assert_eq!(store.label(row), reference.1[row]);
+                assert_eq!(store.client(row), reference.2[row]);
+            }
+        }
+        // Error behavior matches too: a malformed excluded upload still errors.
+        let mut bad = ups.clone();
+        bad[1].labels.pop();
+        assert!(assemble_trace_inputs_excluding(&bad, &[1]).is_err());
+        assert!(assemble_trace_inputs_reference(&bad, &[1]).is_err());
     }
 
     #[test]

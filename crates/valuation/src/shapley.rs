@@ -11,6 +11,7 @@
 //!   `truncation_tolerance` of `v(N)` (remaining marginals ≈ 0 — the
 //!   GTG-Shapley acceleration the paper applies to this baseline).
 
+use ctfl_core::parallel::plan_threads;
 use ctfl_rng::seq::SliceRandom;
 use ctfl_rng::Rng;
 
@@ -56,15 +57,31 @@ pub struct ShapleySamplingConfig {
     /// zero marginal this round). `0.0` still truncates exactly-saturated
     /// prefixes; use a negative value to disable truncation entirely.
     pub truncation_tolerance: f64,
+    /// Scan permutations on a scoped worker pool. Permutations are drawn
+    /// up-front from the caller's RNG (the identical stream the serial
+    /// path consumes) and their marginals folded in permutation order, so
+    /// the scores are byte-identical to a serial run. Disable when an
+    /// exact utility-*evaluation count* matters (caching utilities may
+    /// evaluate a coalition once per thread instead of once).
+    pub parallel: bool,
 }
 
 impl Default for ShapleySamplingConfig {
     fn default() -> Self {
-        ShapleySamplingConfig { n_permutations: 128, truncation_tolerance: -1.0 }
+        ShapleySamplingConfig { n_permutations: 128, truncation_tolerance: -1.0, parallel: true }
     }
 }
 
+/// The marginal contributions one permutation scan produced, in scan
+/// order: `(player, v(prefix ∪ player) − v(prefix))`, stopping early at
+/// the truncation point.
+type PermDeltas = Vec<(usize, f64)>;
+
 /// Permutation Monte-Carlo Shapley estimation.
+///
+/// With `config.parallel` the permutation scans run on scoped worker
+/// threads; results are committed in permutation order, replicating the
+/// serial f64 addition sequence per player exactly.
 pub fn sampled_shapley<U: UtilityFn, R: Rng + ?Sized>(
     u: &U,
     config: &ShapleySamplingConfig,
@@ -74,13 +91,24 @@ pub fn sampled_shapley<U: UtilityFn, R: Rng + ?Sized>(
     assert!(config.n_permutations > 0, "need at least one permutation");
     let v_empty = u.value(&Coalition::empty(n));
     let v_grand = u.value(&Coalition::grand(n));
-    let mut scores = vec![0.0f64; n];
+
+    // Draw every permutation up-front by repeatedly shuffling ONE reused
+    // order vector — the exact RNG consumption pattern of the historical
+    // serial loop (utility evaluation never touches the RNG), so seeds
+    // reproduce the same permutations regardless of the parallel flag.
     let mut order: Vec<usize> = (0..n).collect();
-    for _ in 0..config.n_permutations {
-        order.shuffle(rng);
+    let perms: Vec<Vec<usize>> = (0..config.n_permutations)
+        .map(|_| {
+            order.shuffle(rng);
+            order.clone()
+        })
+        .collect();
+
+    let scan = |perm: &[usize]| -> PermDeltas {
         let mut prefix = Coalition::empty(n);
         let mut v_prev = v_empty;
-        for (pos, &player) in order.iter().enumerate() {
+        let mut deltas = Vec::with_capacity(n);
+        for (pos, &player) in perm.iter().enumerate() {
             // Truncation: if the prefix already achieves (nearly) the grand
             // utility, remaining marginals are ~0 — skip their evaluations.
             if config.truncation_tolerance >= 0.0
@@ -90,8 +118,40 @@ pub fn sampled_shapley<U: UtilityFn, R: Rng + ?Sized>(
             }
             prefix.insert(player);
             let v_now = if pos + 1 == n { v_grand } else { u.value(&prefix) };
-            scores[player] += v_now - v_prev;
+            deltas.push((player, v_now - v_prev));
             v_prev = v_now;
+        }
+        deltas
+    };
+
+    // One coalition evaluation dwarfs thread-spawn cost, so the floor is a
+    // single permutation per worker.
+    let n_threads =
+        if config.parallel { plan_threads(perms.len(), perms.len(), 1, 0) } else { 1 };
+    let per_perm: Vec<PermDeltas> = if n_threads > 1 && perms.len() > 1 {
+        let chunk = perms.len().div_ceil(n_threads).max(1);
+        let scan = &scan;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = perms
+                .chunks(chunk)
+                .map(|ps| s.spawn(move || ps.iter().map(|p| scan(p)).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shapley permutation worker panicked"))
+                .collect()
+        })
+    } else {
+        perms.iter().map(|p| scan(p)).collect()
+    };
+
+    // Fold marginals in permutation order: per player this is one addition
+    // per (non-truncated) permutation, in the same sequence the serial
+    // loop performs — byte-identical scores.
+    let mut scores = vec![0.0f64; n];
+    for deltas in per_perm {
+        for (player, delta) in deltas {
+            scores[player] += delta;
         }
     }
     for s in &mut scores {
@@ -158,7 +218,11 @@ mod tests {
         let u = TableUtility::paper_table2();
         let exact = exact_shapley(&u);
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = ShapleySamplingConfig { n_permutations: 4000, truncation_tolerance: -1.0 };
+        let cfg = ShapleySamplingConfig {
+            n_permutations: 4000,
+            truncation_tolerance: -1.0,
+            parallel: false,
+        };
         let approx = sampled_shapley(&u, &cfg, &mut rng);
         for (e, a) in exact.iter().zip(&approx) {
             assert!((e - a).abs() < 0.6, "exact {e}, approx {a}");
@@ -173,12 +237,22 @@ mod tests {
     fn truncation_reduces_evaluations_without_wrecking_estimates() {
         let u = CachedUtility::new(TableUtility::paper_table2());
         let mut rng = StdRng::seed_from_u64(2);
-        let full_cfg = ShapleySamplingConfig { n_permutations: 500, truncation_tolerance: -1.0 };
+        // Evaluation *counts* are only meaningful serially (parallel workers
+        // may each evaluate a coalition before the cache fills).
+        let full_cfg = ShapleySamplingConfig {
+            n_permutations: 500,
+            truncation_tolerance: -1.0,
+            parallel: false,
+        };
         let _ = sampled_shapley(&u, &full_cfg, &mut rng);
         let full_evals = u.evaluations();
 
         let u2 = CachedUtility::new(TableUtility::paper_table2());
-        let trunc_cfg = ShapleySamplingConfig { n_permutations: 500, truncation_tolerance: 0.0 };
+        let trunc_cfg = ShapleySamplingConfig {
+            n_permutations: 500,
+            truncation_tolerance: 0.0,
+            parallel: false,
+        };
         let approx = sampled_shapley(&u2, &trunc_cfg, &mut rng);
         // v(AC) = v(BC) = v(ABC) = 90: prefixes saturating at 90 truncate.
         assert!(u2.evaluations() <= full_evals);
@@ -186,6 +260,24 @@ mod tests {
         let exact = exact_shapley(&TableUtility::paper_table2());
         for (e, a) in exact.iter().zip(&approx) {
             assert!((e - a).abs() < 3.0, "exact {e}, approx {a}");
+        }
+    }
+
+    #[test]
+    fn parallel_scan_is_byte_identical_to_serial() {
+        let u = TableUtility::paper_table2();
+        for truncation_tolerance in [-1.0, 0.0] {
+            let serial = sampled_shapley(
+                &u,
+                &ShapleySamplingConfig { n_permutations: 64, truncation_tolerance, parallel: false },
+                &mut StdRng::seed_from_u64(9),
+            );
+            let parallel = sampled_shapley(
+                &u,
+                &ShapleySamplingConfig { n_permutations: 64, truncation_tolerance, parallel: true },
+                &mut StdRng::seed_from_u64(9),
+            );
+            assert_eq!(serial, parallel, "tolerance={truncation_tolerance}");
         }
     }
 

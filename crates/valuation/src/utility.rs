@@ -283,12 +283,20 @@ impl UtilityFn for ModelUtility {
 
 /// Evaluates `v` on many coalitions concurrently with scoped threads.
 ///
-/// Returns values in the order of `coalitions`.
+/// Results are committed in the order of `coalitions` (chunk boundaries
+/// are input positions), so the output never depends on thread timing —
+/// only each evaluation's own determinism.
 pub fn evaluate_many<U: UtilityFn>(u: &U, coalitions: &[Coalition], parallel: bool) -> Vec<f64> {
-    if !parallel || coalitions.len() < 2 {
+    // One coalition evaluation (a model training, usually) dwarfs spawn
+    // cost: plan with a floor of one coalition per worker.
+    let n_threads = if parallel {
+        ctfl_core::parallel::plan_threads(coalitions.len(), coalitions.len(), 1, 0)
+    } else {
+        1
+    };
+    if n_threads <= 1 || coalitions.len() < 2 {
         return coalitions.iter().map(|c| u.value(c)).collect();
     }
-    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let chunk = coalitions.len().div_ceil(n_threads);
     std::thread::scope(|s| {
         let handles: Vec<_> = coalitions

@@ -123,6 +123,16 @@ check() {
     # double run can byte-diff it; timings go to stderr and the JSON report.
     diff_gate "train speed (data plane vs naive)" train_speed TRAIN_SPEED_OK drop
 
+    # The million-row / thousand-client data plane: a {20k,200k,1M} rows x
+    # {10,100,1000} clients grid traced off sharded activation stores. The
+    # binary asserts serial/parallel/sharded traces are bit-identical at
+    # every cell, the sharded store flattens word-for-word to the monolithic
+    # matrix, coalition sweeps (LOO + sampled Shapley) match byte-for-byte
+    # with parallelism on and off, and the fast path beats the pinned
+    # per-bit oracle >= 2x at the largest cell. Timings go to stderr and
+    # results/BENCH_scale.json; stdout carries only hashes and verdicts.
+    diff_gate "scale sweep (data-plane throughput)" scale_sweep SCALE_OK drop
+
     # A seeded batch of healthy/faulty/adversarial jobs runs serially, over
     # the worker pool (twice), and through the wire dispatcher; the binary
     # asserts all paths produce identical result fingerprints.
@@ -175,4 +185,5 @@ $BIN/engine_soak --seed 7 > results/engine_soak.txt 2>&1; echo "engine_soak rc=$
 $BIN/net_soak --seed 7 > results/net_soak.txt 2>&1; echo "net_soak rc=$?"
 $BIN/scenario_sweep --seed 7 > results/scenario_sweep.txt 2>&1; echo "scenario_sweep rc=$?"
 $BIN/train_speed --seed 7 > /dev/null 2>&1; echo "train_speed rc=$?"  # writes results/BENCH_train.json
+$BIN/scale_sweep --seed 7 > /dev/null 2>&1; echo "scale_sweep rc=$?"  # writes results/BENCH_scale.json
 echo ALL_EXPERIMENTS_DONE

@@ -78,7 +78,7 @@ fn run_trace(setup: &RandomTraceSetup, grouping: GroupingStrategy) -> TraceOutco
         weights: &setup.weights,
         class_masks: &masks,
     };
-    trace(&inputs, &TraceConfig { tau_w: setup.tau_w, parallel: false, grouping }).unwrap()
+    trace(&inputs, &TraceConfig { tau_w: setup.tau_w, parallel: false, threads: 0, grouping }).unwrap()
 }
 
 // ---------- tracing strategy equivalence ----------
